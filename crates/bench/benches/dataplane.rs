@@ -1,0 +1,133 @@
+//! Criterion microbenchmarks: the per-packet data-plane hot path.
+//!
+//! The paper's throughput claims rest on the per-packet cost of the
+//! pipeline model being small; these benches keep it honest: full
+//! process() on a replicated meeting, bare PRE fan-out, Stream-Tracker
+//! rewriting, and the depth-aware parser.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scallop_core::agent::SwitchAgent;
+use scallop_dataplane::parser;
+use scallop_dataplane::pre::{L1Node, PacketReplicationEngine};
+use scallop_dataplane::seqrewrite::{PacketVerdict, SeqRewriteMode, StreamTracker};
+use scallop_dataplane::switch::ScallopDataPlane;
+use scallop_media::encoder::{EncodedFrame, FrameLabelCompact};
+use scallop_media::packetizer::Packetizer;
+use scallop_netsim::packet::{HostAddr, Packet};
+use scallop_netsim::time::SimTime;
+use std::net::Ipv4Addr;
+
+fn video_packet(seq_base: u16) -> Vec<u8> {
+    let mut pz = Packetizer::new(0xAA, 96, 1200);
+    pz.set_next_seq(seq_base);
+    let pkts = pz.packetize(&EncodedFrame {
+        frame_number: seq_base,
+        label: FrameLabelCompact {
+            temporal_id: 0,
+            template_id: 1,
+            is_key: false,
+        },
+        size_bytes: 1100,
+        captured_at: SimTime::ZERO,
+        rtp_timestamp: 90_000,
+    });
+    pkts[0].serialize()
+}
+
+/// Build an n-party meeting through the real agent.
+fn meeting_dp(n: usize) -> (ScallopDataPlane, HostAddr, HostAddr) {
+    let mut dp = ScallopDataPlane::new(SeqRewriteMode::LowRetransmission);
+    let mut agent = SwitchAgent::new(Ipv4Addr::new(10, 0, 0, 100));
+    let m = agent.create_meeting();
+    let mut first_grant = None;
+    let mut sender_addr = HostAddr::new(Ipv4Addr::new(10, 9, 0, 1), 5000);
+    for i in 0..n {
+        let addr = HostAddr::new(
+            Ipv4Addr::new(10, 9, (i / 200) as u8, (i % 200 + 1) as u8),
+            5000,
+        );
+        let g = agent.join(&mut dp, m, addr, true);
+        if i == 0 {
+            first_grant = Some(g);
+            sender_addr = addr;
+        }
+    }
+    (dp, sender_addr, first_grant.expect("grant").video_uplink)
+}
+
+fn bench_process(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataplane_process");
+    for &n in &[3usize, 10, 25] {
+        let (mut dp, sender, uplink) = meeting_dp(n);
+        let bytes = video_packet(0);
+        let mut seq = 0u16;
+        g.bench_with_input(BenchmarkId::new("meeting_size", n), &n, |b, _| {
+            b.iter(|| {
+                // Fresh sequence per iteration keeps the tracker honest.
+                let mut payload = bytes.clone();
+                payload[2..4].copy_from_slice(&seq.to_be_bytes());
+                seq = seq.wrapping_add(1);
+                let pkt = Packet::new(sender, uplink, payload);
+                black_box(dp.process(&pkt))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pre(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pre_replicate");
+    for &n in &[10usize, 100, 1000] {
+        let mut pre = PacketReplicationEngine::new();
+        pre.create_group(1).unwrap();
+        for i in 0..n {
+            pre.add_node(
+                1,
+                L1Node {
+                    rid: i as u16,
+                    xid: 1,
+                    prune_enabled: true,
+                    ports: vec![i as u16],
+                },
+            )
+            .unwrap();
+        }
+        g.bench_with_input(BenchmarkId::new("receivers", n), &n, |b, _| {
+            b.iter(|| black_box(pre.replicate(1, 2, 0, 0).unwrap().len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_tracker(c: &mut Criterion) {
+    for mode in [SeqRewriteMode::LowMemory, SeqRewriteMode::LowRetransmission] {
+        let mut tracker = StreamTracker::new(mode, 8);
+        tracker.init_stream(0, 2);
+        let mut seq = 0u16;
+        let mut frame = 0u16;
+        c.bench_function(&format!("tracker_process_{mode:?}"), |b| {
+            b.iter(|| {
+                let suppress = frame % 2 == 1;
+                let v = if suppress {
+                    PacketVerdict::Suppress
+                } else {
+                    PacketVerdict::Forward
+                };
+                let r = tracker.process(0, seq, frame, true, true, v);
+                seq = seq.wrapping_add(1);
+                frame = frame.wrapping_add(1);
+                black_box(r)
+            })
+        });
+    }
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let bytes = video_packet(7);
+    c.bench_function("parser_parse_video", |b| {
+        b.iter(|| black_box(parser::parse(&bytes)))
+    });
+}
+
+criterion_group!(benches, bench_process, bench_pre, bench_tracker, bench_parser);
+criterion_main!(benches);

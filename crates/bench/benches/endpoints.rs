@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks: endpoint hot paths (GCC, decoder).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scallop_client::gcc::{BandwidthEstimator, GccConfig};
+use scallop_media::decoder::{Decoder, DecoderConfig};
+use scallop_media::encoder::{EncodedFrame, FrameLabelCompact};
+use scallop_media::packetizer::Packetizer;
+use scallop_media::svc::L1T3Schedule;
+use scallop_netsim::time::SimTime;
+use scallop_proto::rtp::RtpPacket;
+
+fn bench_gcc(c: &mut Criterion) {
+    let mut est = BandwidthEstimator::new(GccConfig::default());
+    let mut t = 0u64;
+    c.bench_function("gcc_on_packet", |b| {
+        b.iter(|| {
+            t += 4_000_000; // 4 ms spacing
+            est.on_packet(SimTime::from_nanos(t), t as f64 / 1e6, 1242);
+            black_box(est.estimate_bps())
+        })
+    });
+}
+
+fn stream_packets(n_frames: u16) -> Vec<RtpPacket> {
+    let mut sched = L1T3Schedule::new();
+    let mut pz = Packetizer::new(1, 96, 1200);
+    let mut out = Vec::new();
+    for i in 0..n_frames {
+        let label = sched.next_label();
+        out.extend(pz.packetize(&EncodedFrame {
+            frame_number: i,
+            label: FrameLabelCompact::from(label),
+            size_bytes: 2400,
+            captured_at: SimTime::ZERO,
+            rtp_timestamp: i as u32 * 3000,
+        }));
+    }
+    out
+}
+
+fn bench_decoder(c: &mut Criterion) {
+    let pkts = stream_packets(2000);
+    c.bench_function("decoder_on_packet_clean_stream", |b| {
+        let mut dec = Decoder::new(DecoderConfig::default());
+        let mut i = 0usize;
+        b.iter(|| {
+            let pkt = &pkts[i % pkts.len()];
+            i += 1;
+            black_box(dec.on_packet(SimTime::from_millis(i as u64), pkt).len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_gcc, bench_decoder);
+criterion_main!(benches);

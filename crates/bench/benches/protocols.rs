@@ -1,0 +1,92 @@
+//! Criterion microbenchmarks: wire-format codecs.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scallop_proto::av1::{DependencyDescriptor, TemplateStructure};
+use scallop_proto::rtcp::{self, ReceiverReport, Remb, ReportBlock, RtcpPacket};
+use scallop_proto::rtp::{ExtensionElement, RtpPacket};
+use scallop_proto::stun::StunMessage;
+use std::net::Ipv4Addr;
+
+fn sample_rtp() -> Vec<u8> {
+    let mut p = RtpPacket::new(96, 1234, 0xDEADBEEF, 0xCAFEBABE);
+    p.marker = true;
+    p.extension_profile = scallop_proto::rtp::ExtensionProfile::TwoByte;
+    p.extensions.push(ExtensionElement {
+        id: 12,
+        data: DependencyDescriptor::mandatory(true, false, 3, 77).serialize(),
+    });
+    p.payload = Bytes::from(vec![0u8; 1200]);
+    p.serialize()
+}
+
+fn bench_rtp(c: &mut Criterion) {
+    let bytes = sample_rtp();
+    c.bench_function("rtp_parse", |b| {
+        b.iter(|| black_box(RtpPacket::parse(&bytes).unwrap()))
+    });
+    let pkt = RtpPacket::parse(&bytes).unwrap();
+    c.bench_function("rtp_serialize", |b| b.iter(|| black_box(pkt.serialize())));
+    c.bench_function("rtp_view_fields", |b| {
+        b.iter(|| {
+            let v = scallop_proto::rtp::RtpView::new(&bytes).unwrap();
+            black_box((v.sequence_number(), v.ssrc(), v.timestamp()))
+        })
+    });
+}
+
+fn bench_rtcp(c: &mut Criterion) {
+    let compound = rtcp::serialize_compound(&[
+        RtcpPacket::Rr(ReceiverReport {
+            ssrc: 1,
+            reports: vec![ReportBlock {
+                ssrc: 2,
+                fraction_lost: 3,
+                cumulative_lost: 4,
+                highest_seq: 5,
+                jitter: 6,
+                lsr: 7,
+                dlsr: 8,
+            }],
+        }),
+        RtcpPacket::Remb(Remb {
+            sender_ssrc: 1,
+            bitrate_bps: 1_500_000,
+            ssrcs: vec![2],
+        }),
+    ]);
+    c.bench_function("rtcp_parse_compound", |b| {
+        b.iter(|| black_box(rtcp::parse_compound(&compound).unwrap()))
+    });
+}
+
+fn bench_stun(c: &mut Criterion) {
+    let req = StunMessage::binding_request([7; 12]).serialize();
+    c.bench_function("stun_parse", |b| {
+        b.iter(|| black_box(StunMessage::parse(&req).unwrap()))
+    });
+    c.bench_function("stun_binding_success_build", |b| {
+        b.iter(|| {
+            black_box(
+                StunMessage::binding_success([7; 12], Ipv4Addr::new(10, 0, 0, 1), 5000)
+                    .serialize(),
+            )
+        })
+    });
+}
+
+fn bench_dd(c: &mut Criterion) {
+    let mut dd = DependencyDescriptor::mandatory(true, true, 0, 0);
+    dd.structure = Some(TemplateStructure::l1t3());
+    let extended = dd.serialize();
+    let mandatory = DependencyDescriptor::mandatory(false, true, 3, 99).serialize();
+    c.bench_function("dd_parse_mandatory", |b| {
+        b.iter(|| black_box(DependencyDescriptor::parse_mandatory(&mandatory).unwrap()))
+    });
+    c.bench_function("dd_parse_extended", |b| {
+        b.iter(|| black_box(DependencyDescriptor::parse(&extended).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_rtp, bench_rtcp, bench_stun, bench_dd);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion microbenchmarks: full per-packet SFU paths, Scallop's
+//! modeled pipeline vs. the software split-proxy's forwarding work.
+//!
+//! This is the model-level analogue of Fig. 19: the *work per packet*
+//! each design performs (the latency gap in the figure additionally
+//! includes the OS-path constants the simulation adds at run time).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scallop_baseline::{SoftwareSfu, SoftwareSfuConfig};
+use scallop_core::agent::SwitchAgent;
+use scallop_dataplane::seqrewrite::SeqRewriteMode;
+use scallop_dataplane::switch::ScallopDataPlane;
+use scallop_media::encoder::{EncodedFrame, FrameLabelCompact};
+use scallop_media::packetizer::Packetizer;
+use scallop_netsim::link::LinkConfig;
+use scallop_netsim::packet::{HostAddr, Packet};
+use scallop_netsim::sim::Simulator;
+use scallop_netsim::time::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+
+fn video_bytes(seq: u16) -> Vec<u8> {
+    let mut pz = Packetizer::new(0xAA, 96, 1200);
+    pz.set_next_seq(seq);
+    pz.packetize(&EncodedFrame {
+        frame_number: seq,
+        label: FrameLabelCompact {
+            temporal_id: 0,
+            template_id: 1,
+            is_key: false,
+        },
+        size_bytes: 1100,
+        captured_at: SimTime::ZERO,
+        rtp_timestamp: 90_000,
+    })[0]
+        .serialize()
+}
+
+fn bench_scallop_path(c: &mut Criterion) {
+    let mut dp = ScallopDataPlane::new(SeqRewriteMode::LowRetransmission);
+    let mut agent = SwitchAgent::new(Ipv4Addr::new(10, 0, 0, 100));
+    let m = agent.create_meeting();
+    let a = HostAddr::new(Ipv4Addr::new(10, 8, 0, 1), 5000);
+    let b = HostAddr::new(Ipv4Addr::new(10, 8, 0, 2), 5000);
+    let c3 = HostAddr::new(Ipv4Addr::new(10, 8, 0, 3), 5000);
+    let ga = agent.join(&mut dp, m, a, true);
+    agent.join(&mut dp, m, b, true);
+    agent.join(&mut dp, m, c3, true);
+    let mut seq = 0u16;
+    c.bench_function("scallop_per_packet_3party", |bch| {
+        bch.iter(|| {
+            let mut bytes = video_bytes(0);
+            bytes[2..4].copy_from_slice(&seq.to_be_bytes());
+            seq = seq.wrapping_add(1);
+            black_box(dp.process(&Packet::new(a, ga.video_uplink, bytes)))
+        })
+    });
+}
+
+fn bench_software_path(c: &mut Criterion) {
+    // The software SFU is a simulation node; drive it through a minimal
+    // simulator so its CPU/pending machinery runs exactly as deployed.
+    let sfu_ip = Ipv4Addr::new(10, 8, 1, 100);
+    let mut sfu = SoftwareSfu::new(SoftwareSfuConfig::new(sfu_ip));
+    let a = HostAddr::new(Ipv4Addr::new(10, 8, 1, 1), 5000);
+    let b = HostAddr::new(Ipv4Addr::new(10, 8, 1, 2), 5000);
+    let c3 = HostAddr::new(Ipv4Addr::new(10, 8, 1, 3), 5000);
+    let ua = sfu.add_participant(1, a);
+    sfu.add_participant(1, b);
+    sfu.add_participant(1, c3);
+    let mut sim = Simulator::new(9);
+    let link = LinkConfig::infinite(SimDuration::ZERO);
+    let id = sim.add_node(Box::new(sfu), &[sfu_ip], link, link);
+    let mut seq = 0u16;
+    let mut t = 0u64;
+    c.bench_function("software_per_packet_3party", |bch| {
+        bch.iter(|| {
+            let mut bytes = video_bytes(0);
+            bytes[2..4].copy_from_slice(&seq.to_be_bytes());
+            seq = seq.wrapping_add(1);
+            t += 100_000; // 100 µs apart: no CPU queue build-up
+            sim.inject(SimTime::from_nanos(t), Packet::new(a, ua, bytes));
+            sim.run_until(SimTime::from_nanos(t + 50_000));
+            black_box(&sim.stats.packets_delivered);
+        })
+    });
+    let _ = id;
+}
+
+criterion_group!(benches, bench_scallop_path, bench_software_path);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Fig. 2 — number of media streams at the SFU per meeting size.
+//!
+//! Reproduces the campus-dataset analysis: for each maximum-participant
+//! count, the range (min–max) and median of SFU-relayed media streams,
+//! against the dashed `2·N²` everyone-shares-audio+video bound.
+
+use scallop_bench::{f, kv, section, series_table, write_json};
+use scallop_workload::campus::{CampusModel, CampusParams};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    size: u32,
+    meetings: usize,
+    min_streams: u32,
+    median_streams: u32,
+    max_streams: u32,
+    upper_bound: u32,
+}
+
+fn main() {
+    section("Fig. 2: media streams per meeting (campus model)");
+    let mut model = CampusModel::new(CampusParams::default(), 2022);
+    let population = model.generate();
+    kv("meetings generated", population.len());
+
+    let mut rows = Vec::new();
+    for size in 2..=25u32 {
+        let mut streams: Vec<u32> = population
+            .iter()
+            .filter(|m| m.size == size)
+            .map(|m| m.streams_at_sfu())
+            .collect();
+        if streams.is_empty() {
+            continue;
+        }
+        streams.sort_unstable();
+        rows.push(Row {
+            size,
+            meetings: streams.len(),
+            min_streams: streams[0],
+            median_streams: streams[streams.len() / 2],
+            max_streams: *streams.last().expect("non-empty"),
+            upper_bound: 2 * size * size,
+        });
+    }
+
+    section("streams at SFU by meeting size");
+    series_table(
+        &["size", "meetings", "min", "median", "max", "bound 2N^2"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.size.to_string(),
+                    r.meetings.to_string(),
+                    r.min_streams.to_string(),
+                    r.median_streams.to_string(),
+                    r.max_streams.to_string(),
+                    r.upper_bound.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // The paper's two callouts.
+    section("paper anchors");
+    if let Some(r10) = rows.iter().find(|r| r.size == 10) {
+        kv(
+            "10-party meetings: max streams (paper: up to 200)",
+            r10.max_streams,
+        );
+    }
+    if let Some(r25) = rows.iter().find(|r| r.size == 25) {
+        kv(
+            "25-party meetings: median streams (paper: >700 at the high end)",
+            r25.median_streams,
+        );
+        kv("25-party bound (paper: 1250)", r25.upper_bound);
+    }
+    let frac_two = rows
+        .iter()
+        .find(|r| r.size == 2)
+        .map(|r| r.meetings as f64 / population.len() as f64)
+        .unwrap_or(0.0);
+    kv("two-party fraction (paper: 0.60)", f(frac_two, 3));
+
+    write_json("fig02_streams_per_meeting", &rows);
+}

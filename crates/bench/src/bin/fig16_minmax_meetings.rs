@@ -1,0 +1,66 @@
+//! Fig. 16 — best-case and worst-case supported meetings (log scale).
+//!
+//! For each meeting size: Scallop's maximum (one sender, NRA, S-LM) and
+//! minimum (all send, RA-SR, S-LR) supported meeting counts, against the
+//! software server's own min/max.
+
+use scallop_bench::{f, kv, section, series_table, write_json};
+use scallop_core::capacity::CapacityModel;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    participants: u64,
+    scallop_min: f64,
+    scallop_max: f64,
+    software_min: f64,
+    software_max: f64,
+}
+
+fn main() {
+    section("Fig. 16: min/max supported meetings, Scallop vs. 32-core software");
+    let model = CapacityModel::default();
+    let mut rows = Vec::new();
+    for n in (2..=100u64).step_by(2) {
+        rows.push(Row {
+            participants: n,
+            scallop_min: model.scallop_worst(n),
+            scallop_max: model.scallop_best(n),
+            // Software: best case one sender, worst case all send.
+            software_min: model.software_meetings(n, n),
+            software_max: model.software_meetings(n, 1),
+        });
+    }
+
+    series_table(
+        &["parts", "scallop min", "scallop max", "sw min", "sw max"],
+        &rows
+            .iter()
+            .filter(|r| r.participants % 10 == 0 || r.participants <= 4)
+            .map(|r| {
+                vec![
+                    r.participants.to_string(),
+                    f(r.scallop_min, 0),
+                    f(r.scallop_max, 0),
+                    f(r.software_min, 1),
+                    f(r.software_max, 1),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    section("paper anchors");
+    kv(
+        "worst-case Scallop beats worst-case software everywhere",
+        rows.iter().all(|r| r.scallop_min > r.software_min),
+    );
+    kv(
+        "best-case Scallop beats best-case software everywhere",
+        rows.iter().all(|r| r.scallop_max > r.software_max),
+    );
+    let r10 = rows.iter().find(|r| r.participants == 10).expect("n=10");
+    kv("n=10 scallop min (RA-SR+S-LR bound)", f(r10.scallop_min, 0));
+    kv("n=10 software min (paper: 192)", f(r10.software_min, 0));
+
+    write_json("fig16_minmax_meetings", &rows);
+}

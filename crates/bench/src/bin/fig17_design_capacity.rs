@@ -1,0 +1,81 @@
+//! Fig. 17 — capacity of each replication-tree / rewrite design.
+//!
+//! All-senders sweep: one line per hardware constraint (NRA, RA-R, RA-SR
+//! tree budgets; S-LM / S-LR tracker memory; switch bandwidth) plus the
+//! software baseline. The deployable capacity is the minimum of the
+//! active lines (§7.4), and §7.2's headline numbers fall out of the same
+//! formulas.
+
+use scallop_bench::{f, kv, section, series_table, write_json};
+use scallop_core::capacity::CapacityModel;
+use scallop_dataplane::seqrewrite::SeqRewriteMode;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    participants: u64,
+    nra: f64,
+    ra_r: f64,
+    ra_sr: f64,
+    s_lm: f64,
+    s_lr: f64,
+    bandwidth: f64,
+    software: f64,
+}
+
+fn main() {
+    section("Fig. 17: per-design capacity lines (all participants sending)");
+    let model = CapacityModel::default();
+    let mut rows = Vec::new();
+    for n in (2..=100u64).step_by(2) {
+        rows.push(Row {
+            participants: n,
+            nra: model.nra_tree_meetings(n),
+            ra_r: model.ra_r_tree_meetings(n),
+            ra_sr: model.ra_sr_tree_meetings(n, n),
+            s_lm: model.rewrite_meetings(n, n, SeqRewriteMode::LowMemory),
+            s_lr: model.rewrite_meetings(n, n, SeqRewriteMode::LowRetransmission),
+            bandwidth: model.bandwidth_meetings(n, n),
+            software: model.software_meetings(n, n),
+        });
+    }
+
+    series_table(
+        &["parts", "NRA", "RA-R", "RA-SR", "S-LM", "S-LR", "bandw.", "software"],
+        &rows
+            .iter()
+            .filter(|r| r.participants % 10 == 0 || r.participants <= 4)
+            .map(|r| {
+                vec![
+                    r.participants.to_string(),
+                    f(r.nra, 0),
+                    f(r.ra_r, 0),
+                    f(r.ra_sr, 0),
+                    f(r.s_lm, 0),
+                    f(r.s_lr, 0),
+                    f(r.bandwidth, 0),
+                    f(r.software, 1),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    section("§7.2 headline capacities");
+    kv("two-party fast path (paper: 533K)", f(model.two_party_meetings(), 0));
+    kv("NRA (paper: 128K)", f(model.nra_tree_meetings(10), 0));
+    kv("RA-R (paper: 42.7K)", f(model.ra_r_tree_meetings(10), 0));
+    kv(
+        "RA-SR @ 10 senders (paper: 4.3K)",
+        f(model.ra_sr_tree_meetings(10, 10), 0),
+    );
+    kv(
+        "vs software @ 10-party all-send (paper: 192)",
+        f(model.software_meetings(10, 10), 0),
+    );
+    kv(
+        "two-party software (paper: 4.8K)",
+        f(model.software_meetings(2, 2), 0),
+    );
+
+    write_json("fig17_design_capacity", &rows);
+}

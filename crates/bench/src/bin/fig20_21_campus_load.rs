@@ -1,0 +1,87 @@
+//! Figs. 20/21 — concurrent meetings and participants over two weeks.
+
+use scallop_bench::{f, kv, section, series_table, write_json};
+use scallop_netsim::time::SimDuration;
+use scallop_workload::campus::{CampusModel, CampusParams};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct DayRow {
+    day: u64,
+    weekday: &'static str,
+    peak_meetings: f64,
+    peak_participants: f64,
+}
+
+const DAYS: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+
+fn main() {
+    section("Figs. 20/21: campus concurrency over two weeks");
+    let mut model = CampusModel::new(CampusParams::default(), 0x7AB20);
+    let population = model.generate();
+    kv("meetings generated (paper: 19,704)", population.len());
+
+    let bin = SimDuration::from_secs(600);
+    let (meetings, participants) = CampusModel::concurrency_series(&population, bin);
+    let m_pts = meetings.points();
+    let p_pts = participants.points();
+
+    let mut rows = Vec::new();
+    for day in 0..14u64 {
+        let in_day = |t: &f64| (*t as u64) / 86_400 == day;
+        let peak_m = m_pts
+            .iter()
+            .filter(|(t, _)| in_day(t))
+            .map(|(_, v)| *v)
+            .fold(0.0, f64::max);
+        let peak_p = p_pts
+            .iter()
+            .filter(|(t, _)| in_day(t))
+            .map(|(_, v)| *v)
+            .fold(0.0, f64::max);
+        rows.push(DayRow {
+            day,
+            weekday: DAYS[(day % 7) as usize],
+            peak_meetings: peak_m,
+            peak_participants: peak_p,
+        });
+    }
+
+    series_table(
+        &["day", "weekday", "peak meetings", "peak participants"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.day.to_string(),
+                    r.weekday.to_string(),
+                    f(r.peak_meetings, 0),
+                    f(r.peak_participants, 0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    section("paper anchors");
+    kv("overall peak meetings (Fig. 20: ~300)", f(meetings.max(), 0));
+    kv(
+        "overall peak participants (Fig. 21: ~500)",
+        f(participants.max(), 0),
+    );
+    let weekday_peak = rows
+        .iter()
+        .filter(|r| r.day % 7 < 5)
+        .map(|r| r.peak_meetings)
+        .fold(0.0, f64::max);
+    let weekend_peak = rows
+        .iter()
+        .filter(|r| r.day % 7 >= 5)
+        .map(|r| r.peak_meetings)
+        .fold(0.0, f64::max);
+    kv(
+        "weekend/weekday peak ratio (figures: strongly diurnal+weekly)",
+        f(weekend_peak / weekday_peak, 2),
+    );
+
+    write_json("fig20_21_campus_load", &rows);
+}

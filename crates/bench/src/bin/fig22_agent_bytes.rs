@@ -1,0 +1,54 @@
+//! Fig. 22 — bytes processed: software SFU vs. Scallop switch agent.
+//!
+//! The blue curve is the byte rate a software SFU would process if it
+//! carried all campus conferencing traffic for a week; the red curve is
+//! what Scallop's switch agent processes instead (the Table 1 control-
+//! plane byte share of the same traffic).
+
+use scallop_bench::{f, kv, section, series_table, write_json};
+use scallop_netsim::time::SimDuration;
+use scallop_workload::campus::{CampusModel, CampusParams};
+use scallop_workload::scenario::{sfu_load_series, AGENT_BYTE_FRACTION};
+
+fn main() {
+    section("Fig. 22: SFU vs. switch-agent byte rates over a campus week");
+    let mut model = CampusModel::new(CampusParams::default(), 0x7AB22);
+    let population = model.generate();
+    let series = sfu_load_series(&population, SimDuration::from_secs(600));
+
+    // Print one row every 4 hours of the first week.
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .filter(|p| (p.t_secs as u64) % (4 * 3600) == 0 && p.t_secs < 7.0 * 86400.0)
+        .map(|p| {
+            vec![
+                format!("d{} {:02}h", p.t_secs as u64 / 86400, (p.t_secs as u64 % 86400) / 3600),
+                f(p.software_sfu_bps / 1e6, 1),
+                f(p.agent_bps / 1e6, 3),
+                p.meetings.to_string(),
+            ]
+        })
+        .collect();
+    series_table(&["time", "software Mb/s", "agent Mb/s", "meetings"], &rows);
+
+    section("paper anchors");
+    let sw_peak = series.iter().map(|p| p.software_sfu_bps).fold(0.0, f64::max);
+    let ag_peak = series.iter().map(|p| p.agent_bps).fold(0.0, f64::max);
+    kv("software SFU peak (paper: ~1250 Mbit/s)", format!("{} Mbit/s", f(sw_peak / 1e6, 0)));
+    kv("switch agent peak (paper: ~4.4 Mbit/s)", format!("{} Mbit/s", f(ag_peak / 1e6, 2)));
+    kv("agent byte fraction (Table 1: 0.35%)", f(AGENT_BYTE_FRACTION * 100.0, 2));
+    kv(
+        "40 Gbit/s server capacity consumed at peak (paper: 3.1%)",
+        format!("{}%", f(100.0 * sw_peak / 40e9, 2)),
+    );
+    kv(
+        "with Scallop (paper: 0.01%)",
+        format!("{}%", f(100.0 * ag_peak / 40e9, 3)),
+    );
+
+    let out: Vec<(f64, f64, f64)> = series
+        .iter()
+        .map(|p| (p.t_secs, p.software_sfu_bps, p.agent_bps))
+        .collect();
+    write_json("fig22_agent_bytes", &out);
+}

@@ -1,0 +1,127 @@
+//! Table 3 — Tofino resource utilization under peak campus load and at
+//! maximum utilization.
+//!
+//! The fixed rows are compile-time properties of the modeled pipeline
+//! program; the SRAM row is computed from the live table/register
+//! provisioning after installing a campus-peak meeting mix through the
+//! real agent; the quadratic egress-throughput row comes from the
+//! workload model (peak campus) and the capacity model (max util).
+
+use scallop_bench::{kv, section, series_table, write_json};
+use scallop_core::agent::SwitchAgent;
+use scallop_core::capacity::{CapacityModel, TreeDesignKind};
+use scallop_dataplane::resources;
+use scallop_dataplane::seqrewrite::SeqRewriteMode;
+use scallop_dataplane::switch::ScallopDataPlane;
+use scallop_netsim::packet::HostAddr;
+use scallop_netsim::time::SimDuration;
+use scallop_workload::campus::{CampusModel, CampusParams};
+use scallop_workload::scenario::sfu_load_series;
+use serde::Serialize;
+use std::net::Ipv4Addr;
+
+#[derive(Serialize)]
+struct Out {
+    rows: Vec<(String, String, String, String)>,
+    peak_campus_meetings: u64,
+    peak_campus_egress_gbps: f64,
+    max_util_egress_gbps: f64,
+}
+
+fn main() {
+    section("Table 3: Tofino resource usage");
+
+    // Campus-peak meeting mix installed through the real agent.
+    let mut model = CampusModel::new(CampusParams::default(), 0x7AB1E3);
+    let population = model.generate();
+    let series = sfu_load_series(&population, SimDuration::from_secs(600));
+    let peak = series
+        .iter()
+        .max_by(|a, b| a.participants.cmp(&b.participants))
+        .expect("non-empty series");
+
+    let mut dp = ScallopDataPlane::new(SeqRewriteMode::LowRetransmission);
+    let mut agent = SwitchAgent::new(Ipv4Addr::new(10, 0, 0, 100));
+    // Install the concurrent meetings at the peak bin (size-capped mix
+    // drawn from the same model).
+    let mut installed = 0u64;
+    let mut p_idx = 0u32;
+    'outer: for rec in &population {
+        if installed >= peak.meetings {
+            break;
+        }
+        let m = agent.create_meeting();
+        for _ in 0..rec.size.min(30) {
+            p_idx += 1;
+            let ip = Ipv4Addr::new(10, (p_idx >> 14) as u8 & 0x3F, (p_idx >> 7) as u8 & 0x7F, (p_idx & 0x7F) as u8 + 1);
+            let addr = HostAddr::new(ip, 5000);
+            agent.join(&mut dp, m, addr, true);
+            if p_idx > 50_000 {
+                break 'outer;
+            }
+        }
+        installed += 1;
+    }
+    kv("meetings installed (campus peak)", installed);
+    kv("participants installed", p_idx);
+    kv("PRE trees in use", dp.pre.groups_used());
+    kv("L1 nodes in use", dp.pre.l1_nodes_used());
+
+    let peak_egress = peak.software_sfu_bps; // what the switch forwards
+    // Max utilization: the worst-case all-send configuration at n = 10
+    // filled to its capacity bound, at in-call media rates.
+    let cap = CapacityModel::default();
+    let max_meetings = cap.scallop_meetings(
+        10,
+        10,
+        TreeDesignKind::RaSr,
+        SeqRewriteMode::LowRetransmission,
+    );
+    // Per meeting: 10 senders × 9 replicas × ~2.25 Mbit/s, with the
+    // adapted mix (half the receivers at reduced tiers) ≈ 0.81 factor.
+    let max_egress = max_meetings * 10.0 * 9.0 * 2.25e6 * 0.81;
+
+    let rows = resources::report(&dp, peak_egress, max_egress);
+    section("resource rows (paper values in EXPERIMENTS.md)");
+    series_table(
+        &["resource", "scaling", "campus peak", "max util"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.to_string(),
+                    r.scaling.label().to_string(),
+                    r.value.clone(),
+                    r.max_value.clone(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    kv(
+        "egress @ campus peak (paper: 1.2 Gb/s)",
+        resources::format_bps(peak_egress),
+    );
+    kv(
+        "egress @ max util (paper: 197 Gb/s)",
+        resources::format_bps(max_egress),
+    );
+
+    let out = Out {
+        rows: rows
+            .iter()
+            .map(|r| {
+                (
+                    r.name.to_string(),
+                    r.scaling.label().to_string(),
+                    r.value.clone(),
+                    r.max_value.clone(),
+                )
+            })
+            .collect(),
+        peak_campus_meetings: installed,
+        peak_campus_egress_gbps: peak_egress / 1e9,
+        max_util_egress_gbps: max_egress / 1e9,
+    };
+    write_json("table3_resources", &out);
+}

@@ -1,0 +1,412 @@
+//! Per-stream receive state: jitter, loss, decoding, feedback.
+//!
+//! One `ReceiverState` exists per incoming media stream. In Scallop's
+//! proxy architecture each remote sender's media arrives from a distinct
+//! SFU address (§5.3 split connections), so the receiver keys streams by
+//! source address and — crucially — its feedback about a stream goes back
+//! to that address only, giving the SFU per-sender feedback to filter.
+
+use crate::gcc::{BandwidthEstimator, GccConfig};
+use scallop_media::decoder::{Decoder, DecoderConfig, DecoderEvent};
+use scallop_netsim::time::{SimDuration, SimTime};
+use scallop_proto::rtcp::{Nack, ReceiverReport, Remb, ReportBlock, RtcpPacket};
+use scallop_proto::rtp::RtpPacket;
+
+/// Receive-side statistics for one stream (the WebRTC stats API view the
+/// paper's Figs. 3/4/14 are measured with).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamRxStats {
+    /// Packets received.
+    pub packets: u64,
+    /// Payload bytes received.
+    pub bytes: u64,
+    /// RFC 3550 interarrival jitter, in milliseconds.
+    pub jitter_ms: f64,
+    /// Cumulative packets lost (per extended-seq accounting).
+    pub cumulative_lost: u64,
+    /// Highest extended sequence number seen.
+    pub highest_seq: u32,
+    /// Frames decoded (video only).
+    pub frames_decoded: u64,
+    /// Decoder freezes (video only).
+    pub freezes: u64,
+}
+
+/// Per-stream receiver state.
+#[derive(Debug)]
+pub struct ReceiverState {
+    /// SSRC of the remote stream.
+    pub ssrc: u32,
+    /// Local SSRC used in feedback we send.
+    pub local_ssrc: u32,
+    /// Whether this is a video stream (has DD extensions, drives GCC).
+    pub is_video: bool,
+    /// Video decoder (None for audio).
+    decoder: Option<Decoder>,
+    /// Bandwidth estimator (video only).
+    estimator: Option<BandwidthEstimator>,
+    /// Jitter state: last transit time (RFC 3550 A.8).
+    last_transit_ms: Option<f64>,
+    jitter_ms: f64,
+    /// Loss accounting.
+    expected_base: Option<u16>,
+    received: u64,
+    bytes: u64,
+    highest_ext_seq: u32,
+    seq_cycles: u32,
+    last_seq: Option<u16>,
+    /// Loss snapshot at the last RR (fraction-lost computation).
+    last_rr_expected: u64,
+    last_rr_received: u64,
+    frames_decoded: u64,
+    freezes: u64,
+    last_pli_at: Option<SimTime>,
+}
+
+impl ReceiverState {
+    /// Create state for a newly observed stream.
+    pub fn new(ssrc: u32, local_ssrc: u32, is_video: bool, gcc: GccConfig) -> Self {
+        ReceiverState {
+            ssrc,
+            local_ssrc,
+            is_video,
+            decoder: is_video.then(|| Decoder::new(DecoderConfig::default())),
+            estimator: is_video.then(|| BandwidthEstimator::new(gcc)),
+            last_transit_ms: None,
+            jitter_ms: 0.0,
+            expected_base: None,
+            received: 0,
+            bytes: 0,
+            highest_ext_seq: 0,
+            seq_cycles: 0,
+            last_seq: None,
+            last_rr_expected: 0,
+            last_rr_received: 0,
+            frames_decoded: 0,
+            freezes: 0,
+            last_pli_at: None,
+        }
+    }
+
+    /// Feed one RTP packet; returns decoder events (video).
+    pub fn on_media(&mut self, now: SimTime, pkt: &RtpPacket, wire_len: usize) -> Vec<DecoderEvent> {
+        self.received += 1;
+        self.bytes += pkt.payload.len() as u64;
+
+        // Extended sequence tracking.
+        let seq = pkt.sequence_number;
+        if self.expected_base.is_none() {
+            self.expected_base = Some(seq);
+        }
+        if let Some(last) = self.last_seq {
+            if seq < 0x1000 && last > 0xF000 {
+                self.seq_cycles += 1;
+            }
+        }
+        self.last_seq = Some(seq);
+        let ext = (self.seq_cycles << 16) | seq as u32;
+        if ext > self.highest_ext_seq {
+            self.highest_ext_seq = ext;
+        }
+
+        // RFC 3550 jitter: media clock 90 kHz for video, 48 kHz audio.
+        let clock = if self.is_video { 90_000.0 } else { 48_000.0 };
+        let send_ms = pkt.timestamp as f64 / clock * 1000.0;
+        let transit = now.as_millis_f64() - send_ms;
+        if let Some(prev) = self.last_transit_ms {
+            let d = (transit - prev).abs();
+            self.jitter_ms += (d - self.jitter_ms) / 16.0;
+        }
+        self.last_transit_ms = Some(transit);
+
+        if let Some(est) = &mut self.estimator {
+            est.on_packet(now, send_ms, wire_len);
+        }
+        match &mut self.decoder {
+            Some(dec) => {
+                let evs = dec.on_packet(now, pkt);
+                self.digest_events(&evs);
+                evs
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn digest_events(&mut self, evs: &[DecoderEvent]) {
+        for e in evs {
+            match e {
+                DecoderEvent::FrameDecoded { .. } => self.frames_decoded += 1,
+                DecoderEvent::Froze { .. } => self.freezes += 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Time-driven decoder progress.
+    pub fn poll(&mut self, now: SimTime) -> Vec<DecoderEvent> {
+        match &mut self.decoder {
+            Some(dec) => {
+                let evs = dec.poll(now);
+                self.digest_events(&evs);
+                evs
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Decoded frame rate over a trailing window (video; 0 for audio).
+    pub fn fps_over(&mut self, window: SimDuration, now: SimTime) -> f64 {
+        self.decoder
+            .as_mut()
+            .map(|d| d.fps_over(window, now))
+            .unwrap_or(0.0)
+    }
+
+    /// Snapshot of receive statistics.
+    pub fn stats(&self) -> StreamRxStats {
+        let expected = self.expected_total();
+        StreamRxStats {
+            packets: self.received,
+            bytes: self.bytes,
+            jitter_ms: self.jitter_ms,
+            cumulative_lost: expected.saturating_sub(self.received),
+            highest_seq: self.highest_ext_seq,
+            frames_decoded: self.frames_decoded,
+            freezes: self.freezes,
+        }
+    }
+
+    fn expected_total(&self) -> u64 {
+        match self.expected_base {
+            None => 0,
+            Some(base) => {
+                (self.highest_ext_seq as u64)
+                    .saturating_sub(base as u64)
+                    .saturating_add(1)
+            }
+        }
+    }
+
+    /// Build the periodic RR (+REMB for video) compound for this stream.
+    pub fn make_feedback(&mut self, now: SimTime) -> Vec<RtcpPacket> {
+        let expected = self.expected_total();
+        let exp_delta = expected.saturating_sub(self.last_rr_expected);
+        let rcv_delta = self.received.saturating_sub(self.last_rr_received);
+        self.last_rr_expected = expected;
+        self.last_rr_received = self.received;
+        let fraction_lost = if exp_delta == 0 || rcv_delta >= exp_delta {
+            0
+        } else {
+            (((exp_delta - rcv_delta) * 256) / exp_delta).min(255) as u8
+        };
+        // Drive the loss-based estimator branch (a full drop-tail queue
+        // produces flat delay but heavy loss).
+        if let Some(est) = &mut self.estimator {
+            est.on_loss(fraction_lost as f64 / 256.0);
+        }
+        let mut out = vec![RtcpPacket::Rr(ReceiverReport {
+            ssrc: self.local_ssrc,
+            reports: vec![ReportBlock {
+                ssrc: self.ssrc,
+                fraction_lost,
+                cumulative_lost: expected.saturating_sub(self.received).min(0x00FF_FFFF) as u32,
+                highest_seq: self.highest_ext_seq,
+                jitter: (self.jitter_ms * 90.0) as u32, // ms -> 90 kHz ticks
+                lsr: 0,
+                dlsr: 0,
+            }],
+        })];
+        if let Some(est) = &mut self.estimator {
+            let _ = now;
+            out.push(RtcpPacket::Remb(Remb {
+                sender_ssrc: self.local_ssrc,
+                bitrate_bps: est.estimate_bps(),
+                ssrcs: vec![self.ssrc],
+            }));
+        }
+        out
+    }
+
+    /// NACKs for missing packets (video).
+    pub fn make_nacks(&mut self, now: SimTime) -> Option<RtcpPacket> {
+        let dec = self.decoder.as_mut()?;
+        let lost = dec.take_nack_requests(now);
+        if lost.is_empty() {
+            return None;
+        }
+        Some(RtcpPacket::Nack(Nack::from_lost_sequences(
+            self.local_ssrc,
+            self.ssrc,
+            &lost,
+        )))
+    }
+
+    /// Whether the decoder is frozen and needs a key frame (drives PLI).
+    pub fn needs_keyframe(&self) -> bool {
+        self.decoder
+            .as_ref()
+            .map(|d| d.needs_keyframe())
+            .unwrap_or(false)
+    }
+
+    /// Whether a PLI should be sent now. PLIs are rate-limited to one
+    /// per 2 s per stream — real receivers do the same, and without the
+    /// limit a frozen decoder turns every frame into an oversized key
+    /// frame whose extra load can keep a congested link's queue pinned
+    /// at overflow indefinitely (keys then never complete and the freeze
+    /// self-sustains).
+    pub fn take_pli(&mut self, now: SimTime) -> bool {
+        if !self.needs_keyframe() {
+            return false;
+        }
+        let due = self
+            .last_pli_at
+            .map(|t| now.saturating_since(t) >= SimDuration::from_millis(2_000))
+            .unwrap_or(true);
+        if due {
+            self.last_pli_at = Some(now);
+        }
+        due
+    }
+
+    /// Current bandwidth estimate (video).
+    pub fn estimate_bps(&self) -> Option<u64> {
+        self.estimator.as_ref().map(|e| e.estimate_bps())
+    }
+
+    /// Decoder internal-state dump (debug).
+    pub fn decoder_debug(&self) -> Option<String> {
+        self.decoder.as_ref().map(|d| d.debug_state())
+    }
+
+    /// Raw decoder statistics (video streams).
+    pub fn decoder_stats(&self) -> Option<scallop_media::decoder::DecoderStats> {
+        self.decoder.as_ref().map(|d| d.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use scallop_media::encoder::{EncodedFrame, FrameLabelCompact};
+    use scallop_media::packetizer::Packetizer;
+
+    fn video_pkt(pz: &mut Packetizer, number: u16, size: usize) -> Vec<RtpPacket> {
+        pz.packetize(&EncodedFrame {
+            frame_number: number,
+            label: FrameLabelCompact {
+                temporal_id: 0,
+                template_id: if number == 0 { 0 } else { 1 },
+                is_key: number == 0,
+            },
+            size_bytes: size,
+            captured_at: SimTime::ZERO,
+            rtp_timestamp: number as u32 * 3000,
+        })
+    }
+
+    #[test]
+    fn receives_and_decodes_video() {
+        let mut rx = ReceiverState::new(7, 100, true, GccConfig::default());
+        let mut pz = Packetizer::new(7, 96, 1200);
+        for n in 0..10u16 {
+            for p in video_pkt(&mut pz, n, 1000) {
+                rx.on_media(SimTime::from_millis(33 * (n as u64 + 1)), &p, 1042);
+            }
+        }
+        let s = rx.stats();
+        assert_eq!(s.packets, 10);
+        assert_eq!(s.frames_decoded, 10);
+        assert_eq!(s.cumulative_lost, 0);
+        assert_eq!(s.freezes, 0);
+    }
+
+    #[test]
+    fn loss_reflected_in_rr() {
+        let mut rx = ReceiverState::new(7, 100, true, GccConfig::default());
+        let mut pz = Packetizer::new(7, 96, 1200);
+        for n in 0..10u16 {
+            for p in video_pkt(&mut pz, n, 1000) {
+                if n == 5 {
+                    continue; // drop one whole frame (1 packet)
+                }
+                rx.on_media(SimTime::from_millis(33 * (n as u64 + 1)), &p, 1042);
+            }
+        }
+        let fb = rx.make_feedback(SimTime::from_secs(1));
+        let RtcpPacket::Rr(rr) = &fb[0] else {
+            panic!("expected RR first");
+        };
+        let block = rr.reports[0];
+        assert_eq!(block.cumulative_lost, 1);
+        assert!(block.fraction_lost > 0);
+        // Second half: REMB present for video.
+        assert!(matches!(fb[1], RtcpPacket::Remb(_)));
+    }
+
+    #[test]
+    fn audio_stream_has_no_remb_or_nack() {
+        let mut rx = ReceiverState::new(8, 100, false, GccConfig::default());
+        let mut pkt = RtpPacket::new(111, 0, 0, 8);
+        pkt.payload = Bytes::from(vec![0u8; 128]);
+        rx.on_media(SimTime::from_millis(20), &pkt, 170);
+        let fb = rx.make_feedback(SimTime::from_secs(1));
+        assert_eq!(fb.len(), 1);
+        assert!(matches!(fb[0], RtcpPacket::Rr(_)));
+        assert!(rx.make_nacks(SimTime::from_secs(1)).is_none());
+        assert!(!rx.needs_keyframe());
+    }
+
+    #[test]
+    fn jitter_grows_with_irregular_arrivals() {
+        let regular = {
+            let mut rx = ReceiverState::new(7, 1, true, GccConfig::default());
+            let mut pz = Packetizer::new(7, 96, 1200);
+            for n in 0..60u16 {
+                for p in video_pkt(&mut pz, n, 500) {
+                    rx.on_media(SimTime::from_millis(33 * (n as u64 + 1)), &p, 542);
+                }
+            }
+            rx.stats().jitter_ms
+        };
+        let jittery = {
+            let mut rx = ReceiverState::new(7, 1, true, GccConfig::default());
+            let mut pz = Packetizer::new(7, 96, 1200);
+            for n in 0..60u16 {
+                for p in video_pkt(&mut pz, n, 500) {
+                    let wobble = if n % 2 == 0 { 0 } else { 25 };
+                    rx.on_media(
+                        SimTime::from_millis(33 * (n as u64 + 1) + wobble),
+                        &p,
+                        542,
+                    );
+                }
+            }
+            rx.stats().jitter_ms
+        };
+        assert!(jittery > 5.0 * regular.max(0.1), "{regular} vs {jittery}");
+    }
+
+    #[test]
+    fn nacks_emitted_for_gap() {
+        let mut rx = ReceiverState::new(7, 100, true, GccConfig::default());
+        let mut pz = Packetizer::new(7, 96, 1200);
+        let mut t = SimTime::ZERO;
+        for n in 0..6u16 {
+            for p in video_pkt(&mut pz, n, 2500) {
+                t = SimTime::from_millis(20 * (n as u64 + 1));
+                if n == 3 && p.sequence_number % 3 == 1 {
+                    continue; // drop mid-frame packet
+                }
+                rx.on_media(t, &p, 1042);
+            }
+        }
+        let nack = rx.make_nacks(t + SimDuration::from_millis(100));
+        let Some(RtcpPacket::Nack(n)) = nack else {
+            panic!("expected NACK");
+        };
+        assert_eq!(n.media_ssrc, 7);
+        assert_eq!(n.lost_sequences().len(), 1);
+    }
+}

@@ -1,0 +1,1347 @@
+//! The switch agent (§4, §5, §6.1): Scallop's on-switch control program.
+//!
+//! The agent runs on the switch CPU and owns everything between the
+//! centralized controller (infrequent, session-level) and the data plane
+//! (per-packet). Its jobs, with paper references:
+//!
+//! * **Port/session plumbing** (§5.3): every (sender → receiver) pair
+//!   gets its own SFU UDP port per media type, so receivers' feedback is
+//!   per-sender by construction.
+//! * **Feedback analysis** (§5.3): per-downlink EWMAs over REMB
+//!   estimates; the filter `f` periodically selects the best-performing
+//!   downlink per sender and programs the data plane to forward only that
+//!   receiver's REMBs to the sender.
+//! * **Decode-target selection** (§5.4): the pluggable
+//!   `selectDecodeTarget(currDT, estHist, newEst) → newDT` hook; the
+//!   default is the paper's threshold heuristic (with hysteresis).
+//! * **SVC dependency-descriptor analysis** (§5.4): extended DDs punted
+//!   by the data plane are parsed to track each sender's template
+//!   structure epoch.
+//! * **STUN handling** (§5.1): binding requests are answered from the
+//!   switch CPU.
+//! * **Replication-tree management** (§6.1): builds two-party / NRA /
+//!   RA-R / RA-SR tree layouts (NRA and RA-R aggregate m = 2 meetings
+//!   per tree with L1-XID pruning), and migrates meetings between
+//!   designs make-before-break: new trees are created, sender rules are
+//!   swapped, then the old trees are deallocated.
+
+use scallop_dataplane::pre::L1Node;
+use scallop_dataplane::rules::{EgressKey, EgressSpec, PortRule, ReplicationAction};
+use scallop_dataplane::switch::ScallopDataPlane;
+use scallop_netsim::packet::{HostAddr, Packet};
+use scallop_netsim::stats::Ewma;
+use scallop_netsim::time::{SimDuration, SimTime};
+use scallop_proto::av1::{DependencyDescriptor, DD_EXTENSION_ID};
+use scallop_proto::demux::{classify, PacketClass};
+use scallop_proto::rtcp::{self, RtcpPacket};
+use scallop_proto::rtp::RtpView;
+use scallop_proto::stun::StunMessage;
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+/// Meeting identifier.
+pub type MeetingId = u32;
+/// Participant identifier (also used as RID / abstract egress port).
+pub type ParticipantId = u16;
+
+/// Decode-target → skip-cadence mapping (frame-number step between
+/// forwarded frames in L1T3): DT2 → 1, DT1 → 2, DT0 → 4.
+pub fn cadence_for_dt(dt: u8) -> u16 {
+    1 << (2 - dt.min(2)) as u16
+}
+
+/// The `selectDecodeTarget` policy hook (§5.4). Arguments: current
+/// decode target, history of past estimates (bits/s), newest estimate.
+pub type AdaptationPolicy = Box<dyn Fn(u8, &[u64], u64) -> u8 + Send>;
+
+/// The paper's simple threshold heuristic, with a conservative 2.2×
+/// upward hysteresis: moving a decode target up instantly *doubles* the
+/// offered load, and a temporal-only SFU cannot probe for headroom with
+/// padding, so the gate demands estimates that clearly cover the next
+/// tier's needs. (Consequence: recovery to a higher tier requires the
+/// estimate to rise well past the threshold — the paper's evaluation
+/// likewise never exercises an automatic up-switch under constraint.)
+pub fn default_policy(thresholds: [u64; 2]) -> AdaptationPolicy {
+    Box::new(move |curr, _hist, new_est| {
+        let up = |t: u64| t * 22 / 10;
+        let target = if new_est < thresholds[0] {
+            0
+        } else if new_est < thresholds[1] {
+            1
+        } else {
+            2
+        };
+        if target > curr {
+            // Only move up once safely past the threshold.
+            let gate = match curr {
+                0 => up(thresholds[0]),
+                _ => up(thresholds[1]),
+            };
+            if new_est >= gate {
+                target
+            } else {
+                curr
+            }
+        } else {
+            target
+        }
+    })
+}
+
+/// Default REMB thresholds (bits/s) for DT selection — aligned with the
+/// tier loads of the default 2.2 Mbit/s encoder (DT0 ≈ 0.63 Mb/s with
+/// key overhead, DT1 ≈ 1.26 Mb/s): an estimate inside a band must be
+/// able to actually carry that band's tier, or the selector pins the
+/// receiver in permanent congestion. Matches the software baseline.
+pub const DEFAULT_DT_THRESHOLDS: [u64; 2] = [680_000, 1_350_000];
+
+/// What the agent granted a joining participant (consumed by signaling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinGrant {
+    /// Assigned participant id.
+    pub participant: ParticipantId,
+    /// Where the participant must send its video.
+    pub video_uplink: HostAddr,
+    /// Where the participant must send its audio.
+    pub audio_uplink: HostAddr,
+}
+
+/// Replication design currently serving a meeting (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeDesign {
+    /// ≤ 2 participants: unicast fast path, no trees.
+    TwoParty,
+    /// No rate adaptation: one (paired) tree per meeting.
+    Nra,
+    /// Receiver-specific adaptation: one (paired) tree per quality tier.
+    RaR,
+    /// Sender-receiver-specific adaptation: trees per 2-sender group per
+    /// tier.
+    RaSr,
+}
+
+/// Agent telemetry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AgentCounters {
+    /// REMB messages analyzed.
+    pub rembs_analyzed: u64,
+    /// RR messages analyzed.
+    pub rrs_analyzed: u64,
+    /// Extended dependency descriptors analyzed.
+    pub dds_analyzed: u64,
+    /// STUN requests answered.
+    pub stun_answered: u64,
+    /// Decode-target changes applied.
+    pub dt_changes: u64,
+    /// Meeting design migrations performed.
+    pub migrations: u64,
+    /// Feedback-filter reprogram events.
+    pub filter_updates: u64,
+}
+
+#[derive(Debug)]
+struct Pinfo {
+    meeting: MeetingId,
+    addr: HostAddr,
+    sends: bool,
+    video_up: u16,
+    audio_up: u16,
+    /// Receiver-specific decode target.
+    dt: u8,
+    /// RA-SR overrides: per-sender decode target.
+    dt_per_sender: HashMap<ParticipantId, u8>,
+    /// Per-sender downlink EWMA (this participant as receiver).
+    ewma: HashMap<ParticipantId, Ewma>,
+    /// Per-sender estimate history (for the policy hook).
+    est_hist: HashMap<ParticipantId, Vec<u64>>,
+    /// Ports we send this participant media from, per sender:
+    /// (video pair port, audio pair port).
+    pair_from: HashMap<ParticipantId, (u16, u16)>,
+    /// Stream-tracker slot per sender (video), when rate-adapted.
+    tracker_idx: HashMap<ParticipantId, u16>,
+    /// When this receiver's decode target last changed (dwell control).
+    last_dt_change: Option<SimTime>,
+}
+
+#[derive(Debug)]
+struct MeetingState {
+    participants: Vec<ParticipantId>,
+    design: TreeDesign,
+    /// Owned (mgid, slot-xid) pairs; slot 0 = exclusive tree.
+    trees: Vec<(u16, u8)>,
+    /// Installed egress keys (for teardown on rebuild).
+    egress_keys: Vec<EgressKey>,
+    /// A forwarding configuration has been installed at least once
+    /// (design changes after this count as migrations).
+    configured: bool,
+}
+
+/// Who a port belongs to (the agent's reverse map for CPU-copy routing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PortUse {
+    VideoUplink(ParticipantId),
+    AudioUplink(ParticipantId),
+    /// Feedback about `sender`'s video from `receiver`.
+    PairVideo {
+        sender: ParticipantId,
+        receiver: ParticipantId,
+    },
+    /// Feedback about `sender`'s audio from `receiver`.
+    PairAudio {
+        sender: ParticipantId,
+        receiver: ParticipantId,
+    },
+}
+
+/// A half-occupied paired tree: `(mgids, free_slot_xid)`.
+#[derive(Debug, Clone)]
+struct HalfTree {
+    mgids: Vec<u16>,
+    free_slot: u8,
+}
+
+/// The switch agent.
+pub struct SwitchAgent {
+    sfu_ip: Ipv4Addr,
+    next_port: u16,
+    next_pid: ParticipantId,
+    next_mgid: u16,
+    free_mgids: Vec<u16>,
+    next_tracker: u16,
+    free_trackers: Vec<u16>,
+    meetings: BTreeMap<MeetingId, MeetingState>,
+    next_meeting: MeetingId,
+    pinfo: BTreeMap<ParticipantId, Pinfo>,
+    port_use: BTreeMap<u16, PortUse>,
+    /// Half-open NRA trees awaiting a second meeting (m = 2 packing).
+    nra_half: Vec<HalfTree>,
+    /// Half-open RA-R tree triplets.
+    rar_half: Vec<HalfTree>,
+    policy: AdaptationPolicy,
+    ewma_alpha: f64,
+    /// Telemetry.
+    pub counters: AgentCounters,
+}
+
+impl SwitchAgent {
+    /// Create an agent managing the switch at `sfu_ip`.
+    pub fn new(sfu_ip: Ipv4Addr) -> Self {
+        SwitchAgent {
+            sfu_ip,
+            next_port: 10_000,
+            next_pid: 1,
+            next_mgid: 1,
+            free_mgids: Vec::new(),
+            next_tracker: 0,
+            free_trackers: Vec::new(),
+            meetings: BTreeMap::new(),
+            next_meeting: 1,
+            pinfo: BTreeMap::new(),
+            port_use: BTreeMap::new(),
+            nra_half: Vec::new(),
+            rar_half: Vec::new(),
+            policy: default_policy(DEFAULT_DT_THRESHOLDS),
+            // React within ~2 feedback intervals: the point of SFU-side
+            // adaptation is to shed layers *before* the receiver's queue
+            // overflows (§5.3).
+            ewma_alpha: 0.5,
+            counters: AgentCounters::default(),
+        }
+    }
+
+    /// Replace the decode-target policy (the §5.4 extension point).
+    pub fn set_policy(&mut self, policy: AdaptationPolicy) {
+        self.policy = policy;
+    }
+
+    /// The switch's IP.
+    pub fn sfu_ip(&self) -> Ipv4Addr {
+        self.sfu_ip
+    }
+
+    /// Create a meeting.
+    pub fn create_meeting(&mut self) -> MeetingId {
+        let id = self.next_meeting;
+        self.next_meeting += 1;
+        self.meetings.insert(
+            id,
+            MeetingState {
+                participants: Vec::new(),
+                design: TreeDesign::TwoParty,
+                trees: Vec::new(),
+                egress_keys: Vec::new(),
+                configured: false,
+            },
+        );
+        id
+    }
+
+    /// Current design of a meeting.
+    pub fn design_of(&self, meeting: MeetingId) -> Option<TreeDesign> {
+        self.meetings.get(&meeting).map(|m| m.design)
+    }
+
+    /// Decode target currently applied to a participant (as receiver).
+    pub fn dt_of(&self, pid: ParticipantId) -> Option<u8> {
+        self.pinfo.get(&pid).map(|p| p.dt)
+    }
+
+    /// The SFU address `receiver` gets `sender`'s video from (and sends
+    /// video feedback to).
+    pub fn video_pair_addr(&self, sender: ParticipantId, receiver: ParticipantId) -> Option<HostAddr> {
+        self.pinfo
+            .get(&receiver)
+            .and_then(|p| p.pair_from.get(&sender))
+            .map(|&(v, _)| HostAddr::new(self.sfu_ip, v))
+    }
+
+    fn alloc_port(&mut self, usage: PortUse) -> u16 {
+        let p = self.next_port;
+        self.next_port = self.next_port.wrapping_add(1);
+        self.port_use.insert(p, usage);
+        p
+    }
+
+    fn alloc_mgid(&mut self) -> u16 {
+        self.free_mgids.pop().unwrap_or_else(|| {
+            let m = self.next_mgid;
+            self.next_mgid = self.next_mgid.wrapping_add(1);
+            m
+        })
+    }
+
+    fn alloc_tracker(&mut self) -> u16 {
+        self.free_trackers.pop().unwrap_or_else(|| {
+            let t = self.next_tracker;
+            self.next_tracker = self.next_tracker.wrapping_add(1);
+            t
+        })
+    }
+
+    /// Add a participant to a meeting; installs all data-plane state.
+    pub fn join(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        meeting: MeetingId,
+        addr: HostAddr,
+        sends: bool,
+    ) -> JoinGrant {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let video_up = self.alloc_port(PortUse::VideoUplink(pid));
+        let audio_up = self.alloc_port(PortUse::AudioUplink(pid));
+        // The participant's abstract egress port (for PRE pruning) is its
+        // pid; register the L2 XID -> port mapping once.
+        dp.pre.set_l2_xid_ports(pid, vec![pid]);
+        self.pinfo.insert(
+            pid,
+            Pinfo {
+                meeting,
+                addr,
+                sends,
+                video_up,
+                audio_up,
+                dt: 2,
+                dt_per_sender: HashMap::new(),
+                ewma: HashMap::new(),
+                est_hist: HashMap::new(),
+                pair_from: HashMap::new(),
+                tracker_idx: HashMap::new(),
+                last_dt_change: None,
+            },
+        );
+        // Allocate pair ports against every existing co-participant, in
+        // both directions.
+        let existing: Vec<ParticipantId> = self.meetings[&meeting].participants.clone();
+        for other in existing {
+            self.ensure_pair_ports(other, pid);
+            self.ensure_pair_ports(pid, other);
+        }
+        self.meetings
+            .get_mut(&meeting)
+            .expect("meeting exists")
+            .participants
+            .push(pid);
+        self.rebuild_meeting(dp, meeting);
+        JoinGrant {
+            participant: pid,
+            video_uplink: HostAddr::new(self.sfu_ip, video_up),
+            audio_uplink: HostAddr::new(self.sfu_ip, audio_up),
+        }
+    }
+
+    /// Remove a participant; tears down and rebuilds the meeting state.
+    pub fn leave(&mut self, dp: &mut ScallopDataPlane, meeting: MeetingId, pid: ParticipantId) {
+        let Some(m) = self.meetings.get_mut(&meeting) else {
+            return;
+        };
+        m.participants.retain(|&p| p != pid);
+        // Remove the leaver's replication branches before its state goes.
+        let trees = m.trees.clone();
+        for (mgid, _) in trees {
+            let _ = dp.pre.remove_node(mgid, pid);
+        }
+        if let Some(p) = self.pinfo.remove(&pid) {
+            self.port_use.remove(&p.video_up);
+            self.port_use.remove(&p.audio_up);
+            dp.remove_port_rule(p.video_up);
+            dp.remove_port_rule(p.audio_up);
+            for (_, &(v, a)) in p.pair_from.iter() {
+                self.port_use.remove(&v);
+                self.port_use.remove(&a);
+                dp.remove_port_rule(v);
+                dp.remove_port_rule(a);
+            }
+            for (_, idx) in p.tracker_idx {
+                dp.tracker.clear_stream(idx as usize);
+                self.free_trackers.push(idx);
+            }
+        }
+        // Drop pair ports other participants held toward `pid`.
+        for q in self.pinfo.values_mut() {
+            if let Some((v, a)) = q.pair_from.remove(&pid) {
+                dp.remove_port_rule(v);
+                dp.remove_port_rule(a);
+            }
+            if let Some(idx) = q.tracker_idx.remove(&pid) {
+                dp.tracker.clear_stream(idx as usize);
+                self.free_trackers.push(idx);
+            }
+        }
+        // Retain removes port_use entries lazily; rebuild reinstalls.
+        self.rebuild_meeting(dp, meeting);
+    }
+
+    /// Ports `receiver` is served `sender`'s media from.
+    fn ensure_pair_ports(&mut self, sender: ParticipantId, receiver: ParticipantId) {
+        if self
+            .pinfo
+            .get(&receiver)
+            .map(|p| p.pair_from.contains_key(&sender))
+            .unwrap_or(true)
+        {
+            return;
+        }
+        let v = self.alloc_port(PortUse::PairVideo { sender, receiver });
+        let a = self.alloc_port(PortUse::PairAudio { sender, receiver });
+        self.pinfo
+            .get_mut(&receiver)
+            .expect("receiver exists")
+            .pair_from
+            .insert(sender, (v, a));
+    }
+
+    /// Decide the design a meeting currently needs.
+    fn desired_design(&self, meeting: MeetingId) -> TreeDesign {
+        let m = &self.meetings[&meeting];
+        if m.participants.len() <= 2 {
+            return TreeDesign::TwoParty;
+        }
+        let any_per_sender = m
+            .participants
+            .iter()
+            .any(|p| !self.pinfo[p].dt_per_sender.is_empty());
+        if any_per_sender {
+            return TreeDesign::RaSr;
+        }
+        let any_adapted = m.participants.iter().any(|p| self.pinfo[p].dt < 2);
+        if any_adapted {
+            TreeDesign::RaR
+        } else {
+            TreeDesign::Nra
+        }
+    }
+
+    /// Effective decode target of `receiver` for `sender`'s stream.
+    fn effective_dt(&self, sender: ParticipantId, receiver: ParticipantId) -> u8 {
+        let p = &self.pinfo[&receiver];
+        *p.dt_per_sender.get(&sender).unwrap_or(&p.dt)
+    }
+
+    /// Allocate a paired tree set (NRA: 1 mgid; RA-R: 3) — reuses a
+    /// half-open tree from another meeting when possible (m = 2 packing,
+    /// §6.1/Fig. 11c). Returns (mgids, slot_xid).
+    fn alloc_paired_trees(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        count: usize,
+        half_pool: fn(&mut Self) -> &mut Vec<HalfTree>,
+    ) -> (Vec<u16>, u8) {
+        if let Some(half) = half_pool(self).pop() {
+            return (half.mgids, half.free_slot);
+        }
+        let mut mgids = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mgid = self.alloc_mgid();
+            dp.pre
+                .create_group(mgid)
+                .expect("PRE group budget exhausted");
+            mgids.push(mgid);
+        }
+        // This meeting takes slot 1; slot 2 goes back to the pool.
+        half_pool(self).push(HalfTree {
+            mgids: mgids.clone(),
+            free_slot: 2,
+        });
+        (mgids, 1)
+    }
+
+    /// Release a meeting's trees: clear its nodes; paired trees are
+    /// handed back to the half-open pool (or destroyed when the partner
+    /// slot is still unclaimed / already gone); exclusive trees are
+    /// destroyed outright.
+    fn release_trees(&mut self, dp: &mut ScallopDataPlane, trees: &[(u16, u8)], meeting: MeetingId) {
+        if trees.is_empty() {
+            return;
+        }
+        // Remove this meeting's nodes from every tree it owned.
+        let participants = self.meetings[&meeting].participants.clone();
+        for &(mgid, _) in trees {
+            for &pid in &participants {
+                let _ = dp.pre.remove_node(mgid, pid);
+            }
+        }
+        // Exclusive trees (slot 0, RA-SR): destroy each.
+        let exclusive: Vec<u16> = trees
+            .iter()
+            .filter(|&&(_, slot)| slot == 0)
+            .map(|&(g, _)| g)
+            .collect();
+        for g in &exclusive {
+            let _ = dp.pre.destroy_group(*g);
+            self.free_mgids.push(*g);
+        }
+        let shared: Vec<(u16, u8)> = trees
+            .iter()
+            .copied()
+            .filter(|&(_, slot)| slot != 0)
+            .collect();
+        if shared.is_empty() {
+            return;
+        }
+        let mgids: Vec<u16> = shared.iter().map(|&(g, _)| g).collect();
+        let my_slot = shared[0].1;
+        // If the partner slot is still waiting in a half pool, the trees
+        // are now empty: destroy them and drop the pool entry. Otherwise
+        // the partner meeting is live: return our slot to the pool.
+        let pool = if mgids.len() == 1 {
+            &mut self.nra_half
+        } else {
+            &mut self.rar_half
+        };
+        if let Some(i) = pool.iter().position(|h| h.mgids == mgids) {
+            pool.remove(i);
+            for g in mgids {
+                let _ = dp.pre.destroy_group(g);
+                self.free_mgids.push(g);
+            }
+        } else {
+            pool.push(HalfTree {
+                mgids,
+                free_slot: my_slot,
+            });
+        }
+    }
+
+    /// Recompute and install all data-plane state for a meeting
+    /// (make-before-break: new trees first, rule swap, old trees last).
+    fn rebuild_meeting(&mut self, dp: &mut ScallopDataPlane, meeting: MeetingId) {
+        let design = self.desired_design(meeting);
+        let old_design = self.meetings[&meeting].design;
+        if old_design != design && self.meetings[&meeting].configured {
+            self.counters.migrations += 1;
+        }
+        let participants = self.meetings[&meeting].participants.clone();
+        let old_trees = std::mem::take(&mut self.meetings.get_mut(&meeting).unwrap().trees);
+        let old_keys = std::mem::take(&mut self.meetings.get_mut(&meeting).unwrap().egress_keys);
+
+        // Release the old layout first. The swap is atomic at simulation
+        // granularity (no packet is processed mid-rebuild), so this is
+        // observationally equivalent to the real agent's make-before-break
+        // migration (§6.1) while preventing the rebuild from re-acquiring
+        // its own half-open trees.
+        for key in &old_keys {
+            dp.remove_egress(*key);
+        }
+        if !old_trees.is_empty() {
+            self.release_trees(dp, &old_trees, meeting);
+        }
+
+        let mut new_trees: Vec<(u16, u8)> = Vec::new();
+        let mut new_keys: Vec<EgressKey> = Vec::new();
+
+        match design {
+            TreeDesign::TwoParty => {
+                self.install_two_party(dp, &participants);
+            }
+            TreeDesign::Nra => {
+                let (mgids, slot) = self.alloc_paired_trees(dp, 1, |a| &mut a.nra_half);
+                let mgid = mgids[0];
+                new_trees.push((mgid, slot));
+                self.populate_tier_trees(dp, meeting, &participants, &[mgid, mgid, mgid], slot, &mut new_keys);
+            }
+            TreeDesign::RaR => {
+                let (mgids, slot) = self.alloc_paired_trees(dp, 3, |a| &mut a.rar_half);
+                for &g in &mgids {
+                    new_trees.push((g, slot));
+                }
+                let tiers = [mgids[0], mgids[1], mgids[2]];
+                self.populate_tier_trees(dp, meeting, &participants, &tiers, slot, &mut new_keys);
+            }
+            TreeDesign::RaSr => {
+                self.install_ra_sr(dp, &participants, &mut new_trees, &mut new_keys);
+            }
+        }
+
+        let m = self.meetings.get_mut(&meeting).unwrap();
+        m.design = design;
+        m.trees = new_trees;
+        m.egress_keys = new_keys;
+        m.configured = m.configured || m.participants.len() >= 2;
+    }
+
+    /// Install the two-party fast path (§6.1): direct unicast, no trees.
+    fn install_two_party(&mut self, dp: &mut ScallopDataPlane, participants: &[ParticipantId]) {
+        for &s in participants {
+            let (s_video_up, s_audio_up, s_sends) = {
+                let p = &self.pinfo[&s];
+                (p.video_up, p.audio_up, p.sends)
+            };
+            let receiver = participants.iter().copied().find(|&r| r != s);
+            let Some(r) = receiver else {
+                // Lone participant: nothing to forward yet.
+                dp.remove_port_rule(s_video_up);
+                dp.remove_port_rule(s_audio_up);
+                continue;
+            };
+            if !s_sends {
+                continue;
+            }
+            let (vp, ap) = self.pinfo[&r].pair_from[&s];
+            let r_addr = self.pinfo[&r].addr;
+            let video_spec = EgressSpec {
+                src: HostAddr::new(self.sfu_ip, vp),
+                dst: r_addr,
+                max_temporal: 2,
+                rewrite_index: None,
+            };
+            let audio_spec = EgressSpec {
+                src: HostAddr::new(self.sfu_ip, ap),
+                dst: r_addr,
+                max_temporal: 2,
+                rewrite_index: None,
+            };
+            dp.install_port_rule(
+                s_video_up,
+                PortRule::SenderUplink {
+                    action: ReplicationAction::TwoParty { egress: video_spec },
+                    punt_extended_dd: true,
+                },
+            )
+            .expect("port rule capacity");
+            dp.install_port_rule(
+                s_audio_up,
+                PortRule::SenderUplink {
+                    action: ReplicationAction::TwoParty { egress: audio_spec },
+                    punt_extended_dd: false,
+                },
+            )
+            .expect("port rule capacity");
+            self.install_feedback_rules(dp, s, r, true);
+        }
+    }
+
+    /// Populate (possibly shared) tier trees for NRA/RA-R and install all
+    /// sender rules, egress specs, and feedback rules.
+    fn populate_tier_trees(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        _meeting: MeetingId,
+        participants: &[ParticipantId],
+        tiers: &[u16; 3],
+        slot: u8,
+        new_keys: &mut Vec<EgressKey>,
+    ) {
+        let distinct: Vec<u16> = {
+            let mut d = tiers.to_vec();
+            d.dedup();
+            d
+        };
+        // Add one L1 node per participant per tier tree it belongs to.
+        for &r in participants {
+            let dt = self.pinfo[&r].dt;
+            for (t, &mgid) in tiers.iter().enumerate() {
+                if distinct.len() > 1 && (t as u8) > dt {
+                    continue; // receiver not in higher tiers it dropped
+                }
+                if distinct.len() == 1 && t > 0 {
+                    continue; // NRA: single tree, add node once
+                }
+                dp.pre
+                    .add_node(
+                        mgid,
+                        L1Node {
+                            rid: r,
+                            xid: slot as u16,
+                            prune_enabled: true,
+                            ports: vec![r],
+                        },
+                    )
+                    .expect("L1 node budget");
+            }
+        }
+        // Sender rules + egress specs.
+        let other_slot = if slot == 1 { 2u16 } else { 1u16 };
+        for &s in participants {
+            if !self.pinfo[&s].sends {
+                continue;
+            }
+            let (s_video_up, s_audio_up) = {
+                let p = &self.pinfo[&s];
+                (p.video_up, p.audio_up)
+            };
+            let action = ReplicationAction::Multicast {
+                mgid_by_tier: *tiers,
+                l1_xid: other_slot,
+                rid: s,
+                l2_xid: s,
+            };
+            dp.install_port_rule(
+                s_video_up,
+                PortRule::SenderUplink {
+                    action: action.clone(),
+                    punt_extended_dd: true,
+                },
+            )
+            .expect("port rule capacity");
+            dp.install_port_rule(
+                s_audio_up,
+                PortRule::SenderUplink {
+                    action,
+                    punt_extended_dd: false,
+                },
+            )
+            .expect("port rule capacity");
+
+            for &r in participants {
+                if r == s {
+                    continue;
+                }
+                let best = self.is_best_downlink(s, r);
+                self.install_pair_egress(dp, s, r, tiers, new_keys);
+                self.install_feedback_rules(dp, s, r, best);
+            }
+        }
+    }
+
+    /// RA-SR layout: for each group of two senders, q = 3 tier trees;
+    /// within a tree, sender 1's receiver nodes carry XID 1 and sender
+    /// 2's XID 2 (§6.1).
+    fn install_ra_sr(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        participants: &[ParticipantId],
+        new_trees: &mut Vec<(u16, u8)>,
+        new_keys: &mut Vec<EgressKey>,
+    ) {
+        let senders: Vec<ParticipantId> = participants
+            .iter()
+            .copied()
+            .filter(|p| self.pinfo[p].sends)
+            .collect();
+        for pair in senders.chunks(2) {
+            let mut tiers = [0u16; 3];
+            for t in 0..3 {
+                let mgid = self.alloc_mgid();
+                dp.pre.create_group(mgid).expect("PRE group budget");
+                tiers[t] = mgid;
+                new_trees.push((mgid, 0)); // exclusive trees
+            }
+            for (i, &s) in pair.iter().enumerate() {
+                let sender_xid = (i + 1) as u16;
+                // Nodes: receivers of s at each tier.
+                for &r in participants {
+                    if r == s {
+                        continue;
+                    }
+                    let dt = self.effective_dt(s, r);
+                    for (t, &mgid) in tiers.iter().enumerate() {
+                        if (t as u8) > dt {
+                            continue;
+                        }
+                        dp.pre
+                            .add_node(
+                                mgid,
+                                L1Node {
+                                    rid: r,
+                                    xid: sender_xid,
+                                    prune_enabled: true,
+                                    ports: vec![r],
+                                },
+                            )
+                            .expect("L1 node budget");
+                    }
+                    let best = self.is_best_downlink(s, r);
+                    self.install_pair_egress(dp, s, r, &tiers, new_keys);
+                    self.install_feedback_rules(dp, s, r, best);
+                }
+                let other_xid = if sender_xid == 1 { 2 } else { 1 };
+                let (s_video_up, s_audio_up) = {
+                    let p = &self.pinfo[&s];
+                    (p.video_up, p.audio_up)
+                };
+                let action = ReplicationAction::Multicast {
+                    mgid_by_tier: tiers,
+                    l1_xid: other_xid,
+                    rid: s,
+                    l2_xid: s,
+                };
+                dp.install_port_rule(
+                    s_video_up,
+                    PortRule::SenderUplink {
+                        action: action.clone(),
+                        punt_extended_dd: true,
+                    },
+                )
+                .expect("port rule capacity");
+                dp.install_port_rule(
+                    s_audio_up,
+                    PortRule::SenderUplink {
+                        action,
+                        punt_extended_dd: false,
+                    },
+                )
+                .expect("port rule capacity");
+            }
+        }
+    }
+
+    /// Install egress specs for (sender → receiver) across tier trees.
+    fn install_pair_egress(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        s: ParticipantId,
+        r: ParticipantId,
+        tiers: &[u16; 3],
+        new_keys: &mut Vec<EgressKey>,
+    ) {
+        let dt = self.effective_dt(s, r);
+        let adapted = dt < 2 || self.pinfo[&r].tracker_idx.contains_key(&s);
+        let tracker = if adapted {
+            let idx = match self.pinfo[&r].tracker_idx.get(&s) {
+                Some(&i) => i,
+                None => {
+                    let i = self.alloc_tracker();
+                    dp.tracker.init_stream(i as usize, cadence_for_dt(dt));
+                    self.pinfo
+                        .get_mut(&r)
+                        .unwrap()
+                        .tracker_idx
+                        .insert(s, i);
+                    i
+                }
+            };
+            dp.tracker.set_cadence(idx as usize, cadence_for_dt(dt));
+            Some(idx)
+        } else {
+            None
+        };
+        let (vp, ap) = self.pinfo[&r].pair_from[&s];
+        let r_addr = self.pinfo[&r].addr;
+        let (s_video_up, s_audio_up) = {
+            let p = &self.pinfo[&s];
+            (p.video_up, p.audio_up)
+        };
+        let video_spec = EgressSpec {
+            src: HostAddr::new(self.sfu_ip, vp),
+            dst: r_addr,
+            max_temporal: dt,
+            rewrite_index: tracker,
+        };
+        let audio_spec = EgressSpec {
+            src: HostAddr::new(self.sfu_ip, ap),
+            dst: r_addr,
+            max_temporal: 2,
+            rewrite_index: None,
+        };
+        let mut seen = Vec::new();
+        for (t, &mgid) in tiers.iter().enumerate() {
+            if seen.contains(&mgid) {
+                continue;
+            }
+            seen.push(mgid);
+            if (t as u8) <= dt || t == 0 {
+                let vkey = EgressKey {
+                    mgid,
+                    rid: r,
+                    in_port: s_video_up,
+                };
+                dp.install_egress(vkey, video_spec).expect("egress capacity");
+                new_keys.push(vkey);
+            }
+            if t == 0 {
+                let akey = EgressKey {
+                    mgid,
+                    rid: r,
+                    in_port: s_audio_up,
+                };
+                dp.install_egress(akey, audio_spec).expect("egress capacity");
+                new_keys.push(akey);
+            }
+        }
+    }
+
+    /// Whether `r` currently holds the best-downlink selection for
+    /// sender `s` (initially: the first receiver does).
+    fn is_best_downlink(&self, s: ParticipantId, r: ParticipantId) -> bool {
+        let meeting = self.pinfo[&s].meeting;
+        let best = self.best_downlink_for(s, meeting);
+        best == Some(r)
+    }
+
+    fn best_downlink_for(&self, s: ParticipantId, meeting: MeetingId) -> Option<ParticipantId> {
+        let m = self.meetings.get(&meeting)?;
+        let mut best: Option<(ParticipantId, f64)> = None;
+        for &r in m.participants.iter().filter(|&&r| r != s) {
+            let score = self.pinfo[&r]
+                .ewma
+                .get(&s)
+                .and_then(|e| e.value())
+                .unwrap_or(f64::MAX); // unknown downlinks treated as best
+            match best {
+                None => best = Some((r, score)),
+                Some((_, b)) if score > b => best = Some((r, score)),
+                _ => {}
+            }
+        }
+        best.map(|(r, _)| r)
+    }
+
+    /// Install/refresh feedback-forwarding rules for (s → r) pair ports.
+    fn install_feedback_rules(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        s: ParticipantId,
+        r: ParticipantId,
+        remb_allowed: bool,
+    ) {
+        let (vp, ap) = self.pinfo[&r].pair_from[&s];
+        let s_addr = self.pinfo[&s].addr;
+        let rewrite_index = self.pinfo[&r].tracker_idx.get(&s).copied();
+        let (s_video_up, s_audio_up) = {
+            let p = &self.pinfo[&s];
+            (p.video_up, p.audio_up)
+        };
+        dp.install_port_rule(
+            vp,
+            PortRule::ReceiverFeedback {
+                sender_addr: s_addr,
+                forward_src: HostAddr::new(self.sfu_ip, s_video_up),
+                remb_allowed,
+                rewrite_index,
+            },
+        )
+        .expect("port rule capacity");
+        dp.install_port_rule(
+            ap,
+            PortRule::ReceiverFeedback {
+                sender_addr: s_addr,
+                forward_src: HostAddr::new(self.sfu_ip, s_audio_up),
+                remb_allowed: false, // audio RRs are absorbed
+                rewrite_index: None,
+            },
+        )
+        .expect("port rule capacity");
+    }
+
+    /// Handle one CPU-port packet; returns packets the agent sends back
+    /// through the data plane (STUN responses).
+    pub fn handle_cpu_packet(
+        &mut self,
+        now: SimTime,
+        pkt: &Packet,
+        dp: &mut ScallopDataPlane,
+    ) -> Vec<Packet> {
+        match classify(&pkt.payload) {
+            PacketClass::Stun => {
+                let Ok(msg) = StunMessage::parse(&pkt.payload) else {
+                    return Vec::new();
+                };
+                if msg.is_request() {
+                    self.counters.stun_answered += 1;
+                    let resp =
+                        StunMessage::binding_success(msg.transaction_id, pkt.src.ip, pkt.src.port);
+                    return vec![Packet::new(pkt.dst, pkt.src, resp.serialize())];
+                }
+                Vec::new()
+            }
+            PacketClass::Rtcp => {
+                self.handle_feedback_copy(now, pkt, dp);
+                Vec::new()
+            }
+            PacketClass::Rtp => {
+                self.handle_extended_dd(pkt);
+                Vec::new()
+            }
+            PacketClass::Unknown => Vec::new(),
+        }
+    }
+
+    fn handle_extended_dd(&mut self, pkt: &Packet) {
+        let Ok(view) = RtpView::new(&pkt.payload) else {
+            return;
+        };
+        let Ok(Some(dd_bytes)) = view.find_extension(DD_EXTENSION_ID) else {
+            return;
+        };
+        let Ok(dd) = DependencyDescriptor::parse(dd_bytes) else {
+            return;
+        };
+        if dd.structure.is_some() {
+            self.counters.dds_analyzed += 1;
+        }
+    }
+
+    fn handle_feedback_copy(&mut self, now: SimTime, pkt: &Packet, dp: &mut ScallopDataPlane) {
+        let Some(&PortUse::PairVideo { sender, receiver }) = self.port_use.get(&pkt.dst.port)
+        else {
+            // Audio feedback / unknown ports: count RRs and move on.
+            if let Ok(pkts) = rtcp::parse_compound(&pkt.payload) {
+                self.counters.rrs_analyzed += pkts
+                    .iter()
+                    .filter(|p| matches!(p, RtcpPacket::Rr(_)))
+                    .count() as u64;
+            }
+            return;
+        };
+        let Ok(pkts) = rtcp::parse_compound(&pkt.payload) else {
+            return;
+        };
+        for p in pkts {
+            match p {
+                RtcpPacket::Rr(_) => self.counters.rrs_analyzed += 1,
+                RtcpPacket::Remb(remb) => {
+                    self.counters.rembs_analyzed += 1;
+                    let alpha = self.ewma_alpha;
+                    let (curr_dt, new_dt, dwell_ok) = {
+                        let pr = self.pinfo.get_mut(&receiver).expect("receiver known");
+                        let smoothed = pr
+                            .ewma
+                            .entry(sender)
+                            .or_insert_with(|| Ewma::new(alpha))
+                            .update(remb.bitrate_bps as f64);
+                        let hist = pr.est_hist.entry(sender).or_default();
+                        hist.push(remb.bitrate_bps);
+                        if hist.len() > 32 {
+                            hist.remove(0);
+                        }
+                        let curr = pr.dt;
+                        // Asymmetric damping (fast down, slow up): a
+                        // single collapsed REMB may reflect real queue
+                        // growth and must shed layers quickly; climbing
+                        // back doubles the offered load instantly, so it
+                        // requires a *sustained* high smoothed estimate.
+                        let decision_est = (smoothed as u64).min(remb.bitrate_bps);
+                        let new = (self.policy)(curr, hist, decision_est);
+                        // Down-switches shed load and must be fast; an
+                        // up-switch doubles the offered load with no way
+                        // to probe headroom first (the switch cannot send
+                        // padding), so it is attempted rarely.
+                        let dwell = if new < curr {
+                            SimDuration::from_millis(500)
+                        } else {
+                            SimDuration::from_millis(12_000)
+                        };
+                        let dwell_ok = pr
+                            .last_dt_change
+                            .map(|t| now.saturating_since(t) >= dwell)
+                            .unwrap_or(true);
+                        (curr, new, dwell_ok)
+                    };
+                    if new_dt != curr_dt && dwell_ok {
+                        self.apply_dt_change(dp, receiver, new_dt);
+                        if let Some(pr) = self.pinfo.get_mut(&receiver) {
+                            pr.last_dt_change = Some(now);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Apply a receiver-specific decode-target change (§5.4): update
+    /// cadences and egress gates; migrate the meeting design if needed.
+    pub fn apply_dt_change(&mut self, dp: &mut ScallopDataPlane, receiver: ParticipantId, dt: u8) {
+        let meeting = match self.pinfo.get_mut(&receiver) {
+            Some(p) => {
+                if p.dt == dt {
+                    return;
+                }
+                p.dt = dt;
+                p.meeting
+            }
+            None => return,
+        };
+        self.counters.dt_changes += 1;
+        self.rebuild_meeting(dp, meeting);
+    }
+
+    /// Set a sender-receiver-specific decode target (forces RA-SR).
+    pub fn set_sender_dt(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        sender: ParticipantId,
+        receiver: ParticipantId,
+        dt: u8,
+    ) {
+        let meeting = match self.pinfo.get_mut(&receiver) {
+            Some(p) => {
+                p.dt_per_sender.insert(sender, dt);
+                p.meeting
+            }
+            None => return,
+        };
+        self.counters.dt_changes += 1;
+        self.rebuild_meeting(dp, meeting);
+    }
+
+    /// Periodic agent work (§5.3): re-evaluate the feedback filter and
+    /// reprogram REMB forwarding toward each sender.
+    pub fn tick(&mut self, _now: SimTime, dp: &mut ScallopDataPlane) {
+        let meetings: Vec<MeetingId> = self.meetings.keys().copied().collect();
+        for mid in meetings {
+            let participants = self.meetings[&mid].participants.clone();
+            for &s in &participants {
+                if !self.pinfo[&s].sends {
+                    continue;
+                }
+                let best = self.best_downlink_for(s, mid);
+                for &r in participants.iter().filter(|&&r| r != s) {
+                    if !self.pinfo[&r].pair_from.contains_key(&s) {
+                        continue;
+                    }
+                    let allowed = best == Some(r);
+                    let (vp, _) = self.pinfo[&r].pair_from[&s];
+                    // Only touch the rule when the gate actually changes.
+                    let needs_update = match dp.port_rules.peek(&vp) {
+                        Some(PortRule::ReceiverFeedback { remb_allowed, .. }) => {
+                            *remb_allowed != allowed
+                        }
+                        _ => true,
+                    };
+                    if needs_update {
+                        self.counters.filter_updates += 1;
+                        self.install_feedback_rules(dp, s, r, allowed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scallop_dataplane::seqrewrite::SeqRewriteMode;
+
+    fn mk() -> (SwitchAgent, ScallopDataPlane) {
+        (
+            SwitchAgent::new(Ipv4Addr::new(10, 0, 0, 100)),
+            ScallopDataPlane::new(SeqRewriteMode::LowRetransmission),
+        )
+    }
+
+    fn addr(last: u8) -> HostAddr {
+        HostAddr::new(Ipv4Addr::new(10, 1, 0, last), 5000)
+    }
+
+    #[test]
+    fn two_party_meeting_uses_fast_path() {
+        let (mut agent, mut dp) = mk();
+        let m = agent.create_meeting();
+        let _g1 = agent.join(&mut dp, m, addr(1), true);
+        let g2 = agent.join(&mut dp, m, addr(2), true);
+        assert_eq!(agent.design_of(m), Some(TreeDesign::TwoParty));
+        assert_eq!(dp.pre.groups_used(), 0, "no trees for two-party");
+        // Distinct uplink ports allocated.
+        assert_ne!(g2.video_uplink.port, g2.audio_uplink.port);
+    }
+
+    #[test]
+    fn third_join_migrates_to_nra() {
+        let (mut agent, mut dp) = mk();
+        let m = agent.create_meeting();
+        agent.join(&mut dp, m, addr(1), true);
+        agent.join(&mut dp, m, addr(2), true);
+        agent.join(&mut dp, m, addr(3), true);
+        assert_eq!(agent.design_of(m), Some(TreeDesign::Nra));
+        assert_eq!(dp.pre.groups_used(), 1, "one tree per NRA meeting pair");
+        assert_eq!(dp.pre.group_size(dp_first_group(&dp)).unwrap(), 3);
+        assert_eq!(agent.counters.migrations, 1, "TwoParty -> NRA");
+    }
+
+    fn dp_first_group(dp: &ScallopDataPlane) -> u16 {
+        // The agent allocates MGIDs from 1.
+        (1..100)
+            .find(|&g| dp.pre.group_size(g).is_some())
+            .expect("a group exists")
+    }
+
+    #[test]
+    fn nra_trees_pack_two_meetings() {
+        let (mut agent, mut dp) = mk();
+        let m1 = agent.create_meeting();
+        for i in 1..=3 {
+            agent.join(&mut dp, m1, addr(i), true);
+        }
+        let m2 = agent.create_meeting();
+        for i in 11..=13 {
+            agent.join(&mut dp, m2, addr(i), true);
+        }
+        // m = 2 packing: both meetings share one tree.
+        assert_eq!(dp.pre.groups_used(), 1, "two meetings share a tree");
+        assert_eq!(dp.pre.group_size(dp_first_group(&dp)).unwrap(), 6);
+    }
+
+    #[test]
+    fn dt_change_migrates_to_ra_r_and_back() {
+        let (mut agent, mut dp) = mk();
+        let m = agent.create_meeting();
+        let g1 = agent.join(&mut dp, m, addr(1), true);
+        let _g2 = agent.join(&mut dp, m, addr(2), true);
+        let g3 = agent.join(&mut dp, m, addr(3), true);
+        assert_eq!(agent.design_of(m), Some(TreeDesign::Nra));
+        // Receiver 3 degrades to 15 fps.
+        agent.apply_dt_change(&mut dp, g3.participant, 1);
+        assert_eq!(agent.design_of(m), Some(TreeDesign::RaR));
+        assert_eq!(dp.pre.groups_used(), 3, "one tree per quality tier");
+        assert_eq!(agent.dt_of(g3.participant), Some(1));
+        // Tracker slot allocated for the adapted streams toward g3.
+        assert!(dp.tracker.packets_processed == 0);
+        // Recovery: back to NRA.
+        agent.apply_dt_change(&mut dp, g3.participant, 2);
+        assert_eq!(agent.design_of(m), Some(TreeDesign::Nra));
+        assert_eq!(dp.pre.groups_used(), 1);
+        let _ = g1;
+    }
+
+    #[test]
+    fn per_sender_dt_forces_ra_sr() {
+        let (mut agent, mut dp) = mk();
+        let m = agent.create_meeting();
+        let g1 = agent.join(&mut dp, m, addr(1), true);
+        let _g2 = agent.join(&mut dp, m, addr(2), true);
+        let g3 = agent.join(&mut dp, m, addr(3), true);
+        agent.set_sender_dt(&mut dp, g1.participant, g3.participant, 0);
+        assert_eq!(agent.design_of(m), Some(TreeDesign::RaSr));
+        // 3 senders -> 2 sender-groups × 3 tiers = 6 trees.
+        assert_eq!(dp.pre.groups_used(), 6);
+    }
+
+    #[test]
+    fn leave_cleans_up() {
+        let (mut agent, mut dp) = mk();
+        let m = agent.create_meeting();
+        let g1 = agent.join(&mut dp, m, addr(1), true);
+        let _g2 = agent.join(&mut dp, m, addr(2), true);
+        let g3 = agent.join(&mut dp, m, addr(3), true);
+        let rules_at_three = dp.port_rules.len();
+        agent.leave(&mut dp, m, g3.participant);
+        assert_eq!(agent.design_of(m), Some(TreeDesign::TwoParty));
+        assert_eq!(dp.pre.groups_used(), 0, "trees released");
+        assert!(dp.port_rules.len() < rules_at_three);
+        agent.leave(&mut dp, m, g1.participant);
+        // Lone participant: media rules removed.
+        assert_eq!(dp.pre.groups_used(), 0);
+    }
+
+    #[test]
+    fn stun_answered_from_cpu() {
+        let (mut agent, mut dp) = mk();
+        let req = StunMessage::binding_request([9; 12]).serialize();
+        let pkt = Packet::new(addr(1), HostAddr::new(agent.sfu_ip(), 10_000), req);
+        let out = agent.handle_cpu_packet(SimTime::ZERO, &pkt, &mut dp);
+        assert_eq!(out.len(), 1);
+        let resp = StunMessage::parse(&out[0].payload).unwrap();
+        assert!(resp.is_success_response());
+        assert_eq!(resp.xor_mapped_address(), Some((addr(1).ip, addr(1).port)));
+        assert_eq!(agent.counters.stun_answered, 1);
+    }
+
+    #[test]
+    fn remb_copy_drives_dt_selection() {
+        let (mut agent, mut dp) = mk();
+        let m = agent.create_meeting();
+        let g1 = agent.join(&mut dp, m, addr(1), true);
+        let _g2 = agent.join(&mut dp, m, addr(2), true);
+        let g3 = agent.join(&mut dp, m, addr(3), true);
+        // Feedback copy: g3 reports a 1 Mbit/s downlink for g1's video.
+        let vp = agent.video_pair_addr(g1.participant, g3.participant).unwrap();
+        let remb = rtcp::serialize_compound(&[RtcpPacket::Remb(rtcp::Remb {
+            sender_ssrc: 0x33,
+            bitrate_bps: 1_000_000,
+            ssrcs: vec![0x11],
+        })]);
+        let pkt = Packet::new(addr(3), vp, remb);
+        agent.handle_cpu_packet(SimTime::ZERO, &pkt, &mut dp);
+        assert_eq!(agent.counters.rembs_analyzed, 1);
+        // 1 Mbit/s sits between the default thresholds -> DT 1.
+        assert_eq!(agent.dt_of(g3.participant), Some(1));
+        assert_eq!(agent.design_of(m), Some(TreeDesign::RaR));
+    }
+
+    #[test]
+    fn feedback_filter_selects_best_downlink() {
+        let (mut agent, mut dp) = mk();
+        let m = agent.create_meeting();
+        let g1 = agent.join(&mut dp, m, addr(1), true);
+        let g2 = agent.join(&mut dp, m, addr(2), true);
+        let g3 = agent.join(&mut dp, m, addr(3), true);
+        // g2 reports 2.5 Mbit/s, g3 reports 0.9 Mbit/s about g1.
+        for (rcv, raddr, bps) in [
+            (g2.participant, addr(2), 2_500_000u64),
+            (g3.participant, addr(3), 900_000),
+        ] {
+            let vp = agent.video_pair_addr(g1.participant, rcv).unwrap();
+            let remb = rtcp::serialize_compound(&[RtcpPacket::Remb(rtcp::Remb {
+                sender_ssrc: 1,
+                bitrate_bps: bps,
+                ssrcs: vec![0x11],
+            })]);
+            agent.handle_cpu_packet(SimTime::ZERO, &Packet::new(raddr, vp, remb), &mut dp);
+        }
+        agent.tick(SimTime::from_millis(100), &mut dp);
+        // Only g2's pair port may forward REMB to g1.
+        let vp2 = agent.video_pair_addr(g1.participant, g2.participant).unwrap();
+        let vp3 = agent.video_pair_addr(g1.participant, g3.participant).unwrap();
+        let allowed = |dp: &ScallopDataPlane, port: u16| match dp.port_rules.peek(&port) {
+            Some(PortRule::ReceiverFeedback { remb_allowed, .. }) => *remb_allowed,
+            other => panic!("missing feedback rule: {other:?}"),
+        };
+        assert!(allowed(&dp, vp2.port), "best downlink must be selected");
+        assert!(!allowed(&dp, vp3.port), "worse downlink must be filtered");
+    }
+
+    #[test]
+    fn cadence_mapping() {
+        assert_eq!(cadence_for_dt(2), 1);
+        assert_eq!(cadence_for_dt(1), 2);
+        assert_eq!(cadence_for_dt(0), 4);
+        assert_eq!(cadence_for_dt(9), 1);
+    }
+
+    #[test]
+    fn default_policy_hysteresis() {
+        let p = default_policy([450_000, 1_100_000]);
+        // (explicit thresholds: the test pins the policy's arithmetic,
+        // not the deployment defaults)
+        assert_eq!(p(2, &[], 2_000_000), 2);
+        assert_eq!(p(2, &[], 800_000), 1); // drop below threshold
+        assert_eq!(p(1, &[], 1_400_000), 1); // within the 2.2x up-gate band
+        assert_eq!(p(1, &[], 2_500_000), 2); // clearly past 2.42M
+        assert_eq!(p(1, &[], 300_000), 0);
+        assert_eq!(p(0, &[], 900_000), 0); // 450k*2.2 = 990k > 900k
+        assert_eq!(p(0, &[], 1_050_000), 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! The centralized controller (§5.1).
+//!
+//! The controller is Scallop's session-level brain: it runs the signaling
+//! (web) server, intercepts SDP offers/answers, rewrites ICE candidates
+//! so the switch becomes every participant's sole apparent peer, and
+//! pushes meeting configuration to the switch agent. It is involved only
+//! when (1) a session is created, (2) a participant joins or leaves, or
+//! (3) media sharing starts/stops (§4) — never on the media path.
+//!
+//! In this reproduction the controller↔agent RPC channel is a direct
+//! method call onto the [`crate::switchnode::ScallopSwitchNode`] held by
+//! the simulation; the call frequency (a handful per membership change)
+//! is what the paper's Table 1 shows to be negligible.
+
+use crate::agent::{JoinGrant, MeetingId};
+use crate::switchnode::ScallopSwitchNode;
+use scallop_netsim::packet::HostAddr;
+use scallop_proto::sdp::SessionDescription;
+use std::collections::HashMap;
+
+/// Per-meeting controller bookkeeping.
+#[derive(Debug, Default, Clone)]
+struct MeetingRecord {
+    participants: Vec<(u16, HostAddr)>,
+}
+
+/// The centralized controller.
+#[derive(Debug, Default)]
+pub struct Controller {
+    meetings: HashMap<MeetingId, MeetingRecord>,
+    /// Signaling transactions served (telemetry).
+    pub signaling_exchanges: u64,
+}
+
+impl Controller {
+    /// Create a controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a meeting on the given switch.
+    pub fn create_meeting(&mut self, switch: &mut ScallopSwitchNode) -> MeetingId {
+        let id = switch.agent.create_meeting();
+        self.meetings.insert(id, MeetingRecord::default());
+        id
+    }
+
+    /// Join a participant (programmatic path used by harnesses): returns
+    /// the media uplink grants the client must send to.
+    pub fn join(
+        &mut self,
+        switch: &mut ScallopSwitchNode,
+        meeting: MeetingId,
+        client_addr: HostAddr,
+        sends_media: bool,
+    ) -> JoinGrant {
+        let grant = switch.join(meeting, client_addr, sends_media);
+        self.meetings
+            .entry(meeting)
+            .or_default()
+            .participants
+            .push((grant.participant, client_addr));
+        self.signaling_exchanges += 1;
+        grant
+    }
+
+    /// Join via SDP offer/answer (§5.1 "Controlling Signaling to Create
+    /// Proxy Topology"): parses the client's offer, extracts its
+    /// candidate address, registers it with the agent, and produces an
+    /// answer whose only candidates point at the switch — the client
+    /// believes the SFU is its sole peer.
+    pub fn join_with_sdp(
+        &mut self,
+        switch: &mut ScallopSwitchNode,
+        meeting: MeetingId,
+        offer_text: &str,
+    ) -> Result<(String, JoinGrant), scallop_proto::ProtoError> {
+        let offer = SessionDescription::parse(offer_text)?;
+        let cand = offer
+            .all_candidates()
+            .next()
+            .ok_or(scallop_proto::ProtoError::Malformed("offer without candidates"))?;
+        let client_addr = HostAddr::new(cand.ip, cand.port);
+        let sends = offer
+            .media
+            .iter()
+            .any(|m| m.direction == "sendrecv" || m.direction == "sendonly");
+        let grant = self.join(switch, meeting, client_addr, sends);
+
+        // Build the answer: mirror the offer's media sections, replacing
+        // every candidate with the switch's per-media uplink address.
+        let mut answer = offer.clone();
+        answer.origin = "scallop".into();
+        answer.connection_ip = Some(grant.video_uplink.ip);
+        for m in &mut answer.media {
+            let uplink = match m.kind {
+                scallop_proto::sdp::MediaKind::Video => grant.video_uplink,
+                scallop_proto::sdp::MediaKind::Audio => grant.audio_uplink,
+            };
+            m.candidates = vec![scallop_proto::sdp::Candidate::host(uplink.ip, uplink.port)];
+            m.port = uplink.port;
+        }
+        Ok((answer.serialize(), grant))
+    }
+
+    /// Remove a participant.
+    pub fn leave(
+        &mut self,
+        switch: &mut ScallopSwitchNode,
+        meeting: MeetingId,
+        participant: u16,
+    ) {
+        switch.leave(meeting, participant);
+        if let Some(m) = self.meetings.get_mut(&meeting) {
+            m.participants.retain(|&(p, _)| p != participant);
+        }
+        self.signaling_exchanges += 1;
+    }
+
+    /// Participants currently in a meeting.
+    pub fn participants(&self, meeting: MeetingId) -> Vec<u16> {
+        self.meetings
+            .get(&meeting)
+            .map(|m| m.participants.iter().map(|&(p, _)| p).collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::switchnode::{ScallopSwitchNode, SwitchConfig};
+    use scallop_proto::sdp::{MediaKind, MediaSection, SessionDescription};
+    use std::net::Ipv4Addr;
+
+    fn switch() -> ScallopSwitchNode {
+        ScallopSwitchNode::new(SwitchConfig::new(Ipv4Addr::new(10, 0, 0, 100)))
+    }
+
+    fn offer(ip: Ipv4Addr, port: u16) -> String {
+        let mut sd = SessionDescription::new("alice");
+        let mut v = MediaSection::new(MediaKind::Video, port);
+        v.candidates
+            .push(scallop_proto::sdp::Candidate::host(ip, port));
+        v.ssrcs = vec![0x1111];
+        let mut a = MediaSection::new(MediaKind::Audio, port);
+        a.candidates
+            .push(scallop_proto::sdp::Candidate::host(ip, port));
+        a.ssrcs = vec![0x2222];
+        sd.media = vec![v, a];
+        sd.serialize()
+    }
+
+    #[test]
+    fn sdp_join_rewrites_candidates_to_switch() {
+        let mut sw = switch();
+        let mut ctl = Controller::new();
+        let m = ctl.create_meeting(&mut sw);
+        let client_ip = Ipv4Addr::new(10, 1, 0, 1);
+        let (answer, grant) = ctl
+            .join_with_sdp(&mut sw, m, &offer(client_ip, 5000))
+            .unwrap();
+        let parsed = SessionDescription::parse(&answer).unwrap();
+        // Every candidate in the answer points at the switch, not the
+        // client: the proxy splice of §5.1.
+        for c in parsed.all_candidates() {
+            assert_eq!(c.ip, Ipv4Addr::new(10, 0, 0, 100));
+        }
+        let video_port = parsed
+            .media
+            .iter()
+            .find(|ms| ms.kind == MediaKind::Video)
+            .unwrap()
+            .candidates[0]
+            .port;
+        assert_eq!(video_port, grant.video_uplink.port);
+        assert_eq!(ctl.participants(m).len(), 1);
+    }
+
+    #[test]
+    fn offer_without_candidates_rejected() {
+        let mut sw = switch();
+        let mut ctl = Controller::new();
+        let m = ctl.create_meeting(&mut sw);
+        let bare = "v=0\r\no=x 0 0 IN IP4 0.0.0.0\r\ns=-\r\nt=0 0\r\nm=video 1 UDP/RTP/AVPF 96\r\n";
+        assert!(ctl.join_with_sdp(&mut sw, m, bare).is_err());
+    }
+
+    #[test]
+    fn leave_updates_membership() {
+        let mut sw = switch();
+        let mut ctl = Controller::new();
+        let m = ctl.create_meeting(&mut sw);
+        let g1 = ctl.join(&mut sw, m, HostAddr::new(Ipv4Addr::new(10, 1, 0, 1), 5000), true);
+        let _g2 = ctl.join(&mut sw, m, HostAddr::new(Ipv4Addr::new(10, 1, 0, 2), 5000), true);
+        assert_eq!(ctl.participants(m).len(), 2);
+        ctl.leave(&mut sw, m, g1.participant);
+        assert_eq!(ctl.participants(m).len(), 1);
+    }
+}

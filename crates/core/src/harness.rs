@@ -1,0 +1,377 @@
+//! Turn-key experiment assembly: meetings of simulated WebRTC clients
+//! wired through one Scallop switch.
+//!
+//! Every evaluation scenario in §7 is some configuration of this
+//! harness: N participants (K of them sending), per-client access links,
+//! optional mid-run impairments (the Fig. 14 downlink degradations), and
+//! report extraction (client stats, data-plane counters, per-stream
+//! frame rates).
+
+use crate::agent::{JoinGrant, MeetingId};
+use crate::controller::Controller;
+use crate::switchnode::{ScallopSwitchNode, SwitchConfig};
+use scallop_client::{ClientConfig, ClientNode, ClientStats};
+use scallop_dataplane::seqrewrite::SeqRewriteMode;
+use scallop_dataplane::switch::DataPlaneCounters;
+use scallop_media::encoder::EncoderConfig;
+use scallop_netsim::link::LinkConfig;
+use scallop_netsim::packet::HostAddr;
+use scallop_netsim::sim::{NodeId, Simulator};
+use scallop_netsim::time::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Number of participants in the meeting.
+    pub participants: usize,
+    /// How many of them send media (the rest receive only); defaults to
+    /// all.
+    pub senders: Option<usize>,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Sequence-rewrite heuristic.
+    pub rewrite_mode: SeqRewriteMode,
+    /// Per-client uplink.
+    pub client_uplink: LinkConfig,
+    /// Per-client downlink.
+    pub client_downlink: LinkConfig,
+    /// Switch access link (both directions).
+    pub switch_link: LinkConfig,
+    /// Video encoder settings for sending clients.
+    pub video: EncoderConfig,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            participants: 3,
+            senders: None,
+            seed: 0x5CA1_10B5,
+            rewrite_mode: SeqRewriteMode::LowRetransmission,
+            client_uplink: LinkConfig::infinite(SimDuration::from_millis(10))
+                .with_rate(50_000_000)
+                .with_queue_bytes(128 * 1024),
+            // Modest queue: 128 KB absorbs correlated multi-sender frame
+            // bursts at full rate (10-party: ~80 KB per tick) yet stays
+            // under half a second at the Fig. 14 degraded rates, so
+            // loss-based recovery is not stalled by bufferbloat.
+            client_downlink: LinkConfig::infinite(SimDuration::from_millis(10))
+                .with_rate(50_000_000)
+                .with_queue_bytes(128 * 1024),
+            switch_link: LinkConfig::infinite(SimDuration::from_micros(50)),
+            video: EncoderConfig::default(),
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Builder: participant count.
+    pub fn participants(mut self, n: usize) -> Self {
+        self.participants = n;
+        self
+    }
+
+    /// Builder: sender count.
+    pub fn senders(mut self, k: usize) -> Self {
+        self.senders = Some(k);
+        self
+    }
+
+    /// Builder: seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Builder: video bitrate for all senders.
+    pub fn video_bitrate(mut self, bps: u64) -> Self {
+        self.video = self.video.bitrate(bps);
+        self
+    }
+
+    /// Builder: rewrite heuristic.
+    pub fn rewrite_mode(mut self, m: SeqRewriteMode) -> Self {
+        self.rewrite_mode = m;
+        self
+    }
+}
+
+/// Summary of a harness run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HarnessReport {
+    /// Participants simulated.
+    pub participants: usize,
+    /// Media packets the data plane forwarded.
+    pub media_packets_forwarded: u64,
+    /// Packets punted to the switch agent.
+    pub cpu_packets: u64,
+    /// Total frames decoded across all clients.
+    pub frames_decoded: u64,
+    /// Total decoder freezes across all clients.
+    pub freezes: u64,
+    /// Replicas suppressed by rate adaptation.
+    pub rate_adapt_drops: u64,
+}
+
+/// The assembled experiment.
+pub struct ScallopHarness {
+    /// The simulator (exposed for custom impairments / inspection).
+    pub sim: Simulator,
+    /// Switch node id.
+    pub switch_id: NodeId,
+    /// Client node ids, by participant index.
+    pub client_ids: Vec<NodeId>,
+    /// Join grants, by participant index.
+    pub grants: Vec<JoinGrant>,
+    /// The controller.
+    pub controller: Controller,
+    /// The meeting id.
+    pub meeting: MeetingId,
+    cfg: HarnessConfig,
+}
+
+/// The switch's IP in harness topologies.
+pub const SWITCH_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 100);
+
+fn client_ip(idx: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 1, (idx / 250) as u8, (idx % 250 + 1) as u8)
+}
+
+impl ScallopHarness {
+    /// Build the topology and join all participants.
+    pub fn new(cfg: HarnessConfig) -> Self {
+        let mut sim = Simulator::new(cfg.seed);
+        let switch = ScallopSwitchNode::new(
+            SwitchConfig::new(SWITCH_IP).with_mode(cfg.rewrite_mode),
+        );
+        let switch_id = sim.add_node(
+            Box::new(switch),
+            &[SWITCH_IP],
+            cfg.switch_link,
+            cfg.switch_link,
+        );
+        let mut controller = Controller::new();
+        let senders = cfg.senders.unwrap_or(cfg.participants);
+        let meeting = {
+            let sw: &mut ScallopSwitchNode = sim.node_mut(switch_id).expect("switch");
+            controller.create_meeting(sw)
+        };
+        let mut grants = Vec::new();
+        let mut client_ids = Vec::new();
+        for i in 0..cfg.participants {
+            let ip = client_ip(i);
+            let addr = HostAddr::new(ip, 5000);
+            let sends = i < senders;
+            let grant = {
+                let sw: &mut ScallopSwitchNode = sim.node_mut(switch_id).expect("switch");
+                controller.join(sw, meeting, addr, sends)
+            };
+            let mut ccfg = if sends {
+                ClientConfig::sender(ip, 5000, 0x1_0000u32 * (i as u32 + 1))
+                    .sending_to(grant.video_uplink, grant.audio_uplink)
+            } else {
+                ClientConfig::receiver_only(ip, 5000, 0x1_0000u32 * (i as u32 + 1))
+            };
+            ccfg.video = ccfg.video.map(|_| cfg.video);
+            let node = ClientNode::new(ccfg);
+            let id = sim.add_node(
+                Box::new(node),
+                &[ip],
+                cfg.client_uplink,
+                cfg.client_downlink,
+            );
+            grants.push(grant);
+            client_ids.push(id);
+        }
+        ScallopHarness {
+            sim,
+            switch_id,
+            client_ids,
+            grants,
+            controller,
+            meeting,
+            cfg,
+        }
+    }
+
+    /// Run the simulation forward and summarize.
+    pub fn run_for_secs(&mut self, secs: f64) -> HarnessReport {
+        self.sim.run_for(SimDuration::from_secs_f64(secs));
+        self.report()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Summarize the current state.
+    pub fn report(&mut self) -> HarnessReport {
+        let mut frames = 0;
+        let mut freezes = 0;
+        for idx in 0..self.client_ids.len() {
+            let stats = self.client_stats(idx);
+            for (_, rx) in stats.streams {
+                frames += rx.frames_decoded;
+                freezes += rx.freezes;
+            }
+        }
+        let c = self.switch_counters();
+        HarnessReport {
+            participants: self.cfg.participants,
+            media_packets_forwarded: c.forwarded_pkts,
+            cpu_packets: c.cpu_pkts,
+            frames_decoded: frames,
+            freezes,
+            rate_adapt_drops: c.rate_adapt_drops,
+        }
+    }
+
+    /// Data-plane counters.
+    pub fn switch_counters(&mut self) -> DataPlaneCounters {
+        let sw: &mut ScallopSwitchNode = self.sim.node_mut(self.switch_id).expect("switch");
+        sw.counters()
+    }
+
+    /// Mutable access to the switch node.
+    pub fn switch(&mut self) -> &mut ScallopSwitchNode {
+        self.sim.node_mut(self.switch_id).expect("switch")
+    }
+
+    /// A client's statistics.
+    pub fn client_stats(&mut self, idx: usize) -> ClientStats {
+        let c: &mut ClientNode = self.sim.node_mut(self.client_ids[idx]).expect("client");
+        c.stats()
+    }
+
+    /// Constrain participant `idx`'s downlink to `rate_bps` (the Fig. 14
+    /// degradation).
+    pub fn degrade_downlink(&mut self, idx: usize, rate_bps: u64) {
+        self.sim
+            .downlink_mut(self.client_ids[idx])
+            .set_rate_bps(rate_bps);
+    }
+
+    /// Restore participant `idx`'s downlink to the configured default.
+    pub fn restore_downlink(&mut self, idx: usize) {
+        let rate = self.cfg.client_downlink.rate_bps;
+        self.sim.downlink_mut(self.client_ids[idx]).set_rate_bps(rate);
+    }
+
+    /// Decoded frame rate at `receiver_idx` for the stream sent by
+    /// `sender_idx`, over a trailing window.
+    pub fn fps_between(
+        &mut self,
+        sender_idx: usize,
+        receiver_idx: usize,
+        window: SimDuration,
+    ) -> Option<f64> {
+        let src = {
+            let sw: &mut ScallopSwitchNode = self.sim.node_mut(self.switch_id)?;
+            sw.agent.video_pair_addr(
+                self.grants[sender_idx].participant,
+                self.grants[receiver_idx].participant,
+            )?
+        };
+        let now = self.sim.now();
+        let c: &mut ClientNode = self.sim.node_mut(self.client_ids[receiver_idx])?;
+        c.fps_from(src, window, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::TreeDesign;
+
+    #[test]
+    fn three_party_call_through_scallop() {
+        let mut h = ScallopHarness::new(HarnessConfig::default().participants(3));
+        let report = h.run_for_secs(5.0);
+        assert_eq!(report.participants, 3);
+        assert!(report.media_packets_forwarded > 3_000);
+        assert!(report.cpu_packets > 0, "STUN/feedback copies must punt");
+        // 3 participants × 2 remote senders × ~150 frames in 5 s.
+        assert!(
+            report.frames_decoded > 600,
+            "decoded {}",
+            report.frames_decoded
+        );
+        assert_eq!(report.freezes, 0);
+        // Full quality: NRA design, no adaptation drops.
+        let meeting = h.meeting;
+        assert_eq!(h.switch().agent.design_of(meeting), Some(TreeDesign::Nra));
+    }
+
+    #[test]
+    fn two_party_uses_fast_path_end_to_end() {
+        let mut h = ScallopHarness::new(HarnessConfig::default().participants(2));
+        let report = h.run_for_secs(3.0);
+        let meeting = h.meeting;
+        assert_eq!(h.switch().agent.design_of(meeting), Some(TreeDesign::TwoParty));
+        assert_eq!(h.switch().dp.pre.groups_used(), 0);
+        assert!(report.frames_decoded > 120);
+        assert_eq!(report.freezes, 0);
+    }
+
+    #[test]
+    fn constrained_downlink_triggers_adaptation() {
+        let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(7));
+        h.run_for_secs(3.0);
+        // Degrade P2's downlink below the ~4.5 Mbit/s it receives but
+        // above what the 15 fps tier needs (~2.3 Mbit/s): the adaptation
+        // has a satisfiable operating point, as in Fig. 14.
+        h.degrade_downlink(2, 2_600_000);
+        h.run_for_secs(10.0);
+        let meeting = h.meeting;
+        let constrained = h.grants[2].participant;
+        let sw = h.switch();
+        let design = sw.agent.design_of(meeting);
+        let dt = sw.agent.dt_of(constrained);
+        assert_eq!(design, Some(TreeDesign::RaR), "meeting must migrate");
+        assert!(dt < Some(2), "P2's decode target must drop, got {dt:?}");
+        // The other receivers keep full rate.
+        let fps01 = h
+            .fps_between(0, 1, SimDuration::from_secs(2))
+            .expect("stream exists");
+        assert!(fps01 > 24.0, "unconstrained receiver fps {fps01}");
+        // The constrained receiver sees a reduced-but-smooth rate.
+        let fps02 = h
+            .fps_between(0, 2, SimDuration::from_secs(2))
+            .expect("stream exists");
+        assert!(
+            (7.0..22.0).contains(&fps02),
+            "constrained receiver fps {fps02}"
+        );
+    }
+
+    #[test]
+    fn receiver_only_participants_supported() {
+        let mut h = ScallopHarness::new(
+            HarnessConfig::default().participants(4).senders(1).seed(3),
+        );
+        let report = h.run_for_secs(4.0);
+        // 3 receivers × 1 sender × ~120 frames.
+        assert!(report.frames_decoded > 250);
+        let stats = h.client_stats(0);
+        assert!(stats.sender.video_packets > 400);
+        let stats3 = h.client_stats(3);
+        assert_eq!(stats3.sender.video_packets, 0);
+        assert!(!stats3.streams.is_empty());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let run = || {
+            let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(99));
+            let r = h.run_for_secs(3.0);
+            (
+                r.media_packets_forwarded,
+                r.cpu_packets,
+                r.frames_decoded,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

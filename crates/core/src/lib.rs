@@ -1,0 +1,38 @@
+//! # scallop-core — the Scallop SFU (the paper's contribution)
+//!
+//! Scallop decouples a selective forwarding unit into a hardware data
+//! plane (in `scallop-dataplane`) and a two-tier software control plane,
+//! which lives here:
+//!
+//! * [`controller`] — the centralized controller (§5.1): session
+//!   management, SDP signaling interception and candidate rewriting (the
+//!   proxy-topology splice), meeting membership, and compilation of
+//!   data-plane configuration. Invoked only on session/membership/media
+//!   changes.
+//! * [`agent`] — the switch agent (§4, §5.2–5.5): runs on the switch
+//!   CPU; analyzes REMB/RR copies, maintains per-downlink EWMAs and the
+//!   feedback-selection filter `f` (§5.3), invokes the pluggable
+//!   `selectDecodeTarget` policy (§5.4), analyzes extended AV1 dependency
+//!   descriptors from key frames, answers STUN, and manages replication
+//!   trees — including the two-party / NRA / RA-R / RA-SR designs of
+//!   §6.1 and live migration between them.
+//! * [`switchnode`] — the deployable switch: data plane + agent behind a
+//!   single simulation node, with the pipeline's fixed forwarding latency
+//!   and the agent's CPU-path latency.
+//! * [`capacity`] — the analytic capacity models behind §7.2/§7.4
+//!   (Figs. 15–17 and the 128 K / 42.7 K / 4.3 K / 533 K headline
+//!   numbers).
+//! * [`harness`] — turn-key experiment assembly: a meeting of N clients
+//!   wired through a Scallop switch, with link-impairment hooks.
+
+pub mod agent;
+pub mod capacity;
+pub mod controller;
+pub mod harness;
+pub mod switchnode;
+
+pub use agent::{AdaptationPolicy, JoinGrant, MeetingId, ParticipantId, SwitchAgent, TreeDesign};
+pub use capacity::CapacityModel;
+pub use controller::Controller;
+pub use harness::{HarnessConfig, HarnessReport, ScallopHarness};
+pub use switchnode::{ScallopSwitchNode, SwitchConfig};

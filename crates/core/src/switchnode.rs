@@ -1,0 +1,221 @@
+//! The deployable Scallop switch: data plane + agent as one simulation
+//! node.
+//!
+//! Packet path timing mirrors the hardware/software split:
+//!
+//! * media replicas leave after the **pipeline latency** — a fixed
+//!   ~1.5 µs (hardware forwarding has "fixed per-packet delays to
+//!   eliminate SFU-induced jitter", §1);
+//! * CPU-port work (STUN answers, feedback analysis, DD analysis) pays
+//!   the **agent latency** (~250 µs of switch-CPU path) before any
+//!   effect is visible;
+//! * the agent's periodic filter re-evaluation runs on a timer (§5.3's
+//!   "periodically selects the maximum").
+
+use crate::agent::{JoinGrant, MeetingId, ParticipantId, SwitchAgent};
+use scallop_dataplane::seqrewrite::SeqRewriteMode;
+use scallop_dataplane::switch::{DataPlaneCounters, ScallopDataPlane};
+use scallop_netsim::packet::{HostAddr, Packet};
+use scallop_netsim::sim::{Ctx, Node, TimerToken};
+use scallop_netsim::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::Ipv4Addr;
+
+const TIMER_FLUSH: TimerToken = TimerToken(200);
+const TIMER_AGENT: TimerToken = TimerToken(201);
+
+/// Switch deployment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchConfig {
+    /// The switch's IP (all SFU ports live on it).
+    pub ip: Ipv4Addr,
+    /// Sequence-rewrite heuristic for the Stream Tracker.
+    pub rewrite_mode: SeqRewriteMode,
+    /// Fixed data-plane forwarding latency.
+    pub pipeline_latency: SimDuration,
+    /// Switch-CPU path latency for agent-handled packets.
+    pub agent_latency: SimDuration,
+    /// Agent feedback-filter tick interval.
+    pub agent_tick: SimDuration,
+}
+
+impl SwitchConfig {
+    /// Defaults on the given IP.
+    pub fn new(ip: Ipv4Addr) -> Self {
+        SwitchConfig {
+            ip,
+            rewrite_mode: SeqRewriteMode::LowRetransmission,
+            pipeline_latency: SimDuration::from_nanos(1_500),
+            agent_latency: SimDuration::from_micros(250),
+            agent_tick: SimDuration::from_millis(100),
+        }
+    }
+
+    /// Builder: choose the rewrite heuristic.
+    pub fn with_mode(mut self, mode: SeqRewriteMode) -> Self {
+        self.rewrite_mode = mode;
+        self
+    }
+}
+
+/// The switch node.
+pub struct ScallopSwitchNode {
+    /// Deployment config.
+    pub cfg: SwitchConfig,
+    /// The Tofino-model data plane.
+    pub dp: ScallopDataPlane,
+    /// The on-switch agent.
+    pub agent: SwitchAgent,
+    pending: BinaryHeap<Reverse<(SimTime, u64)>>,
+    pending_payloads: HashMap<u64, Packet>,
+    pending_seq: u64,
+}
+
+impl ScallopSwitchNode {
+    /// Build a switch.
+    pub fn new(cfg: SwitchConfig) -> Self {
+        ScallopSwitchNode {
+            dp: ScallopDataPlane::new(cfg.rewrite_mode),
+            agent: SwitchAgent::new(cfg.ip),
+            cfg,
+            pending: BinaryHeap::new(),
+            pending_payloads: HashMap::new(),
+            pending_seq: 0,
+        }
+    }
+
+    /// Controller RPC: add a participant.
+    pub fn join(&mut self, meeting: MeetingId, addr: HostAddr, sends: bool) -> JoinGrant {
+        self.agent.join(&mut self.dp, meeting, addr, sends)
+    }
+
+    /// Controller RPC: remove a participant.
+    pub fn leave(&mut self, meeting: MeetingId, participant: ParticipantId) {
+        self.agent.leave(&mut self.dp, meeting, participant);
+    }
+
+    /// Data-plane counters (Table 1 / Fig. 22 accounting).
+    pub fn counters(&self) -> DataPlaneCounters {
+        self.dp.counters
+    }
+
+    fn emit_at(&mut self, ctx: &mut Ctx<'_>, at: SimTime, pkt: Packet) {
+        self.pending_seq += 1;
+        let key = self.pending_seq;
+        self.pending_payloads.insert(key, pkt);
+        self.pending.push(Reverse((at, key)));
+        ctx.schedule(at.saturating_since(ctx.now()), TIMER_FLUSH);
+    }
+
+    fn flush_due(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        while let Some(&Reverse((at, key))) = self.pending.peek() {
+            if at > now {
+                break;
+            }
+            self.pending.pop();
+            if let Some(pkt) = self.pending_payloads.remove(&key) {
+                ctx.send(pkt);
+            }
+        }
+    }
+}
+
+impl Node for ScallopSwitchNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.schedule(self.cfg.agent_tick, TIMER_AGENT);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        let out = self.dp.process(&pkt);
+        let dp_at = ctx.now() + self.cfg.pipeline_latency;
+        for f in out.forwards {
+            self.emit_at(ctx, dp_at, f);
+        }
+        if !out.cpu_copies.is_empty() {
+            let agent_at = ctx.now() + self.cfg.agent_latency;
+            let now = ctx.now();
+            for c in out.cpu_copies {
+                let responses = self.agent.handle_cpu_packet(now, &c, &mut self.dp);
+                for r in responses {
+                    self.emit_at(ctx, agent_at, r);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: TimerToken) {
+        match timer {
+            TIMER_FLUSH => self.flush_due(ctx),
+            TIMER_AGENT => {
+                let now = ctx.now();
+                self.agent.tick(now, &mut self.dp);
+                ctx.schedule(self.cfg.agent_tick, TIMER_AGENT);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scallop_netsim::link::LinkConfig;
+    use scallop_netsim::sim::Simulator;
+    use scallop_proto::stun::StunMessage;
+
+    #[test]
+    fn stun_answered_with_agent_latency() {
+        let mut sim = Simulator::new(3);
+        let ip = Ipv4Addr::new(10, 0, 0, 100);
+        let node = ScallopSwitchNode::new(SwitchConfig::new(ip));
+        let link = LinkConfig::infinite(SimDuration::ZERO);
+        let id = sim.add_node(Box::new(node), &[ip], link, link);
+
+        // A raw probe node that fires one STUN request and records the
+        // response time.
+        struct Probe {
+            target: HostAddr,
+            me: HostAddr,
+            rtt: Option<SimDuration>,
+            sent_at: SimTime,
+        }
+        impl Node for Probe {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.schedule(SimDuration::from_millis(1), TimerToken(1));
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerToken) {
+                self.sent_at = ctx.now();
+                let req = StunMessage::binding_request([5; 12]).serialize();
+                ctx.send(Packet::new(self.me, self.target, req));
+            }
+            fn on_packet(&mut self, ctx: &mut Ctx<'_>, _pkt: Packet) {
+                self.rtt = Some(ctx.now().saturating_since(self.sent_at));
+            }
+        }
+        let probe_ip = Ipv4Addr::new(10, 1, 0, 1);
+        let probe = sim.add_node(
+            Box::new(Probe {
+                target: HostAddr::new(ip, 10_000),
+                me: HostAddr::new(probe_ip, 4000),
+                rtt: None,
+                sent_at: SimTime::ZERO,
+            }),
+            &[probe_ip],
+            link,
+            link,
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let p: &mut Probe = sim.node_mut(probe).unwrap();
+        let rtt = p.rtt.expect("stun response");
+        // Links are zero-delay: the RTT is exactly the agent CPU path.
+        assert!(
+            rtt >= SimDuration::from_micros(250) && rtt < SimDuration::from_micros(400),
+            "rtt {rtt}"
+        );
+        let sw: &mut ScallopSwitchNode = sim.node_mut(id).unwrap();
+        assert_eq!(sw.agent.counters.stun_answered, 1);
+        assert_eq!(sw.dp.counters.stun_pkts, 1);
+    }
+}

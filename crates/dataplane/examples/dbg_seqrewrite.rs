@@ -1,0 +1,46 @@
+use scallop_dataplane::seqrewrite::*;
+use scallop_netsim::rng::DetRng;
+use std::collections::HashMap;
+
+fn main() {
+    let mode = SeqRewriteMode::LowRetransmission;
+    let mut rng = DetRng::new(0xABCD);
+    let mut st = StreamTracker::new(mode, 4);
+    st.init_stream(0, 2);
+    let mut seen: HashMap<u16, (u16, u16)> = HashMap::new();
+    let mut seq = 0u16;
+    let mut pending: Option<(u16, u16, bool, bool, PacketVerdict)> = None;
+    let mut log: Vec<String> = Vec::new();
+    for f in 0u16..2000 {
+        let suppress = f % 2 == 1;
+        for p in 0..2 {
+            let v = if suppress { PacketVerdict::Suppress } else { PacketVerdict::Forward };
+            let tuple = (seq, f, p == 0, p == 1, v);
+            seq = seq.wrapping_add(1);
+            if rng.chance(0.15) { log.push(format!("LOST ({},{})", tuple.0, tuple.1)); continue; }
+            if rng.chance(0.05) && pending.is_none() { log.push(format!("HELD ({},{})", tuple.0, tuple.1)); pending = Some(tuple); continue; }
+            let (s0, f0, st0, e0, v0) = tuple;
+            let r = st.process(0, s0, f0, st0, e0, v0);
+            log.push(format!("proc in=({s0},{f0},{st0},{e0},{v0:?}) -> {r:?}"));
+            if let RewriteVerdict::Emit(o) = r {
+                if let Some(prev) = seen.insert(o, (s0, f0)) {
+                    println!("DUP out={o} prev={prev:?} now=({s0},{f0})");
+                    for l in log.iter().rev().take(16).rev() { println!("  {l}"); }
+                    return;
+                }
+            }
+            if let Some((s1, f1, st1, e1, v1)) = pending.take() {
+                let r = st.process(0, s1, f1, st1, e1, v1);
+                log.push(format!("LATE in=({s1},{f1},{st1},{e1}) -> {r:?}"));
+                if let RewriteVerdict::Emit(o) = r {
+                    if let Some(prev) = seen.insert(o, (s1, f1)) {
+                        println!("DUP-LATE out={o} prev={prev:?} now=({s1},{f1})");
+                        for l in log.iter().rev().take(16).rev() { println!("  {l}"); }
+                        return;
+                    }
+                }
+            }
+        }
+    }
+    println!("no dup");
+}

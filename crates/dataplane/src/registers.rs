@@ -1,0 +1,133 @@
+//! Per-stage register arrays (stateful data-plane memory).
+//!
+//! The Stream Tracker of §6.2 lives in "six hash tables … always accessed
+//! in order" in the egress pipeline, each a register array indexed by the
+//! control-plane-assigned stream index. The model captures what matters:
+//! fixed cell counts (65,536), word-sized cells, and an access discipline
+//! of one read-modify-write per packet per array (Tofino registers allow
+//! exactly one ALU access per packet).
+
+/// Error accessing a register array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterError {
+    /// Index beyond the array size.
+    OutOfBounds,
+}
+
+/// A register array of `u32` cells (Tofino registers are 8/16/32-bit;
+/// Scallop's state fits 32-bit words).
+#[derive(Debug, Clone)]
+pub struct RegisterArray {
+    name: &'static str,
+    cells: Vec<u32>,
+    /// Total read-modify-write accesses (for the access-discipline audit).
+    pub accesses: u64,
+}
+
+impl RegisterArray {
+    /// Allocate an array of `size` zeroed cells.
+    pub fn new(name: &'static str, size: usize) -> Self {
+        RegisterArray {
+            name,
+            cells: vec![0; size],
+            accesses: 0,
+        }
+    }
+
+    /// Array name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when zero-sized.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// SRAM bits consumed (32 bits/cell).
+    pub fn sram_bits(&self) -> usize {
+        self.cells.len() * 32
+    }
+
+    /// One read-modify-write, the single ALU operation Tofino permits per
+    /// packet: `f` receives the cell and returns the output value exported
+    /// to the PHV.
+    pub fn rmw<F: FnOnce(&mut u32) -> u32>(&mut self, idx: usize, f: F) -> Result<u32, RegisterError> {
+        let cell = self.cells.get_mut(idx).ok_or(RegisterError::OutOfBounds)?;
+        self.accesses += 1;
+        Ok(f(cell))
+    }
+
+    /// Plain read (also counts as the packet's one access).
+    pub fn read(&mut self, idx: usize) -> Result<u32, RegisterError> {
+        let v = *self.cells.get(idx).ok_or(RegisterError::OutOfBounds)?;
+        self.accesses += 1;
+        Ok(v)
+    }
+
+    /// Control-plane write (does not count against the per-packet budget).
+    pub fn write_cp(&mut self, idx: usize, v: u32) -> Result<(), RegisterError> {
+        let cell = self.cells.get_mut(idx).ok_or(RegisterError::OutOfBounds)?;
+        *cell = v;
+        Ok(())
+    }
+
+    /// Control-plane read.
+    pub fn read_cp(&self, idx: usize) -> Result<u32, RegisterError> {
+        self.cells.get(idx).copied().ok_or(RegisterError::OutOfBounds)
+    }
+
+    /// Control-plane clear of one cell (stream teardown, §6.3 "immediate
+    /// cleanup when a stream ends").
+    pub fn clear_cp(&mut self, idx: usize) -> Result<(), RegisterError> {
+        self.write_cp(idx, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmw_mutates_and_returns() {
+        let mut r = RegisterArray::new("hiseq", 8);
+        let out = r
+            .rmw(3, |c| {
+                *c += 41;
+                *c + 1
+            })
+            .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(r.read_cp(3).unwrap(), 41);
+        assert_eq!(r.accesses, 1);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut r = RegisterArray::new("x", 4);
+        assert_eq!(r.read(4), Err(RegisterError::OutOfBounds));
+        assert_eq!(r.write_cp(9, 1), Err(RegisterError::OutOfBounds));
+        assert_eq!(r.rmw(4, |c| *c), Err(RegisterError::OutOfBounds));
+    }
+
+    #[test]
+    fn control_plane_ops_do_not_count() {
+        let mut r = RegisterArray::new("x", 4);
+        r.write_cp(0, 7).unwrap();
+        assert_eq!(r.read_cp(0).unwrap(), 7);
+        r.clear_cp(0).unwrap();
+        assert_eq!(r.read_cp(0).unwrap(), 0);
+        assert_eq!(r.accesses, 0);
+    }
+
+    #[test]
+    fn sram_accounting() {
+        let r = RegisterArray::new("x", 65_536);
+        assert_eq!(r.sram_bits(), 65_536 * 32);
+    }
+}

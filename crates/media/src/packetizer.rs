@@ -1,0 +1,192 @@
+//! Frame → RTP packetization.
+//!
+//! §3: "The media stream is packetized so that a layer never crosses a
+//! packet boundary." With temporal-only scalability a frame *is* a layer
+//! unit, so each frame is split into its own run of RTP packets; every
+//! packet carries the AV1 dependency descriptor naming the frame's
+//! template id, and the first packet of a key frame carries the extended
+//! descriptor with the L1T3 template structure (the packets Scallop's
+//! data plane punts to the switch agent, §5.4).
+
+use crate::encoder::EncodedFrame;
+use bytes::Bytes;
+use scallop_proto::av1::{DependencyDescriptor, TemplateStructure, DD_EXTENSION_ID};
+use scallop_proto::rtp::{ExtensionElement, RtpPacket};
+
+/// Default media MTU (payload budget per RTP packet). Matches the
+/// 800–1400 B video packets the paper reports (§2.2).
+pub const DEFAULT_MTU: usize = 1200;
+
+/// Stateful packetizer for one video stream (owns the sequence counter).
+#[derive(Debug, Clone)]
+pub struct Packetizer {
+    ssrc: u32,
+    payload_type: u8,
+    mtu: usize,
+    next_seq: u16,
+}
+
+impl Packetizer {
+    /// Create a packetizer for a stream.
+    pub fn new(ssrc: u32, payload_type: u8, mtu: usize) -> Self {
+        Packetizer {
+            ssrc,
+            payload_type,
+            mtu,
+            next_seq: 0,
+        }
+    }
+
+    /// Override the next sequence number (for tests and retransmission
+    /// scenarios).
+    pub fn set_next_seq(&mut self, seq: u16) {
+        self.next_seq = seq;
+    }
+
+    /// Next sequence number to be used.
+    pub fn next_seq(&self) -> u16 {
+        self.next_seq
+    }
+
+    /// Packetize one frame into RTP packets.
+    pub fn packetize(&mut self, frame: &EncodedFrame) -> Vec<RtpPacket> {
+        let n_packets = frame.size_bytes.div_ceil(self.mtu).max(1);
+        let mut out = Vec::with_capacity(n_packets);
+        let mut remaining = frame.size_bytes;
+        for i in 0..n_packets {
+            let chunk = remaining.min(self.mtu);
+            remaining -= chunk;
+            let start = i == 0;
+            let end = i == n_packets - 1;
+            let mut dd = DependencyDescriptor::mandatory(
+                start,
+                end,
+                frame.label.template_id,
+                frame.frame_number,
+            );
+            if start && frame.label.is_key {
+                dd.structure = Some(TemplateStructure::l1t3());
+                dd.active_decode_targets = Some(0b111);
+            }
+            let mut pkt = RtpPacket::new(
+                self.payload_type,
+                self.next_seq,
+                frame.rtp_timestamp,
+                self.ssrc,
+            );
+            self.next_seq = self.next_seq.wrapping_add(1);
+            pkt.marker = end;
+            pkt.extension_profile = scallop_proto::rtp::ExtensionProfile::TwoByte;
+            pkt.extensions.push(ExtensionElement {
+                id: DD_EXTENSION_ID,
+                data: dd.serialize(),
+            });
+            pkt.payload = Bytes::from(vec![0u8; chunk]);
+            out.push(pkt);
+        }
+        out
+    }
+}
+
+/// One-shot convenience wrapper around [`Packetizer::packetize`].
+pub fn packetize(frame: &EncodedFrame, ssrc: u32, payload_type: u8, first_seq: u16) -> Vec<RtpPacket> {
+    let mut p = Packetizer::new(ssrc, payload_type, DEFAULT_MTU);
+    p.set_next_seq(first_seq);
+    p.packetize(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::FrameLabelCompact;
+    use scallop_netsim::time::SimTime;
+
+    fn frame(size: usize, is_key: bool, template_id: u8, number: u16) -> EncodedFrame {
+        EncodedFrame {
+            frame_number: number,
+            label: FrameLabelCompact {
+                temporal_id: if template_id <= 1 { 0 } else if template_id == 2 { 1 } else { 2 },
+                template_id,
+                is_key,
+            },
+            size_bytes: size,
+            captured_at: SimTime::ZERO,
+            rtp_timestamp: 90_000,
+        }
+    }
+
+    #[test]
+    fn splits_frame_at_mtu() {
+        let mut p = Packetizer::new(7, 96, DEFAULT_MTU);
+        let pkts = p.packetize(&frame(3000, false, 3, 5));
+        assert_eq!(pkts.len(), 3);
+        assert_eq!(pkts[0].payload.len(), 1200);
+        assert_eq!(pkts[1].payload.len(), 1200);
+        assert_eq!(pkts[2].payload.len(), 600);
+        // Sequence numbers are consecutive; marker on the last only.
+        assert_eq!(
+            pkts.iter().map(|p| p.sequence_number).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(pkts[2].marker);
+        assert!(!pkts[0].marker && !pkts[1].marker);
+    }
+
+    #[test]
+    fn dd_start_end_flags() {
+        let mut p = Packetizer::new(7, 96, DEFAULT_MTU);
+        let pkts = p.packetize(&frame(2500, false, 2, 9));
+        let dds: Vec<DependencyDescriptor> = pkts
+            .iter()
+            .map(|p| DependencyDescriptor::parse(p.extension(DD_EXTENSION_ID).unwrap()).unwrap())
+            .collect();
+        assert!(dds[0].start_of_frame && !dds[0].end_of_frame);
+        assert!(!dds[1].start_of_frame && !dds[1].end_of_frame);
+        assert!(!dds[2].start_of_frame && dds[2].end_of_frame);
+        assert!(dds.iter().all(|d| d.template_id == 2 && d.frame_number == 9));
+    }
+
+    #[test]
+    fn key_frame_first_packet_carries_structure() {
+        let mut p = Packetizer::new(7, 96, DEFAULT_MTU);
+        let pkts = p.packetize(&frame(2000, true, 0, 0));
+        let dd0 =
+            DependencyDescriptor::parse(pkts[0].extension(DD_EXTENSION_ID).unwrap()).unwrap();
+        assert!(dd0.is_extended());
+        assert!(dd0.structure.is_some());
+        let dd1 =
+            DependencyDescriptor::parse(pkts[1].extension(DD_EXTENSION_ID).unwrap()).unwrap();
+        assert!(!dd1.is_extended());
+    }
+
+    #[test]
+    fn sequence_continues_across_frames_and_wraps() {
+        let mut p = Packetizer::new(7, 96, DEFAULT_MTU);
+        p.set_next_seq(u16::MAX);
+        let a = p.packetize(&frame(100, false, 1, 1));
+        let b = p.packetize(&frame(100, false, 3, 2));
+        assert_eq!(a[0].sequence_number, u16::MAX);
+        assert_eq!(b[0].sequence_number, 0);
+    }
+
+    #[test]
+    fn tiny_frame_single_packet() {
+        let mut p = Packetizer::new(7, 96, DEFAULT_MTU);
+        let pkts = p.packetize(&frame(1, false, 4, 3));
+        assert_eq!(pkts.len(), 1);
+        assert!(pkts[0].marker);
+        let dd =
+            DependencyDescriptor::parse(pkts[0].extension(DD_EXTENSION_ID).unwrap()).unwrap();
+        assert!(dd.start_of_frame && dd.end_of_frame);
+    }
+
+    #[test]
+    fn packets_parse_back_from_wire() {
+        let mut p = Packetizer::new(0xAB, 96, DEFAULT_MTU);
+        for pkt in p.packetize(&frame(5000, true, 0, 7)) {
+            let bytes = pkt.serialize();
+            let parsed = RtpPacket::parse(&bytes).unwrap();
+            assert_eq!(parsed, pkt);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The datagram type that flows through the simulation.
+//!
+//! All conferencing traffic in the paper is UDP (RTP/RTCP/STUN over UDP), so
+//! the simulator models exactly one packet shape: a UDP datagram with an
+//! opaque payload. Layer-2/3/4 headers are accounted for as a fixed
+//! [`WIRE_OVERHEAD_BYTES`] when computing serialization times and byte
+//! counters, matching how the paper reports on-the-wire byte volumes.
+
+use bytes::Bytes;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Ethernet (14) + IPv4 (20) + UDP (8) header bytes added to every payload
+/// when computing wire sizes.
+pub const WIRE_OVERHEAD_BYTES: usize = 42;
+
+/// A host endpoint: IPv4 address + UDP port.
+///
+/// The simulator routes on the IPv4 address (a node may own several
+/// addresses); the port disambiguates streams within a node, exactly like
+/// the per-participant UDP streams Scallop splits in §5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostAddr {
+    /// IPv4 address identifying the node.
+    pub ip: Ipv4Addr,
+    /// UDP port within the node.
+    pub port: u16,
+}
+
+impl HostAddr {
+    /// Create an endpoint address.
+    pub const fn new(ip: Ipv4Addr, port: u16) -> Self {
+        HostAddr { ip, port }
+    }
+
+    /// Convenience constructor from octets.
+    pub const fn from_octets(a: u8, b: u8, c: u8, d: u8, port: u16) -> Self {
+        HostAddr {
+            ip: Ipv4Addr::new(a, b, c, d),
+            port,
+        }
+    }
+}
+
+impl fmt::Display for HostAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+/// A UDP datagram in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Source endpoint.
+    pub src: HostAddr,
+    /// Destination endpoint; the simulator routes on `dst.ip`.
+    pub dst: HostAddr,
+    /// UDP payload (RTP, RTCP, STUN, or application bytes).
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Create a packet.
+    pub fn new(src: HostAddr, dst: HostAddr, payload: impl Into<Bytes>) -> Self {
+        Packet {
+            src,
+            dst,
+            payload: payload.into(),
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Total on-the-wire size (payload + L2/L3/L4 headers).
+    pub fn wire_len(&self) -> usize {
+        self.payload.len() + WIRE_OVERHEAD_BYTES
+    }
+
+    /// Total on-the-wire size in bits.
+    pub fn wire_bits(&self) -> u64 {
+        self.wire_len() as u64 * 8
+    }
+
+    /// Return a copy re-addressed to a new source/destination pair, payload
+    /// shared (zero-copy). This is exactly the rewrite Scallop's egress
+    /// pipeline performs on replicas (§6.1 "Addressing replicated packets").
+    pub fn readdressed(&self, src: HostAddr, dst: HostAddr) -> Packet {
+        Packet {
+            src,
+            dst,
+            payload: self.payload.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} ({}B)", self.src, self.dst, self.payload.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(last: u8, port: u16) -> HostAddr {
+        HostAddr::from_octets(10, 0, 0, last, port)
+    }
+
+    #[test]
+    fn wire_size_includes_overhead() {
+        let p = Packet::new(addr(1, 1000), addr(2, 2000), vec![0u8; 1200]);
+        assert_eq!(p.payload_len(), 1200);
+        assert_eq!(p.wire_len(), 1200 + WIRE_OVERHEAD_BYTES);
+        assert_eq!(p.wire_bits(), ((1200 + WIRE_OVERHEAD_BYTES) * 8) as u64);
+    }
+
+    #[test]
+    fn readdressing_shares_payload() {
+        let p = Packet::new(addr(1, 1000), addr(2, 2000), vec![7u8; 64]);
+        let q = p.readdressed(addr(9, 9), addr(3, 3000));
+        assert_eq!(q.payload, p.payload);
+        assert_eq!(q.src, addr(9, 9));
+        assert_eq!(q.dst, addr(3, 3000));
+        // Bytes clones are reference-counted views of the same allocation.
+        assert_eq!(q.payload.as_ptr(), p.payload.as_ptr());
+    }
+
+    #[test]
+    fn display_is_reasonable() {
+        let p = Packet::new(addr(1, 1000), addr(2, 2000), vec![0u8; 3]);
+        assert_eq!(format!("{p}"), "10.0.0.1:1000 -> 10.0.0.2:2000 (3B)");
+    }
+}

@@ -1,0 +1,152 @@
+//! Deterministic randomness.
+//!
+//! Every stochastic element of the simulation (fault injection, workload
+//! arrivals, payload filling) draws from a [`DetRng`] seeded at simulator
+//! construction, so runs are exactly reproducible. `SmallRng` (xoshiro) is
+//! used because speed matters more than cryptographic quality here.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seedable, fast, deterministic random number generator.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child generator. Used to give each link /
+    /// workload component its own stream so adding a component never
+    /// perturbs the draws of another.
+    pub fn fork(&mut self) -> DetRng {
+        DetRng::new(self.inner.gen::<u64>())
+    }
+
+    /// Bernoulli trial: returns `true` with probability `p` (clamped to
+    /// `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Exponentially distributed value with the given mean (inverse-CDF
+    /// sampling). Used for Poisson arrival processes in the workload models.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// Approximately normal value via the central limit of 12 uniforms
+    /// (Irwin–Hall); adequate for jitter models and far faster than
+    /// Box–Muller in the hot path.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let s: f64 = (0..12).map(|_| self.inner.gen::<f64>()).sum::<f64>() - 6.0;
+        mean + std_dev * s
+    }
+
+    /// A raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Access the underlying `rand` generator for distribution sampling.
+    pub fn raw(&mut self) -> &mut SmallRng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(7);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-3.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn chance_frequency_tracks_p() {
+        let mut r = DetRng::new(7);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| r.chance(0.3)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut r = DetRng::new(9);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| r.exp(5.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = DetRng::new(11);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let mut parent = DetRng::new(5);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        // Children produce different streams from each other and the parent.
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+}

@@ -1,0 +1,581 @@
+//! The discrete-event simulator core: nodes, events, timers, routing.
+//!
+//! A [`Simulator`] owns boxed [`Node`]s and a time-ordered event queue.
+//! Packets travel source-node → source uplink → destination downlink →
+//! destination node (two queueing points, matching the uplink/downlink
+//! model of §5.3). Nodes never touch each other directly; they interact
+//! exclusively through packets and timers, which keeps the simulation
+//! deterministic and lets the same client code run against either SFU
+//! implementation (Scallop switch or the software baseline).
+
+use crate::link::{Link, LinkConfig, LinkVerdict};
+use crate::packet::Packet;
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceDirection, TraceRecord, TraceSink};
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::Ipv4Addr;
+
+/// Handle identifying a node inside a [`Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Raw index (stable for the lifetime of the simulator).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Opaque timer payload. Nodes encode their own meaning (e.g. "RTCP
+/// interval", "encoder tick") in the integer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken(pub u64);
+
+/// Behaviour plugged into the simulator.
+///
+/// `Any` is a supertrait so harnesses can downcast nodes for inspection
+/// between simulation runs (`Simulator::node_mut`).
+pub trait Node: Any {
+    /// A packet addressed to one of this node's IPs arrived.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet);
+
+    /// A previously scheduled timer fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: TimerToken);
+
+    /// Called once when the node is added, with its id and the start time.
+    /// Nodes typically schedule their first timers here.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+}
+
+/// The node-facing API surface for interacting with the world.
+pub struct Ctx<'a> {
+    now: SimTime,
+    self_id: NodeId,
+    rng: &'a mut DetRng,
+    outbox: &'a mut Vec<Packet>,
+    timers: &'a mut Vec<(SimTime, TimerToken)>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node being invoked.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Send a packet. It departs through this node's uplink at the current
+    /// time and is routed to the node owning `pkt.dst.ip`.
+    pub fn send(&mut self, pkt: Packet) {
+        self.outbox.push(pkt);
+    }
+
+    /// Schedule a timer for this node `after` from now.
+    pub fn schedule(&mut self, after: SimDuration, token: TimerToken) {
+        self.timers.push((self.now + after, token));
+    }
+
+    /// Deterministic randomness (shared stream, draws are part of the
+    /// simulation's reproducible state).
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    /// Deliver a packet into a node (it already traversed both links).
+    Deliver { dst: NodeId, pkt: Packet },
+    /// A packet finished the source uplink; offer it to the destination
+    /// downlink at this time.
+    DownlinkAdmit { dst: NodeId, pkt: Packet },
+    /// Fire a node timer.
+    Timer { node: NodeId, token: TimerToken },
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct NodeSlot {
+    node: Option<Box<dyn Node>>,
+    uplink: Link,
+    downlink: Link,
+}
+
+/// Statistics for a whole simulation run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimStats {
+    /// Events processed.
+    pub events: u64,
+    /// Packets delivered to nodes.
+    pub packets_delivered: u64,
+    /// Packets dropped on any link.
+    pub packets_dropped: u64,
+    /// Packets sent to addresses no node owns.
+    pub packets_unroutable: u64,
+}
+
+/// The discrete-event simulator.
+pub struct Simulator {
+    nodes: Vec<NodeSlot>,
+    routes: HashMap<Ipv4Addr, NodeId>,
+    queue: BinaryHeap<Event>,
+    now: SimTime,
+    seq: u64,
+    rng: DetRng,
+    /// Run-level statistics.
+    pub stats: SimStats,
+    /// Optional packet trace capture (records every node delivery).
+    pub trace: TraceSink,
+}
+
+impl Simulator {
+    /// Create a simulator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            nodes: Vec::new(),
+            routes: HashMap::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: DetRng::new(seed),
+            stats: SimStats::default(),
+            trace: TraceSink::disabled(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Add a node with the given access-link pair and owned IPs. The node's
+    /// `on_start` runs immediately.
+    pub fn add_node(
+        &mut self,
+        node: Box<dyn Node>,
+        ips: &[Ipv4Addr],
+        uplink: LinkConfig,
+        downlink: LinkConfig,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeSlot {
+            node: Some(node),
+            uplink: Link::new(uplink),
+            downlink: Link::new(downlink),
+        });
+        for ip in ips {
+            let prev = self.routes.insert(*ip, id);
+            assert!(prev.is_none(), "IP {ip} already owned by another node");
+        }
+        self.invoke(id, |node, ctx| node.on_start(ctx));
+        id
+    }
+
+    /// Register an additional IP for an existing node.
+    pub fn add_route(&mut self, ip: Ipv4Addr, node: NodeId) {
+        let prev = self.routes.insert(ip, node);
+        assert!(prev.is_none(), "IP {ip} already owned by another node");
+    }
+
+    /// Look up which node owns an IP.
+    pub fn route(&self, ip: Ipv4Addr) -> Option<NodeId> {
+        self.routes.get(&ip).copied()
+    }
+
+    /// Mutable access to a node, downcast to its concrete type. Panics if
+    /// the id is invalid; returns `None` on type mismatch.
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> Option<&mut T> {
+        let slot = self.nodes.get_mut(id.0).expect("invalid NodeId");
+        let node = slot.node.as_mut().expect("node is being invoked");
+        (node.as_mut() as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// Mutable access to a node's uplink (for mid-run impairment changes).
+    pub fn uplink_mut(&mut self, id: NodeId) -> &mut Link {
+        &mut self.nodes[id.0].uplink
+    }
+
+    /// Mutable access to a node's downlink.
+    pub fn downlink_mut(&mut self, id: NodeId) -> &mut Link {
+        &mut self.nodes[id.0].downlink
+    }
+
+    /// Inject a packet into the network "from outside" (it still traverses
+    /// the destination's downlink). Useful for trace replay.
+    pub fn inject(&mut self, at: SimTime, pkt: Packet) {
+        let at = at.max(self.now);
+        if let Some(dst) = self.route(pkt.dst.ip) {
+            self.push(at, EventKind::DownlinkAdmit { dst, pkt });
+        } else {
+            self.stats.packets_unroutable += 1;
+        }
+    }
+
+    /// Schedule a timer for a node from outside the simulation.
+    pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, token: TimerToken) {
+        let at = at.max(self.now);
+        self.push(at, EventKind::Timer { node, token });
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Event {
+            at,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    /// Run node code with a context, then process its side effects.
+    fn invoke<F>(&mut self, id: NodeId, f: F)
+    where
+        F: FnOnce(&mut Box<dyn Node>, &mut Ctx<'_>),
+    {
+        let mut node = self.nodes[id.0]
+            .node
+            .take()
+            .expect("re-entrant node invocation");
+        let mut outbox = Vec::new();
+        let mut timers = Vec::new();
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: id,
+                rng: &mut self.rng,
+                outbox: &mut outbox,
+                timers: &mut timers,
+            };
+            f(&mut node, &mut ctx);
+        }
+        self.nodes[id.0].node = Some(node);
+        for (at, token) in timers {
+            self.push(at, EventKind::Timer { node: id, token });
+        }
+        for pkt in outbox {
+            self.transmit(id, pkt);
+        }
+    }
+
+    /// Route a packet out of `src_node` through its uplink.
+    fn transmit(&mut self, src_node: NodeId, pkt: Packet) {
+        let Some(dst) = self.route(pkt.dst.ip) else {
+            self.stats.packets_unroutable += 1;
+            return;
+        };
+        let wire = pkt.wire_len();
+        let now = self.now;
+        let verdict = self.nodes[src_node.0].uplink.offer(now, wire, &mut self.rng);
+        match verdict {
+            LinkVerdict::Deliver { at, duplicate_at } => {
+                self.push(at, EventKind::DownlinkAdmit { dst, pkt: pkt.clone() });
+                if let Some(dup_at) = duplicate_at {
+                    self.push(dup_at, EventKind::DownlinkAdmit { dst, pkt });
+                }
+            }
+            LinkVerdict::Drop(_) => {
+                self.stats.packets_dropped += 1;
+            }
+        }
+    }
+
+    /// Process a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        self.stats.events += 1;
+        match ev.kind {
+            EventKind::Timer { node, token } => {
+                self.invoke(node, |n, ctx| n.on_timer(ctx, token));
+            }
+            EventKind::DownlinkAdmit { dst, pkt } => {
+                let wire = pkt.wire_len();
+                let now = self.now;
+                let verdict = self.nodes[dst.0].downlink.offer(now, wire, &mut self.rng);
+                match verdict {
+                    LinkVerdict::Deliver { at, duplicate_at } => {
+                        self.push(at, EventKind::Deliver { dst, pkt: pkt.clone() });
+                        if let Some(dup_at) = duplicate_at {
+                            self.push(dup_at, EventKind::Deliver { dst, pkt });
+                        }
+                    }
+                    LinkVerdict::Drop(_) => {
+                        self.stats.packets_dropped += 1;
+                    }
+                }
+            }
+            EventKind::Deliver { dst, pkt } => {
+                self.stats.packets_delivered += 1;
+                self.trace.record(TraceRecord {
+                    at: self.now,
+                    src: pkt.src,
+                    dst: pkt.dst,
+                    payload_bytes: pkt.payload_len(),
+                    wire_bytes: pkt.wire_len(),
+                    direction: TraceDirection::Delivered,
+                });
+                self.invoke(dst, |n, ctx| n.on_packet(ctx, pkt));
+            }
+        }
+        true
+    }
+
+    /// Run until the queue drains or `deadline` is reached. The clock is
+    /// left at `min(deadline, time of last event)`; events at exactly
+    /// `deadline` are processed.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Run for a duration from the current time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Number of events waiting.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+    use crate::packet::HostAddr;
+
+    /// Echoes every packet back to its source and counts deliveries.
+    struct Echo {
+        port: u16,
+        received: u32,
+    }
+
+    impl Node for Echo {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+            self.received += 1;
+            if pkt.dst.port == self.port {
+                ctx.send(pkt.readdressed(pkt.dst, pkt.src));
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _timer: TimerToken) {}
+    }
+
+    /// Sends `n` packets to a target on start, recording echo arrival times.
+    struct Pinger {
+        target: HostAddr,
+        me: HostAddr,
+        n: u32,
+        echoes: Vec<SimTime>,
+    }
+
+    impl Node for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.schedule(SimDuration::from_millis(1), TimerToken(0));
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _pkt: Packet) {
+            self.echoes.push(ctx.now());
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerToken) {
+            for _ in 0..self.n {
+                ctx.send(Packet::new(self.me, self.target, vec![0u8; 100]));
+            }
+        }
+    }
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    fn two_node_sim(seed: u64, up: LinkConfig, down: LinkConfig) -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(seed);
+        let echo = sim.add_node(
+            Box::new(Echo {
+                port: 5000,
+                received: 0,
+            }),
+            &[ip(2)],
+            up,
+            down,
+        );
+        let pinger = sim.add_node(
+            Box::new(Pinger {
+                target: HostAddr::new(ip(2), 5000),
+                me: HostAddr::new(ip(1), 4000),
+                n: 3,
+                echoes: vec![],
+            }),
+            &[ip(1)],
+            up,
+            down,
+        );
+        (sim, echo, pinger)
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let cfg = LinkConfig::infinite(SimDuration::from_millis(5));
+        let (mut sim, echo, pinger) = two_node_sim(1, cfg, cfg);
+        sim.run_until(SimTime::from_secs(1));
+        let e: &mut Echo = sim.node_mut(echo).unwrap();
+        assert_eq!(e.received, 3);
+        let p: &mut Pinger = sim.node_mut(pinger).unwrap();
+        assert_eq!(p.echoes.len(), 3);
+        // RTT = 4 hops × 5 ms = 20 ms after the 1 ms send timer.
+        assert_eq!(p.echoes[0], SimTime::from_millis(21));
+    }
+
+    #[test]
+    fn lossy_uplink_drops_everything() {
+        let lossy = LinkConfig::infinite(SimDuration::from_millis(1))
+            .with_faults(FaultConfig::clean().with_loss(1.0));
+        let clean = LinkConfig::infinite(SimDuration::from_millis(1));
+        let mut sim = Simulator::new(2);
+        let echo = sim.add_node(
+            Box::new(Echo {
+                port: 5000,
+                received: 0,
+            }),
+            &[ip(2)],
+            clean,
+            clean,
+        );
+        let _pinger = sim.add_node(
+            Box::new(Pinger {
+                target: HostAddr::new(ip(2), 5000),
+                me: HostAddr::new(ip(1), 4000),
+                n: 5,
+                echoes: vec![],
+            }),
+            &[ip(1)],
+            lossy,
+            clean,
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let e: &mut Echo = sim.node_mut(echo).unwrap();
+        assert_eq!(e.received, 0);
+        assert_eq!(sim.stats.packets_dropped, 5);
+    }
+
+    #[test]
+    fn unroutable_counted() {
+        let cfg = LinkConfig::infinite(SimDuration::from_millis(1));
+        let mut sim = Simulator::new(3);
+        let _pinger = sim.add_node(
+            Box::new(Pinger {
+                target: HostAddr::new(ip(99), 5000), // nobody owns 10.0.0.99
+                me: HostAddr::new(ip(1), 4000),
+                n: 2,
+                echoes: vec![],
+            }),
+            &[ip(1)],
+            cfg,
+            cfg,
+        );
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.stats.packets_unroutable, 2);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let up = LinkConfig::infinite(SimDuration::from_millis(3))
+            .with_rate(2_000_000)
+            .with_faults(FaultConfig::clean().with_loss(0.3));
+        let down = LinkConfig::infinite(SimDuration::from_millis(2)).with_rate(4_000_000);
+        let run = || {
+            let (mut sim, _echo, pinger) = two_node_sim(42, up, down);
+            sim.run_until(SimTime::from_secs(2));
+            let p: &mut Pinger = sim.node_mut(pinger).unwrap();
+            (p.echoes.clone(), sim.stats.events)
+        };
+        let (a, ea) = run();
+        let (b, eb) = run();
+        assert_eq!(a, b);
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let mut sim = Simulator::new(4);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn injected_packet_is_delivered() {
+        let cfg = LinkConfig::infinite(SimDuration::from_millis(1));
+        let mut sim = Simulator::new(5);
+        let echo = sim.add_node(
+            Box::new(Echo {
+                port: 5000,
+                received: 0,
+            }),
+            &[ip(2)],
+            cfg,
+            cfg,
+        );
+        sim.inject(
+            SimTime::from_millis(10),
+            Packet::new(HostAddr::new(ip(50), 1), HostAddr::new(ip(2), 5000), vec![1, 2, 3]),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let e: &mut Echo = sim.node_mut(echo).unwrap();
+        assert_eq!(e.received, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already owned")]
+    fn duplicate_ip_panics() {
+        let cfg = LinkConfig::infinite(SimDuration::ZERO);
+        let mut sim = Simulator::new(6);
+        let mk = || {
+            Box::new(Echo {
+                port: 1,
+                received: 0,
+            })
+        };
+        sim.add_node(mk(), &[ip(1)], cfg, cfg);
+        sim.add_node(mk(), &[ip(1)], cfg, cfg);
+    }
+}

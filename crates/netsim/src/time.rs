@@ -1,0 +1,304 @@
+//! Virtual time: nanosecond-resolution instants and durations.
+//!
+//! All simulation time is a [`SimTime`] measured in integer nanoseconds since
+//! the start of the simulation. Integer time keeps event ordering exact and
+//! the simulation deterministic across platforms (no floating-point clock
+//! drift), which is what lets every experiment in `EXPERIMENTS.md` be
+//! regenerated from a seed.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in virtual time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds (rounded to the nearest nanosecond).
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0, "sim time cannot be negative");
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration elapsed since `earlier`, saturating to zero if `earlier` is
+    /// in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked difference between two instants.
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds (rounded to the nearest nanosecond).
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0, "duration cannot be negative");
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    /// Construct from fractional milliseconds.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms / 1e3)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// The time needed to serialize `bytes` onto a link of `bits_per_sec`.
+    ///
+    /// Returns [`SimDuration::ZERO`] for infinite-rate links
+    /// (`bits_per_sec == 0` is treated as infinite, matching
+    /// [`crate::link::LinkConfig::rate_bps`] semantics).
+    pub fn serialization(bytes: usize, bits_per_sec: u64) -> SimDuration {
+        if bits_per_sec == 0 {
+            return SimDuration::ZERO;
+        }
+        let bits = bytes as u128 * 8;
+        SimDuration(((bits * 1_000_000_000) / bits_per_sec as u128) as u64)
+    }
+
+    /// Saturating multiplication by an integer factor.
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2_000));
+        assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
+        assert_eq!(SimTime::from_micros(5), SimTime::from_nanos(5_000));
+        assert_eq!(SimDuration::from_secs(1).as_nanos(), 1_000_000_000);
+    }
+
+    #[test]
+    fn float_round_trip() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+        let d = SimDuration::from_millis_f64(2.5);
+        assert_eq!(d.as_nanos(), 2_500_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
+        assert_eq!(t, SimTime::from_millis(15));
+        assert_eq!(t - SimTime::from_millis(5), SimDuration::from_millis(10));
+        // Saturating subtraction: earlier - later == 0.
+        assert_eq!(
+            SimTime::from_millis(1) - SimTime::from_millis(9),
+            SimDuration::ZERO
+        );
+        assert_eq!(SimDuration::from_millis(4) * 3, SimDuration::from_millis(12));
+        assert_eq!(SimDuration::from_millis(12) / 4, SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn serialization_delay() {
+        // 1250 bytes at 10 Mbit/s = 1 ms.
+        let d = SimDuration::serialization(1250, 10_000_000);
+        assert_eq!(d, SimDuration::from_millis(1));
+        // Infinite-rate link serializes instantly.
+        assert_eq!(SimDuration::serialization(1500, 0), SimDuration::ZERO);
+        // Large packet on a slow link must not overflow.
+        let d = SimDuration::serialization(u16::MAX as usize, 1_000);
+        assert!(d.as_secs_f64() > 500.0);
+    }
+
+    #[test]
+    fn saturating_since() {
+        let a = SimTime::from_millis(5);
+        let b = SimTime::from_millis(9);
+        assert_eq!(b.saturating_since(a), SimDuration::from_millis(4));
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(a.checked_since(b), None);
+        assert_eq!(b.checked_since(a), Some(SimDuration::from_millis(4)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(12)), "12.000s");
+    }
+}

@@ -1,0 +1,104 @@
+//! UDP payload classification (RTP vs RTCP vs STUN).
+//!
+//! Scallop's ingress parser "looks ahead into the first 4 bits of the UDP
+//! payload to determine whether the packet resembles an RTP or an RTCP
+//! packet" (Appendix E). This module implements that classifier following
+//! RFC 7983's demultiplexing scheme plus the RTCP packet-type range test:
+//!
+//! * first byte 0–3 → STUN (verified via magic cookie),
+//! * first two bits `10` (values 128–191) → RTP or RTCP,
+//!   * second byte in 192..=223 → RTCP,
+//!   * otherwise → RTP.
+
+use crate::stun;
+
+/// The classification Scallop's data plane assigns to a UDP payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketClass {
+    /// STUN connectivity check (control plane, §5.1).
+    Stun,
+    /// RTP media (data plane: replicate/forward/drop, §6).
+    Rtp,
+    /// RTCP feedback or reports (forwarded by the data plane; copies go to
+    /// the switch agent, §5.5).
+    Rtcp,
+    /// Anything else (dropped by the SFU).
+    Unknown,
+}
+
+/// Classify a UDP payload by its first bytes.
+pub fn classify(payload: &[u8]) -> PacketClass {
+    let Some(&b0) = payload.first() else {
+        return PacketClass::Unknown;
+    };
+    match b0 >> 6 {
+        0b00 => {
+            if stun::is_stun(payload) {
+                PacketClass::Stun
+            } else {
+                PacketClass::Unknown
+            }
+        }
+        0b10 => {
+            // RTP version 2. Disambiguate RTCP by packet type range.
+            match payload.get(1) {
+                Some(&pt) if (192..=223).contains(&pt) => PacketClass::Rtcp,
+                Some(_) => PacketClass::Rtp,
+                None => PacketClass::Unknown,
+            }
+        }
+        _ => PacketClass::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtcp::{self, Pli, RtcpPacket};
+    use crate::rtp::RtpPacket;
+    use crate::stun::StunMessage;
+
+    #[test]
+    fn classifies_rtp() {
+        let p = RtpPacket::new(96, 1, 2, 3);
+        assert_eq!(classify(&p.serialize()), PacketClass::Rtp);
+        // Payload type 127 (max dynamic) still RTP.
+        let p = RtpPacket::new(127, 1, 2, 3);
+        assert_eq!(classify(&p.serialize()), PacketClass::Rtp);
+    }
+
+    #[test]
+    fn classifies_rtcp() {
+        let p = RtcpPacket::Pli(Pli {
+            sender_ssrc: 1,
+            media_ssrc: 2,
+        });
+        assert_eq!(classify(&rtcp::serialize(&p)), PacketClass::Rtcp);
+    }
+
+    #[test]
+    fn classifies_stun() {
+        let m = StunMessage::binding_request([0; 12]);
+        assert_eq!(classify(&m.serialize()), PacketClass::Stun);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(classify(&[]), PacketClass::Unknown);
+        assert_eq!(classify(&[0x00, 0x01, 0x02]), PacketClass::Unknown); // short, no cookie
+        assert_eq!(classify(&[0xC0, 0xFF]), PacketClass::Unknown); // version 3
+        assert_eq!(classify(&[0x40]), PacketClass::Unknown); // version 1
+        assert_eq!(classify(&[0x80]), PacketClass::Unknown); // RTP nibble but 1 byte
+    }
+
+    #[test]
+    fn rtp_with_marker_and_high_pt_not_confused_with_rtcp() {
+        // marker=1, pt=96 -> second byte 0xE0? No: 0x80|96 = 0xE0 = 224,
+        // just above the RTCP range; must classify as RTP.
+        let mut p = RtpPacket::new(96, 1, 2, 3);
+        p.marker = true;
+        assert_eq!(classify(&p.serialize()), PacketClass::Rtp);
+        // And marker=1 pt=72..95 would collide with RTCP range by design;
+        // WebRTC avoids those payload types for exactly this reason.
+    }
+}

@@ -1,0 +1,81 @@
+//! Typed parse errors.
+
+use std::fmt;
+
+/// Errors produced by the wire-format parsers. Parsers never panic on
+/// malformed input; they return one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Input shorter than the fixed header of the protocol.
+    Truncated {
+        /// How many bytes were needed.
+        needed: usize,
+        /// How many were available.
+        got: usize,
+    },
+    /// A version/magic field did not match the protocol.
+    BadMagic,
+    /// A length field points outside the buffer.
+    BadLength,
+    /// A field held a value the parser does not support.
+    Unsupported(&'static str),
+    /// The packet is syntactically valid but semantically inconsistent.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated { needed, got } => {
+                write!(f, "truncated packet: needed {needed} bytes, got {got}")
+            }
+            ProtoError::BadMagic => write!(f, "bad version/magic field"),
+            ProtoError::BadLength => write!(f, "length field exceeds buffer"),
+            ProtoError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            ProtoError::Malformed(what) => write!(f, "malformed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Require at least `needed` bytes in `buf`.
+pub(crate) fn need(buf: &[u8], needed: usize) -> Result<(), ProtoError> {
+    if buf.len() < needed {
+        Err(ProtoError::Truncated {
+            needed,
+            got: buf.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ProtoError::Truncated { needed: 12, got: 3 }.to_string(),
+            "truncated packet: needed 12 bytes, got 3"
+        );
+        assert_eq!(ProtoError::BadMagic.to_string(), "bad version/magic field");
+        assert_eq!(ProtoError::BadLength.to_string(), "length field exceeds buffer");
+        assert_eq!(
+            ProtoError::Unsupported("x").to_string(),
+            "unsupported: x"
+        );
+        assert_eq!(ProtoError::Malformed("y").to_string(), "malformed: y");
+    }
+
+    #[test]
+    fn need_checks_bounds() {
+        assert!(need(&[0u8; 4], 4).is_ok());
+        assert_eq!(
+            need(&[0u8; 3], 4),
+            Err(ProtoError::Truncated { needed: 4, got: 3 })
+        );
+    }
+}

@@ -1,0 +1,678 @@
+//! RTCP (RFC 3550) compound packets and the feedback messages Scallop uses.
+//!
+//! The switch agent's entire rate-adaptation loop is driven by RTCP:
+//! receiver reports and REMB messages flow to the agent (§5.2–5.3), NACK
+//! and PLI are forwarded through the data plane to the media sender
+//! (§5.5), and sender reports time-synchronize streams. This module
+//! implements parse/serialize for exactly that message set:
+//!
+//! * SR (PT 200), RR (PT 201) with report blocks,
+//! * SDES (PT 202, CNAME item), BYE (PT 203),
+//! * Generic NACK (PT 205 / FMT 1, RFC 4585),
+//! * PLI (PT 206 / FMT 1, RFC 4585),
+//! * REMB (PT 206 / FMT 15, draft-alvestrand-rmcat-remb).
+
+use crate::error::{need, ProtoError};
+
+/// RTCP packet type: sender report.
+pub const PT_SR: u8 = 200;
+/// RTCP packet type: receiver report.
+pub const PT_RR: u8 = 201;
+/// RTCP packet type: source description.
+pub const PT_SDES: u8 = 202;
+/// RTCP packet type: goodbye.
+pub const PT_BYE: u8 = 203;
+/// RTCP packet type: transport-layer feedback (NACK lives here).
+pub const PT_RTPFB: u8 = 205;
+/// RTCP packet type: payload-specific feedback (PLI, REMB).
+pub const PT_PSFB: u8 = 206;
+
+/// A reception report block (RFC 3550 §6.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportBlock {
+    /// SSRC of the reported-on source.
+    pub ssrc: u32,
+    /// Fraction of packets lost since the last report (fixed point /256).
+    pub fraction_lost: u8,
+    /// Cumulative packets lost (24-bit signed, clamped here to u32).
+    pub cumulative_lost: u32,
+    /// Extended highest sequence number received.
+    pub highest_seq: u32,
+    /// Interarrival jitter in timestamp units.
+    pub jitter: u32,
+    /// Last SR timestamp.
+    pub lsr: u32,
+    /// Delay since last SR (1/65536 s units).
+    pub dlsr: u32,
+}
+
+/// Sender report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SenderReport {
+    /// Sender's SSRC.
+    pub ssrc: u32,
+    /// NTP timestamp, seconds part.
+    pub ntp_sec: u32,
+    /// NTP timestamp, fractional part.
+    pub ntp_frac: u32,
+    /// RTP timestamp corresponding to the NTP timestamp.
+    pub rtp_ts: u32,
+    /// Packets sent.
+    pub packet_count: u32,
+    /// Payload octets sent.
+    pub octet_count: u32,
+    /// Reception report blocks.
+    pub reports: Vec<ReportBlock>,
+}
+
+/// Receiver report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReceiverReport {
+    /// Reporter's SSRC.
+    pub ssrc: u32,
+    /// Reception report blocks.
+    pub reports: Vec<ReportBlock>,
+}
+
+/// Source description: one CNAME per chunk (the only item WebRTC uses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sdes {
+    /// `(ssrc, cname)` chunks.
+    pub chunks: Vec<(u32, String)>,
+}
+
+/// Goodbye.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bye {
+    /// Sources leaving the session.
+    pub ssrcs: Vec<u32>,
+}
+
+/// Generic NACK (RFC 4585 §6.2.1): each entry names a lost packet id and a
+/// bitmask of 16 following packets also lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nack {
+    /// SSRC of the feedback sender.
+    pub sender_ssrc: u32,
+    /// SSRC of the media source this feedback is about.
+    pub media_ssrc: u32,
+    /// `(packet id, bitmask of following lost packets)` pairs.
+    pub entries: Vec<(u16, u16)>,
+}
+
+impl Nack {
+    /// Expand the compressed `(pid, blp)` entries into the full list of
+    /// missing sequence numbers.
+    pub fn lost_sequences(&self) -> Vec<u16> {
+        let mut out = Vec::new();
+        for &(pid, blp) in &self.entries {
+            out.push(pid);
+            for bit in 0..16 {
+                if blp & (1 << bit) != 0 {
+                    out.push(pid.wrapping_add(bit + 1));
+                }
+            }
+        }
+        out
+    }
+
+    /// Compress a sorted list of missing sequence numbers into `(pid, blp)`
+    /// entries.
+    pub fn from_lost_sequences(sender_ssrc: u32, media_ssrc: u32, lost: &[u16]) -> Nack {
+        let mut entries: Vec<(u16, u16)> = Vec::new();
+        for &seq in lost {
+            if let Some(last) = entries.last_mut() {
+                let delta = seq.wrapping_sub(last.0);
+                if delta >= 1 && delta <= 16 {
+                    last.1 |= 1 << (delta - 1);
+                    continue;
+                }
+            }
+            entries.push((seq, 0));
+        }
+        Nack {
+            sender_ssrc,
+            media_ssrc,
+            entries,
+        }
+    }
+}
+
+/// Picture loss indication (RFC 4585 §6.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pli {
+    /// SSRC of the feedback sender.
+    pub sender_ssrc: u32,
+    /// SSRC of the media source asked to refresh.
+    pub media_ssrc: u32,
+}
+
+/// Receiver-estimated maximum bitrate (REMB).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Remb {
+    /// SSRC of the feedback sender.
+    pub sender_ssrc: u32,
+    /// Estimated available bitrate in bits/s.
+    pub bitrate_bps: u64,
+    /// Media SSRCs the estimate applies to.
+    pub ssrcs: Vec<u32>,
+}
+
+/// Any RTCP packet Scallop understands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtcpPacket {
+    /// Sender report.
+    Sr(SenderReport),
+    /// Receiver report.
+    Rr(ReceiverReport),
+    /// Source description.
+    Sdes(Sdes),
+    /// Goodbye.
+    Bye(Bye),
+    /// Generic NACK.
+    Nack(Nack),
+    /// Picture loss indication.
+    Pli(Pli),
+    /// Receiver-estimated max bitrate.
+    Remb(Remb),
+}
+
+impl RtcpPacket {
+    /// The RTCP packet type byte this variant serializes with.
+    pub fn packet_type(&self) -> u8 {
+        match self {
+            RtcpPacket::Sr(_) => PT_SR,
+            RtcpPacket::Rr(_) => PT_RR,
+            RtcpPacket::Sdes(_) => PT_SDES,
+            RtcpPacket::Bye(_) => PT_BYE,
+            RtcpPacket::Nack(_) => PT_RTPFB,
+            RtcpPacket::Pli(_) | RtcpPacket::Remb(_) => PT_PSFB,
+        }
+    }
+}
+
+fn push_header(out: &mut Vec<u8>, count_or_fmt: u8, pt: u8, body_len: usize) {
+    debug_assert_eq!(body_len % 4, 0);
+    out.push(0x80 | (count_or_fmt & 0x1F));
+    out.push(pt);
+    out.extend_from_slice(&((body_len / 4) as u16).to_be_bytes());
+}
+
+fn push_report_block(out: &mut Vec<u8>, b: &ReportBlock) {
+    out.extend_from_slice(&b.ssrc.to_be_bytes());
+    out.push(b.fraction_lost);
+    let cum = b.cumulative_lost.min(0x00FF_FFFF);
+    out.extend_from_slice(&cum.to_be_bytes()[1..4]);
+    out.extend_from_slice(&b.highest_seq.to_be_bytes());
+    out.extend_from_slice(&b.jitter.to_be_bytes());
+    out.extend_from_slice(&b.lsr.to_be_bytes());
+    out.extend_from_slice(&b.dlsr.to_be_bytes());
+}
+
+fn parse_report_block(buf: &[u8]) -> ReportBlock {
+    ReportBlock {
+        ssrc: u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]),
+        fraction_lost: buf[4],
+        cumulative_lost: u32::from_be_bytes([0, buf[5], buf[6], buf[7]]),
+        highest_seq: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+        jitter: u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]),
+        lsr: u32::from_be_bytes([buf[16], buf[17], buf[18], buf[19]]),
+        dlsr: u32::from_be_bytes([buf[20], buf[21], buf[22], buf[23]]),
+    }
+}
+
+/// Serialize one RTCP packet (header + body).
+pub fn serialize(pkt: &RtcpPacket) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match pkt {
+        RtcpPacket::Sr(sr) => {
+            let body_len = 24 + sr.reports.len() * 24;
+            push_header(&mut out, sr.reports.len() as u8, PT_SR, body_len);
+            out.extend_from_slice(&sr.ssrc.to_be_bytes());
+            out.extend_from_slice(&sr.ntp_sec.to_be_bytes());
+            out.extend_from_slice(&sr.ntp_frac.to_be_bytes());
+            out.extend_from_slice(&sr.rtp_ts.to_be_bytes());
+            out.extend_from_slice(&sr.packet_count.to_be_bytes());
+            out.extend_from_slice(&sr.octet_count.to_be_bytes());
+            for b in &sr.reports {
+                push_report_block(&mut out, b);
+            }
+        }
+        RtcpPacket::Rr(rr) => {
+            let body_len = 4 + rr.reports.len() * 24;
+            push_header(&mut out, rr.reports.len() as u8, PT_RR, body_len);
+            out.extend_from_slice(&rr.ssrc.to_be_bytes());
+            for b in &rr.reports {
+                push_report_block(&mut out, b);
+            }
+        }
+        RtcpPacket::Sdes(sdes) => {
+            let mut body = Vec::new();
+            for (ssrc, cname) in &sdes.chunks {
+                body.extend_from_slice(&ssrc.to_be_bytes());
+                body.push(1); // CNAME item type
+                body.push(cname.len().min(255) as u8);
+                body.extend_from_slice(&cname.as_bytes()[..cname.len().min(255)]);
+                body.push(0); // end of items
+                while body.len() % 4 != 0 {
+                    body.push(0);
+                }
+            }
+            push_header(&mut out, sdes.chunks.len() as u8, PT_SDES, body.len());
+            out.extend_from_slice(&body);
+        }
+        RtcpPacket::Bye(bye) => {
+            let body_len = bye.ssrcs.len() * 4;
+            push_header(&mut out, bye.ssrcs.len() as u8, PT_BYE, body_len);
+            for s in &bye.ssrcs {
+                out.extend_from_slice(&s.to_be_bytes());
+            }
+        }
+        RtcpPacket::Nack(nack) => {
+            let body_len = 8 + nack.entries.len() * 4;
+            push_header(&mut out, 1, PT_RTPFB, body_len);
+            out.extend_from_slice(&nack.sender_ssrc.to_be_bytes());
+            out.extend_from_slice(&nack.media_ssrc.to_be_bytes());
+            for (pid, blp) in &nack.entries {
+                out.extend_from_slice(&pid.to_be_bytes());
+                out.extend_from_slice(&blp.to_be_bytes());
+            }
+        }
+        RtcpPacket::Pli(pli) => {
+            push_header(&mut out, 1, PT_PSFB, 8);
+            out.extend_from_slice(&pli.sender_ssrc.to_be_bytes());
+            out.extend_from_slice(&pli.media_ssrc.to_be_bytes());
+        }
+        RtcpPacket::Remb(remb) => {
+            let body_len = 8 + 8 + remb.ssrcs.len() * 4;
+            push_header(&mut out, 15, PT_PSFB, body_len);
+            out.extend_from_slice(&remb.sender_ssrc.to_be_bytes());
+            out.extend_from_slice(&0u32.to_be_bytes()); // media ssrc = 0 per spec
+            out.extend_from_slice(b"REMB");
+            // 8-bit ssrc count, 6-bit exponent, 18-bit mantissa.
+            let (exp, mantissa) = encode_remb_bitrate(remb.bitrate_bps);
+            out.push(remb.ssrcs.len() as u8);
+            let word: u32 = ((exp as u32) << 18) | mantissa;
+            out.extend_from_slice(&word.to_be_bytes()[1..4]);
+            for s in &remb.ssrcs {
+                out.extend_from_slice(&s.to_be_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Encode a bitrate as REMB's 6-bit exponent / 18-bit mantissa.
+fn encode_remb_bitrate(bps: u64) -> (u8, u32) {
+    let mut exp = 0u8;
+    let mut mantissa = bps;
+    while mantissa >= (1 << 18) {
+        mantissa >>= 1;
+        exp += 1;
+        if exp >= 63 {
+            return (63, (1 << 18) - 1);
+        }
+    }
+    (exp, mantissa as u32)
+}
+
+/// Parse a single RTCP packet starting at `buf[0]`. Returns the packet and
+/// its total encoded length.
+pub fn parse_one(buf: &[u8]) -> Result<(RtcpPacket, usize), ProtoError> {
+    need(buf, 4)?;
+    if buf[0] >> 6 != 2 {
+        return Err(ProtoError::BadMagic);
+    }
+    let count_or_fmt = buf[0] & 0x1F;
+    let pt = buf[1];
+    let words = u16::from_be_bytes([buf[2], buf[3]]) as usize;
+    let total = 4 + words * 4;
+    need(buf, total)?;
+    let body = &buf[4..total];
+
+    let pkt = match pt {
+        PT_SR => {
+            need(body, 24)?;
+            let n = count_or_fmt as usize;
+            need(body, 24 + n * 24)?;
+            let mut reports = Vec::with_capacity(n);
+            for i in 0..n {
+                reports.push(parse_report_block(&body[24 + i * 24..]));
+            }
+            RtcpPacket::Sr(SenderReport {
+                ssrc: u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
+                ntp_sec: u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
+                ntp_frac: u32::from_be_bytes([body[8], body[9], body[10], body[11]]),
+                rtp_ts: u32::from_be_bytes([body[12], body[13], body[14], body[15]]),
+                packet_count: u32::from_be_bytes([body[16], body[17], body[18], body[19]]),
+                octet_count: u32::from_be_bytes([body[20], body[21], body[22], body[23]]),
+                reports,
+            })
+        }
+        PT_RR => {
+            need(body, 4)?;
+            let n = count_or_fmt as usize;
+            need(body, 4 + n * 24)?;
+            let mut reports = Vec::with_capacity(n);
+            for i in 0..n {
+                reports.push(parse_report_block(&body[4 + i * 24..]));
+            }
+            RtcpPacket::Rr(ReceiverReport {
+                ssrc: u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
+                reports,
+            })
+        }
+        PT_SDES => {
+            let mut chunks = Vec::new();
+            let mut rest = body;
+            for _ in 0..count_or_fmt {
+                need(rest, 4)?;
+                let ssrc = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]);
+                rest = &rest[4..];
+                let mut cname = String::new();
+                // Items until a zero terminator.
+                loop {
+                    need(rest, 1)?;
+                    let item = rest[0];
+                    rest = &rest[1..];
+                    if item == 0 {
+                        break;
+                    }
+                    need(rest, 1)?;
+                    let len = rest[0] as usize;
+                    need(&rest[1..], len)?;
+                    if item == 1 {
+                        cname = String::from_utf8_lossy(&rest[1..1 + len]).into_owned();
+                    }
+                    rest = &rest[1 + len..];
+                }
+                // Skip pad to 32-bit boundary.
+                let consumed = body.len() - rest.len();
+                let pad = (4 - consumed % 4) % 4;
+                need(rest, pad)?;
+                rest = &rest[pad..];
+                chunks.push((ssrc, cname));
+            }
+            RtcpPacket::Sdes(Sdes { chunks })
+        }
+        PT_BYE => {
+            let n = count_or_fmt as usize;
+            need(body, n * 4)?;
+            let ssrcs = (0..n)
+                .map(|i| {
+                    u32::from_be_bytes([
+                        body[i * 4],
+                        body[i * 4 + 1],
+                        body[i * 4 + 2],
+                        body[i * 4 + 3],
+                    ])
+                })
+                .collect();
+            RtcpPacket::Bye(Bye { ssrcs })
+        }
+        PT_RTPFB => {
+            if count_or_fmt != 1 {
+                return Err(ProtoError::Unsupported("RTPFB format"));
+            }
+            need(body, 8)?;
+            let sender_ssrc = u32::from_be_bytes([body[0], body[1], body[2], body[3]]);
+            let media_ssrc = u32::from_be_bytes([body[4], body[5], body[6], body[7]]);
+            let mut entries = Vec::new();
+            let mut rest = &body[8..];
+            while rest.len() >= 4 {
+                entries.push((
+                    u16::from_be_bytes([rest[0], rest[1]]),
+                    u16::from_be_bytes([rest[2], rest[3]]),
+                ));
+                rest = &rest[4..];
+            }
+            RtcpPacket::Nack(Nack {
+                sender_ssrc,
+                media_ssrc,
+                entries,
+            })
+        }
+        PT_PSFB => match count_or_fmt {
+            1 => {
+                need(body, 8)?;
+                RtcpPacket::Pli(Pli {
+                    sender_ssrc: u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
+                    media_ssrc: u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
+                })
+            }
+            15 => {
+                need(body, 16)?;
+                if &body[8..12] != b"REMB" {
+                    return Err(ProtoError::Malformed("ALFB without REMB magic"));
+                }
+                let sender_ssrc = u32::from_be_bytes([body[0], body[1], body[2], body[3]]);
+                let num = body[12] as usize;
+                let exp = (body[13] >> 2) as u32;
+                let mantissa = (((body[13] & 0x03) as u32) << 16)
+                    | ((body[14] as u32) << 8)
+                    | body[15] as u32;
+                let bitrate_bps = (mantissa as u64) << exp;
+                need(body, 16 + num * 4)?;
+                let ssrcs = (0..num)
+                    .map(|i| {
+                        let o = 16 + i * 4;
+                        u32::from_be_bytes([body[o], body[o + 1], body[o + 2], body[o + 3]])
+                    })
+                    .collect();
+                RtcpPacket::Remb(Remb {
+                    sender_ssrc,
+                    bitrate_bps,
+                    ssrcs,
+                })
+            }
+            _ => return Err(ProtoError::Unsupported("PSFB format")),
+        },
+        _ => return Err(ProtoError::Unsupported("RTCP packet type")),
+    };
+    Ok((pkt, total))
+}
+
+/// Parse a compound RTCP datagram into its constituent packets.
+pub fn parse_compound(buf: &[u8]) -> Result<Vec<RtcpPacket>, ProtoError> {
+    let mut out = Vec::new();
+    let mut rest = buf;
+    while !rest.is_empty() {
+        let (pkt, used) = parse_one(rest)?;
+        out.push(pkt);
+        rest = &rest[used..];
+    }
+    Ok(out)
+}
+
+/// Serialize packets back-to-back into one compound datagram.
+pub fn serialize_compound(pkts: &[RtcpPacket]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for p in pkts {
+        out.extend_from_slice(&serialize(p));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> ReportBlock {
+        ReportBlock {
+            ssrc: 0x1111,
+            fraction_lost: 12,
+            cumulative_lost: 345,
+            highest_seq: 0x0001_0042,
+            jitter: 77,
+            lsr: 0xAABBCCDD,
+            dlsr: 0x00010000,
+        }
+    }
+
+    #[test]
+    fn sr_round_trip() {
+        let sr = RtcpPacket::Sr(SenderReport {
+            ssrc: 42,
+            ntp_sec: 100,
+            ntp_frac: 200,
+            rtp_ts: 300,
+            packet_count: 400,
+            octet_count: 500,
+            reports: vec![block(), block()],
+        });
+        let bytes = serialize(&sr);
+        let (parsed, used) = parse_one(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(parsed, sr);
+    }
+
+    #[test]
+    fn rr_round_trip() {
+        let rr = RtcpPacket::Rr(ReceiverReport {
+            ssrc: 7,
+            reports: vec![block()],
+        });
+        assert_eq!(parse_one(&serialize(&rr)).unwrap().0, rr);
+    }
+
+    #[test]
+    fn rr_empty_round_trip() {
+        let rr = RtcpPacket::Rr(ReceiverReport {
+            ssrc: 9,
+            reports: vec![],
+        });
+        assert_eq!(parse_one(&serialize(&rr)).unwrap().0, rr);
+    }
+
+    #[test]
+    fn sdes_round_trip() {
+        let sdes = RtcpPacket::Sdes(Sdes {
+            chunks: vec![(1, "alice@example".into()), (2, "bob".into())],
+        });
+        assert_eq!(parse_one(&serialize(&sdes)).unwrap().0, sdes);
+    }
+
+    #[test]
+    fn bye_round_trip() {
+        let bye = RtcpPacket::Bye(Bye {
+            ssrcs: vec![5, 6, 7],
+        });
+        assert_eq!(parse_one(&serialize(&bye)).unwrap().0, bye);
+    }
+
+    #[test]
+    fn nack_round_trip_and_expansion() {
+        let nack = Nack::from_lost_sequences(1, 2, &[100, 101, 103, 150]);
+        assert_eq!(nack.entries.len(), 2);
+        assert_eq!(nack.entries[0], (100, 0b0000_0000_0000_0101));
+        assert_eq!(nack.entries[1], (150, 0));
+        let expanded = nack.lost_sequences();
+        assert_eq!(expanded, vec![100, 101, 103, 150]);
+        let pkt = RtcpPacket::Nack(nack);
+        assert_eq!(parse_one(&serialize(&pkt)).unwrap().0, pkt);
+    }
+
+    #[test]
+    fn nack_wraparound_sequences() {
+        let nack = Nack::from_lost_sequences(1, 2, &[65534, 65535, 0, 1]);
+        let expanded = nack.lost_sequences();
+        assert_eq!(expanded, vec![65534, 65535, 0, 1]);
+    }
+
+    #[test]
+    fn pli_round_trip() {
+        let pli = RtcpPacket::Pli(Pli {
+            sender_ssrc: 3,
+            media_ssrc: 4,
+        });
+        assert_eq!(parse_one(&serialize(&pli)).unwrap().0, pli);
+    }
+
+    #[test]
+    fn remb_round_trip_exact_when_representable() {
+        let remb = RtcpPacket::Remb(Remb {
+            sender_ssrc: 10,
+            bitrate_bps: 250_000,
+            ssrcs: vec![0xAA, 0xBB],
+        });
+        assert_eq!(parse_one(&serialize(&remb)).unwrap().0, remb);
+    }
+
+    #[test]
+    fn remb_large_bitrate_rounds_down() {
+        // 10 Gbit/s needs the exponent; mantissa truncation loses low bits.
+        let remb = Remb {
+            sender_ssrc: 1,
+            bitrate_bps: 10_000_000_001,
+            ssrcs: vec![],
+        };
+        let bytes = serialize(&RtcpPacket::Remb(remb.clone()));
+        let (parsed, _) = parse_one(&bytes).unwrap();
+        if let RtcpPacket::Remb(r) = parsed {
+            let err = (r.bitrate_bps as f64 - remb.bitrate_bps as f64).abs()
+                / remb.bitrate_bps as f64;
+            assert!(err < 1e-4, "relative error {err}");
+        } else {
+            panic!("wrong packet type");
+        }
+    }
+
+    #[test]
+    fn compound_round_trip() {
+        let pkts = vec![
+            RtcpPacket::Rr(ReceiverReport {
+                ssrc: 1,
+                reports: vec![block()],
+            }),
+            RtcpPacket::Remb(Remb {
+                sender_ssrc: 1,
+                bitrate_bps: 1_500_000,
+                ssrcs: vec![2],
+            }),
+            RtcpPacket::Sdes(Sdes {
+                chunks: vec![(1, "x".into())],
+            }),
+        ];
+        let bytes = serialize_compound(&pkts);
+        assert_eq!(parse_compound(&bytes).unwrap(), pkts);
+    }
+
+    #[test]
+    fn rejects_bad_version_and_truncation() {
+        let ok = serialize(&RtcpPacket::Pli(Pli {
+            sender_ssrc: 1,
+            media_ssrc: 2,
+        }));
+        let mut bad = ok.clone();
+        bad[0] = 0x00;
+        assert_eq!(parse_one(&bad), Err(ProtoError::BadMagic));
+        assert!(matches!(
+            parse_one(&ok[..6]),
+            Err(ProtoError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_types() {
+        // APP (204) unsupported.
+        let buf = [0x80, 204, 0, 0];
+        assert_eq!(parse_one(&buf), Err(ProtoError::Unsupported("RTCP packet type")));
+        // PSFB fmt 3 unsupported.
+        let buf = [0x83, 206, 0, 2, 0, 0, 0, 1, 0, 0, 0, 2];
+        assert_eq!(parse_one(&buf), Err(ProtoError::Unsupported("PSFB format")));
+    }
+
+    #[test]
+    fn remb_encode_bitrate_edges() {
+        assert_eq!(encode_remb_bitrate(0), (0, 0));
+        assert_eq!(encode_remb_bitrate(1), (0, 1));
+        assert_eq!(encode_remb_bitrate((1 << 18) - 1), (0, (1 << 18) - 1));
+        let (exp, mant) = encode_remb_bitrate(1 << 18);
+        assert_eq!((mant as u64) << exp, 1 << 18);
+        // u64::MAX needs a 46-bit shift to fit the 18-bit mantissa.
+        let (exp, mant) = encode_remb_bitrate(u64::MAX);
+        assert_eq!(exp, 46);
+        assert_eq!(mant, (1 << 18) - 1);
+        assert!((mant as u64) << exp <= u64::MAX);
+    }
+}

@@ -1,0 +1,263 @@
+//! Property tests: wire-format round trips and total parsers.
+//!
+//! Two invariant families:
+//! 1. serialize → parse is the identity for every valid message,
+//! 2. parsers never panic on arbitrary bytes (they are run on every input
+//!    the fuzzer produces; errors are fine, panics are not).
+
+use bytes::Bytes;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use scallop_proto::av1::{DependencyDescriptor, Dti, TemplateInfo, TemplateStructure};
+use scallop_proto::rtcp::{
+    self, Bye, Nack, Pli, ReceiverReport, Remb, ReportBlock, RtcpPacket, Sdes, SenderReport,
+};
+use scallop_proto::rtp::{ExtensionElement, ExtensionProfile, RtpPacket};
+use scallop_proto::sdp::SessionDescription;
+use scallop_proto::stun::StunMessage;
+use scallop_proto::{classify, PacketClass};
+
+fn arb_rtp() -> impl Strategy<Value = RtpPacket> {
+    (
+        any::<bool>(),
+        0u8..128,
+        any::<u16>(),
+        any::<u32>(),
+        any::<u32>(),
+        vec(any::<u32>(), 0..4),
+        vec((1u8..15, vec(any::<u8>(), 1..17)), 0..3),
+        vec(any::<u8>(), 0..1200),
+    )
+        .prop_map(
+            |(marker, pt, seq, ts, ssrc, csrc, exts, payload)| RtpPacket {
+                marker,
+                payload_type: pt,
+                sequence_number: seq,
+                timestamp: ts,
+                ssrc,
+                csrc,
+                extension_profile: ExtensionProfile::OneByte,
+                extensions: exts
+                    .into_iter()
+                    .map(|(id, data)| ExtensionElement { id, data })
+                    .collect(),
+                payload: Bytes::from(payload),
+            },
+        )
+}
+
+fn arb_report_block() -> impl Strategy<Value = ReportBlock> {
+    (
+        any::<u32>(),
+        any::<u8>(),
+        0u32..0x00FF_FFFF,
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+    )
+        .prop_map(
+            |(ssrc, fraction_lost, cumulative_lost, highest_seq, jitter, lsr, dlsr)| ReportBlock {
+                ssrc,
+                fraction_lost,
+                cumulative_lost,
+                highest_seq,
+                jitter,
+                lsr,
+                dlsr,
+            },
+        )
+}
+
+fn arb_rtcp() -> impl Strategy<Value = RtcpPacket> {
+    prop_oneof![
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            vec(arb_report_block(), 0..4)
+        )
+            .prop_map(
+                |(ssrc, ntp_sec, ntp_frac, rtp_ts, packet_count, octet_count, reports)| {
+                    RtcpPacket::Sr(SenderReport {
+                        ssrc,
+                        ntp_sec,
+                        ntp_frac,
+                        rtp_ts,
+                        packet_count,
+                        octet_count,
+                        reports,
+                    })
+                }
+            ),
+        (any::<u32>(), vec(arb_report_block(), 0..4))
+            .prop_map(|(ssrc, reports)| RtcpPacket::Rr(ReceiverReport { ssrc, reports })),
+        vec((any::<u32>(), "[a-z]{1,20}"), 1..4)
+            .prop_map(|chunks| RtcpPacket::Sdes(Sdes { chunks })),
+        vec(any::<u32>(), 0..5).prop_map(|ssrcs| RtcpPacket::Bye(Bye { ssrcs })),
+        (any::<u32>(), any::<u32>(), vec((any::<u16>(), any::<u16>()), 1..8)).prop_map(
+            |(sender_ssrc, media_ssrc, entries)| RtcpPacket::Nack(Nack {
+                sender_ssrc,
+                media_ssrc,
+                entries
+            })
+        ),
+        (any::<u32>(), any::<u32>()).prop_map(|(sender_ssrc, media_ssrc)| RtcpPacket::Pli(Pli {
+            sender_ssrc,
+            media_ssrc
+        })),
+        // REMB bitrates restricted to exactly-representable mantissas.
+        (any::<u32>(), 0u64..(1 << 18), vec(any::<u32>(), 0..4)).prop_map(
+            |(sender_ssrc, bitrate_bps, ssrcs)| RtcpPacket::Remb(Remb {
+                sender_ssrc,
+                bitrate_bps,
+                ssrcs
+            })
+        ),
+    ]
+}
+
+fn arb_dd() -> impl Strategy<Value = DependencyDescriptor> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        0u8..64,
+        any::<u16>(),
+        proptest::option::of((1u8..8, 1usize..10).prop_flat_map(|(dt_cnt, tpl_cnt)| {
+            (
+                0u8..64,
+                vec(
+                    (
+                        0u8..4,
+                        0u8..8,
+                        vec(0u8..4, dt_cnt as usize..=dt_cnt as usize),
+                    ),
+                    tpl_cnt..=tpl_cnt,
+                ),
+            )
+                .prop_map(move |(offset, tpls)| TemplateStructure {
+                    template_id_offset: offset,
+                    decode_target_count: dt_cnt,
+                    templates: tpls
+                        .into_iter()
+                        .map(|(s, t, dtis)| TemplateInfo {
+                            spatial_id: s,
+                            temporal_id: t,
+                            dtis: dtis
+                                .into_iter()
+                                .map(|d| match d {
+                                    0 => Dti::NotPresent,
+                                    1 => Dti::Discardable,
+                                    2 => Dti::Switch,
+                                    _ => Dti::Required,
+                                })
+                                .collect(),
+                        })
+                        .collect(),
+                })
+        })),
+        proptest::option::of(any::<u32>()),
+    )
+        .prop_map(|(s, e, tid, fno, structure, adt)| DependencyDescriptor {
+            start_of_frame: s,
+            end_of_frame: e,
+            template_id: tid,
+            frame_number: fno,
+            structure,
+            active_decode_targets: adt,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rtp_round_trip(p in arb_rtp()) {
+        let bytes = p.serialize();
+        let q = RtpPacket::parse(&bytes).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn rtp_classified_as_rtp(p in arb_rtp()) {
+        // Payload types 64..=95 with the marker bit set collide with the
+        // RTCP PT range (WebRTC avoids them); exclude that corner.
+        let second = ((p.marker as u8) << 7) | p.payload_type;
+        prop_assume!(!(192..=223).contains(&second));
+        prop_assert_eq!(classify(&p.serialize()), PacketClass::Rtp);
+    }
+
+    #[test]
+    fn rtcp_round_trip(p in arb_rtcp()) {
+        let bytes = rtcp::serialize(&p);
+        let (q, used) = rtcp::parse_one(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn rtcp_compound_round_trip(ps in vec(arb_rtcp(), 1..5)) {
+        let bytes = rtcp::serialize_compound(&ps);
+        let qs = rtcp::parse_compound(&bytes).unwrap();
+        prop_assert_eq!(ps, qs);
+    }
+
+    #[test]
+    fn dd_round_trip(dd in arb_dd()) {
+        let bytes = dd.serialize();
+        let q = DependencyDescriptor::parse(&bytes).unwrap();
+        prop_assert_eq!(dd, q);
+    }
+
+    #[test]
+    fn stun_round_trip(
+        tid in proptest::array::uniform12(any::<u8>()),
+        username in proptest::option::of("[a-zA-Z0-9:]{1,32}"),
+        ip in any::<[u8;4]>(),
+        port in any::<u16>(),
+    ) {
+        let mut m = StunMessage::binding_success(tid, ip.into(), port);
+        if let Some(u) = &username {
+            m.set_username(u);
+        }
+        let parsed = StunMessage::parse(&m.serialize()).unwrap();
+        prop_assert_eq!(&parsed, &m);
+        prop_assert_eq!(parsed.xor_mapped_address(), Some((ip.into(), port)));
+    }
+
+    // ----- totality: no parser panics on arbitrary bytes -----
+
+    #[test]
+    fn rtp_parse_total(bytes in vec(any::<u8>(), 0..256)) {
+        let _ = RtpPacket::parse(&bytes);
+    }
+
+    #[test]
+    fn rtcp_parse_total(bytes in vec(any::<u8>(), 0..256)) {
+        let _ = rtcp::parse_compound(&bytes);
+    }
+
+    #[test]
+    fn stun_parse_total(bytes in vec(any::<u8>(), 0..256)) {
+        let _ = StunMessage::parse(&bytes);
+    }
+
+    #[test]
+    fn dd_parse_total(bytes in vec(any::<u8>(), 0..64)) {
+        let _ = DependencyDescriptor::parse(&bytes);
+        let _ = DependencyDescriptor::parse_mandatory(&bytes);
+    }
+
+    #[test]
+    fn sdp_parse_total(text in "[ -~\\r\\n]{0,512}") {
+        let _ = SessionDescription::parse(&text);
+    }
+
+    #[test]
+    fn classify_total(bytes in vec(any::<u8>(), 0..64)) {
+        let _ = classify(&bytes);
+    }
+}

@@ -1,0 +1,222 @@
+//! Zoom packet-trace synthesis (Appendix C, Table 2).
+//!
+//! The paper's 12-hour campus capture cannot ship; this synthesizer
+//! regenerates its aggregate statistics from the campus population model
+//! plus the per-participant packet rates measured in Table 1
+//! (≈300 packets/s and ≈2.23 Mbit/s to/from the SFU per active
+//! participant):
+//!
+//! | Table 2 row        | paper value          |
+//! |--------------------|----------------------|
+//! | Capture duration   | 12 h                 |
+//! | Zoom packets       | 1,846 M (42,733/s)   |
+//! | Zoom flows         | 583,777              |
+//! | Zoom data          | 1,203 GB (222.9 Mb/s)|
+//! | RTP media streams  | 59,020               |
+
+use crate::campus::{CampusModel, CampusParams, MeetingRecord};
+use scallop_netsim::time::{SimDuration, SimTime};
+use serde::Serialize;
+
+/// Per-participant wire rates, anchored in Table 1 (packets and bytes a
+/// participant exchanges with the SFU per second, both directions).
+#[derive(Debug, Clone, Copy)]
+pub struct ParticipantRates {
+    /// Packets per second (up + down) per active participant.
+    pub packets_per_sec: f64,
+    /// Bits per second (up + down) per active participant.
+    pub bits_per_sec: f64,
+    /// UDP flows a participant session creates (media/control 5-tuples).
+    pub flows_per_session: f64,
+    /// RTP streams (SSRCs) a participant session carries.
+    pub streams_per_session: f64,
+}
+
+impl Default for ParticipantRates {
+    fn default() -> Self {
+        // Effective *averages across call styles*: Table 1's 300 pkt/s /
+        // 2.23 Mbit/s describes an active-720p participant, but most
+        // capture participants keep video off or receive thumbnails.
+        // These values make the default campus population reproduce
+        // Table 2's aggregates (42,733 pkt/s, 222.9 Mbit/s at ≈300
+        // average concurrent participants).
+        ParticipantRates {
+            packets_per_sec: 91.0,
+            bits_per_sec: 0.475e6,
+            flows_per_session: 70.0,
+            streams_per_session: 7.1,
+        }
+    }
+}
+
+/// Aggregate statistics of a synthesized capture (the Table 2 rows).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TraceSummary {
+    /// Capture length in hours.
+    pub duration_hours: f64,
+    /// Total Zoom packets.
+    pub zoom_packets: u64,
+    /// Average Zoom packets per second.
+    pub packets_per_sec: f64,
+    /// Distinct Zoom UDP flows.
+    pub zoom_flows: u64,
+    /// Total Zoom bytes.
+    pub zoom_bytes: u64,
+    /// Average Zoom bitrate (bits/s).
+    pub avg_bitrate_bps: f64,
+    /// Distinct RTP media streams.
+    pub rtp_streams: u64,
+    /// Participant-seconds observed (load integral).
+    pub participant_seconds: f64,
+}
+
+/// The synthesizer.
+#[derive(Debug)]
+pub struct ZoomTraceSynthesizer {
+    rates: ParticipantRates,
+    /// Capture window start (hour offset into the campus period).
+    pub capture_start: SimTime,
+    /// Capture duration.
+    pub capture_len: SimDuration,
+}
+
+impl Default for ZoomTraceSynthesizer {
+    fn default() -> Self {
+        ZoomTraceSynthesizer {
+            rates: ParticipantRates::default(),
+            // A weekday 8:00–20:00 capture (the paper captured 12 h on a
+            // Thursday); day 3 of the period.
+            capture_start: SimTime::from_secs(3 * 86_400 + 8 * 3_600),
+            capture_len: SimDuration::from_secs(12 * 3_600),
+        }
+    }
+}
+
+impl ZoomTraceSynthesizer {
+    /// Create with explicit rates.
+    pub fn new(rates: ParticipantRates) -> Self {
+        ZoomTraceSynthesizer {
+            rates,
+            ..Default::default()
+        }
+    }
+
+    /// Seconds of overlap between a meeting and the capture window,
+    /// multiplied by its participant count.
+    fn participant_seconds(&self, m: &MeetingRecord) -> f64 {
+        let cap_end = self.capture_start + self.capture_len;
+        let start = m.start.max(self.capture_start);
+        let end = m.end().min(cap_end);
+        let overlap = end.saturating_since(start).as_secs_f64();
+        overlap * m.concurrent_participants()
+    }
+
+    /// Synthesize the capture summary from a meeting population.
+    pub fn summarize(&self, meetings: &[MeetingRecord]) -> TraceSummary {
+        let cap_end = self.capture_start + self.capture_len;
+        let mut participant_seconds = 0.0;
+        let mut sessions = 0u64;
+        for m in meetings {
+            if m.end() <= self.capture_start || m.start >= cap_end {
+                continue;
+            }
+            participant_seconds += self.participant_seconds(m);
+            sessions += m.size as u64;
+        }
+        let packets = participant_seconds * self.rates.packets_per_sec;
+        let bytes = participant_seconds * self.rates.bits_per_sec / 8.0;
+        let secs = self.capture_len.as_secs_f64();
+        TraceSummary {
+            duration_hours: secs / 3_600.0,
+            zoom_packets: packets as u64,
+            packets_per_sec: packets / secs,
+            zoom_flows: (sessions as f64 * self.rates.flows_per_session) as u64,
+            zoom_bytes: bytes as u64,
+            avg_bitrate_bps: bytes * 8.0 / secs,
+            rtp_streams: (sessions as f64 * self.rates.streams_per_session) as u64,
+            participant_seconds,
+        }
+    }
+
+    /// Convenience: build the default campus population and summarize.
+    pub fn synthesize(seed: u64) -> TraceSummary {
+        let meetings = CampusModel::new(CampusParams::default(), seed).generate();
+        Self::default().summarize(&meetings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_table2_shape() {
+        let s = ZoomTraceSynthesizer::synthesize(11);
+        assert_eq!(s.duration_hours, 12.0);
+        // Packets: paper 1,846 M over 12 h (42,733/s). Accept ±40 % —
+        // the model is fitted to the API dataset, the capture also saw
+        // non-campus-hosted meetings.
+        let pkt_err = (s.packets_per_sec - 42_733.0).abs() / 42_733.0;
+        assert!(pkt_err < 0.4, "pkts/s {} (err {pkt_err})", s.packets_per_sec);
+        // Bitrate: paper 222.9 Mbit/s.
+        let rate_err = (s.avg_bitrate_bps - 222.9e6).abs() / 222.9e6;
+        assert!(rate_err < 0.4, "bitrate {} (err {rate_err})", s.avg_bitrate_bps);
+        // Flows: paper 583,777; streams: 59,020. Order-of-magnitude-and-
+        // factor checks.
+        assert!(
+            (200_000..1_200_000).contains(&s.zoom_flows),
+            "flows {}",
+            s.zoom_flows
+        );
+        assert!(
+            (20_000..120_000).contains(&s.rtp_streams),
+            "streams {}",
+            s.rtp_streams
+        );
+    }
+
+    #[test]
+    fn empty_population_empty_trace() {
+        let s = ZoomTraceSynthesizer::default().summarize(&[]);
+        assert_eq!(s.zoom_packets, 0);
+        assert_eq!(s.zoom_flows, 0);
+        assert_eq!(s.avg_bitrate_bps, 0.0);
+    }
+
+    #[test]
+    fn meetings_outside_window_ignored() {
+        let synth = ZoomTraceSynthesizer::default();
+        let before = MeetingRecord {
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(600),
+            size: 10,
+            video_senders: 5,
+            audio_senders: 10,
+            screen_senders: 0,
+        };
+        let s = synth.summarize(&[before]);
+        assert_eq!(s.zoom_packets, 0);
+    }
+
+    #[test]
+    fn overlap_clipping() {
+        let synth = ZoomTraceSynthesizer::default();
+        // A meeting straddling the capture start: only the overlap counts.
+        let m = MeetingRecord {
+            start: synth.capture_start - SimDuration::from_secs(300),
+            duration: SimDuration::from_secs(600),
+            size: 4,
+            video_senders: 2,
+            audio_senders: 4,
+            screen_senders: 0,
+        };
+        let s = synth.summarize(&[m]);
+        // 4 participants × attendance factor × 300 s of overlap.
+        let expected = 4.0 * scallop_workload_attendance() * 300.0;
+        assert!((s.participant_seconds - expected).abs() < 1.0);
+    }
+
+    fn scallop_workload_attendance() -> f64 {
+        crate::campus::ATTENDANCE_FACTOR
+    }
+}

@@ -1,0 +1,106 @@
+//! Drive the software SFU baseline into its §2.2 overload regime and
+//! watch quality collapse — the motivation for Scallop.
+//!
+//! ```sh
+//! cargo run --release --example overload_software
+//! ```
+//!
+//! Three 6-party meetings join one by one on a deliberately small
+//! single-core budget; the example prints CPU utilization, receive
+//! jitter, and frame rate as the box saturates (a fast, scaled-down
+//! version of the Fig. 3/4 experiment — `fig03_04_software_overload`
+//! in `scallop-bench` runs the full sweep).
+
+use scallop::baseline::{SoftwareSfu, SoftwareSfuConfig};
+use scallop::client::{ClientConfig, ClientNode};
+use scallop::media::encoder::EncoderConfig;
+use scallop::netsim::link::LinkConfig;
+use scallop::netsim::packet::HostAddr;
+use scallop::netsim::sim::Simulator;
+use scallop::netsim::time::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+
+fn main() {
+    let sfu_ip = Ipv4Addr::new(10, 2, 250, 1);
+    let mut cfg = SoftwareSfuConfig::new(sfu_ip);
+    cfg.pinned_core = Some(0);
+    cfg.cpu.per_packet = SimDuration::from_micros(150); // tiny budget
+    cfg.remb_thresholds = [100_000, 250_000];
+
+    let mut sim = Simulator::new(7);
+    let link = LinkConfig::infinite(SimDuration::from_millis(5));
+    let sfu_id = sim.add_node(
+        Box::new(SoftwareSfu::new(cfg)),
+        &[sfu_ip],
+        LinkConfig::infinite(SimDuration::from_micros(50)),
+        LinkConfig::infinite(SimDuration::from_micros(50)),
+    );
+
+    let mut first_meeting_clients = Vec::new();
+    let mut joined = 0u32;
+    println!("participants | cpu % | meeting-1 max jitter ms | meeting-1 fps");
+    for meeting in 0..3u32 {
+        for _ in 0..6 {
+            joined += 1;
+            let ip = Ipv4Addr::new(10, 2, 0, joined as u8);
+            let uplink = {
+                let s: &mut SoftwareSfu = sim.node_mut(sfu_id).expect("sfu");
+                s.add_participant(meeting + 1, HostAddr::new(ip, 5000))
+            };
+            let mut ccfg =
+                ClientConfig::sender(ip, 5000, 0x100 * joined).sending_to(uplink, uplink);
+            ccfg.video = Some(EncoderConfig {
+                start_bitrate_bps: 400_000,
+                min_bitrate_bps: 150_000,
+                max_bitrate_bps: 400_000,
+                ..EncoderConfig::default()
+            });
+            let id = sim.add_node(Box::new(ClientNode::new(ccfg)), &[ip], link, link);
+            if meeting == 0 {
+                first_meeting_clients.push(id);
+            }
+            sim.run_for(SimDuration::from_secs(3));
+
+            let now = sim.now();
+            let util = {
+                let s: &mut SoftwareSfu = sim.node_mut(sfu_id).expect("sfu");
+                s.cpu_utilization(now)
+            };
+            let mut max_jitter: f64 = 0.0;
+            let mut fps_sum = 0.0;
+            let mut fps_n = 0u32;
+            for &cid in &first_meeting_clients {
+                let c: &mut ClientNode = sim.node_mut(cid).expect("client");
+                max_jitter = max_jitter.max(c.max_jitter_ms());
+                let sources: Vec<HostAddr> = c
+                    .stats()
+                    .streams
+                    .iter()
+                    .filter(|(_, r)| r.frames_decoded > 0)
+                    .map(|(a, _)| *a)
+                    .collect();
+                for src in sources {
+                    if let Some(fps) = c.fps_from(src, SimDuration::from_secs(2), now) {
+                        fps_sum += fps;
+                        fps_n += 1;
+                    }
+                }
+            }
+            let fps = if fps_n > 0 { fps_sum / fps_n as f64 } else { 0.0 };
+            println!(
+                "{joined:>12} | {:>5.1} | {max_jitter:>23.2} | {fps:>13.1}",
+                util * 100.0
+            );
+        }
+    }
+    let end = SimTime::from_secs(60);
+    sim.run_until(end);
+    let s: &mut SoftwareSfu = sim.node_mut(sfu_id).expect("sfu");
+    println!(
+        "\nfinal: cpu {:.0}%, drops {}, adaptation drops {}",
+        s.cpu_utilization(end) * 100.0,
+        s.counters.cpu_drops,
+        s.counters.adapt_drops
+    );
+    println!("(the same meetings on a Scallop switch keep 30 fps — see `classroom`)");
+}

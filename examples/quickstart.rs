@@ -1,0 +1,65 @@
+//! Quickstart: a three-party video call through the Scallop switch.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a meeting of three WebRTC-behaviour clients joined through the
+//! controller, runs ten simulated seconds, and prints what the switch and
+//! the participants saw. This is the smallest end-to-end tour of the
+//! system: signaling → port grants → PRE replication → per-receiver
+//! addressing → RTCP feedback through the agent.
+
+use scallop::core::harness::{HarnessConfig, ScallopHarness};
+use scallop::netsim::time::SimDuration;
+
+fn main() {
+    println!("Scallop quickstart: 3-party call, 10 simulated seconds");
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3));
+    let report = h.run_for_secs(10.0);
+
+    println!("\n-- switch --");
+    let c = h.switch_counters();
+    println!("media packets in:        {}", c.rtp_in_pkts);
+    println!("replicas forwarded:      {}", c.forwarded_pkts);
+    println!(
+        "punted to switch agent:  {} (STUN/feedback/key-frame DDs)",
+        c.cpu_pkts
+    );
+    let agent = h.switch().agent.counters;
+    println!(
+        "agent: REMBs {} | RRs {} | STUN {} | DT changes {}",
+        agent.rembs_analyzed, agent.rrs_analyzed, agent.stun_answered, agent.dt_changes
+    );
+
+    println!("\n-- participants --");
+    for i in 0..3 {
+        let stats = h.client_stats(i);
+        let decoded: u64 = stats.streams.iter().map(|(_, r)| r.frames_decoded).sum();
+        let freezes: u64 = stats.streams.iter().map(|(_, r)| r.freezes).sum();
+        println!(
+            "P{}: sent {} video pkts | decoded {} frames | freezes {}",
+            i + 1,
+            stats.sender.video_packets,
+            decoded,
+            freezes
+        );
+    }
+
+    println!("\n-- per-stream frame rates (receiver <- sender) --");
+    for r in 0..3 {
+        for s in 0..3 {
+            if r == s {
+                continue;
+            }
+            if let Some(fps) = h.fps_between(s, r, SimDuration::from_secs(2)) {
+                println!("P{} <- P{}: {fps:.1} fps", r + 1, s + 1);
+            }
+        }
+    }
+
+    println!(
+        "\ntotal frames decoded: {} | freezes: {} (expected: 0)",
+        report.frames_decoded, report.freezes
+    );
+}

@@ -1,0 +1,35 @@
+//! # Scallop — scalable video conferencing using SDN principles
+//!
+//! This is the facade crate of the Scallop reproduction (Michel et al.,
+//! SIGCOMM 2025). It re-exports all workspace crates under one namespace so
+//! examples and downstream users can depend on a single crate:
+//!
+//! * [`netsim`] — deterministic discrete-event network simulation substrate.
+//! * [`proto`] — RTP/RTCP/STUN/SDP and AV1 dependency-descriptor wire formats.
+//! * [`media`] — scalable (L1T3) media model: encoder, packetizer, decoder.
+//! * [`dataplane`] — Tofino-model programmable switch data plane.
+//! * [`client`] — WebRTC-behaviour endpoint (GCC, feedback, jitter buffer).
+//! * [`baseline`] — split-proxy software SFU baseline with a CPU cost model.
+//! * [`core`] — the Scallop SFU itself: controller + switch agent + capacity models.
+//! * [`workload`] — campus workload models and Zoom-like trace synthesis.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use scallop::core::harness::{ScallopHarness, HarnessConfig};
+//!
+//! // Three participants in one meeting, all sending audio+video, for 2 s.
+//! let mut h = ScallopHarness::new(HarnessConfig::default().participants(3));
+//! let report = h.run_for_secs(2.0);
+//! assert_eq!(report.participants, 3);
+//! assert!(report.media_packets_forwarded > 0);
+//! ```
+
+pub use scallop_baseline as baseline;
+pub use scallop_client as client;
+pub use scallop_core as core;
+pub use scallop_dataplane as dataplane;
+pub use scallop_media as media;
+pub use scallop_netsim as netsim;
+pub use scallop_proto as proto;
+pub use scallop_workload as workload;

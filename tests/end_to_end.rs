@@ -1,0 +1,131 @@
+//! Cross-crate integration tests: full conferencing scenarios through
+//! the facade crate, exercising signaling → switch → clients → feedback
+//! loops end to end.
+
+use scallop::core::agent::TreeDesign;
+use scallop::core::harness::{HarnessConfig, ScallopHarness};
+use scallop::dataplane::seqrewrite::SeqRewriteMode;
+use scallop::netsim::time::SimDuration;
+
+#[test]
+fn three_party_meeting_delivers_all_streams() {
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xE2E_1));
+    let report = h.run_for_secs(8.0);
+    assert_eq!(report.participants, 3);
+    assert_eq!(report.freezes, 0);
+    // Every pair decodes near 30 fps.
+    for r in 0..3 {
+        for s in 0..3 {
+            if r == s {
+                continue;
+            }
+            let fps = h
+                .fps_between(s, r, SimDuration::from_secs(2))
+                .expect("stream");
+            assert!((25.0..35.0).contains(&fps), "P{r}<-P{s}: {fps}");
+        }
+    }
+    // Control/data split sanity: Table 1's regime.
+    let c = h.switch_counters();
+    let total = c.rtp_in_pkts + c.rtcp_sr_pkts + c.rtcp_fb_pkts + c.stun_pkts;
+    let dp_share = (c.rtp_in_pkts + c.rtcp_sr_pkts) as f64 / total as f64;
+    assert!(dp_share > 0.9, "data-plane share {dp_share}");
+}
+
+#[test]
+fn ten_party_meeting_scales() {
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(10).seed(0xE2E_2));
+    let report = h.run_for_secs(5.0);
+    // 10 participants × 9 remote senders, all decoding.
+    assert!(report.frames_decoded > 10 * 9 * 100);
+    assert_eq!(report.freezes, 0);
+    // One shared NRA tree (paired slot) serves the meeting.
+    let meeting = h.meeting;
+    assert_eq!(h.switch().agent.design_of(meeting), Some(TreeDesign::Nra));
+    assert_eq!(h.switch().dp.pre.groups_used(), 1);
+    assert_eq!(h.switch().dp.pre.group_size(1), Some(10));
+}
+
+#[test]
+fn adaptation_is_receiver_local() {
+    // Degrading one receiver must not affect the others' quality — the
+    // §5.3 point of per-sender feedback splitting.
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(4).seed(0xE2E_3));
+    h.run_for_secs(3.0);
+    h.degrade_downlink(3, 2_600_000);
+    h.run_for_secs(12.0);
+    let fps_ok = h
+        .fps_between(0, 1, SimDuration::from_secs(2))
+        .expect("stream");
+    assert!(fps_ok > 24.0, "unconstrained receiver degraded: {fps_ok}");
+    let constrained = h.grants[3].participant;
+    let dt = h.switch().agent.dt_of(constrained).expect("known");
+    assert!(dt < 2, "constrained receiver still at DT2");
+    // Senders keep their full encoder rate (best-downlink feedback).
+    let sender = h.client_stats(0).sender;
+    assert!(
+        sender.target_bitrate_bps >= 2_000_000,
+        "sender was throttled to {}",
+        sender.target_bitrate_bps
+    );
+}
+
+#[test]
+fn both_rewrite_modes_work_end_to_end() {
+    for mode in [SeqRewriteMode::LowMemory, SeqRewriteMode::LowRetransmission] {
+        let mut h = ScallopHarness::new(
+            HarnessConfig::default()
+                .participants(3)
+                .seed(0xE2E_4)
+                .rewrite_mode(mode),
+        );
+        h.run_for_secs(3.0);
+        h.degrade_downlink(2, 2_600_000);
+        let report = h.run_for_secs(10.0);
+        let fps = h
+            .fps_between(0, 2, SimDuration::from_secs(2))
+            .expect("stream");
+        assert!(
+            (7.0..22.0).contains(&fps),
+            "{mode:?}: adapted fps {fps} (report {report:?})"
+        );
+    }
+}
+
+#[test]
+fn join_and_leave_mid_call() {
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xE2E_5));
+    h.run_for_secs(3.0);
+    // A participant leaves: meeting drops to two-party fast path.
+    let leaver = h.grants[2].participant;
+    let meeting = h.meeting;
+    {
+        let sw = h.switch();
+        sw.leave(meeting, leaver);
+        assert_eq!(sw.agent.design_of(meeting), Some(TreeDesign::TwoParty));
+        assert_eq!(sw.dp.pre.groups_used(), 0, "trees released");
+    }
+    h.run_for_secs(3.0);
+    // The remaining pair still decodes.
+    let fps = h
+        .fps_between(0, 1, SimDuration::from_secs(2))
+        .expect("stream");
+    assert!(fps > 24.0, "post-leave fps {fps}");
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let run = |seed: u64| {
+        let mut h = ScallopHarness::new(HarnessConfig::default().participants(4).seed(seed));
+        let r = h.run_for_secs(4.0);
+        let c = h.switch_counters();
+        (
+            r.frames_decoded,
+            r.media_packets_forwarded,
+            c.cpu_pkts,
+            c.forwarded_bytes,
+        )
+    };
+    assert_eq!(run(1234), run(1234));
+    assert_eq!(run(42), run(42));
+}

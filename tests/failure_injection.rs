@@ -1,0 +1,104 @@
+//! Failure-injection integration tests: the full stack under loss,
+//! reordering, and churn — the robustness §6.2 is designed around.
+
+use scallop::core::harness::{HarnessConfig, ScallopHarness};
+use scallop::netsim::fault::FaultConfig;
+use scallop::netsim::time::SimDuration;
+
+#[test]
+fn survives_downlink_loss_with_nack_repair() {
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xFA11_1));
+    h.run_for_secs(2.0);
+    // 2% random loss on one receiver's downlink: NACK repair keeps the
+    // stream decodable at full rate.
+    h.sim
+        .downlink_mut(h.client_ids[2])
+        .set_faults(FaultConfig::clean().with_loss(0.02));
+    h.run_for_secs(10.0);
+    let fps = h
+        .fps_between(0, 2, SimDuration::from_secs(3))
+        .expect("stream");
+    assert!(fps > 22.0, "fps under 2% loss: {fps}");
+    let stats = h.client_stats(2);
+    assert!(stats.nacks_sent > 0, "loss must trigger NACKs");
+}
+
+#[test]
+fn survives_reordering() {
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xFA11_2));
+    h.run_for_secs(2.0);
+    h.sim.downlink_mut(h.client_ids[1]).set_faults(
+        FaultConfig::clean().with_reorder(0.05, SimDuration::from_millis(8)),
+    );
+    h.run_for_secs(8.0);
+    let fps = h
+        .fps_between(0, 1, SimDuration::from_secs(3))
+        .expect("stream");
+    assert!(fps > 24.0, "fps under reordering: {fps}");
+    let report = h.report();
+    assert_eq!(report.freezes, 0, "reordering alone must not freeze");
+}
+
+#[test]
+fn survives_duplication() {
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xFA11_3));
+    h.run_for_secs(2.0);
+    h.sim
+        .downlink_mut(h.client_ids[1])
+        .set_faults(FaultConfig::clean().with_duplication(0.10));
+    h.run_for_secs(8.0);
+    // Network duplicates are benign (identical payloads): no freezes.
+    let report = h.report();
+    assert_eq!(report.freezes, 0, "benign duplicates froze a decoder");
+    let fps = h
+        .fps_between(0, 1, SimDuration::from_secs(3))
+        .expect("stream");
+    assert!(fps > 24.0, "fps under duplication: {fps}");
+}
+
+#[test]
+fn recovers_from_transient_blackout() {
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xFA11_4));
+    h.run_for_secs(3.0);
+    // Total blackout of one downlink for 2 s...
+    h.sim
+        .downlink_mut(h.client_ids[2])
+        .set_faults(FaultConfig::clean().with_loss(1.0));
+    h.run_for_secs(2.0);
+    // ...then full recovery.
+    h.sim
+        .downlink_mut(h.client_ids[2])
+        .set_faults(FaultConfig::clean());
+    h.run_for_secs(15.0);
+    let fps = h
+        .fps_between(0, 2, SimDuration::from_secs(3))
+        .expect("stream");
+    // PLI-driven key frames restore playback after the blackout.
+    assert!(fps > 10.0, "no recovery after blackout: {fps}");
+}
+
+#[test]
+fn loss_during_adaptation_recovers() {
+    // The §6.2 stress case: suppression (sequence rewriting) active
+    // while the path also loses packets.
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xFA11_5));
+    h.run_for_secs(3.0);
+    h.degrade_downlink(2, 2_600_000);
+    h.run_for_secs(8.0); // adaptation settles at DT1
+    h.sim
+        .downlink_mut(h.client_ids[2])
+        .set_faults(FaultConfig::clean().with_loss(0.01));
+    h.run_for_secs(10.0);
+    let fps = h
+        .fps_between(0, 2, SimDuration::from_secs(3))
+        .expect("stream");
+    assert!(
+        (7.0..22.0).contains(&fps),
+        "adapted stream under loss: {fps} fps"
+    );
+    // The stream keeps flowing; the decoder may blip but must not be
+    // permanently dead.
+    let stats = h.client_stats(2);
+    let decoded: u64 = stats.streams.iter().map(|(_, r)| r.frames_decoded).sum();
+    assert!(decoded > 500, "decoded {decoded}");
+}
