@@ -134,9 +134,8 @@ impl CpuModel {
 
         // Scheduling jitter grows with how congested the run queue is.
         let load_scale = 1.0 + queue_wait.as_millis_f64();
-        let jitter = SimDuration::from_secs_f64(
-            rng.exp(self.cfg.jitter_mean.as_secs_f64() * load_scale),
-        );
+        let jitter =
+            SimDuration::from_secs_f64(rng.exp(self.cfg.jitter_mean.as_secs_f64() * load_scale));
         Some(start + self.cfg.per_packet + self.cfg.base_latency + jitter)
     }
 

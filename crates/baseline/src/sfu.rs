@@ -304,7 +304,13 @@ impl SoftwareSfu {
         }
     }
 
-    fn handle_feedback(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet, sender_idx: usize, receiver_idx: usize) {
+    fn handle_feedback(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        pkt: &Packet,
+        sender_idx: usize,
+        receiver_idx: usize,
+    ) {
         let Ok(pkts) = rtcp::parse_compound(&pkt.payload) else {
             return;
         };
@@ -351,11 +357,11 @@ impl SoftwareSfu {
                     // out-stream).
                     let mut resends = Vec::new();
                     if let Some(stream) =
-                        self.out_streams.get(&(sender_idx, receiver_idx, nack.media_ssrc))
+                        self.out_streams
+                            .get(&(sender_idx, receiver_idx, nack.media_ssrc))
                     {
                         for seq in nack.lost_sequences() {
-                            if let Some((_, bytes)) =
-                                stream.history.iter().find(|(s, _)| *s == seq)
+                            if let Some((_, bytes)) = stream.history.iter().find(|(s, _)| *s == seq)
                             {
                                 resends.push(bytes.clone());
                             }
@@ -594,9 +600,7 @@ mod tests {
             LinkConfig::infinite(SimDuration::from_micros(50)),
         );
         let mk = |sim: &mut Simulator, last: u8, up: HostAddr, ssrc: u32| {
-            let cn = ClientNode::new(
-                ClientConfig::sender(ip(last), 5000, ssrc).sending_to(up, up),
-            );
+            let cn = ClientNode::new(ClientConfig::sender(ip(last), 5000, ssrc).sending_to(up, up));
             sim.add_node(Box::new(cn), &[ip(last)], link, link)
         };
         let ids = [

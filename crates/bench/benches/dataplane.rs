@@ -129,5 +129,11 @@ fn bench_parser(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_process, bench_pre, bench_tracker, bench_parser);
+criterion_group!(
+    benches,
+    bench_process,
+    bench_pre,
+    bench_tracker,
+    bench_parser
+);
 criterion_main!(benches);

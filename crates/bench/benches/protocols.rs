@@ -68,8 +68,7 @@ fn bench_stun(c: &mut Criterion) {
     c.bench_function("stun_binding_success_build", |b| {
         b.iter(|| {
             black_box(
-                StunMessage::binding_success([7; 12], Ipv4Addr::new(10, 0, 0, 1), 5000)
-                    .serialize(),
+                StunMessage::binding_success([7; 12], Ipv4Addr::new(10, 0, 0, 1), 5000).serialize(),
             )
         })
     });

@@ -114,16 +114,59 @@ fn run(
 fn main() {
     section("Ablation: Scallop design choices (3-party, one degraded receiver)");
     let rows = vec![
-        run("full system (S-LR)", SeqRewriteMode::LowRetransmission, false, false, 0.0),
-        run("full system (S-LM)", SeqRewriteMode::LowMemory, false, false, 0.0),
-        run("A1: no sequence rewriting", SeqRewriteMode::LowRetransmission, true, false, 0.0),
-        run("A2: S-LR under 2% extra loss", SeqRewriteMode::LowRetransmission, false, false, 0.02),
-        run("A2: S-LM under 2% extra loss", SeqRewriteMode::LowMemory, false, false, 0.02),
-        run("A3: feedback filter disabled", SeqRewriteMode::LowRetransmission, false, true, 0.0),
+        run(
+            "full system (S-LR)",
+            SeqRewriteMode::LowRetransmission,
+            false,
+            false,
+            0.0,
+        ),
+        run(
+            "full system (S-LM)",
+            SeqRewriteMode::LowMemory,
+            false,
+            false,
+            0.0,
+        ),
+        run(
+            "A1: no sequence rewriting",
+            SeqRewriteMode::LowRetransmission,
+            true,
+            false,
+            0.0,
+        ),
+        run(
+            "A2: S-LR under 2% extra loss",
+            SeqRewriteMode::LowRetransmission,
+            false,
+            false,
+            0.02,
+        ),
+        run(
+            "A2: S-LM under 2% extra loss",
+            SeqRewriteMode::LowMemory,
+            false,
+            false,
+            0.02,
+        ),
+        run(
+            "A3: feedback filter disabled",
+            SeqRewriteMode::LowRetransmission,
+            false,
+            true,
+            0.0,
+        ),
     ];
 
     series_table(
-        &["variant", "constr fps", "unconstr fps", "sender kbps", "NACKs", "freezes"],
+        &[
+            "variant",
+            "constr fps",
+            "unconstr fps",
+            "sender kbps",
+            "NACKs",
+            "freezes",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -140,9 +183,18 @@ fn main() {
     );
 
     section("expectations");
-    kv("full system", "constrained ~15 fps, unconstrained 30 fps, sender ~2200 kbps");
-    kv("A1 (no rewriting)", "NACK storm and/or frozen constrained receiver (§6.2)");
-    kv("A3 (no filter)", "sender target collapses toward the worst downlink (§5.3)");
+    kv(
+        "full system",
+        "constrained ~15 fps, unconstrained 30 fps, sender ~2200 kbps",
+    );
+    kv(
+        "A1 (no rewriting)",
+        "NACK storm and/or frozen constrained receiver (§6.2)",
+    );
+    kv(
+        "A3 (no filter)",
+        "sender target collapses toward the worst downlink (§5.3)",
+    );
 
     write_json("ablation_design_choices", &rows);
 }

@@ -80,8 +80,8 @@ fn main() {
                 let s: &mut SoftwareSfu = sim.node_mut(sfu_id).expect("sfu");
                 s.add_participant(meeting as u32 + 1, addr)
             };
-            let mut ccfg = ClientConfig::sender(ip, 5000, 0x100 * (idx as u32 + 1))
-                .sending_to(uplink, uplink);
+            let mut ccfg =
+                ClientConfig::sender(ip, 5000, 0x100 * (idx as u32 + 1)).sending_to(uplink, uplink);
             // Pin the ceiling too: the REMB relay must not push senders
             // past the scaled-down media rate.
             ccfg.video = Some(EncoderConfig {
@@ -103,7 +103,12 @@ fn main() {
             let now = sim.now();
             for &cid in &meeting1_clients {
                 let c: &mut ClientNode = sim.node_mut(cid).expect("client");
-                for (_, rx) in c.stats().streams.iter().filter(|(_, r)| r.frames_decoded > 0) {
+                for (_, rx) in c
+                    .stats()
+                    .streams
+                    .iter()
+                    .filter(|(_, r)| r.frames_decoded > 0)
+                {
                     jitter.add(rx.jitter_ms);
                 }
                 let sources: Vec<HostAddr> = c
@@ -151,7 +156,14 @@ fn main() {
         })
         .collect();
     series_table(
-        &["parts", "jit p50 ms", "jit p95 ms", "jit p99 ms", "rx fps", "cpu %"],
+        &[
+            "parts",
+            "jit p50 ms",
+            "jit p95 ms",
+            "jit p99 ms",
+            "rx fps",
+            "cpu %",
+        ],
         &rows,
     );
 
@@ -160,7 +172,10 @@ fn main() {
         .iter()
         .find(|s| s.cpu_utilization > 0.90)
         .map(|s| s.participants);
-    kv("CPU saturation (>90%) at participants (paper: 100% at ~80)", format!("{sat:?}"));
+    kv(
+        "CPU saturation (>90%) at participants (paper: 100% at ~80)",
+        format!("{sat:?}"),
+    );
     let fps_drop = samples
         .iter()
         .find(|s| s.participants >= 40 && s.rx_fps < 25.0)

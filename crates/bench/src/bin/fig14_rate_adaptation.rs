@@ -113,7 +113,15 @@ fn main() {
 
     section("time series (every 20 s)");
     series_table(
-        &["t", "tx fps P1", "rx fps P2", "rx fps P3", "P3<-P1 kbps", "P3<-P2 kbps", "P3 DT"],
+        &[
+            "t",
+            "tx fps P1",
+            "rx fps P2",
+            "rx fps P3",
+            "P3<-P1 kbps",
+            "P3<-P2 kbps",
+            "P3 DT",
+        ],
         &samples
             .iter()
             .filter(|s| s.t % 20 == 0)
@@ -146,8 +154,8 @@ fn main() {
         .iter()
         .filter(|s| s.t > FIRST_DEGRADE_AT + 40 && s.t < SECOND_DEGRADE_AT)
         .collect();
-    let mid = mid_range.iter().map(|s| s.rx_fps_p3_from_p1).sum::<f64>()
-        / mid_range.len().max(1) as f64;
+    let mid =
+        mid_range.iter().map(|s| s.rx_fps_p3_from_p1).sum::<f64>() / mid_range.len().max(1) as f64;
     let late_range: Vec<&Sample> = samples
         .iter()
         .filter(|s| s.t > SECOND_DEGRADE_AT + 40)

@@ -66,7 +66,10 @@ fn main() {
 
     section("paper anchors");
     let (lo, hi) = model.improvement_range(100);
-    kv("improvement band @ provisioned 6 Mb/s streams", format!("{}x - {}x", f(lo, 1), f(hi, 1)));
+    kv(
+        "improvement band @ provisioned 6 Mb/s streams",
+        format!("{}x - {}x", f(lo, 1), f(hi, 1)),
+    );
     // At in-call media rates the bandwidth ceiling moves up; the paper's
     // 210x upper bound sits between the two accountings (EXPERIMENTS.md).
     let in_call = CapacityModel {
@@ -80,12 +83,21 @@ fn main() {
     );
     kv(
         "two-party improvement (533K / 4.8K)",
-        format!("{}x", f(model.two_party_meetings() / model.software_meetings(2, 2), 1)),
+        format!(
+            "{}x",
+            f(
+                model.two_party_meetings() / model.software_meetings(2, 2),
+                1
+            )
+        ),
     );
     // Linear growth check between n = 40 and n = 80 (tree-bound line).
     let g40 = model.improvement(40, 40, TreeDesignKind::RaSr, SeqRewriteMode::LowMemory);
     let g80 = model.improvement(80, 80, TreeDesignKind::RaSr, SeqRewriteMode::LowMemory);
-    kv("growth 40->80 participants (linear => ~2x)", f(g80 / g40, 2));
+    kv(
+        "growth 40->80 participants (linear => ~2x)",
+        f(g80 / g40, 2),
+    );
 
     write_json("fig15_scalability_gain", &rows);
 }

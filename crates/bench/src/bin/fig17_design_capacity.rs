@@ -41,7 +41,9 @@ fn main() {
     }
 
     series_table(
-        &["parts", "NRA", "RA-R", "RA-SR", "S-LM", "S-LR", "bandw.", "software"],
+        &[
+            "parts", "NRA", "RA-R", "RA-SR", "S-LM", "S-LR", "bandw.", "software",
+        ],
         &rows
             .iter()
             .filter(|r| r.participants % 10 == 0 || r.participants <= 4)
@@ -61,7 +63,10 @@ fn main() {
     );
 
     section("§7.2 headline capacities");
-    kv("two-party fast path (paper: 533K)", f(model.two_party_meetings(), 0));
+    kv(
+        "two-party fast path (paper: 533K)",
+        f(model.two_party_meetings(), 0),
+    );
     kv("NRA (paper: 128K)", f(model.nra_tree_meetings(10), 0));
     kv("RA-R (paper: 42.7K)", f(model.ra_r_tree_meetings(10), 0));
     kv(

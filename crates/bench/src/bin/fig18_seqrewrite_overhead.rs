@@ -119,7 +119,14 @@ fn main() {
         points.push(run(SeqRewriteMode::LowRetransmission, loss, 0xF16_18 + i));
     }
     series_table(
-        &["loss", "err rate", "emitted", "genuine", "erroneous", "swallowed"],
+        &[
+            "loss",
+            "err rate",
+            "emitted",
+            "genuine",
+            "erroneous",
+            "swallowed",
+        ],
         &points
             .iter()
             .map(|p| {
@@ -162,7 +169,11 @@ fn main() {
     let slm = run(SeqRewriteMode::LowMemory, 0.2, 99);
     kv(
         "S-LM vs S-LR erroneous rate @ 20% loss",
-        format!("{} vs {}", f(slm.erroneous_retx_rate, 4), f(slr.erroneous_retx_rate, 4)),
+        format!(
+            "{} vs {}",
+            f(slm.erroneous_retx_rate, 4),
+            f(slr.erroneous_retx_rate, 4)
+        ),
     );
     kv(
         "S-LM vs S-LR swallowed losses @ 20% loss (S-LM masks blindly)",

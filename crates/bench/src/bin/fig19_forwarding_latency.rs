@@ -201,8 +201,20 @@ fn main() {
     series_table(
         &["system", "median us", "p95 us", "p99 us", "samples"],
         &[
-            vec!["scallop".into(), f(s.median_us, 1), f(s.p95_us, 1), f(s.p99_us, 1), scallop.count().to_string()],
-            vec!["software".into(), f(w.median_us, 1), f(w.p95_us, 1), f(w.p99_us, 1), software.count().to_string()],
+            vec![
+                "scallop".into(),
+                f(s.median_us, 1),
+                f(s.p95_us, 1),
+                f(s.p99_us, 1),
+                scallop.count().to_string(),
+            ],
+            vec![
+                "software".into(),
+                f(w.median_us, 1),
+                f(w.p95_us, 1),
+                f(w.p99_us, 1),
+                software.count().to_string(),
+            ],
         ],
     );
 

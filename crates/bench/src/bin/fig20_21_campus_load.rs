@@ -1,9 +1,20 @@
-//! Figs. 20/21 — concurrent meetings and participants over two weeks.
+//! Figs. 20/21 — concurrent meetings and participants over two weeks,
+//! plus a live slice of the peak load replayed over the real switching
+//! fabric (4 edge switches, 1 core).
 
 use scallop_bench::{f, kv, section, series_table, write_json};
-use scallop_netsim::time::SimDuration;
-use scallop_workload::campus::{CampusModel, CampusParams};
+use scallop_client::{ClientConfig, ClientNode};
+use scallop_core::controller::Controller;
+use scallop_core::fabric::Fabric;
+use scallop_dataplane::seqrewrite::SeqRewriteMode;
+use scallop_netsim::link::LinkConfig;
+use scallop_netsim::packet::HostAddr;
+use scallop_netsim::sim::Simulator;
+use scallop_netsim::time::{SimDuration, SimTime};
+use scallop_netsim::topology::Topology;
+use scallop_workload::campus::{CampusModel, CampusParams, MeetingRecord};
 use serde::Serialize;
+use std::net::Ipv4Addr;
 
 #[derive(Serialize)]
 struct DayRow {
@@ -13,11 +24,23 @@ struct DayRow {
     peak_participants: f64,
 }
 
+#[derive(Serialize)]
+struct EdgeRow {
+    edge: usize,
+    meetings_homed: u64,
+    rtp_in_pkts: u64,
+    forwarded_pkts: u64,
+    trunk_out_pkts: u64,
+    trunk_in_pkts: u64,
+}
+
 const DAYS: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+const EDGES: usize = 4;
 
 fn main() {
     section("Figs. 20/21: campus concurrency over two weeks");
-    let mut model = CampusModel::new(CampusParams::default(), 0x7AB20);
+    let params = CampusParams::default();
+    let mut model = CampusModel::new(params, 0x7AB20);
     let population = model.generate();
     kv("meetings generated (paper: 19,704)", population.len());
 
@@ -63,7 +86,10 @@ fn main() {
     );
 
     section("paper anchors");
-    kv("overall peak meetings (Fig. 20: ~300)", f(meetings.max(), 0));
+    kv(
+        "overall peak meetings (Fig. 20: ~300)",
+        f(meetings.max(), 0),
+    );
     kv(
         "overall peak participants (Fig. 21: ~500)",
         f(participants.max(), 0),
@@ -84,4 +110,127 @@ fn main() {
     );
 
     write_json("fig20_21_campus_load", &rows);
+
+    // ------------------------------------------------------------------
+    // Live fabric slice: replay a sample of the peak bin's meetings over
+    // a real 4-edge + 1-core switching fabric, with WebRTC-behaviour
+    // clients attached to their buildings' edge switches.
+    // ------------------------------------------------------------------
+    section(format!("live peak slice over a {EDGES}-edge fabric").as_str());
+    let peak_t = {
+        let (t, _) = m_pts.iter().fold(
+            (0.0f64, 0.0f64),
+            |acc, &(t, v)| if v > acc.1 { (t, v) } else { acc },
+        );
+        SimTime::from_secs(t as u64)
+    };
+    let slice: Vec<&MeetingRecord> = population
+        .iter()
+        .filter(|m| m.start <= peak_t && peak_t < m.end() && (3..=6).contains(&m.size))
+        .take(6)
+        .collect();
+    kv("meetings replayed from the peak bin", slice.len());
+
+    let mut sim = Simulator::new(0xFAB21C);
+    let fabric = Fabric::build(
+        &mut sim,
+        Topology::campus(EDGES, 1),
+        LinkConfig::infinite(SimDuration::from_micros(50)),
+        SeqRewriteMode::LowRetransmission,
+    );
+    let mut controller = Controller::new();
+    let client_link = LinkConfig::infinite(SimDuration::from_millis(10))
+        .with_rate(50_000_000)
+        .with_queue_bytes(128 * 1024);
+
+    let mut meetings_homed = [0u64; EDGES];
+    let mut client_ids = Vec::new();
+    let mut cross_switch_meetings = 0u64;
+    for (mi, rec) in slice.iter().enumerate() {
+        let home = rec.edge_switch(EDGES);
+        meetings_homed[home] += 1;
+        let gmid = controller.create_fabric_meeting(&mut sim, &fabric, home);
+        let mut edges_used = std::collections::BTreeSet::new();
+        for i in 0..rec.size {
+            let edge = rec.participant_edge(i, params.buildings, EDGES);
+            edges_used.insert(edge);
+            let ip = Ipv4Addr::new(10, 2, mi as u8, i as u8 + 1);
+            let addr = HostAddr::new(ip, 5000);
+            let sends = i < rec.video_senders.max(1);
+            let grant = controller.join_fabric(&mut sim, &fabric, gmid, edge, addr, sends);
+            let ccfg = if sends {
+                ClientConfig::sender(ip, 5000, 0x10_0000 * (mi as u32 + 1) + i)
+                    .sending_to(grant.local.video_uplink, grant.local.audio_uplink)
+            } else {
+                ClientConfig::receiver_only(ip, 5000, 0x10_0000 * (mi as u32 + 1) + i)
+            };
+            let id = sim.add_node(
+                Box::new(ClientNode::new(ccfg)),
+                &[ip],
+                client_link,
+                client_link,
+            );
+            client_ids.push(id);
+        }
+        if edges_used.len() > 1 {
+            cross_switch_meetings += 1;
+        }
+    }
+    kv("clients attached", client_ids.len());
+    kv("meetings spanning >1 edge", cross_switch_meetings);
+
+    sim.run_for(SimDuration::from_secs_f64(2.0));
+
+    let mut edge_rows = Vec::new();
+    for e in 0..EDGES {
+        let c = fabric.edge_counters(&mut sim, e);
+        edge_rows.push(EdgeRow {
+            edge: e,
+            meetings_homed: meetings_homed[e],
+            rtp_in_pkts: c.rtp_in_pkts,
+            forwarded_pkts: c.forwarded_pkts,
+            trunk_out_pkts: c.trunk_out_pkts,
+            trunk_in_pkts: c.trunk_in_pkts,
+        });
+    }
+    series_table(
+        &[
+            "edge",
+            "homed",
+            "rtp in",
+            "forwarded",
+            "trunk out",
+            "trunk in",
+        ],
+        &edge_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.edge.to_string(),
+                    r.meetings_homed.to_string(),
+                    r.rtp_in_pkts.to_string(),
+                    r.forwarded_pkts.to_string(),
+                    r.trunk_out_pkts.to_string(),
+                    r.trunk_in_pkts.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let core = fabric.core_stats(&mut sim, 0);
+    kv("core relayed packets", core.relayed_pkts);
+    kv("core relayed bytes", core.relayed_bytes);
+
+    let mut frames = 0u64;
+    for &id in &client_ids {
+        let c: &mut ClientNode = sim.node_mut(id).expect("client");
+        frames += c
+            .stats()
+            .streams
+            .iter()
+            .map(|(_, r)| r.frames_decoded)
+            .sum::<u64>();
+    }
+    kv("frames decoded across the campus slice", frames);
+
+    write_json("fig20_21_fabric_slice", &edge_rows);
 }

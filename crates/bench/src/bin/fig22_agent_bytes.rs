@@ -22,7 +22,11 @@ fn main() {
         .filter(|p| (p.t_secs as u64) % (4 * 3600) == 0 && p.t_secs < 7.0 * 86400.0)
         .map(|p| {
             vec![
-                format!("d{} {:02}h", p.t_secs as u64 / 86400, (p.t_secs as u64 % 86400) / 3600),
+                format!(
+                    "d{} {:02}h",
+                    p.t_secs as u64 / 86400,
+                    (p.t_secs as u64 % 86400) / 3600
+                ),
                 f(p.software_sfu_bps / 1e6, 1),
                 f(p.agent_bps / 1e6, 3),
                 p.meetings.to_string(),
@@ -32,11 +36,23 @@ fn main() {
     series_table(&["time", "software Mb/s", "agent Mb/s", "meetings"], &rows);
 
     section("paper anchors");
-    let sw_peak = series.iter().map(|p| p.software_sfu_bps).fold(0.0, f64::max);
+    let sw_peak = series
+        .iter()
+        .map(|p| p.software_sfu_bps)
+        .fold(0.0, f64::max);
     let ag_peak = series.iter().map(|p| p.agent_bps).fold(0.0, f64::max);
-    kv("software SFU peak (paper: ~1250 Mbit/s)", format!("{} Mbit/s", f(sw_peak / 1e6, 0)));
-    kv("switch agent peak (paper: ~4.4 Mbit/s)", format!("{} Mbit/s", f(ag_peak / 1e6, 2)));
-    kv("agent byte fraction (Table 1: 0.35%)", f(AGENT_BYTE_FRACTION * 100.0, 2));
+    kv(
+        "software SFU peak (paper: ~1250 Mbit/s)",
+        format!("{} Mbit/s", f(sw_peak / 1e6, 0)),
+    );
+    kv(
+        "switch agent peak (paper: ~4.4 Mbit/s)",
+        format!("{} Mbit/s", f(ag_peak / 1e6, 2)),
+    );
+    kv(
+        "agent byte fraction (Table 1: 0.35%)",
+        f(AGENT_BYTE_FRACTION * 100.0, 2),
+    );
     kv(
         "40 Gbit/s server capacity consumed at peak (paper: 3.1%)",
         format!("{}%", f(100.0 * sw_peak / 40e9, 2)),

@@ -33,7 +33,10 @@ struct Sample {
 fn main() {
     section("Figs. 23/24: per-receiver / per-layer adaptation timelines");
     let mut h = ScallopHarness::new(
-        HarnessConfig::default().participants(4).senders(1).seed(0x7AB23),
+        HarnessConfig::default()
+            .participants(4)
+            .senders(1)
+            .seed(0x7AB23),
     );
     for idx in [1, 2] {
         let cid = h.client_ids[idx];

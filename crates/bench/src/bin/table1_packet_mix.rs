@@ -84,23 +84,78 @@ fn main() {
     series_table(
         &["row", "packets", "pct", "per sec/part"],
         &[
-            vec!["RTP".into(), t.rtp_pkts.to_string(), f(t.rtp_pct, 2), f(t.rtp_per_sec, 2)],
-            vec!["- Audio".into(), t.audio_pkts.to_string(), f(100.0 * t.audio_pkts as f64 / total as f64, 2), f(per(t.audio_pkts) / 600.0, 2)],
-            vec!["- Video".into(), t.video_pkts.to_string(), f(100.0 * t.video_pkts as f64 / total as f64, 2), f(per(t.video_pkts) / 600.0, 2)],
-            vec!["- AV1 DS*".into(), t.extended_dd_pkts.to_string(), f(100.0 * t.extended_dd_pkts as f64 / total as f64, 4), f(per(t.extended_dd_pkts) / 600.0, 4)],
-            vec!["RTCP".into(), t.rtcp_pkts.to_string(), f(t.rtcp_pct, 2), f(per(t.rtcp_pkts) / 600.0, 2)],
-            vec!["- SR/SDES".into(), t.sr_sdes_pkts.to_string(), f(100.0 * t.sr_sdes_pkts as f64 / total as f64, 2), f(per(t.sr_sdes_pkts) / 600.0, 2)],
-            vec!["- RR/REMB*".into(), t.rr_remb_pkts.to_string(), f(100.0 * t.rr_remb_pkts as f64 / total as f64, 2), f(per(t.rr_remb_pkts) / 600.0, 2)],
-            vec!["STUN*".into(), t.stun_pkts.to_string(), f(t.stun_pct, 2), f(per(t.stun_pkts) / 600.0, 2)],
+            vec![
+                "RTP".into(),
+                t.rtp_pkts.to_string(),
+                f(t.rtp_pct, 2),
+                f(t.rtp_per_sec, 2),
+            ],
+            vec![
+                "- Audio".into(),
+                t.audio_pkts.to_string(),
+                f(100.0 * t.audio_pkts as f64 / total as f64, 2),
+                f(per(t.audio_pkts) / 600.0, 2),
+            ],
+            vec![
+                "- Video".into(),
+                t.video_pkts.to_string(),
+                f(100.0 * t.video_pkts as f64 / total as f64, 2),
+                f(per(t.video_pkts) / 600.0, 2),
+            ],
+            vec![
+                "- AV1 DS*".into(),
+                t.extended_dd_pkts.to_string(),
+                f(100.0 * t.extended_dd_pkts as f64 / total as f64, 4),
+                f(per(t.extended_dd_pkts) / 600.0, 4),
+            ],
+            vec![
+                "RTCP".into(),
+                t.rtcp_pkts.to_string(),
+                f(t.rtcp_pct, 2),
+                f(per(t.rtcp_pkts) / 600.0, 2),
+            ],
+            vec![
+                "- SR/SDES".into(),
+                t.sr_sdes_pkts.to_string(),
+                f(100.0 * t.sr_sdes_pkts as f64 / total as f64, 2),
+                f(per(t.sr_sdes_pkts) / 600.0, 2),
+            ],
+            vec![
+                "- RR/REMB*".into(),
+                t.rr_remb_pkts.to_string(),
+                f(100.0 * t.rr_remb_pkts as f64 / total as f64, 2),
+                f(per(t.rr_remb_pkts) / 600.0, 2),
+            ],
+            vec![
+                "STUN*".into(),
+                t.stun_pkts.to_string(),
+                f(t.stun_pct, 2),
+                f(per(t.stun_pkts) / 600.0, 2),
+            ],
         ],
     );
 
     section("control/data-plane split (paper: 96.46% pkts, 99.65% bytes in data plane)");
-    kv("control-plane packets", format!("{} ({}%)", t.ctrl_plane_pkts, f(t.ctrl_plane_pct, 2)));
-    kv("data-plane packets", format!("{} ({}%)", t.data_plane_pkts, f(t.data_plane_pct, 2)));
-    kv("data-plane bytes", format!("{}%", f(t.data_plane_bytes_pct, 2)));
-    kv("RTP share of packets (paper: 94.5%)", format!("{}%", f(t.rtp_pct, 2)));
-    kv("RTP share of bytes (paper: 99.47%)", format!("{}%", f(t.rtp_bytes_pct, 2)));
+    kv(
+        "control-plane packets",
+        format!("{} ({}%)", t.ctrl_plane_pkts, f(t.ctrl_plane_pct, 2)),
+    );
+    kv(
+        "data-plane packets",
+        format!("{} ({}%)", t.data_plane_pkts, f(t.data_plane_pct, 2)),
+    );
+    kv(
+        "data-plane bytes",
+        format!("{}%", f(t.data_plane_bytes_pct, 2)),
+    );
+    kv(
+        "RTP share of packets (paper: 94.5%)",
+        format!("{}%", f(t.rtp_pct, 2)),
+    );
+    kv(
+        "RTP share of bytes (paper: 99.47%)",
+        format!("{}%", f(t.rtp_bytes_pct, 2)),
+    );
 
     write_json("table1_packet_mix", &t);
 }

@@ -6,10 +6,17 @@ use scallop_workload::zoomtrace::ZoomTraceSynthesizer;
 fn main() {
     section("Table 2: synthesized 12 h campus Zoom capture");
     let s = ZoomTraceSynthesizer::synthesize(0x7AB1E2);
-    kv("Capture duration (paper: 12h)", format!("{}h", s.duration_hours));
+    kv(
+        "Capture duration (paper: 12h)",
+        format!("{}h", s.duration_hours),
+    );
     kv(
         "Zoom packets (paper: 1,846 M / 42,733 per s)",
-        format!("{:.0} M ({:.0}/s)", s.zoom_packets as f64 / 1e6, s.packets_per_sec),
+        format!(
+            "{:.0} M ({:.0}/s)",
+            s.zoom_packets as f64 / 1e6,
+            s.packets_per_sec
+        ),
     );
     kv("Zoom flows (paper: 583,777)", s.zoom_flows);
     kv(

@@ -53,7 +53,12 @@ fn main() {
         let m = agent.create_meeting();
         for _ in 0..rec.size.min(30) {
             p_idx += 1;
-            let ip = Ipv4Addr::new(10, (p_idx >> 14) as u8 & 0x3F, (p_idx >> 7) as u8 & 0x7F, (p_idx & 0x7F) as u8 + 1);
+            let ip = Ipv4Addr::new(
+                10,
+                (p_idx >> 14) as u8 & 0x3F,
+                (p_idx >> 7) as u8 & 0x7F,
+                (p_idx & 0x7F) as u8 + 1,
+            );
             let addr = HostAddr::new(ip, 5000);
             agent.join(&mut dp, m, addr, true);
             if p_idx > 50_000 {
@@ -68,8 +73,8 @@ fn main() {
     kv("L1 nodes in use", dp.pre.l1_nodes_used());
 
     let peak_egress = peak.software_sfu_bps; // what the switch forwards
-    // Max utilization: the worst-case all-send configuration at n = 10
-    // filled to its capacity bound, at in-call media rates.
+                                             // Max utilization: the worst-case all-send configuration at n = 10
+                                             // filled to its capacity bound, at in-call media rates.
     let cap = CapacityModel::default();
     let max_meetings = cap.scallop_meetings(
         10,

@@ -182,7 +182,7 @@ impl BandwidthEstimator {
         }
         self.rx_window.push_back((now, size));
         let cutoff = now - SimDuration::from_secs(2);
-        while self.rx_window.front().map_or(false, |(t, _)| *t < cutoff) {
+        while self.rx_window.front().is_some_and(|(t, _)| *t < cutoff) {
             self.rx_window.pop_front();
         }
 
@@ -220,8 +220,7 @@ impl BandwidthEstimator {
 
     fn add_delay_sample(&mut self, now: SimTime, delay_var_ms: f64) {
         self.accumulated_delay_ms += delay_var_ms;
-        self.smoothed_delay_ms =
-            0.9 * self.smoothed_delay_ms + 0.1 * self.accumulated_delay_ms;
+        self.smoothed_delay_ms = 0.9 * self.smoothed_delay_ms + 0.1 * self.accumulated_delay_ms;
         self.history
             .push_back((now.as_millis_f64(), self.smoothed_delay_ms));
         while self.history.len() > self.cfg.window {
@@ -340,10 +339,8 @@ impl BandwidthEstimator {
                         // floor: real senders pad toward the estimate,
                         // so a tiny media rate must not deadlock the
                         // estimator at the bottom.
-                        self.estimate_bps +=
-                            8_000.0f64.max(0.02 * self.estimate_bps) * dt * 10.0;
-                        self.estimate_bps =
-                            self.estimate_bps.min((1.5 * measured).max(350_000.0));
+                        self.estimate_bps += 8_000.0f64.max(0.02 * self.estimate_bps) * dt * 10.0;
+                        self.estimate_bps = self.estimate_bps.min((1.5 * measured).max(350_000.0));
                     }
                 }
             }
@@ -430,8 +427,8 @@ mod tests {
         assert!(backed_off < 1_100_000);
         // Re-drive on a clean link, continuing the clock.
         let mut est2 = est; // same estimator, fresh traffic pattern
-        // Note: drive() restarts its clock; the estimator only looks at
-        // deltas so this is equivalent to a long quiet gap then recovery.
+                            // Note: drive() restarts its clock; the estimator only looks at
+                            // deltas so this is equivalent to a long quiet gap then recovery.
         drive(&mut est2, 4.0, 1_500_000.0, 10_000_000.0, 1200);
         assert!(
             est2.estimate_bps() > backed_off,
@@ -446,11 +443,7 @@ mod tests {
         let mut est = BandwidthEstimator::new(GccConfig::default());
         // 100 packets of 1250 B over 1 s = 1 Mbit/s.
         for i in 0..100 {
-            est.on_packet(
-                SimTime::from_millis(10 * i),
-                (10 * i) as f64,
-                1250,
-            );
+            est.on_packet(SimTime::from_millis(10 * i), (10 * i) as f64, 1250);
         }
         let r = est.incoming_rate_bps(SimTime::from_millis(990));
         assert!((r - 1_000_000.0).abs() < 150_000.0, "rate {r}");

@@ -323,8 +323,7 @@ impl Node for ClientNode {
         if self.sender.is_some() {
             // Offset media clocks by a small deterministic stagger so
             // meetings do not tick in lockstep.
-            let stagger =
-                SimDuration::from_micros(ctx.rng().range_u64(0, 20_000));
+            let stagger = SimDuration::from_micros(ctx.rng().range_u64(0, 20_000));
             ctx.schedule(stagger + SimDuration::from_millis(5), TIMER_VIDEO);
             ctx.schedule(stagger + SimDuration::from_millis(7), TIMER_AUDIO);
             ctx.schedule(self.cfg.sr_interval, TIMER_SR);
@@ -366,9 +365,7 @@ impl Node for ClientNode {
                 let rx = self
                     .receivers
                     .entry((pkt.src, rtp.ssrc))
-                    .or_insert_with(|| {
-                        ReceiverState::new(rtp.ssrc, local_ssrc, is_video, gcc)
-                    });
+                    .or_insert_with(|| ReceiverState::new(rtp.ssrc, local_ssrc, is_video, gcc));
                 if rx.local_ssrc == local_ssrc {
                     self.next_local_ssrc = self.next_local_ssrc.wrapping_add(1);
                 }
@@ -446,7 +443,8 @@ impl Node for ClientNode {
                 }
                 // One probe per interval round-robins across targets,
                 // matching the ~1.15 STUN pkts/s of Table 1.
-                if let Some(&target) = targets.get(self.stun_counter as usize % targets.len().max(1))
+                if let Some(&target) =
+                    targets.get(self.stun_counter as usize % targets.len().max(1))
                 {
                     let mut txid = [0u8; 12];
                     txid[..8].copy_from_slice(&self.stun_counter.to_be_bytes());
@@ -498,18 +496,21 @@ mod tests {
 
     /// Two clients wired directly to each other (true P2P) — the client
     /// must interoperate with itself before it meets any SFU.
-    fn p2p_sim(rate_bps: u64) -> (Simulator, scallop_netsim::sim::NodeId, scallop_netsim::sim::NodeId)
-    {
+    fn p2p_sim(
+        rate_bps: u64,
+    ) -> (
+        Simulator,
+        scallop_netsim::sim::NodeId,
+        scallop_netsim::sim::NodeId,
+    ) {
         let mut sim = Simulator::new(42);
         let link = LinkConfig::infinite(SimDuration::from_millis(10)).with_rate(rate_bps);
         let a_addr = HostAddr::new(ip(1), 5000);
         let b_addr = HostAddr::new(ip(2), 5000);
-        let a = ClientNode::new(
-            ClientConfig::sender(ip(1), 5000, 0x100).sending_to(b_addr, b_addr),
-        );
-        let b = ClientNode::new(
-            ClientConfig::sender(ip(2), 5000, 0x200).sending_to(a_addr, a_addr),
-        );
+        let a =
+            ClientNode::new(ClientConfig::sender(ip(1), 5000, 0x100).sending_to(b_addr, b_addr));
+        let b =
+            ClientNode::new(ClientConfig::sender(ip(2), 5000, 0x200).sending_to(a_addr, a_addr));
         let a_id = sim.add_node(Box::new(a), &[ip(1)], link, link);
         let b_id = sim.add_node(Box::new(b), &[ip(2)], link, link);
         (sim, a_id, b_id)
@@ -531,7 +532,11 @@ mod tests {
                 .map(|(_, r)| r)
                 .find(|r| r.frames_decoded > 0)
                 .expect("video stream");
-            assert!(video.frames_decoded > 100, "decoded {}", video.frames_decoded);
+            assert!(
+                video.frames_decoded > 100,
+                "decoded {}",
+                video.frames_decoded
+            );
             assert!(stats.streams.iter().all(|(_, r)| r.freezes == 0));
             assert!(stats.sender.video_packets > 500);
             assert!(stats.sender.audio_packets > 200);
@@ -586,12 +591,10 @@ mod tests {
         let lossy = clean.with_faults(FaultConfig::clean().with_loss(0.05));
         let a_addr = HostAddr::new(ip(1), 5000);
         let b_addr = HostAddr::new(ip(2), 5000);
-        let a = ClientNode::new(
-            ClientConfig::sender(ip(1), 5000, 0x100).sending_to(b_addr, b_addr),
-        );
-        let b = ClientNode::new(
-            ClientConfig::sender(ip(2), 5000, 0x200).sending_to(a_addr, a_addr),
-        );
+        let a =
+            ClientNode::new(ClientConfig::sender(ip(1), 5000, 0x100).sending_to(b_addr, b_addr));
+        let b =
+            ClientNode::new(ClientConfig::sender(ip(2), 5000, 0x200).sending_to(a_addr, a_addr));
         let _a_id = sim.add_node(Box::new(a), &[ip(1)], clean, clean);
         // B's downlink drops 5% of packets.
         let b_id = sim.add_node(Box::new(b), &[ip(2)], clean, lossy);
@@ -613,9 +616,8 @@ mod tests {
         let mut sim = Simulator::new(9);
         let link = LinkConfig::infinite(SimDuration::from_millis(5));
         let b_addr = HostAddr::new(ip(2), 5000);
-        let a = ClientNode::new(
-            ClientConfig::sender(ip(1), 5000, 0x100).sending_to(b_addr, b_addr),
-        );
+        let a =
+            ClientNode::new(ClientConfig::sender(ip(1), 5000, 0x100).sending_to(b_addr, b_addr));
         let b = ClientNode::new(ClientConfig::receiver_only(ip(2), 5000, 0x200));
         let _ = sim.add_node(Box::new(a), &[ip(1)], link, link);
         let b_id = sim.add_node(Box::new(b), &[ip(2)], link, link);

@@ -89,7 +89,12 @@ impl ReceiverState {
     }
 
     /// Feed one RTP packet; returns decoder events (video).
-    pub fn on_media(&mut self, now: SimTime, pkt: &RtpPacket, wire_len: usize) -> Vec<DecoderEvent> {
+    pub fn on_media(
+        &mut self,
+        now: SimTime,
+        pkt: &RtpPacket,
+        wire_len: usize,
+    ) -> Vec<DecoderEvent> {
         self.received += 1;
         self.bytes += pkt.payload.len() as u64;
 
@@ -179,11 +184,9 @@ impl ReceiverState {
     fn expected_total(&self) -> u64 {
         match self.expected_base {
             None => 0,
-            Some(base) => {
-                (self.highest_ext_seq as u64)
-                    .saturating_sub(base as u64)
-                    .saturating_add(1)
-            }
+            Some(base) => (self.highest_ext_seq as u64)
+                .saturating_sub(base as u64)
+                .saturating_add(1),
         }
     }
 
@@ -376,11 +379,7 @@ mod tests {
             for n in 0..60u16 {
                 for p in video_pkt(&mut pz, n, 500) {
                     let wobble = if n % 2 == 0 { 0 } else { 25 };
-                    rx.on_media(
-                        SimTime::from_millis(33 * (n as u64 + 1) + wobble),
-                        &p,
-                        542,
-                    );
+                    rx.on_media(SimTime::from_millis(33 * (n as u64 + 1) + wobble), &p, 542);
                 }
             }
             rx.stats().jitter_ms

@@ -110,11 +110,7 @@ impl MediaSender {
     pub fn handle_nack(&mut self, lost: &[u16]) -> Vec<RtpPacket> {
         let mut out = Vec::new();
         for &seq in lost {
-            if let Some(p) = self
-                .history
-                .iter()
-                .find(|p| p.sequence_number == seq)
-            {
+            if let Some(p) = self.history.iter().find(|p| p.sequence_number == seq) {
                 out.push(p.clone());
                 self.stats.retransmissions += 1;
             }
@@ -170,12 +166,7 @@ mod tests {
     use super::*;
 
     fn sender() -> MediaSender {
-        MediaSender::new(
-            0x51,
-            0xA0,
-            EncoderConfig::default(),
-            AudioConfig::default(),
-        )
+        MediaSender::new(0x51, 0xA0, EncoderConfig::default(), AudioConfig::default())
     }
 
     #[test]

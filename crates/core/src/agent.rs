@@ -44,6 +44,27 @@ pub type MeetingId = u32;
 /// Participant identifier (also used as RID / abstract egress port).
 pub type ParticipantId = u16;
 
+/// L1 exclusion id stamped by *remote* senders so their fabric traffic
+/// is never re-trunked: every trunk-egress branch carries this XID, and
+/// a packet that already crossed a trunk prunes all of them (§6.3's
+/// XID-pruning mechanism, applied to the fabric tier).
+pub const TRUNK_XID: u16 = 0xFFFE;
+
+/// What role a participant entry plays on *this* switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParticipantClass {
+    /// A real client attached to this switch.
+    Local,
+    /// A sender homed on another edge switch; its media arrives on this
+    /// switch's trunk-ingress ports and fans out to local receivers.
+    /// Never a receiver here.
+    RemoteSender,
+    /// A remote edge switch, modeled as one full-quality receiver: it
+    /// gets exactly one copy of each local sender's stream (per-receiver
+    /// thinning happens on the remote edge, after its own PRE).
+    TrunkEgress,
+}
+
 /// Decode-target → skip-cadence mapping (frame-number step between
 /// forwarded frames in L1T3): DT2 → 1, DT1 → 2, DT0 → 4.
 pub fn cadence_for_dt(dt: u8) -> u16 {
@@ -142,8 +163,14 @@ pub struct AgentCounters {
 #[derive(Debug)]
 struct Pinfo {
     meeting: MeetingId,
+    class: ParticipantClass,
+    /// Local: the client's address. RemoteSender: the sender's real
+    /// client address (feedback forwarding target). TrunkEgress: unused.
     addr: HostAddr,
     sends: bool,
+    /// TrunkEgress only: per-local-sender (video, audio) trunk-ingress
+    /// addresses on the remote edge (or its relaying core).
+    trunk_dst: HashMap<ParticipantId, (HostAddr, HostAddr)>,
     video_up: u16,
     audio_up: u16,
     /// Receiver-specific decode target.
@@ -204,7 +231,17 @@ struct HalfTree {
 pub struct SwitchAgent {
     sfu_ip: Ipv4Addr,
     next_port: u16,
+    /// Exclusive upper bound of this switch's SFU port range.
+    port_limit: u16,
+    /// Ports released by `leave` awaiting reuse. Essential on a fabric:
+    /// per-edge port ranges are narrow slices of the u16 space, and
+    /// meeting churn would exhaust them without recycling.
+    free_ports: Vec<u16>,
     next_pid: ParticipantId,
+    /// Trunk-egress pseudo-participants draw RIDs from the reserved
+    /// high range so the data plane accounts their replicas as trunk
+    /// traffic ([`scallop_dataplane::switch::TRUNK_RID_BASE`]).
+    next_trunk_pid: ParticipantId,
     next_mgid: u16,
     free_mgids: Vec<u16>,
     next_tracker: u16,
@@ -229,7 +266,10 @@ impl SwitchAgent {
         SwitchAgent {
             sfu_ip,
             next_port: 10_000,
+            port_limit: u16::MAX,
+            free_ports: Vec::new(),
             next_pid: 1,
+            next_trunk_pid: scallop_dataplane::switch::TRUNK_RID_BASE,
             next_mgid: 1,
             free_mgids: Vec::new(),
             next_tracker: 0,
@@ -247,6 +287,18 @@ impl SwitchAgent {
             ewma_alpha: 0.5,
             counters: AgentCounters::default(),
         }
+    }
+
+    /// Builder: allocate SFU ports from `[base, limit)` instead of
+    /// 10 000 and up. In a fabric, every edge gets a disjoint port range
+    /// so trunk packets route on the destination port alone
+    /// (`netsim::topology`); allocating past the range would silently
+    /// misroute, so it panics instead.
+    pub fn with_port_range(mut self, base: u16, limit: u16) -> Self {
+        assert!(base < limit);
+        self.next_port = base;
+        self.port_limit = limit;
+        self
     }
 
     /// Replace the decode-target policy (the §5.4 extension point).
@@ -286,9 +338,18 @@ impl SwitchAgent {
         self.pinfo.get(&pid).map(|p| p.dt)
     }
 
+    /// The class of a participant entry on this switch.
+    pub fn class_of(&self, pid: ParticipantId) -> Option<ParticipantClass> {
+        self.pinfo.get(&pid).map(|p| p.class)
+    }
+
     /// The SFU address `receiver` gets `sender`'s video from (and sends
     /// video feedback to).
-    pub fn video_pair_addr(&self, sender: ParticipantId, receiver: ParticipantId) -> Option<HostAddr> {
+    pub fn video_pair_addr(
+        &self,
+        sender: ParticipantId,
+        receiver: ParticipantId,
+    ) -> Option<HostAddr> {
         self.pinfo
             .get(&receiver)
             .and_then(|p| p.pair_from.get(&sender))
@@ -296,10 +357,27 @@ impl SwitchAgent {
     }
 
     fn alloc_port(&mut self, usage: PortUse) -> u16 {
-        let p = self.next_port;
-        self.next_port = self.next_port.wrapping_add(1);
+        let p = self.free_ports.pop().unwrap_or_else(|| {
+            let p = self.next_port;
+            assert!(
+                p < self.port_limit,
+                "SFU port range exhausted (limit {})",
+                self.port_limit
+            );
+            self.next_port += 1;
+            p
+        });
         self.port_use.insert(p, usage);
         p
+    }
+
+    /// Retire a port allocated by [`Self::alloc_port`]: drop its usage
+    /// entry and data-plane rule, and queue the number for reuse.
+    fn release_port(&mut self, dp: &mut ScallopDataPlane, port: u16) {
+        if self.port_use.remove(&port).is_some() {
+            self.free_ports.push(port);
+        }
+        dp.remove_port_rule(port);
     }
 
     fn alloc_mgid(&mut self) -> u16 {
@@ -318,7 +396,8 @@ impl SwitchAgent {
         })
     }
 
-    /// Add a participant to a meeting; installs all data-plane state.
+    /// Add a local participant to a meeting; installs all data-plane
+    /// state.
     pub fn join(
         &mut self,
         dp: &mut ScallopDataPlane,
@@ -326,10 +405,91 @@ impl SwitchAgent {
         addr: HostAddr,
         sends: bool,
     ) -> JoinGrant {
-        let pid = self.next_pid;
-        self.next_pid += 1;
-        let video_up = self.alloc_port(PortUse::VideoUplink(pid));
-        let audio_up = self.alloc_port(PortUse::AudioUplink(pid));
+        self.join_class(dp, meeting, addr, sends, ParticipantClass::Local)
+    }
+
+    /// Register a sender homed on another edge switch. The returned
+    /// grant's uplink addresses are this switch's **trunk-ingress**
+    /// ports: the sender's home switch points its trunk-egress branch at
+    /// them. `home_addr` is the sender's real client address (receivers'
+    /// NACK/PLI/REMB feedback is forwarded there).
+    pub fn join_remote_sender(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        meeting: MeetingId,
+        home_addr: HostAddr,
+    ) -> JoinGrant {
+        self.join_class(dp, meeting, home_addr, true, ParticipantClass::RemoteSender)
+    }
+
+    /// Register a remote edge switch as a trunk-egress pseudo-receiver:
+    /// it joins every tree at full quality, so each local sender's
+    /// stream crosses the fabric exactly once per remote switch. Use
+    /// [`Self::set_trunk_dst`] to point it at the remote switch's
+    /// trunk-ingress ports as remote senders are granted.
+    pub fn join_trunk_egress(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        meeting: MeetingId,
+    ) -> ParticipantId {
+        // Placeholder address — trunk replicas resolve their destination
+        // per sender through `trunk_dst`.
+        let addr = HostAddr::new(self.sfu_ip, 0);
+        self.join_class(dp, meeting, addr, false, ParticipantClass::TrunkEgress)
+            .participant
+    }
+
+    /// Point the trunk-egress branch `trunk` at the remote trunk-ingress
+    /// addresses for local sender `sender`, then recompile the meeting.
+    pub fn set_trunk_dst(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        trunk: ParticipantId,
+        sender: ParticipantId,
+        video_dst: HostAddr,
+        audio_dst: HostAddr,
+    ) {
+        let Some(p) = self.pinfo.get_mut(&trunk) else {
+            return;
+        };
+        debug_assert_eq!(p.class, ParticipantClass::TrunkEgress);
+        p.trunk_dst.insert(sender, (video_dst, audio_dst));
+        let meeting = p.meeting;
+        self.rebuild_meeting(dp, meeting);
+    }
+
+    fn join_class(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        meeting: MeetingId,
+        addr: HostAddr,
+        sends: bool,
+        class: ParticipantClass,
+    ) -> JoinGrant {
+        let pid = if class == ParticipantClass::TrunkEgress {
+            let p = self.next_trunk_pid;
+            // Wrapping below the reserved range would collide with live
+            // local participants and silently unaccount trunk traffic —
+            // fail loudly instead (recycling is a ROADMAP follow-on).
+            assert!(
+                p >= scallop_dataplane::switch::TRUNK_RID_BASE,
+                "trunk-egress id space exhausted"
+            );
+            self.next_trunk_pid = p.wrapping_add(1);
+            p
+        } else {
+            let p = self.next_pid;
+            self.next_pid += 1;
+            p
+        };
+        let (video_up, audio_up) = if class == ParticipantClass::TrunkEgress {
+            (0, 0) // receives through trunk branches, has no uplink
+        } else {
+            (
+                self.alloc_port(PortUse::VideoUplink(pid)),
+                self.alloc_port(PortUse::AudioUplink(pid)),
+            )
+        };
         // The participant's abstract egress port (for PRE pruning) is its
         // pid; register the L2 XID -> port mapping once.
         dp.pre.set_l2_xid_ports(pid, vec![pid]);
@@ -337,8 +497,10 @@ impl SwitchAgent {
             pid,
             Pinfo {
                 meeting,
+                class,
                 addr,
                 sends,
+                trunk_dst: HashMap::new(),
                 video_up,
                 audio_up,
                 dt: 2,
@@ -351,7 +513,8 @@ impl SwitchAgent {
             },
         );
         // Allocate pair ports against every existing co-participant, in
-        // both directions.
+        // both directions (each skipped when the would-be receiver does
+        // not receive on this switch).
         let existing: Vec<ParticipantId> = self.meetings[&meeting].participants.clone();
         for other in existing {
             self.ensure_pair_ports(other, pid);
@@ -370,6 +533,27 @@ impl SwitchAgent {
         }
     }
 
+    /// Whether `pid` receives media on this switch.
+    fn receives(&self, pid: ParticipantId) -> bool {
+        self.pinfo
+            .get(&pid)
+            .map(|p| p.class != ParticipantClass::RemoteSender)
+            .unwrap_or(false)
+    }
+
+    /// Whether a meeting segment spans the fabric (has any non-local
+    /// participant entries).
+    fn is_fabric_segment(&self, meeting: MeetingId) -> bool {
+        self.meetings
+            .get(&meeting)
+            .map(|m| {
+                m.participants
+                    .iter()
+                    .any(|p| self.pinfo[p].class != ParticipantClass::Local)
+            })
+            .unwrap_or(false)
+    }
+
     /// Remove a participant; tears down and rebuilds the meeting state.
     pub fn leave(&mut self, dp: &mut ScallopDataPlane, meeting: MeetingId, pid: ParticipantId) {
         let Some(m) = self.meetings.get_mut(&meeting) else {
@@ -382,38 +566,50 @@ impl SwitchAgent {
             let _ = dp.pre.remove_node(mgid, pid);
         }
         if let Some(p) = self.pinfo.remove(&pid) {
-            self.port_use.remove(&p.video_up);
-            self.port_use.remove(&p.audio_up);
-            dp.remove_port_rule(p.video_up);
-            dp.remove_port_rule(p.audio_up);
-            for (_, &(v, a)) in p.pair_from.iter() {
-                self.port_use.remove(&v);
-                self.port_use.remove(&a);
-                dp.remove_port_rule(v);
-                dp.remove_port_rule(a);
+            self.release_port(dp, p.video_up);
+            self.release_port(dp, p.audio_up);
+            for &(v, a) in p.pair_from.values() {
+                self.release_port(dp, v);
+                self.release_port(dp, a);
             }
             for (_, idx) in p.tracker_idx {
                 dp.tracker.clear_stream(idx as usize);
                 self.free_trackers.push(idx);
             }
         }
-        // Drop pair ports other participants held toward `pid`.
+        // Drop pair ports (and trunk destinations) other participants
+        // held toward `pid`.
+        let mut freed_pairs = Vec::new();
         for q in self.pinfo.values_mut() {
             if let Some((v, a)) = q.pair_from.remove(&pid) {
-                dp.remove_port_rule(v);
-                dp.remove_port_rule(a);
+                freed_pairs.push(v);
+                freed_pairs.push(a);
             }
             if let Some(idx) = q.tracker_idx.remove(&pid) {
                 dp.tracker.clear_stream(idx as usize);
                 self.free_trackers.push(idx);
             }
+            q.trunk_dst.remove(&pid);
         }
-        // Retain removes port_use entries lazily; rebuild reinstalls.
+        for port in freed_pairs {
+            self.release_port(dp, port);
+        }
         self.rebuild_meeting(dp, meeting);
     }
 
     /// Ports `receiver` is served `sender`'s media from.
     fn ensure_pair_ports(&mut self, sender: ParticipantId, receiver: ParticipantId) {
+        if !self.receives(receiver) {
+            return; // remote senders never receive on this switch
+        }
+        if self.pinfo[&sender].class == ParticipantClass::TrunkEgress {
+            return; // trunk egress never sends
+        }
+        if self.pinfo[&sender].class == ParticipantClass::RemoteSender
+            && self.pinfo[&receiver].class == ParticipantClass::TrunkEgress
+        {
+            return; // fabric traffic is never re-trunked
+        }
         if self
             .pinfo
             .get(&receiver)
@@ -434,7 +630,9 @@ impl SwitchAgent {
     /// Decide the design a meeting currently needs.
     fn desired_design(&self, meeting: MeetingId) -> TreeDesign {
         let m = &self.meetings[&meeting];
-        if m.participants.len() <= 2 {
+        // The two-party fast path is a strictly local optimization: a
+        // fabric segment always needs trees (trunk branches live there).
+        if m.participants.len() <= 2 && !self.is_fabric_segment(meeting) {
             return TreeDesign::TwoParty;
         }
         let any_per_sender = m
@@ -456,6 +654,20 @@ impl SwitchAgent {
     fn effective_dt(&self, sender: ParticipantId, receiver: ParticipantId) -> u8 {
         let p = &self.pinfo[&receiver];
         *p.dt_per_sender.get(&sender).unwrap_or(&p.dt)
+    }
+
+    /// Allocate `count` exclusive (unshared) trees. Fabric segments use
+    /// these: their L1 XIDs carry trunk pruning, not packing slots.
+    fn alloc_exclusive_trees(&mut self, dp: &mut ScallopDataPlane, count: usize) -> Vec<u16> {
+        let mut mgids = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mgid = self.alloc_mgid();
+            dp.pre
+                .create_group(mgid)
+                .expect("PRE group budget exhausted");
+            mgids.push(mgid);
+        }
+        mgids
     }
 
     /// Allocate a paired tree set (NRA: 1 mgid; RA-R: 3) — reuses a
@@ -490,7 +702,12 @@ impl SwitchAgent {
     /// handed back to the half-open pool (or destroyed when the partner
     /// slot is still unclaimed / already gone); exclusive trees are
     /// destroyed outright.
-    fn release_trees(&mut self, dp: &mut ScallopDataPlane, trees: &[(u16, u8)], meeting: MeetingId) {
+    fn release_trees(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        trees: &[(u16, u8)],
+        meeting: MeetingId,
+    ) {
         if trees.is_empty() {
             return;
         }
@@ -569,19 +786,51 @@ impl SwitchAgent {
 
         let mut new_trees: Vec<(u16, u8)> = Vec::new();
         let mut new_keys: Vec<EgressKey> = Vec::new();
+        // Fabric segments use exclusive trees: the L1 XID budget is
+        // spent on trunk pruning (TRUNK_XID) rather than on the m = 2
+        // meeting-packing slots, so they never share trees with another
+        // meeting. Purely local meetings keep the packed layout.
+        let fabric = self.is_fabric_segment(meeting);
+
+        // Nothing to forward (no sender, or no one left who receives —
+        // e.g. a drained fabric segment holding only its trunk-egress
+        // branch): keep the segment treeless instead of leaking a PRE
+        // group per churned meeting.
+        let any_sender = participants.iter().any(|p| self.pinfo[p].sends);
+        let any_receiver = participants.iter().any(|&p| self.receives(p));
+        if (!any_sender || !any_receiver) && design != TreeDesign::TwoParty {
+            let m = self.meetings.get_mut(&meeting).unwrap();
+            m.design = design;
+            return;
+        }
 
         match design {
             TreeDesign::TwoParty => {
                 self.install_two_party(dp, &participants);
             }
             TreeDesign::Nra => {
-                let (mgids, slot) = self.alloc_paired_trees(dp, 1, |a| &mut a.nra_half);
+                let (mgids, slot) = if fabric {
+                    (self.alloc_exclusive_trees(dp, 1), 0)
+                } else {
+                    self.alloc_paired_trees(dp, 1, |a| &mut a.nra_half)
+                };
                 let mgid = mgids[0];
                 new_trees.push((mgid, slot));
-                self.populate_tier_trees(dp, meeting, &participants, &[mgid, mgid, mgid], slot, &mut new_keys);
+                self.populate_tier_trees(
+                    dp,
+                    meeting,
+                    &participants,
+                    &[mgid, mgid, mgid],
+                    slot,
+                    &mut new_keys,
+                );
             }
             TreeDesign::RaR => {
-                let (mgids, slot) = self.alloc_paired_trees(dp, 3, |a| &mut a.rar_half);
+                let (mgids, slot) = if fabric {
+                    (self.alloc_exclusive_trees(dp, 3), 0)
+                } else {
+                    self.alloc_paired_trees(dp, 3, |a| &mut a.rar_half)
+                };
                 for &g in &mgids {
                     new_trees.push((g, slot));
                 }
@@ -656,20 +905,29 @@ impl SwitchAgent {
     fn populate_tier_trees(
         &mut self,
         dp: &mut ScallopDataPlane,
-        _meeting: MeetingId,
+        meeting: MeetingId,
         participants: &[ParticipantId],
         tiers: &[u16; 3],
         slot: u8,
         new_keys: &mut Vec<EgressKey>,
     ) {
+        let fabric = self.is_fabric_segment(meeting);
         let distinct: Vec<u16> = {
             let mut d = tiers.to_vec();
             d.dedup();
             d
         };
-        // Add one L1 node per participant per tier tree it belongs to.
+        // Add one L1 node per receiving participant per tier tree it
+        // belongs to. In a fabric segment, trunk-egress branches carry
+        // TRUNK_XID (pruned by remote senders, so fabric media is never
+        // re-trunked) and sit in every tier tree — the trunk always
+        // carries full quality; thinning is the remote edge's job.
         for &r in participants {
-            let dt = self.pinfo[&r].dt;
+            if !self.receives(r) {
+                continue;
+            }
+            let is_trunk = self.pinfo[&r].class == ParticipantClass::TrunkEgress;
+            let dt = if is_trunk { 2 } else { self.pinfo[&r].dt };
             for (t, &mgid) in tiers.iter().enumerate() {
                 if distinct.len() > 1 && (t as u8) > dt {
                     continue; // receiver not in higher tiers it dropped
@@ -677,13 +935,21 @@ impl SwitchAgent {
                 if distinct.len() == 1 && t > 0 {
                     continue; // NRA: single tree, add node once
                 }
+                let (xid, prune_enabled) = if is_trunk {
+                    (TRUNK_XID, true)
+                } else if fabric {
+                    // Exclusive tree: no packing slot to prune.
+                    (0, false)
+                } else {
+                    (slot as u16, true)
+                };
                 dp.pre
                     .add_node(
                         mgid,
                         L1Node {
                             rid: r,
-                            xid: slot as u16,
-                            prune_enabled: true,
+                            xid,
+                            prune_enabled,
                             ports: vec![r],
                         },
                     )
@@ -696,40 +962,66 @@ impl SwitchAgent {
             if !self.pinfo[&s].sends {
                 continue;
             }
+            let s_class = self.pinfo[&s].class;
             let (s_video_up, s_audio_up) = {
                 let p = &self.pinfo[&s];
                 (p.video_up, p.audio_up)
             };
+            let l1_xid = match s_class {
+                // Media that already crossed a trunk prunes every
+                // trunk-egress branch.
+                ParticipantClass::RemoteSender => TRUNK_XID,
+                _ if fabric => 0,
+                _ => other_slot,
+            };
             let action = ReplicationAction::Multicast {
                 mgid_by_tier: *tiers,
-                l1_xid: other_slot,
+                l1_xid,
                 rid: s,
                 l2_xid: s,
             };
-            dp.install_port_rule(
-                s_video_up,
-                PortRule::SenderUplink {
-                    action: action.clone(),
-                    punt_extended_dd: true,
-                },
-            )
-            .expect("port rule capacity");
-            dp.install_port_rule(
-                s_audio_up,
-                PortRule::SenderUplink {
-                    action,
-                    punt_extended_dd: false,
-                },
-            )
-            .expect("port rule capacity");
+            if s_class == ParticipantClass::RemoteSender {
+                dp.install_port_rule(
+                    s_video_up,
+                    PortRule::TrunkIngress {
+                        action: action.clone(),
+                    },
+                )
+                .expect("port rule capacity");
+                dp.install_port_rule(s_audio_up, PortRule::TrunkIngress { action })
+                    .expect("port rule capacity");
+            } else {
+                dp.install_port_rule(
+                    s_video_up,
+                    PortRule::SenderUplink {
+                        action: action.clone(),
+                        punt_extended_dd: true,
+                    },
+                )
+                .expect("port rule capacity");
+                dp.install_port_rule(
+                    s_audio_up,
+                    PortRule::SenderUplink {
+                        action,
+                        punt_extended_dd: false,
+                    },
+                )
+                .expect("port rule capacity");
+            }
 
             for &r in participants {
-                if r == s {
+                if r == s || !self.receives(r) {
                     continue;
                 }
-                let best = self.is_best_downlink(s, r);
+                let r_trunk = self.pinfo[&r].class == ParticipantClass::TrunkEgress;
+                if r_trunk && s_class == ParticipantClass::RemoteSender {
+                    continue; // never re-trunk fabric traffic
+                }
                 self.install_pair_egress(dp, s, r, tiers, new_keys);
-                self.install_feedback_rules(dp, s, r, best);
+                if !r_trunk {
+                    let best = self.is_best_downlink(s, r);
+                    self.install_feedback_rules(dp, s, r, best);
+                }
             }
         }
     }
@@ -751,20 +1043,27 @@ impl SwitchAgent {
             .collect();
         for pair in senders.chunks(2) {
             let mut tiers = [0u16; 3];
-            for t in 0..3 {
+            for tier_slot in &mut tiers {
                 let mgid = self.alloc_mgid();
                 dp.pre.create_group(mgid).expect("PRE group budget");
-                tiers[t] = mgid;
+                *tier_slot = mgid;
                 new_trees.push((mgid, 0)); // exclusive trees
             }
             for (i, &s) in pair.iter().enumerate() {
                 let sender_xid = (i + 1) as u16;
-                // Nodes: receivers of s at each tier.
+                let s_class = self.pinfo[&s].class;
+                // Nodes: receivers of s at each tier. RA-SR trees are
+                // per-sender sets already, so trunk-egress branches are
+                // simply omitted from remote senders' sets.
                 for &r in participants {
-                    if r == s {
+                    if r == s || !self.receives(r) {
                         continue;
                     }
-                    let dt = self.effective_dt(s, r);
+                    let r_trunk = self.pinfo[&r].class == ParticipantClass::TrunkEgress;
+                    if r_trunk && s_class == ParticipantClass::RemoteSender {
+                        continue; // never re-trunk fabric traffic
+                    }
+                    let dt = if r_trunk { 2 } else { self.effective_dt(s, r) };
                     for (t, &mgid) in tiers.iter().enumerate() {
                         if (t as u8) > dt {
                             continue;
@@ -781,9 +1080,11 @@ impl SwitchAgent {
                             )
                             .expect("L1 node budget");
                     }
-                    let best = self.is_best_downlink(s, r);
                     self.install_pair_egress(dp, s, r, &tiers, new_keys);
-                    self.install_feedback_rules(dp, s, r, best);
+                    if !r_trunk {
+                        let best = self.is_best_downlink(s, r);
+                        self.install_feedback_rules(dp, s, r, best);
+                    }
                 }
                 let other_xid = if sender_xid == 1 { 2 } else { 1 };
                 let (s_video_up, s_audio_up) = {
@@ -796,22 +1097,34 @@ impl SwitchAgent {
                     rid: s,
                     l2_xid: s,
                 };
-                dp.install_port_rule(
-                    s_video_up,
-                    PortRule::SenderUplink {
-                        action: action.clone(),
-                        punt_extended_dd: true,
-                    },
-                )
-                .expect("port rule capacity");
-                dp.install_port_rule(
-                    s_audio_up,
-                    PortRule::SenderUplink {
-                        action,
-                        punt_extended_dd: false,
-                    },
-                )
-                .expect("port rule capacity");
+                if s_class == ParticipantClass::RemoteSender {
+                    dp.install_port_rule(
+                        s_video_up,
+                        PortRule::TrunkIngress {
+                            action: action.clone(),
+                        },
+                    )
+                    .expect("port rule capacity");
+                    dp.install_port_rule(s_audio_up, PortRule::TrunkIngress { action })
+                        .expect("port rule capacity");
+                } else {
+                    dp.install_port_rule(
+                        s_video_up,
+                        PortRule::SenderUplink {
+                            action: action.clone(),
+                            punt_extended_dd: true,
+                        },
+                    )
+                    .expect("port rule capacity");
+                    dp.install_port_rule(
+                        s_audio_up,
+                        PortRule::SenderUplink {
+                            action,
+                            punt_extended_dd: false,
+                        },
+                    )
+                    .expect("port rule capacity");
+                }
             }
         }
     }
@@ -825,6 +1138,10 @@ impl SwitchAgent {
         tiers: &[u16; 3],
         new_keys: &mut Vec<EgressKey>,
     ) {
+        if self.pinfo[&r].class == ParticipantClass::TrunkEgress {
+            self.install_trunk_egress(dp, s, r, tiers, new_keys);
+            return;
+        }
         let dt = self.effective_dt(s, r);
         let adapted = dt < 2 || self.pinfo[&r].tracker_idx.contains_key(&s);
         let tracker = if adapted {
@@ -833,11 +1150,7 @@ impl SwitchAgent {
                 None => {
                     let i = self.alloc_tracker();
                     dp.tracker.init_stream(i as usize, cadence_for_dt(dt));
-                    self.pinfo
-                        .get_mut(&r)
-                        .unwrap()
-                        .tracker_idx
-                        .insert(s, i);
+                    self.pinfo.get_mut(&r).unwrap().tracker_idx.insert(s, i);
                     i
                 }
             };
@@ -876,7 +1189,8 @@ impl SwitchAgent {
                     rid: r,
                     in_port: s_video_up,
                 };
-                dp.install_egress(vkey, video_spec).expect("egress capacity");
+                dp.install_egress(vkey, video_spec)
+                    .expect("egress capacity");
                 new_keys.push(vkey);
             }
             if t == 0 {
@@ -885,7 +1199,69 @@ impl SwitchAgent {
                     rid: r,
                     in_port: s_audio_up,
                 };
-                dp.install_egress(akey, audio_spec).expect("egress capacity");
+                dp.install_egress(akey, audio_spec)
+                    .expect("egress capacity");
+                new_keys.push(akey);
+            }
+        }
+    }
+
+    /// Install egress specs for a trunk-egress branch: one full-quality,
+    /// unrewritten copy of sender `s` toward the remote switch's
+    /// trunk-ingress ports, in every tier tree (the trunk never thins).
+    fn install_trunk_egress(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        s: ParticipantId,
+        r: ParticipantId,
+        tiers: &[u16; 3],
+        new_keys: &mut Vec<EgressKey>,
+    ) {
+        // Destination unknown until the controller has granted the
+        // remote-sender entry on the far edge; the branch stays dark
+        // until `set_trunk_dst` triggers a rebuild.
+        let Some(&(video_dst, audio_dst)) = self.pinfo[&r].trunk_dst.get(&s) else {
+            return;
+        };
+        let (vp, ap) = self.pinfo[&r].pair_from[&s];
+        let (s_video_up, s_audio_up) = {
+            let p = &self.pinfo[&s];
+            (p.video_up, p.audio_up)
+        };
+        let video_spec = EgressSpec {
+            src: HostAddr::new(self.sfu_ip, vp),
+            dst: video_dst,
+            max_temporal: 2,
+            rewrite_index: None,
+        };
+        let audio_spec = EgressSpec {
+            src: HostAddr::new(self.sfu_ip, ap),
+            dst: audio_dst,
+            max_temporal: 2,
+            rewrite_index: None,
+        };
+        let mut seen = Vec::new();
+        for (t, &mgid) in tiers.iter().enumerate() {
+            if seen.contains(&mgid) {
+                continue;
+            }
+            seen.push(mgid);
+            let vkey = EgressKey {
+                mgid,
+                rid: r,
+                in_port: s_video_up,
+            };
+            dp.install_egress(vkey, video_spec)
+                .expect("egress capacity");
+            new_keys.push(vkey);
+            if t == 0 {
+                let akey = EgressKey {
+                    mgid,
+                    rid: r,
+                    in_port: s_audio_up,
+                };
+                dp.install_egress(akey, audio_spec)
+                    .expect("egress capacity");
                 new_keys.push(akey);
             }
         }
@@ -902,7 +1278,14 @@ impl SwitchAgent {
     fn best_downlink_for(&self, s: ParticipantId, meeting: MeetingId) -> Option<ParticipantId> {
         let m = self.meetings.get(&meeting)?;
         let mut best: Option<(ParticipantId, f64)> = None;
-        for &r in m.participants.iter().filter(|&&r| r != s) {
+        // Only local receivers compete: a trunk-egress branch reports no
+        // feedback here (the remote edge runs its own filter), and a
+        // remote sender receives nothing on this switch.
+        for &r in m
+            .participants
+            .iter()
+            .filter(|&&r| r != s && self.pinfo[&r].class == ParticipantClass::Local)
+        {
             let score = self.pinfo[&r]
                 .ewma
                 .get(&s)
@@ -1075,7 +1458,9 @@ impl SwitchAgent {
     pub fn apply_dt_change(&mut self, dp: &mut ScallopDataPlane, receiver: ParticipantId, dt: u8) {
         let meeting = match self.pinfo.get_mut(&receiver) {
             Some(p) => {
-                if p.dt == dt {
+                if p.dt == dt || p.class == ParticipantClass::TrunkEgress {
+                    // Trunk branches always carry full quality; remote
+                    // receivers adapt on their own edge.
                     return;
                 }
                 p.dt = dt;
@@ -1118,7 +1503,9 @@ impl SwitchAgent {
                 }
                 let best = self.best_downlink_for(s, mid);
                 for &r in participants.iter().filter(|&&r| r != s) {
-                    if !self.pinfo[&r].pair_from.contains_key(&s) {
+                    if self.pinfo[&r].class != ParticipantClass::Local
+                        || !self.pinfo[&r].pair_from.contains_key(&s)
+                    {
                         continue;
                     }
                     let allowed = best == Some(r);
@@ -1257,6 +1644,27 @@ mod tests {
     }
 
     #[test]
+    fn ports_recycle_under_meeting_churn() {
+        // A fabric edge owns a narrow port slice; meeting churn must
+        // recycle released ports or the range exhausts while nearly
+        // empty. 40 rounds × ~18 ports/round only fits in 50 ports if
+        // leave() returns them.
+        let mut agent =
+            SwitchAgent::new(Ipv4Addr::new(10, 0, 0, 100)).with_port_range(10_000, 10_050);
+        let mut dp = ScallopDataPlane::new(SeqRewriteMode::LowRetransmission);
+        for round in 0..40u8 {
+            let m = agent.create_meeting();
+            let grants: Vec<_> = (1..=3)
+                .map(|i| agent.join(&mut dp, m, addr(round.wrapping_mul(3) + i), true))
+                .collect();
+            for g in grants {
+                agent.leave(&mut dp, m, g.participant);
+            }
+        }
+        assert_eq!(dp.pre.groups_used(), 0, "all trees released");
+    }
+
+    #[test]
     fn stun_answered_from_cpu() {
         let (mut agent, mut dp) = mk();
         let req = StunMessage::binding_request([9; 12]).serialize();
@@ -1277,7 +1685,9 @@ mod tests {
         let _g2 = agent.join(&mut dp, m, addr(2), true);
         let g3 = agent.join(&mut dp, m, addr(3), true);
         // Feedback copy: g3 reports a 1 Mbit/s downlink for g1's video.
-        let vp = agent.video_pair_addr(g1.participant, g3.participant).unwrap();
+        let vp = agent
+            .video_pair_addr(g1.participant, g3.participant)
+            .unwrap();
         let remb = rtcp::serialize_compound(&[RtcpPacket::Remb(rtcp::Remb {
             sender_ssrc: 0x33,
             bitrate_bps: 1_000_000,
@@ -1313,8 +1723,12 @@ mod tests {
         }
         agent.tick(SimTime::from_millis(100), &mut dp);
         // Only g2's pair port may forward REMB to g1.
-        let vp2 = agent.video_pair_addr(g1.participant, g2.participant).unwrap();
-        let vp3 = agent.video_pair_addr(g1.participant, g3.participant).unwrap();
+        let vp2 = agent
+            .video_pair_addr(g1.participant, g2.participant)
+            .unwrap();
+        let vp3 = agent
+            .video_pair_addr(g1.participant, g3.participant)
+            .unwrap();
         let allowed = |dp: &ScallopDataPlane, port: u16| match dp.port_rules.peek(&port) {
             Some(PortRule::ReceiverFeedback { remb_allowed, .. }) => *remb_allowed,
             other => panic!("missing feedback rule: {other:?}"),

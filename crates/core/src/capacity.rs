@@ -153,7 +153,12 @@ impl CapacityModel {
     /// Worst-case Scallop capacity: everyone sends, sender-receiver-
     /// specific adaptation, S-LR memory.
     pub fn scallop_worst(&self, n: u64) -> f64 {
-        self.scallop_meetings(n, n, TreeDesignKind::RaSr, SeqRewriteMode::LowRetransmission)
+        self.scallop_meetings(
+            n,
+            n,
+            TreeDesignKind::RaSr,
+            SeqRewriteMode::LowRetransmission,
+        )
     }
 
     /// Full minimum across budgets for a configuration.
@@ -182,13 +187,7 @@ impl CapacityModel {
     }
 
     /// Improvement factor over the software baseline for a configuration.
-    pub fn improvement(
-        &self,
-        n: u64,
-        s: u64,
-        design: TreeDesignKind,
-        mode: SeqRewriteMode,
-    ) -> f64 {
+    pub fn improvement(&self, n: u64, s: u64, design: TreeDesignKind, mode: SeqRewriteMode) -> f64 {
         self.scallop_meetings(n, s, design, mode) / self.software_meetings(n, s)
     }
 
@@ -199,7 +198,7 @@ impl CapacityModel {
         let mut lo = f64::INFINITY;
         let mut hi = 0.0f64;
         for n in 2..=n_max {
-            let sender_options = [1, (n + 1) / 2, n];
+            let sender_options = [1, n.div_ceil(2), n];
             for &s in &sender_options {
                 if s == 0 || s > n {
                     continue;
@@ -270,10 +269,7 @@ mod tests {
     fn single_core_fig34_anchor() {
         // Fig. 3/4: one pinned core, 10-party meetings, quality collapses
         // between 60 and 120 participants — i.e. 6..12 meetings/core.
-        let one_core = CapacityModel {
-            sw_cores: 1,
-            ..m()
-        };
+        let one_core = CapacityModel { sw_cores: 1, ..m() };
         let cap = one_core.software_meetings(10, 10);
         assert!((5.0..9.0).contains(&cap), "per-core capacity {cap}");
     }
@@ -295,7 +291,12 @@ mod tests {
         let c = m();
         // At n=s=10 with RA-SR + S-LR the binding constraint is the
         // tracker memory (1.46K), not the trees (4.37K).
-        let total = c.scallop_meetings(10, 10, TreeDesignKind::RaSr, SeqRewriteMode::LowRetransmission);
+        let total = c.scallop_meetings(
+            10,
+            10,
+            TreeDesignKind::RaSr,
+            SeqRewriteMode::LowRetransmission,
+        );
         let mem = c.rewrite_meetings(10, 10, SeqRewriteMode::LowRetransmission);
         assert!((total - mem).abs() < 1e-9);
         // With NRA (no adaptation) the tree budget binds at small n and
@@ -332,8 +333,7 @@ mod tests {
         assert!((1.9..2.1).contains(&r2), "ratio {r2}");
         // Memory-bound configurations flatten out (both quadratic).
         let mem_imp = |n: u64| {
-            c.rewrite_meetings(n, n, SeqRewriteMode::LowRetransmission)
-                / c.software_meetings(n, n)
+            c.rewrite_meetings(n, n, SeqRewriteMode::LowRetransmission) / c.software_meetings(n, n)
         };
         let flat = mem_imp(80) / mem_imp(20);
         assert!((0.8..1.3).contains(&flat), "flat ratio {flat}");

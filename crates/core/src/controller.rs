@@ -12,11 +12,13 @@
 //! the simulation; the call frequency (a handful per membership change)
 //! is what the paper's Table 1 shows to be negligible.
 
-use crate::agent::{JoinGrant, MeetingId};
+use crate::agent::{JoinGrant, MeetingId, ParticipantId};
+use crate::fabric::Fabric;
 use crate::switchnode::ScallopSwitchNode;
 use scallop_netsim::packet::HostAddr;
+use scallop_netsim::sim::Simulator;
 use scallop_proto::sdp::SessionDescription;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Per-meeting controller bookkeeping.
 #[derive(Debug, Default, Clone)]
@@ -24,10 +26,56 @@ struct MeetingRecord {
     participants: Vec<(u16, HostAddr)>,
 }
 
+/// Fabric-wide meeting identifier (controller-allocated; each involved
+/// edge hosts its own local segment [`MeetingId`] underneath it).
+pub type GlobalMeetingId = u32;
+
+/// Fabric-wide participant identifier.
+pub type GlobalParticipantId = u16;
+
+/// What a participant joining through the fabric controller receives.
+#[derive(Debug, Clone, Copy)]
+pub struct FabricGrant {
+    /// Fabric-wide participant id.
+    pub global: GlobalParticipantId,
+    /// Home edge switch index.
+    pub edge: usize,
+    /// The grant on the home edge (uplink addresses to send media to).
+    pub local: JoinGrant,
+}
+
+/// One fabric meeting member, as the controller tracks it.
+#[derive(Debug, Clone)]
+struct FabricMember {
+    global: GlobalParticipantId,
+    edge: usize,
+    addr: HostAddr,
+    sends: bool,
+    local_pid: ParticipantId,
+    /// Per remote edge: the remote-sender entry (and its trunk-ingress
+    /// ports) representing this sender there.
+    remote_pids: BTreeMap<usize, ParticipantId>,
+}
+
+/// A meeting placed across the fabric.
+#[derive(Debug, Default)]
+struct FabricMeetingRecord {
+    /// The home edge this meeting was placed on.
+    home: usize,
+    /// Local segment meeting id per involved edge.
+    segments: BTreeMap<usize, MeetingId>,
+    /// Trunk-egress branch per (on_edge, toward_edge) pair.
+    trunk_egress: BTreeMap<(usize, usize), ParticipantId>,
+    members: Vec<FabricMember>,
+}
+
 /// The centralized controller.
 #[derive(Debug, Default)]
 pub struct Controller {
     meetings: HashMap<MeetingId, MeetingRecord>,
+    fabric_meetings: BTreeMap<GlobalMeetingId, FabricMeetingRecord>,
+    next_global_meeting: GlobalMeetingId,
+    next_global_participant: GlobalParticipantId,
     /// Signaling transactions served (telemetry).
     pub signaling_exchanges: u64,
 }
@@ -79,7 +127,9 @@ impl Controller {
         let cand = offer
             .all_candidates()
             .next()
-            .ok_or(scallop_proto::ProtoError::Malformed("offer without candidates"))?;
+            .ok_or(scallop_proto::ProtoError::Malformed(
+                "offer without candidates",
+            ))?;
         let client_addr = HostAddr::new(cand.ip, cand.port);
         let sends = offer
             .media
@@ -104,12 +154,7 @@ impl Controller {
     }
 
     /// Remove a participant.
-    pub fn leave(
-        &mut self,
-        switch: &mut ScallopSwitchNode,
-        meeting: MeetingId,
-        participant: u16,
-    ) {
+    pub fn leave(&mut self, switch: &mut ScallopSwitchNode, meeting: MeetingId, participant: u16) {
         switch.leave(meeting, participant);
         if let Some(m) = self.meetings.get_mut(&meeting) {
             m.participants.retain(|&(p, _)| p != participant);
@@ -122,6 +167,238 @@ impl Controller {
         self.meetings
             .get(&meeting)
             .map(|m| m.participants.iter().map(|&(p, _)| p).collect())
+            .unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // Fabric placement (§5.1 generalized to a campus of edge switches)
+    // ------------------------------------------------------------------
+
+    /// Place a meeting on the fabric with `home` as its home edge. The
+    /// home segment is created immediately; segments on other edges
+    /// materialize when their first participant joins.
+    pub fn create_fabric_meeting(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        home: usize,
+    ) -> GlobalMeetingId {
+        assert!(home < fabric.edges(), "home edge out of range");
+        self.next_global_meeting += 1;
+        let gmid = self.next_global_meeting;
+        let seg = fabric.edge_mut(sim, home).agent.create_meeting();
+        let mut rec = FabricMeetingRecord {
+            home,
+            ..Default::default()
+        };
+        rec.segments.insert(home, seg);
+        self.fabric_meetings.insert(gmid, rec);
+        self.signaling_exchanges += 1;
+        gmid
+    }
+
+    /// The local segment of a fabric meeting on `edge`, if materialized.
+    pub fn segment_of(&self, gmid: GlobalMeetingId, edge: usize) -> Option<MeetingId> {
+        self.fabric_meetings
+            .get(&gmid)?
+            .segments
+            .get(&edge)
+            .copied()
+    }
+
+    /// The home edge a fabric meeting was placed on.
+    pub fn home_edge_of(&self, gmid: GlobalMeetingId) -> Option<usize> {
+        self.fabric_meetings.get(&gmid).map(|r| r.home)
+    }
+
+    /// Join a participant attached to `edge` into a fabric meeting,
+    /// compiling all cross-switch forwarding:
+    ///
+    /// * the participant joins its edge's local segment (local PRE
+    ///   fan-out, feedback analysis, rate adaptation),
+    /// * if it sends, every other involved edge gets a **remote-sender**
+    ///   entry (trunk-ingress ports) and the home edge's trunk-egress
+    ///   branch toward that edge is pointed at them — so uplink media
+    ///   crosses each trunk **once per remote switch** and fans out
+    ///   through the remote switch's own PRE,
+    /// * symmetrically, when this join materializes a new segment, every
+    ///   existing remote sender is plumbed toward it.
+    pub fn join_fabric(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        gmid: GlobalMeetingId,
+        edge: usize,
+        addr: HostAddr,
+        sends: bool,
+    ) -> FabricGrant {
+        assert!(edge < fabric.edges(), "edge out of range");
+        self.next_global_participant += 1;
+        let global = self.next_global_participant;
+
+        // 1. Materialize this edge's segment if needed.
+        let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
+        let new_segment = !rec.segments.contains_key(&edge);
+        if new_segment {
+            let seg = fabric.edge_mut(sim, edge).agent.create_meeting();
+            rec.segments.insert(edge, seg);
+        }
+        let segment = rec.segments[&edge];
+
+        // 2. A new segment must be wired to every existing one: trunk
+        //    egress branches in both directions, and every established
+        //    sender on other edges becomes a remote sender here.
+        if new_segment {
+            let others: Vec<(usize, MeetingId)> = rec
+                .segments
+                .iter()
+                .filter(|&(&o, _)| o != edge)
+                .map(|(&o, &s)| (o, s))
+                .collect();
+            for (o, o_seg) in others {
+                let te_here = fabric.edge_mut(sim, edge).join_trunk_egress(segment);
+                let te_there = fabric.edge_mut(sim, o).join_trunk_egress(o_seg);
+                let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
+                rec.trunk_egress.insert((edge, o), te_here);
+                rec.trunk_egress.insert((o, edge), te_there);
+            }
+            let senders: Vec<FabricMember> = self.fabric_meetings[&gmid]
+                .members
+                .iter()
+                .filter(|m| m.sends && m.edge != edge)
+                .cloned()
+                .collect();
+            for m in senders {
+                self.plumb_sender_to_edge(sim, fabric, gmid, m.global, edge);
+            }
+        }
+
+        // 3. Local join.
+        let local = fabric.edge_mut(sim, edge).join(segment, addr, sends);
+        let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
+        rec.members.push(FabricMember {
+            global,
+            edge,
+            addr,
+            sends,
+            local_pid: local.participant,
+            remote_pids: BTreeMap::new(),
+        });
+        self.signaling_exchanges += 1;
+
+        // 4. A new sender reaches every other involved edge.
+        if sends {
+            let other_edges: Vec<usize> = self.fabric_meetings[&gmid]
+                .segments
+                .keys()
+                .copied()
+                .filter(|&o| o != edge)
+                .collect();
+            for o in other_edges {
+                self.plumb_sender_to_edge(sim, fabric, gmid, global, o);
+            }
+        }
+
+        FabricGrant {
+            global,
+            edge,
+            local,
+        }
+    }
+
+    /// Compile forwarding of sender `global` toward edge `to`: grant a
+    /// remote-sender entry (trunk-ingress ports) on `to`, then point the
+    /// home edge's trunk-egress branch at it.
+    fn plumb_sender_to_edge(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        gmid: GlobalMeetingId,
+        global: GlobalParticipantId,
+        to: usize,
+    ) {
+        let rec = &self.fabric_meetings[&gmid];
+        let m = rec
+            .members
+            .iter()
+            .find(|m| m.global == global)
+            .expect("member exists")
+            .clone();
+        debug_assert!(m.sends && m.edge != to);
+        let to_seg = rec.segments[&to];
+        let te = rec.trunk_egress[&(m.edge, to)];
+        let remote = fabric.edge_mut(sim, to).join_remote_sender(to_seg, m.addr);
+        let video_dst = fabric.trunk_addr(m.edge, to, remote.video_uplink.port);
+        let audio_dst = fabric.trunk_addr(m.edge, to, remote.audio_uplink.port);
+        fabric
+            .edge_mut(sim, m.edge)
+            .set_trunk_dst(te, m.local_pid, video_dst, audio_dst);
+        let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
+        let member = rec
+            .members
+            .iter_mut()
+            .find(|mm| mm.global == global)
+            .expect("member exists");
+        member.remote_pids.insert(to, remote.participant);
+        self.signaling_exchanges += 1;
+    }
+
+    /// Remove a fabric participant: leaves its home segment and retires
+    /// its remote-sender entries everywhere.
+    pub fn leave_fabric(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        gmid: GlobalMeetingId,
+        global: GlobalParticipantId,
+    ) {
+        let Some(rec) = self.fabric_meetings.get_mut(&gmid) else {
+            return;
+        };
+        let Some(pos) = rec.members.iter().position(|m| m.global == global) else {
+            return;
+        };
+        let m = rec.members.remove(pos);
+        let segment = rec.segments[&m.edge];
+        fabric.edge_mut(sim, m.edge).leave(segment, m.local_pid);
+        let remote: Vec<(usize, ParticipantId)> =
+            m.remote_pids.iter().map(|(&o, &p)| (o, p)).collect();
+        let rec = self.fabric_meetings.get(&gmid).expect("fabric meeting");
+        let remote_segs: Vec<(usize, MeetingId, ParticipantId)> = remote
+            .iter()
+            .map(|&(o, p)| (o, rec.segments[&o], p))
+            .collect();
+        for (o, seg, pid) in remote_segs {
+            fabric.edge_mut(sim, o).leave(seg, pid);
+        }
+        self.signaling_exchanges += 1;
+    }
+
+    /// Resolve the (edge, sender-pid, receiver-pid) triple for a
+    /// (sender, receiver) pair, on the receiver's edge: the sender pid
+    /// is its local entry when co-located, else its remote-sender entry.
+    pub fn pair_on_receiver_edge(
+        &self,
+        gmid: GlobalMeetingId,
+        sender: GlobalParticipantId,
+        receiver: GlobalParticipantId,
+    ) -> Option<(usize, ParticipantId, ParticipantId)> {
+        let rec = self.fabric_meetings.get(&gmid)?;
+        let r = rec.members.iter().find(|m| m.global == receiver)?;
+        let s = rec.members.iter().find(|m| m.global == sender)?;
+        let s_pid = if s.edge == r.edge {
+            s.local_pid
+        } else {
+            *s.remote_pids.get(&r.edge)?
+        };
+        Some((r.edge, s_pid, r.local_pid))
+    }
+
+    /// Global participant ids of a fabric meeting, in join order.
+    pub fn fabric_members(&self, gmid: GlobalMeetingId) -> Vec<GlobalParticipantId> {
+        self.fabric_meetings
+            .get(&gmid)
+            .map(|r| r.members.iter().map(|m| m.global).collect())
             .unwrap_or_default()
     }
 }
@@ -191,8 +468,18 @@ mod tests {
         let mut sw = switch();
         let mut ctl = Controller::new();
         let m = ctl.create_meeting(&mut sw);
-        let g1 = ctl.join(&mut sw, m, HostAddr::new(Ipv4Addr::new(10, 1, 0, 1), 5000), true);
-        let _g2 = ctl.join(&mut sw, m, HostAddr::new(Ipv4Addr::new(10, 1, 0, 2), 5000), true);
+        let g1 = ctl.join(
+            &mut sw,
+            m,
+            HostAddr::new(Ipv4Addr::new(10, 1, 0, 1), 5000),
+            true,
+        );
+        let _g2 = ctl.join(
+            &mut sw,
+            m,
+            HostAddr::new(Ipv4Addr::new(10, 1, 0, 2), 5000),
+            true,
+        );
         assert_eq!(ctl.participants(m).len(), 2);
         ctl.leave(&mut sw, m, g1.participant);
         assert_eq!(ctl.participants(m).len(), 1);

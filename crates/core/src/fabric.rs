@@ -1,0 +1,179 @@
+//! The switching fabric: edge Scallop switches + core relays in one
+//! simulation, built from a [`Topology`] description.
+//!
+//! The paper's campus story (§7, Figs. 20–21) needs more than one
+//! switch: participants attach to the edge switch of their building and
+//! meetings span buildings. This module instantiates that fabric:
+//!
+//! * every **edge** becomes a full [`ScallopSwitchNode`] (data plane +
+//!   agent) with its own disjoint SFU port range,
+//! * every **core** becomes a [`RelayNode`] routing on destination port
+//!   ranges (one route per edge),
+//! * [`Fabric::trunk_addr`] resolves where an edge must address its one
+//!   fabric copy per remote switch — through the pair's core, or
+//!   directly when the fabric has no core tier.
+//!
+//! The [`crate::controller::Controller`] compiles cross-switch
+//! forwarding on top of this: one trunk-egress branch per (meeting
+//! segment, remote switch) on the sender's home edge, one trunk-ingress
+//! rule per remote sender on each receiving edge.
+
+use crate::switchnode::{ScallopSwitchNode, SwitchConfig};
+use scallop_dataplane::seqrewrite::SeqRewriteMode;
+use scallop_dataplane::switch::DataPlaneCounters;
+use scallop_netsim::link::LinkConfig;
+use scallop_netsim::packet::HostAddr;
+use scallop_netsim::relay::{PortRangeRoute, RelayNode, RelayStats};
+use scallop_netsim::sim::{NodeId, Simulator};
+use scallop_netsim::topology::Topology;
+
+/// A built fabric: handles to every switch node in the simulator.
+#[derive(Debug)]
+pub struct Fabric {
+    /// The topology this fabric was built from.
+    pub topology: Topology,
+    /// Edge switch node ids, in topology order.
+    pub edge_ids: Vec<NodeId>,
+    /// Core relay node ids, in topology order.
+    pub core_ids: Vec<NodeId>,
+}
+
+impl Fabric {
+    /// Instantiate every switch of `topology` into `sim`. Edges attach
+    /// through `edge_link` (both directions); cores attach through the
+    /// topology's trunk link. Edges are added first, in topology order —
+    /// with a single-edge topology this reproduces the single-switch
+    /// deployment node-for-node.
+    pub fn build(
+        sim: &mut Simulator,
+        topology: Topology,
+        edge_link: LinkConfig,
+        mode: SeqRewriteMode,
+    ) -> Fabric {
+        let mut edge_ids = Vec::new();
+        for (i, spec) in topology.edges().iter().enumerate() {
+            let cfg = SwitchConfig::new(spec.ip)
+                .with_mode(mode)
+                .with_port_range(topology.port_base(i), topology.port_limit(i));
+            let id = sim.add_node(
+                Box::new(ScallopSwitchNode::new(cfg)),
+                &[spec.ip],
+                edge_link,
+                edge_link,
+            );
+            edge_ids.push(id);
+        }
+        let mut core_ids = Vec::new();
+        let edge_specs = topology.edges();
+        for spec in topology.cores() {
+            let mut relay = RelayNode::new();
+            for (i, edge) in edge_specs.iter().enumerate() {
+                relay.add_route(PortRangeRoute {
+                    lo: topology.port_base(i),
+                    hi: topology.port_limit(i) - 1,
+                    next_hop: edge.ip,
+                });
+            }
+            let id = sim.add_node(
+                Box::new(relay),
+                &[spec.ip],
+                topology.trunk_link,
+                topology.trunk_link,
+            );
+            core_ids.push(id);
+        }
+        Fabric {
+            topology,
+            edge_ids,
+            core_ids,
+        }
+    }
+
+    /// Number of edge switches.
+    pub fn edges(&self) -> usize {
+        self.edge_ids.len()
+    }
+
+    /// Mutable access to edge switch `i`.
+    pub fn edge_mut<'a>(&self, sim: &'a mut Simulator, i: usize) -> &'a mut ScallopSwitchNode {
+        sim.node_mut(self.edge_ids[i]).expect("edge switch")
+    }
+
+    /// Where edge `from` must address a trunk copy bound for port `port`
+    /// on edge `to`: the pair's core relay when the fabric has a core
+    /// tier (it forwards by port range), else edge `to` directly.
+    pub fn trunk_addr(&self, from: usize, to: usize, port: u16) -> HostAddr {
+        match self.topology.core_between(from, to) {
+            Some(c) => HostAddr::new(self.topology.core_spec(c).ip, port),
+            None => HostAddr::new(self.topology.edge_spec(to).ip, port),
+        }
+    }
+
+    /// Data-plane counters of edge `i`.
+    pub fn edge_counters(&self, sim: &mut Simulator, i: usize) -> DataPlaneCounters {
+        self.edge_mut(sim, i).counters()
+    }
+
+    /// Aggregate data-plane counters across all edges.
+    pub fn total_counters(&self, sim: &mut Simulator) -> DataPlaneCounters {
+        let mut total = DataPlaneCounters::default();
+        for i in 0..self.edges() {
+            total += self.edge_counters(sim, i);
+        }
+        total
+    }
+
+    /// Relay statistics of core `j`.
+    pub fn core_stats(&self, sim: &mut Simulator, j: usize) -> RelayStats {
+        let relay: &mut RelayNode = sim.node_mut(self.core_ids[j]).expect("core relay");
+        relay.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scallop_netsim::time::SimDuration;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn single_edge_fabric_matches_seed_switch() {
+        let mut sim = Simulator::new(1);
+        let topo = Topology::single(Ipv4Addr::new(10, 0, 0, 100));
+        let f = Fabric::build(
+            &mut sim,
+            topo,
+            LinkConfig::infinite(SimDuration::from_micros(50)),
+            SeqRewriteMode::LowRetransmission,
+        );
+        assert_eq!(f.edges(), 1);
+        assert!(f.core_ids.is_empty());
+        let sw = f.edge_mut(&mut sim, 0);
+        assert_eq!(sw.cfg.ip, Ipv4Addr::new(10, 0, 0, 100));
+        assert_eq!(sw.cfg.port_base, 10_000);
+    }
+
+    #[test]
+    fn trunk_addr_routes_through_core_when_present() {
+        let mut sim = Simulator::new(2);
+        let with_core = Fabric::build(
+            &mut sim,
+            Topology::campus(3, 1),
+            LinkConfig::infinite(SimDuration::from_micros(50)),
+            SeqRewriteMode::LowRetransmission,
+        );
+        let a = with_core.trunk_addr(0, 1, 13_005);
+        assert_eq!(a.ip, Topology::core_ip(0));
+        assert_eq!(a.port, 13_005);
+
+        let mut sim2 = Simulator::new(3);
+        let direct = Fabric::build(
+            &mut sim2,
+            Topology::campus(2, 0),
+            LinkConfig::infinite(SimDuration::from_micros(50)),
+            SeqRewriteMode::LowRetransmission,
+        );
+        let b = direct.trunk_addr(0, 1, 13_005);
+        assert_eq!(b.ip, Topology::edge_ip(1));
+    }
+}

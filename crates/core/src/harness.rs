@@ -1,15 +1,24 @@
 //! Turn-key experiment assembly: meetings of simulated WebRTC clients
-//! wired through one Scallop switch.
+//! wired through a Scallop switching fabric.
 //!
 //! Every evaluation scenario in §7 is some configuration of this
 //! harness: N participants (K of them sending), per-client access links,
 //! optional mid-run impairments (the Fig. 14 downlink degradations), and
 //! report extraction (client stats, data-plane counters, per-stream
 //! frame rates).
+//!
+//! With `switches = 1` (the default) the harness builds exactly the
+//! seed's single-switch deployment — same node order, same addresses,
+//! same agent operations, so reports are bit-for-bit reproducible under
+//! a fixed seed. With `switches > 1` it builds a campus fabric
+//! ([`crate::fabric::Fabric`]): clients are sharded round-robin across
+//! edge switches, the meeting is placed on home edge 0, and the
+//! controller compiles cross-switch forwarding so each sender's media
+//! crosses every trunk once per remote switch.
 
 use crate::agent::{JoinGrant, MeetingId};
-use crate::controller::Controller;
-use crate::switchnode::{ScallopSwitchNode, SwitchConfig};
+use crate::controller::{Controller, FabricGrant, GlobalMeetingId};
+use crate::fabric::Fabric;
 use scallop_client::{ClientConfig, ClientNode, ClientStats};
 use scallop_dataplane::seqrewrite::SeqRewriteMode;
 use scallop_dataplane::switch::DataPlaneCounters;
@@ -18,6 +27,7 @@ use scallop_netsim::link::LinkConfig;
 use scallop_netsim::packet::HostAddr;
 use scallop_netsim::sim::{NodeId, Simulator};
 use scallop_netsim::time::{SimDuration, SimTime};
+use scallop_netsim::topology::Topology;
 use std::net::Ipv4Addr;
 
 /// Harness configuration.
@@ -28,6 +38,12 @@ pub struct HarnessConfig {
     /// How many of them send media (the rest receive only); defaults to
     /// all.
     pub senders: Option<usize>,
+    /// Number of edge switches; participants shard round-robin across
+    /// them. `1` reproduces the seed single-switch behavior exactly.
+    pub switches: usize,
+    /// Number of core relays (only meaningful with `switches > 1`; `0`
+    /// means edges trunk directly to each other).
+    pub cores: usize,
     /// Simulation seed.
     pub seed: u64,
     /// Sequence-rewrite heuristic.
@@ -47,6 +63,8 @@ impl Default for HarnessConfig {
         HarnessConfig {
             participants: 3,
             senders: None,
+            switches: 1,
+            cores: 0,
             seed: 0x5CA1_10B5,
             rewrite_mode: SeqRewriteMode::LowRetransmission,
             client_uplink: LinkConfig::infinite(SimDuration::from_millis(10))
@@ -78,6 +96,19 @@ impl HarnessConfig {
         self
     }
 
+    /// Builder: edge switch count (clients shard round-robin).
+    pub fn switches(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one switch");
+        self.switches = n;
+        self
+    }
+
+    /// Builder: core relay count.
+    pub fn cores(mut self, n: usize) -> Self {
+        self.cores = n;
+        self
+    }
+
     /// Builder: seed.
     pub fn seed(mut self, s: u64) -> Self {
         self.seed = s;
@@ -102,36 +133,44 @@ impl HarnessConfig {
 pub struct HarnessReport {
     /// Participants simulated.
     pub participants: usize,
-    /// Media packets the data plane forwarded.
+    /// Media packets the data plane forwarded (all edges).
     pub media_packets_forwarded: u64,
-    /// Packets punted to the switch agent.
+    /// Packets punted to switch agents (all edges).
     pub cpu_packets: u64,
     /// Total frames decoded across all clients.
     pub frames_decoded: u64,
     /// Total decoder freezes across all clients.
     pub freezes: u64,
-    /// Replicas suppressed by rate adaptation.
+    /// Replicas suppressed by rate adaptation (all edges).
     pub rate_adapt_drops: u64,
+    /// Replicas that crossed a trunk (0 on a single switch).
+    pub trunk_packets: u64,
 }
 
 /// The assembled experiment.
 pub struct ScallopHarness {
     /// The simulator (exposed for custom impairments / inspection).
     pub sim: Simulator,
-    /// Switch node id.
+    /// The switching fabric (edge switch node ids, core relays).
+    pub fabric: Fabric,
+    /// Edge-0 switch node id (the only switch when `switches = 1`).
     pub switch_id: NodeId,
     /// Client node ids, by participant index.
     pub client_ids: Vec<NodeId>,
-    /// Join grants, by participant index.
+    /// Per-participant local join grants (on each one's home edge).
     pub grants: Vec<JoinGrant>,
+    /// Per-participant fabric grants (global id + home edge).
+    pub fabric_grants: Vec<FabricGrant>,
     /// The controller.
     pub controller: Controller,
-    /// The meeting id.
+    /// The home-edge local segment id (the meeting id on edge 0).
     pub meeting: MeetingId,
+    /// The fabric-wide meeting id.
+    pub fabric_meeting: GlobalMeetingId,
     cfg: HarnessConfig,
 }
 
-/// The switch's IP in harness topologies.
+/// The switch's IP in harness topologies (edge 0 of the fabric).
 pub const SWITCH_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 100);
 
 fn client_ip(idx: usize) -> Ipv4Addr {
@@ -142,34 +181,32 @@ impl ScallopHarness {
     /// Build the topology and join all participants.
     pub fn new(cfg: HarnessConfig) -> Self {
         let mut sim = Simulator::new(cfg.seed);
-        let switch = ScallopSwitchNode::new(
-            SwitchConfig::new(SWITCH_IP).with_mode(cfg.rewrite_mode),
-        );
-        let switch_id = sim.add_node(
-            Box::new(switch),
-            &[SWITCH_IP],
-            cfg.switch_link,
-            cfg.switch_link,
-        );
+        let topology = if cfg.switches == 1 {
+            Topology::single(SWITCH_IP)
+        } else {
+            Topology::campus(cfg.switches, cfg.cores)
+        };
+        let fabric = Fabric::build(&mut sim, topology, cfg.switch_link, cfg.rewrite_mode);
+        let switch_id = fabric.edge_ids[0];
         let mut controller = Controller::new();
         let senders = cfg.senders.unwrap_or(cfg.participants);
-        let meeting = {
-            let sw: &mut ScallopSwitchNode = sim.node_mut(switch_id).expect("switch");
-            controller.create_meeting(sw)
-        };
+        let fabric_meeting = controller.create_fabric_meeting(&mut sim, &fabric, 0);
+        let meeting = controller
+            .segment_of(fabric_meeting, 0)
+            .expect("home segment");
         let mut grants = Vec::new();
+        let mut fabric_grants = Vec::new();
         let mut client_ids = Vec::new();
         for i in 0..cfg.participants {
             let ip = client_ip(i);
             let addr = HostAddr::new(ip, 5000);
             let sends = i < senders;
-            let grant = {
-                let sw: &mut ScallopSwitchNode = sim.node_mut(switch_id).expect("switch");
-                controller.join(sw, meeting, addr, sends)
-            };
+            let edge = i % cfg.switches;
+            let grant =
+                controller.join_fabric(&mut sim, &fabric, fabric_meeting, edge, addr, sends);
             let mut ccfg = if sends {
                 ClientConfig::sender(ip, 5000, 0x1_0000u32 * (i as u32 + 1))
-                    .sending_to(grant.video_uplink, grant.audio_uplink)
+                    .sending_to(grant.local.video_uplink, grant.local.audio_uplink)
             } else {
                 ClientConfig::receiver_only(ip, 5000, 0x1_0000u32 * (i as u32 + 1))
             };
@@ -181,16 +218,20 @@ impl ScallopHarness {
                 cfg.client_uplink,
                 cfg.client_downlink,
             );
-            grants.push(grant);
+            grants.push(grant.local);
+            fabric_grants.push(grant);
             client_ids.push(id);
         }
         ScallopHarness {
             sim,
+            fabric,
             switch_id,
             client_ids,
             grants,
+            fabric_grants,
             controller,
             meeting,
+            fabric_meeting,
             cfg,
         }
     }
@@ -206,7 +247,7 @@ impl ScallopHarness {
         self.sim.now()
     }
 
-    /// Summarize the current state.
+    /// Summarize the current state (counters aggregated over all edges).
     pub fn report(&mut self) -> HarnessReport {
         let mut frames = 0;
         let mut freezes = 0;
@@ -217,7 +258,7 @@ impl ScallopHarness {
                 freezes += rx.freezes;
             }
         }
-        let c = self.switch_counters();
+        let c = self.total_counters();
         HarnessReport {
             participants: self.cfg.participants,
             media_packets_forwarded: c.forwarded_pkts,
@@ -225,18 +266,39 @@ impl ScallopHarness {
             frames_decoded: frames,
             freezes,
             rate_adapt_drops: c.rate_adapt_drops,
+            trunk_packets: c.trunk_out_pkts,
         }
     }
 
-    /// Data-plane counters.
+    /// Data-plane counters of edge 0 (the whole system when
+    /// `switches = 1`).
     pub fn switch_counters(&mut self) -> DataPlaneCounters {
-        let sw: &mut ScallopSwitchNode = self.sim.node_mut(self.switch_id).expect("switch");
-        sw.counters()
+        self.fabric.edge_counters(&mut self.sim, 0)
     }
 
-    /// Mutable access to the switch node.
-    pub fn switch(&mut self) -> &mut ScallopSwitchNode {
-        self.sim.node_mut(self.switch_id).expect("switch")
+    /// Data-plane counters of edge `i`.
+    pub fn counters_at(&mut self, i: usize) -> DataPlaneCounters {
+        self.fabric.edge_counters(&mut self.sim, i)
+    }
+
+    /// Aggregate data-plane counters across the fabric.
+    pub fn total_counters(&mut self) -> DataPlaneCounters {
+        self.fabric.total_counters(&mut self.sim)
+    }
+
+    /// Mutable access to the edge-0 switch node.
+    pub fn switch(&mut self) -> &mut crate::switchnode::ScallopSwitchNode {
+        self.fabric.edge_mut(&mut self.sim, 0)
+    }
+
+    /// Mutable access to edge switch `i`.
+    pub fn switch_at(&mut self, i: usize) -> &mut crate::switchnode::ScallopSwitchNode {
+        self.fabric.edge_mut(&mut self.sim, i)
+    }
+
+    /// The home edge index of participant `idx`.
+    pub fn edge_of(&self, idx: usize) -> usize {
+        self.fabric_grants[idx].edge
     }
 
     /// A client's statistics.
@@ -256,23 +318,29 @@ impl ScallopHarness {
     /// Restore participant `idx`'s downlink to the configured default.
     pub fn restore_downlink(&mut self, idx: usize) {
         let rate = self.cfg.client_downlink.rate_bps;
-        self.sim.downlink_mut(self.client_ids[idx]).set_rate_bps(rate);
+        self.sim
+            .downlink_mut(self.client_ids[idx])
+            .set_rate_bps(rate);
     }
 
     /// Decoded frame rate at `receiver_idx` for the stream sent by
-    /// `sender_idx`, over a trailing window.
+    /// `sender_idx`, over a trailing window. Works across edges: the
+    /// receiver is served from its own edge's per-pair port, whether the
+    /// sender is local or arrives over a trunk.
     pub fn fps_between(
         &mut self,
         sender_idx: usize,
         receiver_idx: usize,
         window: SimDuration,
     ) -> Option<f64> {
+        let (edge, s_pid, r_pid) = self.controller.pair_on_receiver_edge(
+            self.fabric_meeting,
+            self.fabric_grants[sender_idx].global,
+            self.fabric_grants[receiver_idx].global,
+        )?;
         let src = {
-            let sw: &mut ScallopSwitchNode = self.sim.node_mut(self.switch_id)?;
-            sw.agent.video_pair_addr(
-                self.grants[sender_idx].participant,
-                self.grants[receiver_idx].participant,
-            )?
+            let sw = self.fabric.edge_mut(&mut self.sim, edge);
+            sw.agent.video_pair_addr(s_pid, r_pid)?
         };
         let now = self.sim.now();
         let c: &mut ClientNode = self.sim.node_mut(self.client_ids[receiver_idx])?;
@@ -299,6 +367,7 @@ mod tests {
             report.frames_decoded
         );
         assert_eq!(report.freezes, 0);
+        assert_eq!(report.trunk_packets, 0, "single switch has no trunks");
         // Full quality: NRA design, no adaptation drops.
         let meeting = h.meeting;
         assert_eq!(h.switch().agent.design_of(meeting), Some(TreeDesign::Nra));
@@ -309,7 +378,10 @@ mod tests {
         let mut h = ScallopHarness::new(HarnessConfig::default().participants(2));
         let report = h.run_for_secs(3.0);
         let meeting = h.meeting;
-        assert_eq!(h.switch().agent.design_of(meeting), Some(TreeDesign::TwoParty));
+        assert_eq!(
+            h.switch().agent.design_of(meeting),
+            Some(TreeDesign::TwoParty)
+        );
         assert_eq!(h.switch().dp.pre.groups_used(), 0);
         assert!(report.frames_decoded > 120);
         assert_eq!(report.freezes, 0);
@@ -348,9 +420,8 @@ mod tests {
 
     #[test]
     fn receiver_only_participants_supported() {
-        let mut h = ScallopHarness::new(
-            HarnessConfig::default().participants(4).senders(1).seed(3),
-        );
+        let mut h =
+            ScallopHarness::new(HarnessConfig::default().participants(4).senders(1).seed(3));
         let report = h.run_for_secs(4.0);
         // 3 receivers × 1 sender × ~120 frames.
         assert!(report.frames_decoded > 250);
@@ -366,10 +437,57 @@ mod tests {
         let run = || {
             let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(99));
             let r = h.run_for_secs(3.0);
+            (r.media_packets_forwarded, r.cpu_packets, r.frames_decoded)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn two_switch_meeting_delivers_cross_switch_media() {
+        let mut h = ScallopHarness::new(
+            HarnessConfig::default()
+                .participants(4)
+                .switches(2)
+                .seed(11),
+        );
+        let report = h.run_for_secs(5.0);
+        assert!(
+            report.frames_decoded > 1_000,
+            "decoded {}",
+            report.frames_decoded
+        );
+        assert_eq!(report.freezes, 0);
+        assert!(report.trunk_packets > 0, "cross-switch media must trunk");
+        // Every cross-edge (sender, receiver) pair decodes near 30 fps.
+        for s in 0..4 {
+            for r in 0..4 {
+                if s == r || h.edge_of(s) == h.edge_of(r) {
+                    continue;
+                }
+                let fps = h
+                    .fps_between(s, r, SimDuration::from_secs(2))
+                    .expect("cross-switch stream");
+                assert!(fps > 24.0, "P{s}->P{r} fps {fps}");
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_determinism_same_seed_same_report() {
+        let run = || {
+            let mut h = ScallopHarness::new(
+                HarnessConfig::default()
+                    .participants(5)
+                    .switches(2)
+                    .cores(1)
+                    .seed(123),
+            );
+            let r = h.run_for_secs(3.0);
             (
                 r.media_packets_forwarded,
                 r.cpu_packets,
                 r.frames_decoded,
+                r.trunk_packets,
             )
         };
         assert_eq!(run(), run());

@@ -19,6 +19,12 @@
 //! * [`switchnode`] — the deployable switch: data plane + agent behind a
 //!   single simulation node, with the pipeline's fixed forwarding latency
 //!   and the agent's CPU-path latency.
+//! * [`fabric`] — the campus switching fabric (§7's deployment setting):
+//!   edge switches built from a [`scallop_netsim::topology::Topology`],
+//!   core relays for the trunk tier, and the controller's cross-switch
+//!   compilation — each sender's media crosses every trunk once per
+//!   remote switch (a trunk-egress branch at full quality), then fans
+//!   out per receiver through the remote switch's own PRE.
 //! * [`capacity`] — the analytic capacity models behind §7.2/§7.4
 //!   (Figs. 15–17 and the 128 K / 42.7 K / 4.3 K / 533 K headline
 //!   numbers).
@@ -28,11 +34,16 @@
 pub mod agent;
 pub mod capacity;
 pub mod controller;
+pub mod fabric;
 pub mod harness;
 pub mod switchnode;
 
-pub use agent::{AdaptationPolicy, JoinGrant, MeetingId, ParticipantId, SwitchAgent, TreeDesign};
+pub use agent::{
+    AdaptationPolicy, JoinGrant, MeetingId, ParticipantClass, ParticipantId, SwitchAgent,
+    TreeDesign,
+};
 pub use capacity::CapacityModel;
-pub use controller::Controller;
+pub use controller::{Controller, FabricGrant, GlobalMeetingId, GlobalParticipantId};
+pub use fabric::Fabric;
 pub use harness::{HarnessConfig, HarnessReport, ScallopHarness};
 pub use switchnode::{ScallopSwitchNode, SwitchConfig};

@@ -38,6 +38,13 @@ pub struct SwitchConfig {
     pub agent_latency: SimDuration,
     /// Agent feedback-filter tick interval.
     pub agent_tick: SimDuration,
+    /// First SFU UDP port this switch allocates. Fabric deployments give
+    /// every edge a disjoint range so trunk routing can match on the
+    /// destination port (`scallop_netsim::topology`).
+    pub port_base: u16,
+    /// Exclusive upper bound of the port range (allocation past it would
+    /// misroute trunk traffic and panics instead).
+    pub port_limit: u16,
 }
 
 impl SwitchConfig {
@@ -49,12 +56,22 @@ impl SwitchConfig {
             pipeline_latency: SimDuration::from_nanos(1_500),
             agent_latency: SimDuration::from_micros(250),
             agent_tick: SimDuration::from_millis(100),
+            port_base: 10_000,
+            port_limit: u16::MAX,
         }
     }
 
     /// Builder: choose the rewrite heuristic.
     pub fn with_mode(mut self, mode: SeqRewriteMode) -> Self {
         self.rewrite_mode = mode;
+        self
+    }
+
+    /// Builder: set this switch's SFU port range `[base, limit)`.
+    pub fn with_port_range(mut self, base: u16, limit: u16) -> Self {
+        assert!(base < limit);
+        self.port_base = base;
+        self.port_limit = limit;
         self
     }
 }
@@ -70,6 +87,9 @@ pub struct ScallopSwitchNode {
     pending: BinaryHeap<Reverse<(SimTime, u64)>>,
     pending_payloads: HashMap<u64, Packet>,
     pending_seq: u64,
+    /// Reused per-packet data-plane output (scratch; avoids allocating
+    /// fresh forward/CPU vectors for every arriving packet).
+    dp_out: scallop_dataplane::switch::DataPlaneOutput,
 }
 
 impl ScallopSwitchNode {
@@ -77,11 +97,12 @@ impl ScallopSwitchNode {
     pub fn new(cfg: SwitchConfig) -> Self {
         ScallopSwitchNode {
             dp: ScallopDataPlane::new(cfg.rewrite_mode),
-            agent: SwitchAgent::new(cfg.ip),
+            agent: SwitchAgent::new(cfg.ip).with_port_range(cfg.port_base, cfg.port_limit),
             cfg,
             pending: BinaryHeap::new(),
             pending_payloads: HashMap::new(),
             pending_seq: 0,
+            dp_out: Default::default(),
         }
     }
 
@@ -93,6 +114,32 @@ impl ScallopSwitchNode {
     /// Controller RPC: remove a participant.
     pub fn leave(&mut self, meeting: MeetingId, participant: ParticipantId) {
         self.agent.leave(&mut self.dp, meeting, participant);
+    }
+
+    /// Controller RPC: register a sender homed on another edge; returns
+    /// the trunk-ingress grant (where the home edge must send its one
+    /// fabric copy).
+    pub fn join_remote_sender(&mut self, meeting: MeetingId, home_addr: HostAddr) -> JoinGrant {
+        self.agent
+            .join_remote_sender(&mut self.dp, meeting, home_addr)
+    }
+
+    /// Controller RPC: add a trunk-egress branch toward a remote edge.
+    pub fn join_trunk_egress(&mut self, meeting: MeetingId) -> ParticipantId {
+        self.agent.join_trunk_egress(&mut self.dp, meeting)
+    }
+
+    /// Controller RPC: point trunk branch `trunk` at the remote ingress
+    /// addresses for local sender `sender`.
+    pub fn set_trunk_dst(
+        &mut self,
+        trunk: ParticipantId,
+        sender: ParticipantId,
+        video_dst: HostAddr,
+        audio_dst: HostAddr,
+    ) {
+        self.agent
+            .set_trunk_dst(&mut self.dp, trunk, sender, video_dst, audio_dst);
     }
 
     /// Data-plane counters (Table 1 / Fig. 22 accounting).
@@ -128,21 +175,23 @@ impl Node for ScallopSwitchNode {
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
-        let out = self.dp.process(&pkt);
+        let mut out = std::mem::take(&mut self.dp_out);
+        self.dp.process_into(&pkt, &mut out);
         let dp_at = ctx.now() + self.cfg.pipeline_latency;
-        for f in out.forwards {
+        for f in out.forwards.drain(..) {
             self.emit_at(ctx, dp_at, f);
         }
         if !out.cpu_copies.is_empty() {
             let agent_at = ctx.now() + self.cfg.agent_latency;
             let now = ctx.now();
-            for c in out.cpu_copies {
+            for c in out.cpu_copies.drain(..) {
                 let responses = self.agent.handle_cpu_packet(now, &c, &mut self.dp);
                 for r in responses {
                     self.emit_at(ctx, agent_at, r);
                 }
             }
         }
+        self.dp_out = out;
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: TimerToken) {

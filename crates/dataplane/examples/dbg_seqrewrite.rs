@@ -14,18 +14,31 @@ fn main() {
     for f in 0u16..2000 {
         let suppress = f % 2 == 1;
         for p in 0..2 {
-            let v = if suppress { PacketVerdict::Suppress } else { PacketVerdict::Forward };
+            let v = if suppress {
+                PacketVerdict::Suppress
+            } else {
+                PacketVerdict::Forward
+            };
             let tuple = (seq, f, p == 0, p == 1, v);
             seq = seq.wrapping_add(1);
-            if rng.chance(0.15) { log.push(format!("LOST ({},{})", tuple.0, tuple.1)); continue; }
-            if rng.chance(0.05) && pending.is_none() { log.push(format!("HELD ({},{})", tuple.0, tuple.1)); pending = Some(tuple); continue; }
+            if rng.chance(0.15) {
+                log.push(format!("LOST ({},{})", tuple.0, tuple.1));
+                continue;
+            }
+            if rng.chance(0.05) && pending.is_none() {
+                log.push(format!("HELD ({},{})", tuple.0, tuple.1));
+                pending = Some(tuple);
+                continue;
+            }
             let (s0, f0, st0, e0, v0) = tuple;
             let r = st.process(0, s0, f0, st0, e0, v0);
             log.push(format!("proc in=({s0},{f0},{st0},{e0},{v0:?}) -> {r:?}"));
             if let RewriteVerdict::Emit(o) = r {
                 if let Some(prev) = seen.insert(o, (s0, f0)) {
                     println!("DUP out={o} prev={prev:?} now=({s0},{f0})");
-                    for l in log.iter().rev().take(16).rev() { println!("  {l}"); }
+                    for l in log.iter().rev().take(16).rev() {
+                        println!("  {l}");
+                    }
                     return;
                 }
             }
@@ -35,7 +48,9 @@ fn main() {
                 if let RewriteVerdict::Emit(o) = r {
                     if let Some(prev) = seen.insert(o, (s1, f1)) {
                         println!("DUP-LATE out={o} prev={prev:?} now=({s1},{f1})");
-                        for l in log.iter().rev().take(16).rev() { println!("  {l}"); }
+                        for l in log.iter().rev().take(16).rev() {
+                            println!("  {l}");
+                        }
                         return;
                     }
                 }

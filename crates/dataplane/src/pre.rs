@@ -186,6 +186,22 @@ impl PacketReplicationEngine {
         pkt_rid: u16,
         pkt_l2_xid: u16,
     ) -> Result<Vec<Replica>, PreError> {
+        let mut out = Vec::new();
+        self.replicate_into(mgid, pkt_l1_xid, pkt_rid, pkt_l2_xid, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::replicate`] into a caller-owned buffer (cleared first), so
+    /// the per-packet hot path can reuse one allocation across packets.
+    pub fn replicate_into(
+        &mut self,
+        mgid: u16,
+        pkt_l1_xid: u16,
+        pkt_rid: u16,
+        pkt_l2_xid: u16,
+        out: &mut Vec<Replica>,
+    ) -> Result<(), PreError> {
+        out.clear();
         let g = self.groups.get(&mgid).ok_or(PreError::NoSuchGroup)?;
         self.invocations += 1;
         let pruned_ports: &[u16] = self
@@ -193,7 +209,6 @@ impl PacketReplicationEngine {
             .get(&pkt_l2_xid)
             .map(|v| v.as_slice())
             .unwrap_or(&[]);
-        let mut out = Vec::new();
         for node in &g.nodes {
             if node.prune_enabled && node.xid == pkt_l1_xid {
                 continue; // L1 pruning (e.g. other meeting's participants)
@@ -209,7 +224,7 @@ impl PacketReplicationEngine {
             }
         }
         self.replicas_produced += out.len() as u64;
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -57,7 +57,11 @@ impl RegisterArray {
     /// One read-modify-write, the single ALU operation Tofino permits per
     /// packet: `f` receives the cell and returns the output value exported
     /// to the PHV.
-    pub fn rmw<F: FnOnce(&mut u32) -> u32>(&mut self, idx: usize, f: F) -> Result<u32, RegisterError> {
+    pub fn rmw<F: FnOnce(&mut u32) -> u32>(
+        &mut self,
+        idx: usize,
+        f: F,
+    ) -> Result<u32, RegisterError> {
         let cell = self.cells.get_mut(idx).ok_or(RegisterError::OutOfBounds)?;
         self.accesses += 1;
         Ok(f(cell))
@@ -79,7 +83,10 @@ impl RegisterArray {
 
     /// Control-plane read.
     pub fn read_cp(&self, idx: usize) -> Result<u32, RegisterError> {
-        self.cells.get(idx).copied().ok_or(RegisterError::OutOfBounds)
+        self.cells
+            .get(idx)
+            .copied()
+            .ok_or(RegisterError::OutOfBounds)
     }
 
     /// Control-plane clear of one cell (stream teardown, §6.3 "immediate

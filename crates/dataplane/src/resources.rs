@@ -108,7 +108,11 @@ pub fn report(
         ResourceRow {
             name: "No. of stages",
             scaling: Scaling::Fixed,
-            value: format!("Ing. {}, Eg. {}", fixed::STAGES_INGRESS, fixed::STAGES_EGRESS),
+            value: format!(
+                "Ing. {}, Eg. {}",
+                fixed::STAGES_INGRESS,
+                fixed::STAGES_EGRESS
+            ),
             max_value: eq(),
         },
         ResourceRow {

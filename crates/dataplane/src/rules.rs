@@ -80,6 +80,18 @@ pub enum PortRule {
         /// Copy extended-DD packets (key frames) to the CPU port (§5.4).
         punt_extended_dd: bool,
     },
+    /// Media arrives here over a fabric trunk: one full-quality copy of a
+    /// remote sender's stream, re-replicated to this switch's local
+    /// receivers. Behaves like a sender uplink (the remote sender *is*
+    /// the sender, proxied by its home switch) but is accounted as trunk
+    /// ingress and never punts DDs — the sender's home switch already
+    /// analyzes them.
+    TrunkIngress {
+        /// Replication behaviour (local fan-out only; trunk egress
+        /// branches are pruned by the L1 XID stamp, so media is never
+        /// re-trunked).
+        action: ReplicationAction,
+    },
     /// Feedback arrives here from a receiver (about exactly one sender).
     ReceiverFeedback {
         /// Where to forward NACK/PLI/REMB: the sender's client address.
@@ -146,9 +158,6 @@ mod tests {
             },
             punt_extended_dd: true,
         };
-        assert_ne!(
-            std::mem::discriminant(&a),
-            std::mem::discriminant(&c)
-        );
+        assert_ne!(std::mem::discriminant(&a), std::mem::discriminant(&c));
     }
 }

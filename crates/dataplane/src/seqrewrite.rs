@@ -433,9 +433,7 @@ impl StreamTracker {
                         Self::learn_frame_size(s, seq, frame, end);
                         s.last_frame_ended = end;
                         s.last_frame_suppressed = true;
-                        if !s.has_suppressed
-                            || seq_delta(s.highest_suppressed_frame, frame) > 0
-                        {
+                        if !s.has_suppressed || seq_delta(s.highest_suppressed_frame, frame) > 0 {
                             s.highest_suppressed_frame = frame;
                         }
                         s.has_suppressed = true;
@@ -576,8 +574,8 @@ impl StreamTracker {
                 // *newer* frame can sit above the stale
                 // cur_frame_first_seq while the offset has since moved
                 // (duplicate hazard).
-                let within_cur_frame = seq_delta(s.cur_frame_first_seq, seq) >= 0
-                    && frame == s.cur_frame_number;
+                let within_cur_frame =
+                    seq_delta(s.cur_frame_first_seq, seq) >= 0 && frame == s.cur_frame_number;
                 if within_cur_frame {
                     let out = seq.wrapping_sub(s.cur_frame_offset);
                     if seq_delta(s.last_out, out) > 0 {
@@ -683,7 +681,14 @@ mod tests {
         let mut st = StreamTracker::new(SeqRewriteMode::LowMemory, 4);
         st.init_stream(0, 1);
         for seq in 0u16..20 {
-            let r = st.process(0, seq, seq / 2, seq % 2 == 0, seq % 2 == 1, PacketVerdict::Forward);
+            let r = st.process(
+                0,
+                seq,
+                seq / 2,
+                seq % 2 == 0,
+                seq % 2 == 1,
+                PacketVerdict::Forward,
+            );
             assert_eq!(r, RewriteVerdict::Emit(seq));
         }
     }
@@ -717,9 +722,13 @@ mod tests {
             let mut st = StreamTracker::new(mode, 4);
             st.init_stream(0, 2);
             let mut outs = Vec::new();
-            for (seq, f, s, e) in [(0, 0, true, false), (1, 0, false, true), (4, 2, true, false), (5, 2, false, true)] {
-                if let RewriteVerdict::Emit(o) =
-                    st.process(0, seq, f, s, e, PacketVerdict::Forward)
+            for (seq, f, s, e) in [
+                (0, 0, true, false),
+                (1, 0, false, true),
+                (4, 2, true, false),
+                (5, 2, false, true),
+            ] {
+                if let RewriteVerdict::Emit(o) = st.process(0, seq, f, s, e, PacketVerdict::Forward)
                 {
                     outs.push(o);
                 }

@@ -34,6 +34,11 @@ pub const PORT_RULE_CAPACITY: usize = 131_072;
 pub const EGRESS_CAPACITY: usize = 262_144;
 /// Stream Tracker slots (§6.3: 65,536 concurrent rewritten streams).
 pub const STREAM_TRACKER_CAPACITY: usize = 65_536;
+/// First replication id reserved for trunk-egress branches. RIDs at or
+/// above this value name a *remote switch* rather than a participant, so
+/// the egress pipeline accounts those replicas as trunk traffic (one
+/// copy per remote switch, fanned out again by that switch's own PRE).
+pub const TRUNK_RID_BASE: u16 = 0xF000;
 
 /// Packet/byte counters (Table 1 / Fig. 22 accounting).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -78,6 +83,71 @@ pub struct DataPlaneCounters {
     pub unknown_drops: u64,
     /// REMB feedback blocked by the §5.3 filter.
     pub remb_filtered: u64,
+    /// Replicas emitted toward trunk links (one per remote switch).
+    pub trunk_out_pkts: u64,
+    /// Bytes emitted toward trunk links.
+    pub trunk_out_bytes: u64,
+    /// Media packets arriving over a trunk (remote senders' streams).
+    pub trunk_in_pkts: u64,
+    /// Bytes arriving over a trunk.
+    pub trunk_in_bytes: u64,
+}
+
+/// Field-wise aggregation (fabric-wide totals). Kept next to the
+/// struct so adding a counter forces this impl into view.
+impl std::ops::AddAssign for DataPlaneCounters {
+    fn add_assign(&mut self, c: Self) {
+        let DataPlaneCounters {
+            rtp_in_pkts,
+            rtp_in_bytes,
+            video_in_pkts,
+            video_in_bytes,
+            audio_in_pkts,
+            audio_in_bytes,
+            rtcp_sr_pkts,
+            rtcp_sr_bytes,
+            rtcp_fb_pkts,
+            rtcp_fb_bytes,
+            stun_pkts,
+            stun_bytes,
+            cpu_pkts,
+            cpu_bytes,
+            forwarded_pkts,
+            forwarded_bytes,
+            rate_adapt_drops,
+            no_rule_drops,
+            unknown_drops,
+            remb_filtered,
+            trunk_out_pkts,
+            trunk_out_bytes,
+            trunk_in_pkts,
+            trunk_in_bytes,
+        } = c; // exhaustive destructure: a new field fails to compile here
+        self.rtp_in_pkts += rtp_in_pkts;
+        self.rtp_in_bytes += rtp_in_bytes;
+        self.video_in_pkts += video_in_pkts;
+        self.video_in_bytes += video_in_bytes;
+        self.audio_in_pkts += audio_in_pkts;
+        self.audio_in_bytes += audio_in_bytes;
+        self.rtcp_sr_pkts += rtcp_sr_pkts;
+        self.rtcp_sr_bytes += rtcp_sr_bytes;
+        self.rtcp_fb_pkts += rtcp_fb_pkts;
+        self.rtcp_fb_bytes += rtcp_fb_bytes;
+        self.stun_pkts += stun_pkts;
+        self.stun_bytes += stun_bytes;
+        self.cpu_pkts += cpu_pkts;
+        self.cpu_bytes += cpu_bytes;
+        self.forwarded_pkts += forwarded_pkts;
+        self.forwarded_bytes += forwarded_bytes;
+        self.rate_adapt_drops += rate_adapt_drops;
+        self.no_rule_drops += no_rule_drops;
+        self.unknown_drops += unknown_drops;
+        self.remb_filtered += remb_filtered;
+        self.trunk_out_pkts += trunk_out_pkts;
+        self.trunk_out_bytes += trunk_out_bytes;
+        self.trunk_in_pkts += trunk_in_pkts;
+        self.trunk_in_bytes += trunk_in_bytes;
+    }
 }
 
 impl DataPlaneCounters {
@@ -100,6 +170,14 @@ pub struct DataPlaneOutput {
     pub cpu_copies: Vec<Packet>,
 }
 
+impl DataPlaneOutput {
+    /// Reset for reuse, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        self.forwards.clear();
+        self.cpu_copies.clear();
+    }
+}
+
 /// The Scallop switch data plane.
 #[derive(Debug)]
 pub struct ScallopDataPlane {
@@ -115,6 +193,13 @@ pub struct ScallopDataPlane {
     pub counters: DataPlaneCounters,
     /// Highest parse depth observed (Table 3).
     pub max_parse_depth: u8,
+    /// Per-call scratch for PRE replica lists (reused across packets so
+    /// the egress path does not allocate per packet).
+    replica_scratch: Vec<crate::pre::Replica>,
+    /// Per-call scratch for sequence-rewritten payloads (reused across
+    /// replicas so each rewrite costs one buffer fill, not a fresh
+    /// allocation).
+    payload_scratch: Vec<u8>,
 }
 
 impl ScallopDataPlane {
@@ -127,6 +212,8 @@ impl ScallopDataPlane {
             tracker: StreamTracker::new(mode, STREAM_TRACKER_CAPACITY),
             counters: DataPlaneCounters::default(),
             max_parse_depth: 0,
+            replica_scratch: Vec::new(),
+            payload_scratch: Vec::new(),
         }
     }
 
@@ -153,6 +240,15 @@ impl ScallopDataPlane {
     /// Process one packet arriving at the switch.
     pub fn process(&mut self, pkt: &Packet) -> DataPlaneOutput {
         let mut out = DataPlaneOutput::default();
+        self.process_into(pkt, &mut out);
+        out
+    }
+
+    /// [`Self::process`] into a caller-owned output (cleared first): the
+    /// per-packet hot path reuses the caller's buffers instead of
+    /// allocating fresh `Vec`s per packet.
+    pub fn process_into(&mut self, pkt: &Packet, out: &mut DataPlaneOutput) {
+        out.clear();
         let parsed = parser::parse(&pkt.payload);
         self.max_parse_depth = self.max_parse_depth.max(parsed.parse_depth);
         let len = pkt.payload.len() as u64;
@@ -161,15 +257,14 @@ impl ScallopDataPlane {
             PacketClass::Stun => {
                 self.counters.stun_pkts += 1;
                 self.counters.stun_bytes += len;
-                self.punt(pkt, &mut out);
+                self.punt(pkt, out);
             }
             PacketClass::Unknown => {
                 self.counters.unknown_drops += 1;
             }
-            PacketClass::Rtcp => self.process_rtcp(pkt, &parsed, &mut out),
-            PacketClass::Rtp => self.process_rtp(pkt, &parsed, &mut out),
+            PacketClass::Rtcp => self.process_rtcp(pkt, &parsed, out),
+            PacketClass::Rtp => self.process_rtp(pkt, &parsed, out),
         }
-        out
     }
 
     fn punt(&mut self, pkt: &Packet, out: &mut DataPlaneOutput) {
@@ -189,10 +284,16 @@ impl ScallopDataPlane {
                 self.counters.no_rule_drops += 1;
                 return;
             };
-            if let PortRule::SenderUplink { action, .. } = rule {
-                self.replicate_media(pkt, None, &action, out);
-            } else {
-                self.counters.no_rule_drops += 1;
+            match rule {
+                PortRule::SenderUplink { action, .. } => {
+                    self.replicate_media(pkt, None, &action, out);
+                }
+                PortRule::TrunkIngress { action } => {
+                    self.counters.trunk_in_pkts += 1;
+                    self.counters.trunk_in_bytes += len;
+                    self.replicate_media(pkt, None, &action, out);
+                }
+                _ => self.counters.no_rule_drops += 1,
             }
             return;
         }
@@ -268,13 +369,22 @@ impl ScallopDataPlane {
             self.counters.no_rule_drops += 1;
             return;
         };
-        let PortRule::SenderUplink {
-            action,
-            punt_extended_dd,
-        } = rule
-        else {
-            self.counters.no_rule_drops += 1;
-            return;
+        let (action, punt_extended_dd) = match rule {
+            PortRule::SenderUplink {
+                action,
+                punt_extended_dd,
+            } => (action, punt_extended_dd),
+            PortRule::TrunkIngress { action } => {
+                // Remote sender's stream arriving over the fabric: the
+                // home switch already punted its DDs to an agent.
+                self.counters.trunk_in_pkts += 1;
+                self.counters.trunk_in_bytes += len;
+                (action, false)
+            }
+            _ => {
+                self.counters.no_rule_drops += 1;
+                return;
+            }
         };
         if punt_extended_dd && rtp.dd.map(|d| d.extended).unwrap_or(false) {
             self.punt(pkt, out);
@@ -292,7 +402,7 @@ impl ScallopDataPlane {
     ) {
         match action {
             ReplicationAction::TwoParty { egress } => {
-                self.emit_replica(pkt, rtp, *egress, out);
+                self.emit_replica(pkt, rtp, *egress, false, out);
             }
             ReplicationAction::Multicast {
                 mgid_by_tier,
@@ -310,11 +420,17 @@ impl ScallopDataPlane {
                     })
                     .unwrap_or(0) as usize;
                 let mgid = mgid_by_tier[tier.min(2)];
-                let Ok(replicas) = self.pre.replicate(mgid, *l1_xid, *rid, *l2_xid) else {
+                let mut replicas = std::mem::take(&mut self.replica_scratch);
+                if self
+                    .pre
+                    .replicate_into(mgid, *l1_xid, *rid, *l2_xid, &mut replicas)
+                    .is_err()
+                {
+                    self.replica_scratch = replicas;
                     self.counters.no_rule_drops += 1;
                     return;
-                };
-                for rep in replicas {
+                }
+                for rep in &replicas {
                     let key = EgressKey {
                         mgid,
                         rid: rep.rid,
@@ -324,8 +440,13 @@ impl ScallopDataPlane {
                         self.counters.no_rule_drops += 1;
                         continue;
                     };
-                    self.emit_replica(pkt, rtp, spec, out);
+                    // RIDs in the reserved trunk range name remote
+                    // switches: one fabric copy each, re-fanned by the
+                    // remote PRE.
+                    let is_trunk = rep.rid >= TRUNK_RID_BASE;
+                    self.emit_replica(pkt, rtp, spec, is_trunk, out);
                 }
+                self.replica_scratch = replicas;
             }
         }
     }
@@ -337,6 +458,7 @@ impl ScallopDataPlane {
         pkt: &Packet,
         rtp: Option<&parser::RtpSummary>,
         spec: EgressSpec,
+        is_trunk: bool,
         out: &mut DataPlaneOutput,
     ) {
         let mut rewritten_seq: Option<u16> = None;
@@ -375,14 +497,23 @@ impl ScallopDataPlane {
         }
         let mut fwd = pkt.readdressed(spec.src, spec.dst);
         if let Some(seq) = rewritten_seq {
-            // In-place header rewrite on the replica's copy of the bytes.
-            let mut bytes = fwd.payload.to_vec();
-            if rtp::set_sequence_number(&mut bytes, seq).is_ok() {
-                fwd.payload = bytes.into();
+            // Header rewrite on the replica's copy of the bytes, staged
+            // through the reusable scratch buffer: one allocation per
+            // rewritten replica (the final shared `Bytes`), where the
+            // old per-replica `to_vec()` + `Vec -> Bytes` conversion
+            // cost two (the refcount header forces a copy either way).
+            self.payload_scratch.clear();
+            self.payload_scratch.extend_from_slice(&fwd.payload);
+            if rtp::set_sequence_number(&mut self.payload_scratch, seq).is_ok() {
+                fwd.payload = bytes::Bytes::copy_from_slice(&self.payload_scratch);
             }
         }
         self.counters.forwarded_pkts += 1;
         self.counters.forwarded_bytes += fwd.payload.len() as u64;
+        if is_trunk {
+            self.counters.trunk_out_pkts += 1;
+            self.counters.trunk_out_bytes += fwd.payload.len() as u64;
+        }
         out.forwards.push(fwd);
     }
 }
@@ -392,11 +523,11 @@ mod tests {
     use super::*;
     use crate::pre::L1Node;
     use bytes::Bytes;
-    use scallop_netsim::packet::HostAddr;
     use scallop_media::encoder::{EncodedFrame, FrameLabelCompact};
     use scallop_media::packetizer::Packetizer;
+    use scallop_netsim::packet::HostAddr;
     use scallop_netsim::time::SimTime;
-    use scallop_proto::rtcp::{self, Pli, Remb, ReceiverReport, RtcpPacket};
+    use scallop_proto::rtcp::{self, Pli, ReceiverReport, Remb, RtcpPacket};
     use scallop_proto::rtp::{RtpPacket, RtpView};
     use scallop_proto::stun::StunMessage;
     use std::net::Ipv4Addr;
@@ -481,7 +612,11 @@ mod tests {
             None
         };
         dp.install_egress(
-            EgressKey { mgid: 1, rid: 2, in_port: 10 },
+            EgressKey {
+                mgid: 1,
+                rid: 2,
+                in_port: 10,
+            },
             EgressSpec {
                 src: sfu(1002),
                 dst: addr(2, 5000),
@@ -491,7 +626,11 @@ mod tests {
         )
         .unwrap();
         dp.install_egress(
-            EgressKey { mgid: 1, rid: 3, in_port: 10 },
+            EgressKey {
+                mgid: 1,
+                rid: 3,
+                in_port: 10,
+            },
             EgressSpec {
                 src: sfu(1003),
                 dst: addr(3, 5000),
@@ -514,7 +653,10 @@ mod tests {
         assert!(dsts.contains(&addr(2, 5000)));
         assert!(dsts.contains(&addr(3, 5000)));
         // Source rewritten to the SFU's per-pair address (§6.1).
-        assert!(out.forwards.iter().all(|p| p.src.ip == Ipv4Addr::new(10, 0, 0, 100)));
+        assert!(out
+            .forwards
+            .iter()
+            .all(|p| p.src.ip == Ipv4Addr::new(10, 0, 0, 100)));
         // Payload identical (Zoom-like exact copy).
         assert!(out
             .forwards

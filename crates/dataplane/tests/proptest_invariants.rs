@@ -26,8 +26,8 @@ struct Event {
 fn arb_events() -> impl Strategy<Value = Vec<Event>> {
     vec(
         (any::<bool>(), 0u8..10).prop_map(|(l, h)| Event {
-            lost: l && h < 3,  // ~15% loss on the "true" branch
-            held: h == 9,      // ~10% of survivors reordered by one
+            lost: l && h < 3, // ~15% loss on the "true" branch
+            held: h == 9,     // ~10% of survivors reordered by one
         }),
         64..512,
     )

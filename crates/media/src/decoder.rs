@@ -53,7 +53,7 @@ impl Unwrapper {
         };
         // Only move the reference forward so reordered old packets do not
         // drag the window back.
-        if self.last.map_or(true, |l| ext > l) {
+        if self.last.is_none_or(|l| ext > l) {
             self.last = Some(ext);
         }
         ext
@@ -405,16 +405,11 @@ impl Decoder {
     /// Try to decode everything decodable; drop what is undecodable.
     fn advance(&mut self, now: SimTime, events: &mut Vec<DecoderEvent>) {
         let floor = self.floor();
-        loop {
-            let Some((&frame_no, asm)) = self.frames.iter().next() else {
-                break;
-            };
+        while let Some((&frame_no, asm)) = self.frames.iter().next() {
             // Complete = start and end known, all seqs in range received,
             // and nothing before its end is still awaited.
             let complete = match (asm.first_seq, asm.end_seq) {
-                (Some(f), Some(e)) => {
-                    asm.received.len() as u64 == e - f + 1 && e < floor
-                }
+                (Some(f), Some(e)) => asm.received.len() as u64 == e - f + 1 && e < floor,
                 _ => false,
             };
             if complete {
@@ -433,8 +428,7 @@ impl Decoder {
                     // End never seen; if newer frames are already complete
                     // beyond it and floor passed the span start, give up
                     // once stale.
-                    f < floor
-                        && now.saturating_since(asm.first_arrival) >= self.cfg.loss_timeout
+                    f < floor && now.saturating_since(asm.first_arrival) >= self.cfg.loss_timeout
                 }
                 _ => now.saturating_since(asm.first_arrival) >= self.cfg.loss_timeout * 2,
             };
@@ -647,9 +641,7 @@ mod tests {
         }
         let mut total = 0;
         for k in 1..20u64 {
-            total += dec
-                .take_nack_requests(SimTime::from_millis(100 * k))
-                .len();
+            total += dec.take_nack_requests(SimTime::from_millis(100 * k)).len();
         }
         assert_eq!(total, 3, "max_nacks must cap retries");
     }
@@ -775,9 +767,7 @@ mod tests {
         }
         assert_eq!(dec.stats.frames_decoded, 6);
         // The gap was filled before the NACK delay elapsed.
-        assert!(dec
-            .take_nack_requests(SimTime::from_millis(500))
-            .is_empty());
+        assert!(dec.take_nack_requests(SimTime::from_millis(500)).is_empty());
         assert_eq!(dec.stats.freezes, 0);
     }
 }

@@ -145,7 +145,8 @@ impl VideoEncoder {
     /// sender transmits at the rate allowed by its uplink and the best
     /// downlink).
     pub fn set_target_bitrate(&mut self, bps: u64) {
-        self.target_bitrate_bps = bps.clamp(self.config.min_bitrate_bps, self.config.max_bitrate_bps);
+        self.target_bitrate_bps =
+            bps.clamp(self.config.min_bitrate_bps, self.config.max_bitrate_bps);
     }
 
     /// Request an intra refresh (PLI handling, §5.5).
@@ -255,11 +256,7 @@ mod tests {
         let keys: Vec<&EncodedFrame> = frames.iter().filter(|f| f.label.is_key).collect();
         // t=0 plus one every 2 s.
         assert!(keys.len() >= 5, "got {} key frames", keys.len());
-        let delta_size = frames
-            .iter()
-            .find(|f| !f.label.is_key)
-            .unwrap()
-            .size_bytes;
+        let delta_size = frames.iter().find(|f| !f.label.is_key).unwrap().size_bytes;
         for k in keys {
             assert!(k.size_bytes > 2 * delta_size);
         }

@@ -89,7 +89,12 @@ impl Packetizer {
 }
 
 /// One-shot convenience wrapper around [`Packetizer::packetize`].
-pub fn packetize(frame: &EncodedFrame, ssrc: u32, payload_type: u8, first_seq: u16) -> Vec<RtpPacket> {
+pub fn packetize(
+    frame: &EncodedFrame,
+    ssrc: u32,
+    payload_type: u8,
+    first_seq: u16,
+) -> Vec<RtpPacket> {
     let mut p = Packetizer::new(ssrc, payload_type, DEFAULT_MTU);
     p.set_next_seq(first_seq);
     p.packetize(frame)
@@ -105,7 +110,13 @@ mod tests {
         EncodedFrame {
             frame_number: number,
             label: FrameLabelCompact {
-                temporal_id: if template_id <= 1 { 0 } else if template_id == 2 { 1 } else { 2 },
+                temporal_id: if template_id <= 1 {
+                    0
+                } else if template_id == 2 {
+                    1
+                } else {
+                    2
+                },
                 template_id,
                 is_key,
             },
@@ -143,19 +154,19 @@ mod tests {
         assert!(dds[0].start_of_frame && !dds[0].end_of_frame);
         assert!(!dds[1].start_of_frame && !dds[1].end_of_frame);
         assert!(!dds[2].start_of_frame && dds[2].end_of_frame);
-        assert!(dds.iter().all(|d| d.template_id == 2 && d.frame_number == 9));
+        assert!(dds
+            .iter()
+            .all(|d| d.template_id == 2 && d.frame_number == 9));
     }
 
     #[test]
     fn key_frame_first_packet_carries_structure() {
         let mut p = Packetizer::new(7, 96, DEFAULT_MTU);
         let pkts = p.packetize(&frame(2000, true, 0, 0));
-        let dd0 =
-            DependencyDescriptor::parse(pkts[0].extension(DD_EXTENSION_ID).unwrap()).unwrap();
+        let dd0 = DependencyDescriptor::parse(pkts[0].extension(DD_EXTENSION_ID).unwrap()).unwrap();
         assert!(dd0.is_extended());
         assert!(dd0.structure.is_some());
-        let dd1 =
-            DependencyDescriptor::parse(pkts[1].extension(DD_EXTENSION_ID).unwrap()).unwrap();
+        let dd1 = DependencyDescriptor::parse(pkts[1].extension(DD_EXTENSION_ID).unwrap()).unwrap();
         assert!(!dd1.is_extended());
     }
 
@@ -175,8 +186,7 @@ mod tests {
         let pkts = p.packetize(&frame(1, false, 4, 3));
         assert_eq!(pkts.len(), 1);
         assert!(pkts[0].marker);
-        let dd =
-            DependencyDescriptor::parse(pkts[0].extension(DD_EXTENSION_ID).unwrap()).unwrap();
+        let dd = DependencyDescriptor::parse(pkts[0].extension(DD_EXTENSION_ID).unwrap()).unwrap();
         assert!(dd.start_of_frame && dd.end_of_frame);
     }
 

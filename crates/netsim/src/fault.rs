@@ -211,7 +211,11 @@ impl FaultInjector {
                 } else if rng.chance(p_g2b) {
                     self.in_bad_state = true;
                 }
-                rng.chance(if self.in_bad_state { loss_bad } else { loss_good })
+                rng.chance(if self.in_bad_state {
+                    loss_bad
+                } else {
+                    loss_good
+                })
             }
         };
         if dropped {

@@ -32,16 +32,20 @@
 pub mod fault;
 pub mod link;
 pub mod packet;
+pub mod relay;
 pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod time;
+pub mod topology;
 pub mod trace;
 
 pub use fault::{FaultConfig, JitterModel, LossModel};
 pub use link::{Link, LinkConfig};
 pub use packet::{HostAddr, Packet, WIRE_OVERHEAD_BYTES};
+pub use relay::{PortRangeRoute, RelayNode, RelayStats};
 pub use rng::DetRng;
 pub use sim::{Ctx, Node, NodeId, Simulator, TimerToken};
 pub use time::{SimDuration, SimTime};
+pub use topology::{SwitchRole, SwitchSpec, Topology};
 pub use trace::{TraceRecord, TraceSink};

@@ -183,7 +183,11 @@ impl Link {
 
         // Serialization: the transmitter is FIFO, so this packet starts when
         // the backlog clears.
-        let start = if self.busy_until > now { self.busy_until } else { now };
+        let start = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
         let ser = SimDuration::serialization(wire_bytes, self.config.rate_bps);
         let tx_done = start + ser;
         if self.config.rate_bps != 0 {
@@ -316,7 +320,8 @@ mod tests {
     #[test]
     fn fault_drop_counted() {
         let mut link = Link::new(
-            LinkConfig::infinite(SimDuration::ZERO).with_faults(FaultConfig::clean().with_loss(1.0)),
+            LinkConfig::infinite(SimDuration::ZERO)
+                .with_faults(FaultConfig::clean().with_loss(1.0)),
         );
         let mut rng = DetRng::new(4);
         assert!(matches!(

@@ -2,23 +2,37 @@
 //!
 //! Every stochastic element of the simulation (fault injection, workload
 //! arrivals, payload filling) draws from a [`DetRng`] seeded at simulator
-//! construction, so runs are exactly reproducible. `SmallRng` (xoshiro) is
-//! used because speed matters more than cryptographic quality here.
+//! construction, so runs are exactly reproducible. The generator is a
+//! self-contained xoshiro256++ (seeded through splitmix64) — the same
+//! construction `rand`'s `SmallRng` uses on 64-bit targets — implemented
+//! locally so the simulation substrate carries no external dependencies.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-/// A seedable, fast, deterministic random number generator.
+/// A seedable, fast, deterministic random number generator
+/// (xoshiro256++).
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: SmallRng,
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Create a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
         DetRng {
-            inner: SmallRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -26,7 +40,23 @@ impl DetRng {
     /// workload component its own stream so adding a component never
     /// perturbs the draws of another.
     pub fn fork(&mut self) -> DetRng {
-        DetRng::new(self.inner.gen::<u64>())
+        DetRng::new(self.next_u64())
+    }
+
+    /// A raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Bernoulli trial: returns `true` with probability `p` (clamped to
@@ -38,28 +68,33 @@ impl DetRng {
         if p >= 1.0 {
             return true;
         }
-        self.inner.gen::<f64>() < p
+        self.unit() < p
     }
 
-    /// Uniform value in `[0, 1)`.
+    /// Uniform value in `[0, 1)` (53-bit resolution).
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..hi)
+        assert!(lo < hi, "range_u64: empty range {lo}..{hi}");
+        let span = hi - lo;
+        // Multiply-shift bounded draw (Lemire); bias is < 2^-64 × span,
+        // irrelevant for simulation workloads.
+        let hi128 = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        lo + hi128
     }
 
     /// Uniform float in `[lo, hi)`.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        self.inner.gen_range(lo..hi)
+        lo + self.unit() * (hi - lo)
     }
 
     /// Exponentially distributed value with the given mean (inverse-CDF
     /// sampling). Used for Poisson arrival processes in the workload models.
     pub fn exp(&mut self, mean: f64) -> f64 {
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u = self.unit().max(f64::EPSILON);
         -mean * u.ln()
     }
 
@@ -67,18 +102,8 @@ impl DetRng {
     /// (Irwin–Hall); adequate for jitter models and far faster than
     /// Box–Muller in the hot path.
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
-        let s: f64 = (0..12).map(|_| self.inner.gen::<f64>()).sum::<f64>() - 6.0;
+        let s: f64 = (0..12).map(|_| self.unit()).sum::<f64>() - 6.0;
         mean + std_dev * s
-    }
-
-    /// A raw 64-bit draw.
-    pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
-    }
-
-    /// Access the underlying `rand` generator for distribution sampling.
-    pub fn raw(&mut self) -> &mut SmallRng {
-        &mut self.inner
     }
 }
 
@@ -148,5 +173,14 @@ mod tests {
         let mut c2 = parent.fork();
         // Children produce different streams from each other and the parent.
         assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn range_u64_in_bounds() {
+        let mut r = DetRng::new(13);
+        for _ in 0..10_000 {
+            let v = r.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
     }
 }

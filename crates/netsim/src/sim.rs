@@ -295,10 +295,18 @@ impl Simulator {
         };
         let wire = pkt.wire_len();
         let now = self.now;
-        let verdict = self.nodes[src_node.0].uplink.offer(now, wire, &mut self.rng);
+        let verdict = self.nodes[src_node.0]
+            .uplink
+            .offer(now, wire, &mut self.rng);
         match verdict {
             LinkVerdict::Deliver { at, duplicate_at } => {
-                self.push(at, EventKind::DownlinkAdmit { dst, pkt: pkt.clone() });
+                self.push(
+                    at,
+                    EventKind::DownlinkAdmit {
+                        dst,
+                        pkt: pkt.clone(),
+                    },
+                );
                 if let Some(dup_at) = duplicate_at {
                     self.push(dup_at, EventKind::DownlinkAdmit { dst, pkt });
                 }
@@ -327,7 +335,13 @@ impl Simulator {
                 let verdict = self.nodes[dst.0].downlink.offer(now, wire, &mut self.rng);
                 match verdict {
                     LinkVerdict::Deliver { at, duplicate_at } => {
-                        self.push(at, EventKind::Deliver { dst, pkt: pkt.clone() });
+                        self.push(
+                            at,
+                            EventKind::Deliver {
+                                dst,
+                                pkt: pkt.clone(),
+                            },
+                        );
                         if let Some(dup_at) = duplicate_at {
                             self.push(dup_at, EventKind::Deliver { dst, pkt });
                         }
@@ -557,7 +571,11 @@ mod tests {
         );
         sim.inject(
             SimTime::from_millis(10),
-            Packet::new(HostAddr::new(ip(50), 1), HostAddr::new(ip(2), 5000), vec![1, 2, 3]),
+            Packet::new(
+                HostAddr::new(ip(50), 1),
+                HostAddr::new(ip(2), 5000),
+                vec![1, 2, 3],
+            ),
         );
         sim.run_until(SimTime::from_secs(1));
         let e: &mut Echo = sim.node_mut(echo).unwrap();

@@ -1,0 +1,274 @@
+//! Fabric topology description: edge and core switches joined by trunks.
+//!
+//! The paper's campus deployment (§7, Figs. 20–21) is not one switch but
+//! a *switching fabric*: participants attach to the edge switch of their
+//! building, and cross-building meeting traffic rides trunk links through
+//! a core tier. This module is the pure *description* of such a fabric —
+//! which switches exist, their addresses, and which core relays a given
+//! edge pair — with no knowledge of SFU behaviour. `scallop-core`'s
+//! fabric builder consumes a [`Topology`] to instantiate actual switch
+//! and relay nodes in a [`crate::sim::Simulator`].
+//!
+//! Address plan (fits the simulator's route-by-IP model):
+//!
+//! * edge switch `i` owns `10.0.i.100`,
+//! * core switch `j` owns `10.0.(200+j).100`,
+//! * clients live in `10.1.0.0/16` and beyond (assigned by harnesses).
+//!
+//! Because every switch allocates SFU UDP ports from a disjoint
+//! per-switch range (see [`Topology::port_base`]), a core relay can route
+//! a trunk packet to its destination edge from the port number alone —
+//! exactly how a real fabric would route on a destination prefix.
+
+use crate::link::LinkConfig;
+use crate::time::SimDuration;
+use std::net::Ipv4Addr;
+
+/// Role of a switch within the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchRole {
+    /// Hosts participants and runs the full SFU (data plane + agent).
+    Edge,
+    /// Pure trunk relay between edges (no participants).
+    Core,
+}
+
+/// One switch in the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchSpec {
+    /// Edge or core.
+    pub role: SwitchRole,
+    /// The switch's IP (all its SFU/trunk ports live on it).
+    pub ip: Ipv4Addr,
+}
+
+/// First SFU port of edge 0 (matches the single-switch deployment).
+pub const FIRST_PORT_BASE: u16 = 10_000;
+
+/// Maximum edges per fabric. The u16 port space above
+/// [`FIRST_PORT_BASE`] is split evenly across edges, so more edges mean
+/// fewer SFU ports (≈ stream pairs) per edge; 64 edges still leaves
+/// ~860 ports each.
+pub const MAX_EDGES: usize = 64;
+
+/// A fabric of edge and core switches joined by trunk links.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// All switches, edges first (their index order is the fabric's
+    /// canonical switch numbering).
+    pub switches: Vec<SwitchSpec>,
+    /// Link configuration applied to every trunk attachment (both the
+    /// uplink and downlink side of each switch's fabric port).
+    pub trunk_link: LinkConfig,
+}
+
+impl Topology {
+    /// A single edge switch, no core — the seed deployment. Building a
+    /// harness from this topology reproduces the single-switch system
+    /// exactly.
+    pub fn single(ip: Ipv4Addr) -> Self {
+        Topology {
+            switches: vec![SwitchSpec {
+                role: SwitchRole::Edge,
+                ip,
+            }],
+            trunk_link: Self::default_trunk_link(),
+        }
+    }
+
+    /// A campus fabric: `edges` edge switches and `cores` core relays on
+    /// the canonical address plan. `cores` may be zero, in which case
+    /// edges trunk to each other directly.
+    pub fn campus(edges: usize, cores: usize) -> Self {
+        assert!(edges >= 1, "a fabric needs at least one edge switch");
+        assert!(
+            edges <= MAX_EDGES,
+            "at most {MAX_EDGES} edges (per-switch port ranges are disjoint u16 slices)"
+        );
+        assert!(
+            cores <= 40,
+            "core tier capped by the 10.0.200+ address plan"
+        );
+        let mut switches = Vec::with_capacity(edges + cores);
+        for i in 0..edges {
+            switches.push(SwitchSpec {
+                role: SwitchRole::Edge,
+                ip: Self::edge_ip(i),
+            });
+        }
+        for j in 0..cores {
+            switches.push(SwitchSpec {
+                role: SwitchRole::Core,
+                ip: Self::core_ip(j),
+            });
+        }
+        Topology {
+            switches,
+            trunk_link: Self::default_trunk_link(),
+        }
+    }
+
+    /// Campus trunks: 5 µs propagation at effectively unconstrained
+    /// rate — a 100 Gb/s fabric link never queues at conferencing scale,
+    /// but the rate is still modeled so trunk byte accounting is honest.
+    pub fn default_trunk_link() -> LinkConfig {
+        LinkConfig::infinite(SimDuration::from_micros(5))
+            .with_rate(100_000_000_000)
+            .with_queue_bytes(16 * 1024 * 1024)
+    }
+
+    /// Builder: replace the trunk link configuration.
+    pub fn with_trunk_link(mut self, link: LinkConfig) -> Self {
+        self.trunk_link = link;
+        self
+    }
+
+    /// Canonical IP of edge switch `i`.
+    pub fn edge_ip(i: usize) -> Ipv4Addr {
+        assert!(i < 200, "edge index out of the 10.0.x address plan");
+        Ipv4Addr::new(10, 0, i as u8, 100)
+    }
+
+    /// Canonical IP of core switch `j`.
+    pub fn core_ip(j: usize) -> Ipv4Addr {
+        assert!(j < 40, "core index out of the 10.0.200+ address plan");
+        Ipv4Addr::new(10, 0, 200 + j as u8, 100)
+    }
+
+    /// Number of edge switches.
+    pub fn edge_count(&self) -> usize {
+        self.switches
+            .iter()
+            .filter(|s| s.role == SwitchRole::Edge)
+            .count()
+    }
+
+    /// Number of core switches.
+    pub fn core_count(&self) -> usize {
+        self.switches.len() - self.edge_count()
+    }
+
+    /// The edge switches, in fabric order.
+    pub fn edges(&self) -> Vec<SwitchSpec> {
+        self.switches
+            .iter()
+            .copied()
+            .filter(|s| s.role == SwitchRole::Edge)
+            .collect()
+    }
+
+    /// The core switches, in fabric order.
+    pub fn cores(&self) -> Vec<SwitchSpec> {
+        self.switches
+            .iter()
+            .copied()
+            .filter(|s| s.role == SwitchRole::Core)
+            .collect()
+    }
+
+    /// Edge switch `i`, allocation-free (edges precede cores in
+    /// `switches`).
+    pub fn edge_spec(&self, i: usize) -> SwitchSpec {
+        let s = self.switches[i];
+        debug_assert_eq!(s.role, SwitchRole::Edge);
+        s
+    }
+
+    /// Core switch `j`, allocation-free.
+    pub fn core_spec(&self, j: usize) -> SwitchSpec {
+        let s = self.switches[self.edge_count() + j];
+        debug_assert_eq!(s.role, SwitchRole::Core);
+        s
+    }
+
+    /// Width of each edge's private UDP port range: the space above
+    /// [`FIRST_PORT_BASE`] split evenly across this fabric's edges. A
+    /// single-edge fabric keeps the whole range, exactly like the seed
+    /// single-switch deployment.
+    pub fn port_span(&self) -> u16 {
+        (u16::MAX - FIRST_PORT_BASE) / self.edge_count() as u16
+    }
+
+    /// First SFU UDP port of edge `i`'s private range.
+    pub fn port_base(&self, i: usize) -> u16 {
+        FIRST_PORT_BASE + i as u16 * self.port_span()
+    }
+
+    /// One past the last SFU UDP port of edge `i`'s range (exclusive
+    /// upper bound; edges must not allocate at or beyond it, or trunk
+    /// routing would misdeliver).
+    pub fn port_limit(&self, i: usize) -> u16 {
+        self.port_base(i).saturating_add(self.port_span())
+    }
+
+    /// The edge index owning `port`, per the disjoint port-range plan.
+    pub fn edge_of_port(&self, port: u16) -> Option<usize> {
+        if port < FIRST_PORT_BASE {
+            return None;
+        }
+        let edge = ((port - FIRST_PORT_BASE) / self.port_span()) as usize;
+        (edge < self.edge_count()).then_some(edge)
+    }
+
+    /// Which core relays traffic from edge `a` to edge `b`, or `None`
+    /// when the fabric has no core tier (edges trunk directly). The
+    /// assignment spreads edge pairs across cores deterministically.
+    pub fn core_between(&self, a: usize, b: usize) -> Option<usize> {
+        let cores = self.core_count();
+        if cores == 0 || a == b {
+            return None;
+        }
+        Some((a + b) % cores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_topology_matches_seed_plan() {
+        let t = Topology::single(Ipv4Addr::new(10, 0, 0, 100));
+        assert_eq!(t.edge_count(), 1);
+        assert_eq!(t.core_count(), 0);
+        assert_eq!(t.port_base(0), 10_000);
+        assert_eq!(t.port_limit(0), u16::MAX);
+    }
+
+    #[test]
+    fn campus_layout() {
+        let t = Topology::campus(4, 2);
+        assert_eq!(t.edge_count(), 4);
+        assert_eq!(t.core_count(), 2);
+        assert_eq!(t.edges()[2].ip, Ipv4Addr::new(10, 0, 2, 100));
+        assert_eq!(t.cores()[1].ip, Ipv4Addr::new(10, 0, 201, 100));
+    }
+
+    #[test]
+    fn port_ranges_are_disjoint_and_invertible() {
+        let t = Topology::campus(8, 1);
+        for i in 0..8usize {
+            let base = t.port_base(i);
+            assert_eq!(t.edge_of_port(base), Some(i));
+            assert_eq!(t.edge_of_port(t.port_limit(i) - 1), Some(i));
+        }
+        assert_eq!(t.edge_of_port(9_999), None);
+        // Ranges tile the space with no overlap.
+        for i in 1..8usize {
+            assert_eq!(t.port_limit(i - 1), t.port_base(i));
+        }
+    }
+
+    #[test]
+    fn core_assignment_spreads_pairs() {
+        let t = Topology::campus(4, 2);
+        assert_eq!(t.core_between(0, 0), None);
+        let c01 = t.core_between(0, 1).unwrap();
+        let c02 = t.core_between(0, 2).unwrap();
+        assert_ne!(c01, c02, "consecutive pairs alternate cores");
+        // Symmetric: both directions of a pair ride the same core.
+        assert_eq!(t.core_between(1, 0), Some(c01));
+        let direct = Topology::campus(3, 0);
+        assert_eq!(direct.core_between(0, 1), None);
+    }
+}

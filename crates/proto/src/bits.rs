@@ -35,7 +35,7 @@ impl<'a> BitReader<'a> {
         debug_assert!(n <= 64);
         if self.remaining() < n {
             return Err(ProtoError::Truncated {
-                needed: (self.pos + n + 7) / 8,
+                needed: (self.pos + n).div_ceil(8),
                 got: self.buf.len(),
             });
         }
@@ -56,7 +56,7 @@ impl<'a> BitReader<'a> {
 
     /// Skip to the next byte boundary (reading zero-bits).
     pub fn align(&mut self) {
-        self.pos = (self.pos + 7) / 8 * 8;
+        self.pos = self.pos.div_ceil(8) * 8;
     }
 }
 
@@ -77,7 +77,10 @@ impl BitWriter {
     /// Append the low `n` bits of `v`, MSB first.
     pub fn write(&mut self, v: u64, n: usize) {
         debug_assert!(n <= 64);
-        debug_assert!(n == 64 || v < (1u64 << n), "value {v} does not fit in {n} bits");
+        debug_assert!(
+            n == 64 || v < (1u64 << n),
+            "value {v} does not fit in {n} bits"
+        );
         for i in (0..n).rev() {
             let bit = ((v >> i) & 1) as u8;
             if self.bit_fill == 0 {

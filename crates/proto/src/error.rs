@@ -62,11 +62,11 @@ mod tests {
             "truncated packet: needed 12 bytes, got 3"
         );
         assert_eq!(ProtoError::BadMagic.to_string(), "bad version/magic field");
-        assert_eq!(ProtoError::BadLength.to_string(), "length field exceeds buffer");
         assert_eq!(
-            ProtoError::Unsupported("x").to_string(),
-            "unsupported: x"
+            ProtoError::BadLength.to_string(),
+            "length field exceeds buffer"
         );
+        assert_eq!(ProtoError::Unsupported("x").to_string(), "unsupported: x");
         assert_eq!(ProtoError::Malformed("y").to_string(), "malformed: y");
     }
 

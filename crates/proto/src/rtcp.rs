@@ -123,7 +123,7 @@ impl Nack {
         for &seq in lost {
             if let Some(last) = entries.last_mut() {
                 let delta = seq.wrapping_sub(last.0);
-                if delta >= 1 && delta <= 16 {
+                if (1..=16).contains(&delta) {
                     last.1 |= 1 << (delta - 1);
                     continue;
                 }
@@ -448,9 +448,8 @@ pub fn parse_one(buf: &[u8]) -> Result<(RtcpPacket, usize), ProtoError> {
                 let sender_ssrc = u32::from_be_bytes([body[0], body[1], body[2], body[3]]);
                 let num = body[12] as usize;
                 let exp = (body[13] >> 2) as u32;
-                let mantissa = (((body[13] & 0x03) as u32) << 16)
-                    | ((body[14] as u32) << 8)
-                    | body[15] as u32;
+                let mantissa =
+                    (((body[13] & 0x03) as u32) << 16) | ((body[14] as u32) << 8) | body[15] as u32;
                 let bitrate_bps = (mantissa as u64) << exp;
                 need(body, 16 + num * 4)?;
                 let ssrcs = (0..num)
@@ -609,8 +608,8 @@ mod tests {
         let bytes = serialize(&RtcpPacket::Remb(remb.clone()));
         let (parsed, _) = parse_one(&bytes).unwrap();
         if let RtcpPacket::Remb(r) = parsed {
-            let err = (r.bitrate_bps as f64 - remb.bitrate_bps as f64).abs()
-                / remb.bitrate_bps as f64;
+            let err =
+                (r.bitrate_bps as f64 - remb.bitrate_bps as f64).abs() / remb.bitrate_bps as f64;
             assert!(err < 1e-4, "relative error {err}");
         } else {
             panic!("wrong packet type");
@@ -656,7 +655,10 @@ mod tests {
     fn rejects_unknown_types() {
         // APP (204) unsupported.
         let buf = [0x80, 204, 0, 0];
-        assert_eq!(parse_one(&buf), Err(ProtoError::Unsupported("RTCP packet type")));
+        assert_eq!(
+            parse_one(&buf),
+            Err(ProtoError::Unsupported("RTCP packet type"))
+        );
         // PSFB fmt 3 unsupported.
         let buf = [0x83, 206, 0, 2, 0, 0, 0, 1, 0, 0, 0, 2];
         assert_eq!(parse_one(&buf), Err(ProtoError::Unsupported("PSFB format")));

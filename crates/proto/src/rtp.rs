@@ -116,9 +116,8 @@ impl RtpPacket {
     pub fn serialize(&self) -> Vec<u8> {
         let has_ext = !self.extensions.is_empty();
         let mut out = Vec::with_capacity(MIN_HEADER_LEN + 16 + self.payload.len());
-        let v_p_x_cc: u8 = (RTP_VERSION << 6)
-            | ((has_ext as u8) << 4)
-            | (self.csrc.len().min(15) as u8);
+        let v_p_x_cc: u8 =
+            (RTP_VERSION << 6) | ((has_ext as u8) << 4) | (self.csrc.len().min(15) as u8);
         out.push(v_p_x_cc);
         out.push(((self.marker as u8) << 7) | (self.payload_type & 0x7F));
         out.extend_from_slice(&self.sequence_number.to_be_bytes());
@@ -286,7 +285,12 @@ impl<'a> RtpView<'a> {
         (0..n)
             .map(|i| {
                 let o = MIN_HEADER_LEN + i * 4;
-                u32::from_be_bytes([self.buf[o], self.buf[o + 1], self.buf[o + 2], self.buf[o + 3]])
+                u32::from_be_bytes([
+                    self.buf[o],
+                    self.buf[o + 1],
+                    self.buf[o + 2],
+                    self.buf[o + 3],
+                ])
             })
             .collect()
     }

@@ -69,7 +69,12 @@ impl Candidate {
     fn to_attr_value(&self) -> String {
         format!(
             "{} {} {} {} {} {} typ {}",
-            self.foundation, self.component, self.transport, self.priority, self.ip, self.port,
+            self.foundation,
+            self.component,
+            self.transport,
+            self.priority,
+            self.ip,
+            self.port,
             self.typ
         )
     }
@@ -130,7 +135,11 @@ impl MediaSection {
             kind,
             port,
             protocol: "UDP/RTP/AVPF".into(),
-            payload_types: vec![if matches!(kind, MediaKind::Audio) { 111 } else { 96 }],
+            payload_types: vec![if matches!(kind, MediaKind::Audio) {
+                111
+            } else {
+                96
+            }],
             candidates: Vec::new(),
             ssrcs: Vec::new(),
             mid: None,
@@ -281,10 +290,7 @@ impl SessionDescription {
                         .map_err(|_| ProtoError::Malformed("m= port"))?;
                     let mut sec = MediaSection::new(kind, port);
                     sec.protocol = parts[2].to_string();
-                    sec.payload_types = parts[3..]
-                        .iter()
-                        .filter_map(|p| p.parse().ok())
-                        .collect();
+                    sec.payload_types = parts[3..].iter().filter_map(|p| p.parse().ok()).collect();
                     current = Some(sec);
                 }
                 "a" => {

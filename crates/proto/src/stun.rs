@@ -125,7 +125,7 @@ impl StunMessage {
         let attrs_len: usize = self
             .attributes
             .iter()
-            .map(|(_, v)| 4 + (v.len() + 3) / 4 * 4)
+            .map(|(_, v)| 4 + v.len().div_ceil(4) * 4)
             .sum();
         let mut out = Vec::with_capacity(20 + attrs_len);
         out.extend_from_slice(&self.msg_type.to_be_bytes());
@@ -168,7 +168,7 @@ impl StunMessage {
             attributes.push((ty, rest[4..4 + alen].to_vec()));
             // Attributes are padded to 32-bit boundaries; tolerate a
             // missing final pad on the last attribute.
-            let padded = 4 + (alen + 3) / 4 * 4;
+            let padded = 4 + alen.div_ceil(4) * 4;
             rest = &rest[padded.min(rest.len())..];
         }
         Ok(StunMessage {

@@ -98,13 +98,16 @@ fn arb_rtcp() -> impl Strategy<Value = RtcpPacket> {
         vec((any::<u32>(), "[a-z]{1,20}"), 1..4)
             .prop_map(|chunks| RtcpPacket::Sdes(Sdes { chunks })),
         vec(any::<u32>(), 0..5).prop_map(|ssrcs| RtcpPacket::Bye(Bye { ssrcs })),
-        (any::<u32>(), any::<u32>(), vec((any::<u16>(), any::<u16>()), 1..8)).prop_map(
-            |(sender_ssrc, media_ssrc, entries)| RtcpPacket::Nack(Nack {
+        (
+            any::<u32>(),
+            any::<u32>(),
+            vec((any::<u16>(), any::<u16>()), 1..8)
+        )
+            .prop_map(|(sender_ssrc, media_ssrc, entries)| RtcpPacket::Nack(Nack {
                 sender_ssrc,
                 media_ssrc,
                 entries
-            })
-        ),
+            })),
         (any::<u32>(), any::<u32>()).prop_map(|(sender_ssrc, media_ssrc)| RtcpPacket::Pli(Pli {
             sender_ssrc,
             media_ssrc

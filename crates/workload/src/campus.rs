@@ -40,6 +40,15 @@ pub struct CampusParams {
     pub duration_two_party_min: f64,
     /// Median group meeting duration (minutes).
     pub duration_group_min: f64,
+    /// Campus buildings. Each meeting is organized from a home building;
+    /// participants mostly attend from there with a cross-building tail.
+    /// Buildings map onto fabric edge switches
+    /// ([`MeetingRecord::edge_switch`]).
+    pub buildings: u32,
+    /// Fraction of a meeting's participants attending from a building
+    /// other than its home (lectures draw the whole campus; the default
+    /// matches "most attendees are in the organizing department").
+    pub cross_building_fraction: f64,
 }
 
 impl Default for CampusParams {
@@ -56,6 +65,8 @@ impl Default for CampusParams {
             screen_share_p: 0.05,
             duration_two_party_min: 35.0,
             duration_group_min: 90.0,
+            buildings: 12,
+            cross_building_fraction: 0.2,
         }
     }
 }
@@ -63,8 +74,8 @@ impl Default for CampusParams {
 /// Relative meeting-arrival intensity per hour of a weekday (campus
 /// class-schedule shape: morning and early-afternoon peaks).
 pub const WEEKDAY_HOURLY: [f64; 24] = [
-    0.02, 0.01, 0.01, 0.01, 0.02, 0.05, 0.15, 0.45, 0.80, 1.00, 1.00, 0.90, 0.75, 0.95, 1.00,
-    0.90, 0.70, 0.50, 0.35, 0.25, 0.18, 0.10, 0.06, 0.03,
+    0.02, 0.01, 0.01, 0.01, 0.02, 0.05, 0.15, 0.45, 0.80, 1.00, 1.00, 0.90, 0.75, 0.95, 1.00, 0.90,
+    0.70, 0.50, 0.35, 0.25, 0.18, 0.10, 0.06, 0.03,
 ];
 
 /// Weekend activity relative to a weekday.
@@ -92,6 +103,10 @@ pub struct MeetingRecord {
     pub audio_senders: u32,
     /// Screen-share sources.
     pub screen_senders: u32,
+    /// Home building (organizing department).
+    pub building: u32,
+    /// Participants attending from another building.
+    pub cross_building: u32,
 }
 
 impl MeetingRecord {
@@ -116,6 +131,37 @@ impl MeetingRecord {
     /// Expected instantaneous attendance (see [`ATTENDANCE_FACTOR`]).
     pub fn concurrent_participants(&self) -> f64 {
         self.size as f64 * ATTENDANCE_FACTOR
+    }
+
+    /// The fabric edge switch serving this meeting's home building when
+    /// the campus runs `edges` edge switches (buildings are striped
+    /// round-robin onto edges).
+    pub fn edge_switch(&self, edges: usize) -> usize {
+        assert!(edges >= 1);
+        self.building as usize % edges
+    }
+
+    /// The building participant `idx` (0-based) attends from: the first
+    /// `size - cross_building` participants sit in the home building,
+    /// the tail is spread deterministically over the *other* buildings
+    /// (stepping modulo `buildings - 1` so it never wraps back home).
+    pub fn participant_building(&self, idx: u32, buildings: u32) -> u32 {
+        assert!(buildings >= 1);
+        let local = self.size - self.cross_building.min(self.size);
+        if idx < local || buildings == 1 {
+            self.building % buildings
+        } else {
+            let k = (idx - local) % (buildings - 1);
+            (self.building + 1 + k) % buildings
+        }
+    }
+
+    /// The fabric edge participant `idx` attends from, composing
+    /// [`Self::participant_building`] with the building→edge striping —
+    /// the one mapping benches and examples must share.
+    pub fn participant_edge(&self, idx: u32, buildings: u32, edges: usize) -> usize {
+        assert!(edges >= 1);
+        self.participant_building(idx, buildings) as usize % edges
     }
 }
 
@@ -217,6 +263,15 @@ impl CampusModel {
                 let size = self.draw_size();
                 let (video, audio, screen) = self.draw_activity(size);
                 let duration = self.draw_duration(size);
+                let building = self.rng.range_u64(0, self.params.buildings.max(1) as u64) as u32;
+                let mut cross = 0u32;
+                for _ in 0..size {
+                    if self.params.buildings > 1
+                        && self.rng.chance(self.params.cross_building_fraction)
+                    {
+                        cross += 1;
+                    }
+                }
                 out.push(MeetingRecord {
                     start: SimTime::from_secs(h * 3600) + SimDuration::from_secs_f64(t),
                     duration,
@@ -224,6 +279,8 @@ impl CampusModel {
                     video_senders: video,
                     audio_senders: audio,
                     screen_senders: screen,
+                    building,
+                    cross_building: cross,
                 });
             }
         }
@@ -332,7 +389,10 @@ mod tests {
         let p_peak = participants.max();
         // Fig. 21 peaks near 400–500 concurrent participants... our model
         // includes meeting sizes, so allow a broad band.
-        assert!((300.0..1500.0).contains(&p_peak), "peak participants {p_peak}");
+        assert!(
+            (300.0..1500.0).contains(&p_peak),
+            "peak participants {p_peak}"
+        );
         // Nights are quiet: the 3–4 AM bins hold under 15 % of the peak.
         let night: f64 = m_pts
             .iter()
@@ -354,6 +414,41 @@ mod tests {
             .map(|(_, v)| *v)
             .fold(0.0, f64::max);
         assert!(sat_noon < 0.35 * peak, "saturday {sat_noon} vs {peak}");
+    }
+
+    #[test]
+    fn buildings_cover_campus_and_map_to_edges() {
+        let pop = population(7);
+        let params = CampusParams::default();
+        // Every building hosts meetings.
+        for b in 0..params.buildings {
+            assert!(
+                pop.iter().any(|m| m.building == b),
+                "building {b} hosts no meetings"
+            );
+        }
+        // Cross-building attendance exists but stays the minority.
+        let cross: u32 = pop.iter().map(|m| m.cross_building).sum();
+        let total: u32 = pop.iter().map(|m| m.size).sum();
+        let frac = cross as f64 / total as f64;
+        assert!((0.1..0.3).contains(&frac), "cross fraction {frac}");
+        // Edge striping and per-participant building assignment are
+        // total and consistent for every meeting, including those whose
+        // cross-building tail exceeds the building count.
+        for m in &pop {
+            assert!(m.edge_switch(4) < 4);
+            assert_eq!(m.edge_switch(1), 0);
+            let mut local = 0;
+            for i in 0..m.size {
+                let b = m.participant_building(i, params.buildings);
+                assert!(b < params.buildings);
+                if b == m.building {
+                    local += 1;
+                }
+                assert_eq!(m.participant_edge(i, params.buildings, 4), b as usize % 4);
+            }
+            assert_eq!(local, m.size - m.cross_building.min(m.size));
+        }
     }
 
     #[test]

@@ -86,10 +86,7 @@ mod tests {
             .map(|p| p.software_sfu_bps)
             .fold(0.0, f64::max);
         // Fig. 22: peaks around 1,250 Mbit/s.
-        assert!(
-            (0.8e9..3.0e9).contains(&peak),
-            "software peak {peak} bps"
-        );
+        assert!((0.8e9..3.0e9).contains(&peak), "software peak {peak} bps");
         let agent_peak = series.iter().map(|p| p.agent_bps).fold(0.0, f64::max);
         // Fig. 22: agent peaks around 4.4 Mbit/s.
         assert!(
@@ -114,6 +111,8 @@ mod tests {
             video_senders: 2,
             audio_senders: 5,
             screen_senders: 0,
+            building: 0,
+            cross_building: 0,
         };
         let series = sfu_load_series(&[m], SimDuration::from_secs(60));
         // Active in bins 1..=5 (100 s to 300 s).

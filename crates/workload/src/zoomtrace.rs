@@ -157,10 +157,18 @@ mod tests {
         // the model is fitted to the API dataset, the capture also saw
         // non-campus-hosted meetings.
         let pkt_err = (s.packets_per_sec - 42_733.0).abs() / 42_733.0;
-        assert!(pkt_err < 0.4, "pkts/s {} (err {pkt_err})", s.packets_per_sec);
+        assert!(
+            pkt_err < 0.4,
+            "pkts/s {} (err {pkt_err})",
+            s.packets_per_sec
+        );
         // Bitrate: paper 222.9 Mbit/s.
         let rate_err = (s.avg_bitrate_bps - 222.9e6).abs() / 222.9e6;
-        assert!(rate_err < 0.4, "bitrate {} (err {rate_err})", s.avg_bitrate_bps);
+        assert!(
+            rate_err < 0.4,
+            "bitrate {} (err {rate_err})",
+            s.avg_bitrate_bps
+        );
         // Flows: paper 583,777; streams: 59,020. Order-of-magnitude-and-
         // factor checks.
         assert!(
@@ -193,6 +201,8 @@ mod tests {
             video_senders: 5,
             audio_senders: 10,
             screen_senders: 0,
+            building: 0,
+            cross_building: 0,
         };
         let s = synth.summarize(&[before]);
         assert_eq!(s.zoom_packets, 0);
@@ -209,6 +219,8 @@ mod tests {
             video_senders: 2,
             audio_senders: 4,
             screen_senders: 0,
+            building: 0,
+            cross_building: 0,
         };
         let s = synth.summarize(&[m]);
         // 4 participants × attendance factor × 300 s of overlap.

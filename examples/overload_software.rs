@@ -86,7 +86,11 @@ fn main() {
                     }
                 }
             }
-            let fps = if fps_n > 0 { fps_sum / fps_n as f64 } else { 0.0 };
+            let fps = if fps_n > 0 {
+                fps_sum / fps_n as f64
+            } else {
+                0.0
+            };
             println!(
                 "{joined:>12} | {:>5.1} | {max_jitter:>23.2} | {fps:>13.1}",
                 util * 100.0

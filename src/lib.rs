@@ -4,14 +4,19 @@
 //! SIGCOMM 2025). It re-exports all workspace crates under one namespace so
 //! examples and downstream users can depend on a single crate:
 //!
-//! * [`netsim`] — deterministic discrete-event network simulation substrate.
+//! * [`netsim`] — deterministic discrete-event network simulation substrate,
+//!   including the fabric [`netsim::topology`] (edge + core switches joined
+//!   by trunks) and the core-tier [`netsim::relay`].
 //! * [`proto`] — RTP/RTCP/STUN/SDP and AV1 dependency-descriptor wire formats.
 //! * [`media`] — scalable (L1T3) media model: encoder, packetizer, decoder.
-//! * [`dataplane`] — Tofino-model programmable switch data plane.
+//! * [`dataplane`] — Tofino-model programmable switch data plane, with
+//!   trunk-ingress rules and per-remote-switch trunk accounting.
 //! * [`client`] — WebRTC-behaviour endpoint (GCC, feedback, jitter buffer).
 //! * [`baseline`] — split-proxy software SFU baseline with a CPU cost model.
-//! * [`core`] — the Scallop SFU itself: controller + switch agent + capacity models.
-//! * [`workload`] — campus workload models and Zoom-like trace synthesis.
+//! * [`core`] — the Scallop SFU itself: controller + switch agent +
+//!   campus switching fabric ([`core::fabric`]) + capacity models.
+//! * [`workload`] — campus workload models (buildings map onto fabric
+//!   edges) and Zoom-like trace synthesis.
 //!
 //! ## Quick start
 //!
@@ -23,6 +28,25 @@
 //! let report = h.run_for_secs(2.0);
 //! assert_eq!(report.participants, 3);
 //! assert!(report.media_packets_forwarded > 0);
+//! ```
+//!
+//! ## Campus fabric
+//!
+//! The same harness scales past one switch: shard the meeting across a
+//! fabric of edge switches (participants attach round-robin) joined by
+//! core relays. Each sender's media crosses every trunk **once per
+//! remote switch** and fans out again through the remote switch's own
+//! replication engine.
+//!
+//! ```
+//! use scallop::core::harness::{ScallopHarness, HarnessConfig};
+//!
+//! // Four participants sharded over two edge switches + one core.
+//! let mut h = ScallopHarness::new(
+//!     HarnessConfig::default().participants(4).switches(2).cores(1),
+//! );
+//! let report = h.run_for_secs(2.0);
+//! assert!(report.trunk_packets > 0, "cross-switch media rides trunks");
 //! ```
 
 pub use scallop_baseline as baseline;

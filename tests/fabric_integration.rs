@@ -1,0 +1,155 @@
+//! Fabric integration: a meeting spanning two edge switches.
+//!
+//! The campus-scale claim rests on two properties this suite pins down
+//! end to end:
+//!
+//! 1. **Quality**: every cross-switch stream decodes near the full
+//!    30 fps — the trunk hop is transparent to receivers.
+//! 2. **Trunk economy**: uplink media crosses the fabric **once per
+//!    remote switch**, not once per remote receiver; the remote edge's
+//!    own PRE performs the per-receiver fan-out.
+
+use scallop::core::harness::{HarnessConfig, ScallopHarness};
+use scallop::netsim::time::SimDuration;
+
+/// One sender on edge 0, three receivers sharded across both edges
+/// (P1, P3 on edge 1; P2 on edge 0), one core relay.
+fn two_edge_harness() -> ScallopHarness {
+    ScallopHarness::new(
+        HarnessConfig::default()
+            .participants(4)
+            .senders(1)
+            .switches(2)
+            .cores(1)
+            .seed(42),
+    )
+}
+
+#[test]
+fn cross_switch_streams_decode_near_full_rate() {
+    let mut h = two_edge_harness();
+    h.run_for_secs(5.0);
+    assert_eq!(h.edge_of(0), 0);
+    assert_eq!(h.edge_of(1), 1);
+    assert_eq!(h.edge_of(3), 1);
+    // Cross-switch receivers (P1, P3 on edge 1, sender on edge 0).
+    for r in [1, 3] {
+        let fps = h
+            .fps_between(0, r, SimDuration::from_secs(2))
+            .expect("cross-switch stream exists");
+        assert!((25.0..35.0).contains(&fps), "P0->P{r} fps {fps}");
+    }
+    // The co-located receiver is unaffected by the fabric.
+    let local = h
+        .fps_between(0, 2, SimDuration::from_secs(2))
+        .expect("local stream exists");
+    assert!(local > 25.0, "P0->P2 fps {local}");
+    let report = h.report();
+    assert_eq!(report.freezes, 0, "no decoder freezes across the fabric");
+}
+
+#[test]
+fn trunk_carries_one_copy_per_remote_switch_not_per_receiver() {
+    let mut h = two_edge_harness();
+    h.run_for_secs(5.0);
+
+    let home = h.counters_at(0);
+    let remote = h.counters_at(1);
+
+    // Everything the sender offered (video + audio + SRs) crosses the
+    // trunk exactly once: edge 1 hosts TWO receivers of P0, so
+    // per-receiver trunking would emit ~2x. Allow a sliver for packets
+    // in flight at the cutoff.
+    let offered = home.rtp_in_pkts + home.rtcp_sr_pkts;
+    assert!(home.trunk_out_pkts > 0, "trunk must carry media");
+    assert!(
+        home.trunk_out_pkts <= offered,
+        "trunk copies ({}) must not exceed sender packets ({offered})",
+        home.trunk_out_pkts
+    );
+    assert!(
+        home.trunk_out_pkts as f64 >= 0.95 * offered as f64,
+        "trunk copies ({}) should track sender packets ({offered})",
+        home.trunk_out_pkts
+    );
+    // Byte symmetry: what edge 0 trunks out, edge 1 takes in.
+    assert!(
+        (remote.trunk_in_bytes as f64 - home.trunk_out_bytes as f64).abs()
+            <= 0.02 * home.trunk_out_bytes as f64,
+        "trunk bytes out {} vs in {}",
+        home.trunk_out_bytes,
+        remote.trunk_in_bytes
+    );
+    // The remote edge's PRE performs the per-receiver fan-out: its two
+    // local receivers each get a copy of every trunked media packet.
+    assert!(
+        remote.forwarded_pkts as f64 >= 1.8 * remote.trunk_in_pkts as f64,
+        "remote fan-out {} from {} trunk packets",
+        remote.forwarded_pkts,
+        remote.trunk_in_pkts
+    );
+    // The core relay carried exactly the trunk traffic.
+    let core = h.fabric.core_stats(&mut h.sim, 0);
+    assert_eq!(core.unroutable_pkts, 0);
+    assert!(
+        (core.relayed_pkts as f64 - home.trunk_out_pkts as f64).abs()
+            <= 0.02 * home.trunk_out_pkts as f64,
+        "core relayed {} vs trunk out {}",
+        core.relayed_pkts,
+        home.trunk_out_pkts
+    );
+}
+
+#[test]
+fn single_switch_config_reports_no_trunk_traffic() {
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(4).seed(42));
+    let report = h.run_for_secs(3.0);
+    assert_eq!(report.trunk_packets, 0);
+    let c = h.switch_counters();
+    assert_eq!(c.trunk_out_pkts, 0);
+    assert_eq!(c.trunk_in_pkts, 0);
+}
+
+#[test]
+fn remote_receiver_adaptation_stays_local_to_its_edge() {
+    // Degrade a remote receiver: its own edge migrates to RA-R and thins
+    // the stream after the trunk; the sender's home edge keeps trunking
+    // full quality (the trunk branch never adapts).
+    let mut h = two_edge_harness();
+    h.run_for_secs(3.0);
+    // P1 receives one ~2.2 Mbit/s stream; 1.2 Mbit/s fits only the
+    // 15 fps tier (like Fig. 14's decisive degradation).
+    h.degrade_downlink(1, 1_200_000);
+    h.run_for_secs(10.0);
+
+    let meeting = h.fabric_meeting;
+    let (edge, _s_pid, r_pid) = h
+        .controller
+        .pair_on_receiver_edge(
+            meeting,
+            h.fabric_grants[0].global,
+            h.fabric_grants[1].global,
+        )
+        .expect("pair resolved");
+    assert_eq!(edge, 1, "receiver adapts on its own edge");
+    let dt = h.switch_at(1).agent.dt_of(r_pid);
+    assert!(
+        dt < Some(2),
+        "remote receiver's decode target must drop, got {dt:?}"
+    );
+
+    // Full quality still crosses the trunk: trunk bytes track the
+    // sender's offered bytes, not the thinned stream.
+    let home = h.counters_at(0);
+    let offered = home.rtp_in_pkts + home.rtcp_sr_pkts;
+    assert!(
+        home.trunk_out_pkts as f64 >= 0.95 * offered as f64,
+        "trunk still carries full quality ({} of {offered})",
+        home.trunk_out_pkts
+    );
+    // The other cross-switch receiver keeps full rate.
+    let fps03 = h
+        .fps_between(0, 3, SimDuration::from_secs(2))
+        .expect("stream exists");
+    assert!(fps03 > 24.0, "unconstrained remote receiver fps {fps03}");
+}

@@ -27,9 +27,9 @@ fn survives_downlink_loss_with_nack_repair() {
 fn survives_reordering() {
     let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xFA11_2));
     h.run_for_secs(2.0);
-    h.sim.downlink_mut(h.client_ids[1]).set_faults(
-        FaultConfig::clean().with_reorder(0.05, SimDuration::from_millis(8)),
-    );
+    h.sim
+        .downlink_mut(h.client_ids[1])
+        .set_faults(FaultConfig::clean().with_reorder(0.05, SimDuration::from_millis(8)));
     h.run_for_secs(8.0);
     let fps = h
         .fps_between(0, 1, SimDuration::from_secs(3))

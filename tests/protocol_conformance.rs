@@ -42,8 +42,8 @@ fn every_wire_packet_is_classifiable_and_parseable() {
 fn switch_emits_valid_rtp_with_intact_payloads() {
     // Drive the data plane directly and parse everything it emits.
     use scallop::core::agent::SwitchAgent;
-    use scallop::dataplane::switch::ScallopDataPlane;
     use scallop::dataplane::seqrewrite::SeqRewriteMode;
+    use scallop::dataplane::switch::ScallopDataPlane;
     use scallop::media::encoder::{EncoderConfig, VideoEncoder};
     use scallop::media::packetizer::Packetizer;
     use scallop::netsim::packet::{HostAddr, Packet};

@@ -1,0 +1,142 @@
+//! Vendored minimal `#[derive(Serialize)]`.
+//!
+//! Supports exactly what this workspace uses: non-generic structs with
+//! named fields (and fieldless enums, serialized as their variant name).
+//! The macro parses the item with hand-rolled token inspection — no
+//! `syn`/`quote`, because the build environment cannot fetch them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (the vendored JSON-writing trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Find `struct Name { ... }` or `enum Name { ... }`, skipping
+    // attributes, doc comments, and visibility qualifiers.
+    let mut i = 0;
+    let mut kind = "";
+    let mut name = String::new();
+    let mut body: Option<TokenStream> = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if *id.to_string() == *"struct" || *id.to_string() == *"enum" => {
+                kind = if id.to_string() == "struct" {
+                    "struct"
+                } else {
+                    "enum"
+                };
+                if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                    name = n.to_string();
+                }
+                for t in &tokens[i + 1..] {
+                    if let TokenTree::Group(g) = t {
+                        if g.delimiter() == Delimiter::Brace {
+                            body = Some(g.stream());
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let body = body.unwrap_or_default();
+
+    let impl_body = match kind {
+        "struct" => {
+            let fields = named_fields(body);
+            let mut writes = String::new();
+            for (idx, f) in fields.iter().enumerate() {
+                if idx > 0 {
+                    writes.push_str("out.push(',');\n");
+                }
+                writes.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                     serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            format!("out.push('{{');\n{writes}out.push('}}');")
+        }
+        _ => {
+            // Fieldless enum: serialize the variant name as a string.
+            let variants = enum_variants(body);
+            let mut arms = String::new();
+            for v in &variants {
+                arms.push_str(&format!(
+                    "{name}::{v} => serde::write_json_string(\"{v}\", out),\n"
+                ));
+            }
+            if variants.is_empty() {
+                "let _ = out;".to_string()
+            } else {
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+            fn serialize_json(&self, out: &mut String) {{\n{impl_body}\n}}\n\
+         }}"
+    );
+    out.parse()
+        .expect("derive(Serialize): generated impl must parse")
+}
+
+/// Field names of a named-struct body, skipping attributes, visibility,
+/// and the type after each `:` (types may themselves contain `,` inside
+/// angle brackets or groups, so we track depth).
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut expecting_name = true;
+    let mut angle_depth = 0i32;
+    let mut last_ident: Option<String> = None;
+    for t in body {
+        match &t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ':' if expecting_name && angle_depth == 0 => {
+                    if let Some(n) = last_ident.take() {
+                        fields.push(n);
+                    }
+                    expecting_name = false;
+                }
+                ',' if angle_depth == 0 => {
+                    expecting_name = true;
+                    last_ident = None;
+                }
+                '#' => {}
+                _ => {}
+            },
+            TokenTree::Ident(id) if expecting_name => {
+                let s = id.to_string();
+                if s != "pub" && s != "crate" && s != "r#" {
+                    last_ident = Some(s);
+                }
+            }
+            TokenTree::Group(_) => {}
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Variant names of a fieldless enum body.
+fn enum_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut expecting = true;
+    for t in body {
+        match &t {
+            TokenTree::Ident(id) if expecting => {
+                variants.push(id.to_string());
+                expecting = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => expecting = true,
+            _ => {}
+        }
+    }
+    variants
+}

@@ -1,0 +1,98 @@
+//! Vendored minimal `serde_json` stand-in: serialize only, over the
+//! vendored `serde::Serialize` JSON-writing trait.
+
+use serde::Serialize;
+use std::fmt;
+
+/// Serialization error (the stub serializer is infallible; this type
+/// exists for signature compatibility).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serialize to an indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    Ok(prettify(&compact))
+}
+
+/// Re-indent compact JSON (the stub never emits strings containing
+/// braces/brackets unescaped, so a quote-aware scan is sufficient).
+fn prettify(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() * 2);
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                depth += 1;
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_of_numbers() {
+        assert_eq!(to_string(&vec![1u32, 2, 3]).unwrap(), "[1,2,3]");
+    }
+
+    #[test]
+    fn pretty_has_newlines() {
+        let p = to_string_pretty(&vec![1u32, 2]).unwrap();
+        assert!(p.contains('\n'));
+    }
+}
