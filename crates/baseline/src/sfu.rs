@@ -469,8 +469,7 @@ mod tests {
             LinkConfig::infinite(SimDuration::from_micros(50)),
         );
         let mut ids = Vec::new();
-        for i in 0..n {
-            let up = uplinks[i];
+        for (i, &up) in uplinks.iter().enumerate().take(n) {
             let c = ClientNode::new(
                 ClientConfig::sender(ip(10 + i as u8), 5000, 0x1000 * (i as u32 + 1))
                     .sending_to(up, up),

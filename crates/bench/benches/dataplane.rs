@@ -105,7 +105,7 @@ fn bench_tracker(c: &mut Criterion) {
         tracker.init_stream(0, 2);
         let mut seq = 0u16;
         let mut frame = 0u16;
-        c.bench_function(&format!("tracker_process_{mode:?}"), |b| {
+        c.bench_function(format!("tracker_process_{mode:?}"), |b| {
             b.iter(|| {
                 let suppress = frame % 2 == 1;
                 let v = if suppress {

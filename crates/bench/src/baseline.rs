@@ -1,0 +1,190 @@
+//! Checked-in baseline reading and the >20 % regression gate.
+//!
+//! The vendored `serde_json` stand-in is serialize-only, so the gate
+//! carries its own reader for the one shape `results/` uses: an array
+//! of flat objects whose interesting fields are numbers. Non-numeric
+//! fields (e.g. `"weekday": "Mon"`) are skipped.
+
+use std::collections::BTreeMap;
+
+/// Relative drift beyond which a metric counts as regressed.
+pub const GATE_TOLERANCE: f64 = 0.20;
+
+/// Parse `[{...}, {...}]` into one map of numeric fields per object.
+/// Nested containers are not supported (none of the baselines use any).
+pub fn parse_numeric_objects(text: &str) -> Vec<BTreeMap<String, f64>> {
+    let mut out = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '{' {
+            continue;
+        }
+        let mut obj = BTreeMap::new();
+        loop {
+            // Find the next key (or the end of the object).
+            let mut key = String::new();
+            let mut in_key = false;
+            let mut closed = false;
+            for c in chars.by_ref() {
+                match c {
+                    '"' if !in_key => in_key = true,
+                    '"' if in_key => break,
+                    '}' if !in_key => {
+                        closed = true;
+                        break;
+                    }
+                    _ if in_key => key.push(c),
+                    _ => {}
+                }
+            }
+            if closed || key.is_empty() {
+                break;
+            }
+            // Skip to the value after ':'.
+            for c in chars.by_ref() {
+                if c == ':' {
+                    break;
+                }
+            }
+            // Collect the raw value token.
+            let mut val = String::new();
+            let mut in_str = false;
+            let mut done = false;
+            while let Some(&c) = chars.peek() {
+                match c {
+                    '"' => {
+                        in_str = !in_str;
+                        chars.next();
+                    }
+                    ',' | '}' if !in_str => {
+                        done = c == '}';
+                        chars.next();
+                        break;
+                    }
+                    _ => {
+                        if !in_str {
+                            val.push(c);
+                        }
+                        chars.next();
+                    }
+                }
+            }
+            if let Ok(v) = val.trim().parse::<f64>() {
+                obj.insert(key, v);
+            }
+            if done {
+                break;
+            }
+        }
+        out.push(obj);
+    }
+    out
+}
+
+/// Sum a field across all parsed objects.
+pub fn sum_field(objs: &[BTreeMap<String, f64>], field: &str) -> f64 {
+    objs.iter().filter_map(|o| o.get(field)).sum()
+}
+
+/// Max of a field across all parsed objects.
+pub fn max_field(objs: &[BTreeMap<String, f64>], field: &str) -> f64 {
+    objs.iter()
+        .filter_map(|o| o.get(field))
+        .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+}
+
+/// The accumulating regression gate: collect failures, report at the
+/// end so one run surfaces every drifted metric.
+#[derive(Debug, Default)]
+pub struct Gate {
+    /// Human-readable descriptions of every failed check.
+    pub failures: Vec<String>,
+}
+
+impl Gate {
+    /// Fail unless `current` is within [`GATE_TOLERANCE`] of `baseline`
+    /// (two-sided: silent speedups on gated metrics are drift too and
+    /// deserve a baseline refresh).
+    pub fn check_within(&mut self, name: &str, baseline: f64, current: f64) {
+        let denom = baseline.abs().max(f64::MIN_POSITIVE);
+        let drift = (current - baseline).abs() / denom;
+        if drift > GATE_TOLERANCE {
+            self.failures.push(format!(
+                "{name}: {current:.3} drifted {:.1}% from baseline {baseline:.3} (>\
+                 {:.0}% gate)",
+                drift * 100.0,
+                GATE_TOLERANCE * 100.0
+            ));
+        }
+    }
+
+    /// Fail unless `cond` holds.
+    pub fn check(&mut self, name: &str, cond: bool, detail: String) {
+        if !cond {
+            self.failures.push(format!("{name}: {detail}"));
+        }
+    }
+
+    /// Whether every check passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_numeric_objects() {
+        let text = r#"[
+  {
+    "edge": 0,
+    "weekday": "Mon",
+    "trunk_out_pkts": 2340,
+    "peak": 713.6999999999983
+  },
+  {
+    "edge": 1,
+    "trunk_out_pkts": 586
+  }
+]"#;
+        let objs = parse_numeric_objects(text);
+        assert_eq!(objs.len(), 2);
+        assert_eq!(objs[0]["edge"], 0.0);
+        assert_eq!(objs[0]["trunk_out_pkts"], 2340.0);
+        assert!((objs[0]["peak"] - 713.7).abs() < 1e-6);
+        assert!(!objs[0].contains_key("weekday"), "strings are skipped");
+        assert_eq!(sum_field(&objs, "trunk_out_pkts"), 2926.0);
+        assert_eq!(max_field(&objs, "trunk_out_pkts"), 2340.0);
+    }
+
+    #[test]
+    fn roundtrips_own_serializer() {
+        // The reader must understand what `write_json` emits.
+        #[derive(serde::Serialize)]
+        struct Row {
+            a: u64,
+            b: f64,
+        }
+        let rows = vec![Row { a: 7, b: 2.5 }, Row { a: 9, b: -1.0 }];
+        let text = serde_json::to_string_pretty(&rows).unwrap();
+        let objs = parse_numeric_objects(&text);
+        assert_eq!(objs.len(), 2);
+        assert_eq!(objs[0]["a"], 7.0);
+        assert_eq!(objs[1]["b"], -1.0);
+    }
+
+    #[test]
+    fn gate_tolerance_band() {
+        let mut g = Gate::default();
+        g.check_within("ok-high", 100.0, 119.0);
+        g.check_within("ok-low", 100.0, 81.0);
+        assert!(g.passed());
+        g.check_within("bad", 100.0, 121.0);
+        assert_eq!(g.failures.len(), 1);
+        g.check("cond", false, "detail".into());
+        assert!(!g.passed());
+        assert_eq!(g.failures.len(), 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! CI bench-smoke regression gate.
+//!
+//! Re-runs the deterministic campus-fabric slice (the live part of
+//! Figs. 20/21), the churn/migration phase, and the Fig. 15
+//! scalability sweep in a cheap configuration; writes
+//! `results/BENCH_fabric.json` and `results/BENCH_scale.json`
+//! (wall-time + trunk-byte metrics, uploaded as CI artifacts); and
+//! **fails** (exit 1) when a key metric drifts more than 20 % from the
+//! checked-in `results/` baselines:
+//!
+//! * `results/fig20_21_fabric_slice.json` — trunk/forwarding packet
+//!   counts of the fabric slice,
+//! * `results/fig15_scalability_gain.json` — improvement band of the
+//!   capacity model.
+//!
+//! Wall times are reported for trend-watching but deliberately not
+//! gated — CI runners are not a constant-speed machine; the simulated
+//! metrics are deterministic and gate exactly.
+
+use scallop_bench::baseline::{max_field, parse_numeric_objects, sum_field, Gate};
+use scallop_bench::fabric::{peak_time, run_churn_phase, run_fabric_slice};
+use scallop_bench::scale::scalability_rows;
+use scallop_bench::{kv, results_dir, section, write_json};
+use scallop_netsim::time::SimDuration;
+use scallop_workload::campus::{CampusModel, CampusParams};
+use serde::Serialize;
+use std::time::Instant;
+
+const EDGES: usize = 4;
+
+#[derive(Serialize)]
+struct FabricSmoke {
+    wall_ms_slice: u64,
+    wall_ms_churn: u64,
+    peak_meetings: f64,
+    peak_participants: f64,
+    slice_rtp_in_pkts: u64,
+    slice_forwarded_pkts: u64,
+    slice_trunk_out_pkts: u64,
+    slice_trunk_in_pkts: u64,
+    slice_frames_decoded: u64,
+    churn_rehomed: u64,
+    churn_min_fps_static: f64,
+    churn_min_fps_migrated: f64,
+    churn_post_drift_trunk_bytes_static: u64,
+    churn_post_drift_trunk_bytes_migrated: u64,
+    churn_trunk_bytes_saved: u64,
+}
+
+#[derive(Serialize)]
+struct ScaleSmoke {
+    wall_ms: u64,
+    improvement_min_overall: f64,
+    improvement_max_overall: f64,
+    improvement_min_at_100: f64,
+    improvement_max_at_2: f64,
+}
+
+fn read_baseline(name: &str) -> Option<Vec<std::collections::BTreeMap<String, f64>>> {
+    let path = results_dir().join(format!("{name}.json"));
+    let text = std::fs::read_to_string(&path).ok()?;
+    Some(parse_numeric_objects(&text))
+}
+
+fn main() {
+    let mut gate = Gate::default();
+
+    // ------------------------------------------------------------- //
+    section("bench-smoke: campus fabric slice");
+    let params = CampusParams::default();
+    let population = CampusModel::new(params, 0x7AB20).generate();
+    let bin = SimDuration::from_secs(600);
+    let (meetings, participants) = CampusModel::concurrency_series(&population, bin);
+    let peak_t = peak_time(&meetings);
+    let t0 = Instant::now();
+    let slice = run_fabric_slice(&population, &params, peak_t, EDGES, 2.0);
+    let wall_ms_slice = t0.elapsed().as_millis() as u64;
+    kv("slice wall time (ms)", wall_ms_slice);
+
+    section("bench-smoke: churn + migration phase");
+    let t0 = Instant::now();
+    let stay = run_churn_phase(false);
+    let mig = run_churn_phase(true);
+    let wall_ms_churn = t0.elapsed().as_millis() as u64;
+    kv("churn wall time (ms)", wall_ms_churn);
+    let saved = stay
+        .post_drift_trunk_out_bytes
+        .saturating_sub(mig.post_drift_trunk_out_bytes);
+
+    // Computed once: the same numbers go into the uploaded artifact and
+    // the regression gate (they must never diverge).
+    let slice_rtp_in: u64 = slice.edge_rows.iter().map(|r| r.rtp_in_pkts).sum();
+    let slice_forwarded: u64 = slice.edge_rows.iter().map(|r| r.forwarded_pkts).sum();
+    let slice_trunk_out: u64 = slice.edge_rows.iter().map(|r| r.trunk_out_pkts).sum();
+
+    let fabric_smoke = FabricSmoke {
+        wall_ms_slice,
+        wall_ms_churn,
+        peak_meetings: meetings.max(),
+        peak_participants: participants.max(),
+        slice_rtp_in_pkts: slice_rtp_in,
+        slice_forwarded_pkts: slice_forwarded,
+        slice_trunk_out_pkts: slice_trunk_out,
+        slice_trunk_in_pkts: slice.edge_rows.iter().map(|r| r.trunk_in_pkts).sum(),
+        slice_frames_decoded: slice.frames_decoded,
+        churn_rehomed: mig.rehomed as u64,
+        churn_min_fps_static: stay.min_cutover_fps,
+        churn_min_fps_migrated: mig.min_cutover_fps,
+        churn_post_drift_trunk_bytes_static: stay.post_drift_trunk_out_bytes,
+        churn_post_drift_trunk_bytes_migrated: mig.post_drift_trunk_out_bytes,
+        churn_trunk_bytes_saved: saved,
+    };
+    write_json("BENCH_fabric", &vec![fabric_smoke]);
+
+    // ------------------------------------------------------------- //
+    section("bench-smoke: scalability sweep");
+    let t0 = Instant::now();
+    let rows = scalability_rows();
+    let wall_ms = t0.elapsed().as_millis() as u64;
+    let scale_smoke = ScaleSmoke {
+        wall_ms,
+        improvement_min_overall: rows
+            .iter()
+            .map(|r| r.improvement_min)
+            .fold(f64::MAX, f64::min),
+        improvement_max_overall: rows.iter().map(|r| r.improvement_max).fold(0.0, f64::max),
+        improvement_min_at_100: rows
+            .iter()
+            .find(|r| r.participants == 100)
+            .map(|r| r.improvement_min)
+            .unwrap_or(0.0),
+        improvement_max_at_2: rows
+            .iter()
+            .find(|r| r.participants == 2)
+            .map(|r| r.improvement_max)
+            .unwrap_or(0.0),
+    };
+    write_json("BENCH_scale", &[&scale_smoke]);
+
+    // ------------------------------------------------------------- //
+    section("regression gate (>20% drift vs checked-in results/)");
+    match read_baseline("fig20_21_fabric_slice") {
+        Some(base) => {
+            gate.check_within(
+                "fabric slice: total rtp_in_pkts",
+                sum_field(&base, "rtp_in_pkts"),
+                slice_rtp_in as f64,
+            );
+            gate.check_within(
+                "fabric slice: total forwarded_pkts",
+                sum_field(&base, "forwarded_pkts"),
+                slice_forwarded as f64,
+            );
+            gate.check_within(
+                "fabric slice: total trunk_out_pkts",
+                sum_field(&base, "trunk_out_pkts"),
+                slice_trunk_out as f64,
+            );
+        }
+        None => gate
+            .failures
+            .push("missing baseline results/fig20_21_fabric_slice.json".into()),
+    }
+    match read_baseline("fig15_scalability_gain") {
+        Some(base) => {
+            gate.check_within(
+                "scalability: min improvement overall",
+                base.iter()
+                    .filter_map(|o| o.get("improvement_min"))
+                    .fold(f64::MAX, |a, &b| a.min(b)),
+                scale_smoke.improvement_min_overall,
+            );
+            gate.check_within(
+                "scalability: max improvement overall",
+                max_field(&base, "improvement_max"),
+                scale_smoke.improvement_max_overall,
+            );
+        }
+        None => gate
+            .failures
+            .push("missing baseline results/fig15_scalability_gain.json".into()),
+    }
+    // Churn invariants (no historical baseline needed: these define the
+    // migration feature's floor).
+    gate.check(
+        "churn: migration re-homes the drifted meeting",
+        mig.rehomed,
+        "rebalance never re-homed".into(),
+    );
+    gate.check(
+        "churn: migration saves trunk bytes post-drift",
+        saved > 0,
+        format!(
+            "static window {} B vs migrated {} B",
+            stay.post_drift_trunk_out_bytes, mig.post_drift_trunk_out_bytes
+        ),
+    );
+    gate.check(
+        "churn: fps floor holds through cutover (migrated)",
+        mig.min_cutover_fps > 24.0,
+        format!("min fps {:.1}", mig.min_cutover_fps),
+    );
+
+    if gate.passed() {
+        kv("gate", "PASS");
+    } else {
+        kv("gate", "FAIL");
+        for f in &gate.failures {
+            eprintln!("REGRESSION: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -29,7 +29,7 @@ struct Sample {
 
 fn main() {
     section("Fig. 14: SVC rate adaptation (P3's downlink degraded twice)");
-    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xF16_14));
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xF1614));
     {
         let cid = h.client_ids[2];
         let c: &mut ClientNode = h.sim.node_mut(cid).expect("client");

@@ -5,49 +5,18 @@
 //! blue region of the figure is the min–max band, and the headline
 //! "7–210×" is the band across the full sweep.
 
+use scallop_bench::scale::scalability_rows;
 use scallop_bench::{f, kv, section, series_table, write_json};
 use scallop_core::capacity::{CapacityModel, TreeDesignKind};
 use scallop_dataplane::seqrewrite::SeqRewriteMode;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    participants: u64,
-    improvement_min: f64,
-    improvement_max: f64,
-}
 
 fn main() {
     section("Fig. 15: scalability improvement over a 32-core software SFU");
     let model = CapacityModel::default();
-    let variants = [
-        (TreeDesignKind::Nra, SeqRewriteMode::LowMemory),
-        (TreeDesignKind::RaR, SeqRewriteMode::LowMemory),
-        (TreeDesignKind::RaR, SeqRewriteMode::LowRetransmission),
-        (TreeDesignKind::RaSr, SeqRewriteMode::LowMemory),
-        (TreeDesignKind::RaSr, SeqRewriteMode::LowRetransmission),
-    ];
-
-    let mut rows = Vec::new();
-    for n in (2..=100u64).step_by(2) {
-        let mut lo = f64::INFINITY;
-        let mut hi = 0.0f64;
-        for s in [1, (n + 1) / 2, n] {
-            if s == 0 {
-                continue;
-            }
-            for (design, mode) in variants {
-                let imp = model.improvement(n, s, design, mode);
-                lo = lo.min(imp);
-                hi = hi.max(imp);
-            }
-        }
-        rows.push(Row {
-            participants: n,
-            improvement_min: lo,
-            improvement_max: hi,
-        });
-    }
+    // The sweep itself is shared with the CI bench-smoke gate
+    // (`scallop_bench::scale`) so baseline comparisons stay
+    // apples-to-apples.
+    let rows = scalability_rows();
 
     series_table(
         &["parts", "impr min", "impr max"],

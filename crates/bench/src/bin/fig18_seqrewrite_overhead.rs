@@ -116,7 +116,7 @@ fn main() {
     let mut points = Vec::new();
     for i in 0..=20 {
         let loss = i as f64 * 0.05;
-        points.push(run(SeqRewriteMode::LowRetransmission, loss, 0xF16_18 + i));
+        points.push(run(SeqRewriteMode::LowRetransmission, loss, 0xF1618 + i));
     }
     series_table(
         &[

@@ -108,7 +108,7 @@ fn lan() -> LinkConfig {
 }
 
 fn run_scallop() -> Percentiles {
-    let mut sim = Simulator::new(0xF16_19);
+    let mut sim = Simulator::new(0xF1619);
     let sfu_ip = Ipv4Addr::new(10, 3, 0, 100);
     let mut node = ScallopSwitchNode::new(SwitchConfig::new(sfu_ip));
     let meeting = node.agent.create_meeting();
@@ -146,7 +146,7 @@ fn run_scallop() -> Percentiles {
 }
 
 fn run_software() -> Percentiles {
-    let mut sim = Simulator::new(0xF16_19);
+    let mut sim = Simulator::new(0xF1619);
     let sfu_ip = Ipv4Addr::new(10, 3, 1, 100);
     let mut sfu = SoftwareSfu::new(SoftwareSfuConfig::new(sfu_ip));
     let a_addr = HostAddr::new(Ipv4Addr::new(10, 3, 1, 1), 5000);

@@ -1,20 +1,14 @@
 //! Figs. 20/21 — concurrent meetings and participants over two weeks,
 //! plus a live slice of the peak load replayed over the real switching
-//! fabric (4 edge switches, 1 core).
+//! fabric (4 edge switches, 1 core), plus a churn phase where a
+//! meeting's population drifts between buildings — run with and
+//! without live migration to report the trunk bytes migration saves.
 
+use scallop_bench::fabric::{peak_time, run_churn_phase, run_fabric_slice};
 use scallop_bench::{f, kv, section, series_table, write_json};
-use scallop_client::{ClientConfig, ClientNode};
-use scallop_core::controller::Controller;
-use scallop_core::fabric::Fabric;
-use scallop_dataplane::seqrewrite::SeqRewriteMode;
-use scallop_netsim::link::LinkConfig;
-use scallop_netsim::packet::HostAddr;
-use scallop_netsim::sim::Simulator;
-use scallop_netsim::time::{SimDuration, SimTime};
-use scallop_netsim::topology::Topology;
-use scallop_workload::campus::{CampusModel, CampusParams, MeetingRecord};
+use scallop_netsim::time::SimDuration;
+use scallop_workload::campus::{CampusModel, CampusParams};
 use serde::Serialize;
-use std::net::Ipv4Addr;
 
 #[derive(Serialize)]
 struct DayRow {
@@ -22,16 +16,6 @@ struct DayRow {
     weekday: &'static str,
     peak_meetings: f64,
     peak_participants: f64,
-}
-
-#[derive(Serialize)]
-struct EdgeRow {
-    edge: usize,
-    meetings_homed: u64,
-    rtp_in_pkts: u64,
-    forwarded_pkts: u64,
-    trunk_out_pkts: u64,
-    trunk_in_pkts: u64,
 }
 
 const DAYS: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
@@ -117,82 +101,12 @@ fn main() {
     // clients attached to their buildings' edge switches.
     // ------------------------------------------------------------------
     section(format!("live peak slice over a {EDGES}-edge fabric").as_str());
-    let peak_t = {
-        let (t, _) = m_pts.iter().fold(
-            (0.0f64, 0.0f64),
-            |acc, &(t, v)| if v > acc.1 { (t, v) } else { acc },
-        );
-        SimTime::from_secs(t as u64)
-    };
-    let slice: Vec<&MeetingRecord> = population
-        .iter()
-        .filter(|m| m.start <= peak_t && peak_t < m.end() && (3..=6).contains(&m.size))
-        .take(6)
-        .collect();
-    kv("meetings replayed from the peak bin", slice.len());
+    let peak_t = peak_time(&meetings);
+    let slice = run_fabric_slice(&population, &params, peak_t, EDGES, 2.0);
+    kv("meetings replayed from the peak bin", slice.meetings);
+    kv("clients attached", slice.clients);
+    kv("meetings spanning >1 edge", slice.cross_switch_meetings);
 
-    let mut sim = Simulator::new(0xFAB21C);
-    let fabric = Fabric::build(
-        &mut sim,
-        Topology::campus(EDGES, 1),
-        LinkConfig::infinite(SimDuration::from_micros(50)),
-        SeqRewriteMode::LowRetransmission,
-    );
-    let mut controller = Controller::new();
-    let client_link = LinkConfig::infinite(SimDuration::from_millis(10))
-        .with_rate(50_000_000)
-        .with_queue_bytes(128 * 1024);
-
-    let mut meetings_homed = [0u64; EDGES];
-    let mut client_ids = Vec::new();
-    let mut cross_switch_meetings = 0u64;
-    for (mi, rec) in slice.iter().enumerate() {
-        let home = rec.edge_switch(EDGES);
-        meetings_homed[home] += 1;
-        let gmid = controller.create_fabric_meeting(&mut sim, &fabric, home);
-        let mut edges_used = std::collections::BTreeSet::new();
-        for i in 0..rec.size {
-            let edge = rec.participant_edge(i, params.buildings, EDGES);
-            edges_used.insert(edge);
-            let ip = Ipv4Addr::new(10, 2, mi as u8, i as u8 + 1);
-            let addr = HostAddr::new(ip, 5000);
-            let sends = i < rec.video_senders.max(1);
-            let grant = controller.join_fabric(&mut sim, &fabric, gmid, edge, addr, sends);
-            let ccfg = if sends {
-                ClientConfig::sender(ip, 5000, 0x10_0000 * (mi as u32 + 1) + i)
-                    .sending_to(grant.local.video_uplink, grant.local.audio_uplink)
-            } else {
-                ClientConfig::receiver_only(ip, 5000, 0x10_0000 * (mi as u32 + 1) + i)
-            };
-            let id = sim.add_node(
-                Box::new(ClientNode::new(ccfg)),
-                &[ip],
-                client_link,
-                client_link,
-            );
-            client_ids.push(id);
-        }
-        if edges_used.len() > 1 {
-            cross_switch_meetings += 1;
-        }
-    }
-    kv("clients attached", client_ids.len());
-    kv("meetings spanning >1 edge", cross_switch_meetings);
-
-    sim.run_for(SimDuration::from_secs_f64(2.0));
-
-    let mut edge_rows = Vec::new();
-    for e in 0..EDGES {
-        let c = fabric.edge_counters(&mut sim, e);
-        edge_rows.push(EdgeRow {
-            edge: e,
-            meetings_homed: meetings_homed[e],
-            rtp_in_pkts: c.rtp_in_pkts,
-            forwarded_pkts: c.forwarded_pkts,
-            trunk_out_pkts: c.trunk_out_pkts,
-            trunk_in_pkts: c.trunk_in_pkts,
-        });
-    }
     series_table(
         &[
             "edge",
@@ -202,7 +116,8 @@ fn main() {
             "trunk out",
             "trunk in",
         ],
-        &edge_rows
+        &slice
+            .edge_rows
             .iter()
             .map(|r| {
                 vec![
@@ -216,21 +131,50 @@ fn main() {
             })
             .collect::<Vec<_>>(),
     );
-    let core = fabric.core_stats(&mut sim, 0);
-    kv("core relayed packets", core.relayed_pkts);
-    kv("core relayed bytes", core.relayed_bytes);
+    kv("core relayed packets", slice.core_relayed_pkts);
+    kv("core relayed bytes", slice.core_relayed_bytes);
+    kv(
+        "frames decoded across the campus slice",
+        slice.frames_decoded,
+    );
 
-    let mut frames = 0u64;
-    for &id in &client_ids {
-        let c: &mut ClientNode = sim.node_mut(id).expect("client");
-        frames += c
-            .stats()
-            .streams
-            .iter()
-            .map(|(_, r)| r.frames_decoded)
-            .sum::<u64>();
-    }
-    kv("frames decoded across the campus slice", frames);
+    write_json("fig20_21_fabric_slice", &slice.edge_rows);
 
-    write_json("fig20_21_fabric_slice", &edge_rows);
+    // ------------------------------------------------------------------
+    // Churn phase: a meeting's population drifts from building A to
+    // building B. Without migration, the meeting stays homed on A's
+    // edge and every sender keeps trunking toward an edge that hosts no
+    // receivers; with the controller's rebalance pass the meeting
+    // re-homes mid-drift and the drained segment is collected.
+    // ------------------------------------------------------------------
+    section("churn phase: population drift with vs. without migration");
+    let stay = run_churn_phase(false);
+    let mig = run_churn_phase(true);
+    kv("re-homed (static placement)", stay.rehomed);
+    kv("re-homed (live migration)", mig.rehomed);
+    kv("final home edge (static / migrated)", {
+        format!("{} / {}", stay.final_home, mig.final_home)
+    });
+    kv(
+        "min cross-switch fps through cutover (static)",
+        f(stay.min_cutover_fps, 1),
+    );
+    kv(
+        "min cross-switch fps through cutover (migrated)",
+        f(mig.min_cutover_fps, 1),
+    );
+    kv(
+        "post-drift trunk bytes, 3 s window (static)",
+        stay.post_drift_trunk_out_bytes,
+    );
+    kv(
+        "post-drift trunk bytes, 3 s window (migrated)",
+        mig.post_drift_trunk_out_bytes,
+    );
+    let saved = stay
+        .post_drift_trunk_out_bytes
+        .saturating_sub(mig.post_drift_trunk_out_bytes);
+    kv("trunk bytes saved by migration (3 s window)", saved);
+
+    write_json("fig20_21_churn", &vec![stay, mig]);
 }

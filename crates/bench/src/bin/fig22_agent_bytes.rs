@@ -19,7 +19,7 @@ fn main() {
     // Print one row every 4 hours of the first week.
     let rows: Vec<Vec<String>> = series
         .iter()
-        .filter(|p| (p.t_secs as u64) % (4 * 3600) == 0 && p.t_secs < 7.0 * 86400.0)
+        .filter(|p| (p.t_secs as u64).is_multiple_of(4 * 3600) && p.t_secs < 7.0 * 86400.0)
         .map(|p| {
             vec![
                 format!(

@@ -1,0 +1,277 @@
+//! Shared campus-fabric experiment phases.
+//!
+//! `fig20_21_campus_load` and the CI `bench_smoke` regression gate must
+//! run byte-identical scenarios for the checked-in `results/` baselines
+//! to be comparable, so the live fabric slice and the churn/migration
+//! phase live here rather than in either binary.
+
+use scallop_client::{ClientConfig, ClientNode};
+use scallop_core::controller::Controller;
+use scallop_core::fabric::Fabric;
+use scallop_core::harness::{HarnessConfig, ScallopHarness};
+use scallop_dataplane::seqrewrite::SeqRewriteMode;
+use scallop_netsim::link::LinkConfig;
+use scallop_netsim::packet::HostAddr;
+use scallop_netsim::sim::Simulator;
+use scallop_netsim::stats::TimeSeries;
+use scallop_netsim::time::{SimDuration, SimTime};
+use scallop_netsim::topology::Topology;
+use scallop_workload::campus::{CampusParams, MeetingRecord};
+use scallop_workload::churn::{ChurnEvent, ChurnPlan};
+use serde::Serialize;
+use std::net::Ipv4Addr;
+
+/// Start of the peak-concurrency bin of a meeting series (argmax over
+/// the binned points; the earliest bin wins ties). Both the figure
+/// binary and the CI gate select their replay slice through this one
+/// function — the slice compared against the checked-in baseline must
+/// be the slice that produced it.
+pub fn peak_time(series: &TimeSeries) -> SimTime {
+    let (t, _) =
+        series.points().iter().fold(
+            (0.0f64, 0.0f64),
+            |acc, &(t, v)| if v > acc.1 { (t, v) } else { acc },
+        );
+    SimTime::from_secs(t as u64)
+}
+
+/// Per-edge counters of the live fabric slice (one JSON row).
+#[derive(Serialize)]
+pub struct EdgeRow {
+    /// Edge switch index.
+    pub edge: usize,
+    /// Meetings homed on this edge.
+    pub meetings_homed: u64,
+    /// Media packets received from local senders.
+    pub rtp_in_pkts: u64,
+    /// Replicas forwarded.
+    pub forwarded_pkts: u64,
+    /// Replicas sent toward trunks.
+    pub trunk_out_pkts: u64,
+    /// Media packets that arrived over trunks.
+    pub trunk_in_pkts: u64,
+}
+
+/// Everything the live slice reports.
+pub struct FabricSliceReport {
+    /// Per-edge counter rows (the `fig20_21_fabric_slice.json` payload).
+    pub edge_rows: Vec<EdgeRow>,
+    /// Meetings replayed.
+    pub meetings: usize,
+    /// Meetings spanning more than one edge.
+    pub cross_switch_meetings: u64,
+    /// Clients attached.
+    pub clients: usize,
+    /// Packets the core relay carried.
+    pub core_relayed_pkts: u64,
+    /// Bytes the core relay carried.
+    pub core_relayed_bytes: u64,
+    /// Frames decoded across all clients.
+    pub frames_decoded: u64,
+}
+
+/// Replay a sample of the peak bin's meetings over a real
+/// `edges`-edge + 1-core fabric for `run_secs` of simulated time
+/// (deterministic: fixed seed, fixed slice-selection rule).
+pub fn run_fabric_slice(
+    population: &[MeetingRecord],
+    params: &CampusParams,
+    peak_t: SimTime,
+    edges: usize,
+    run_secs: f64,
+) -> FabricSliceReport {
+    let slice: Vec<&MeetingRecord> = population
+        .iter()
+        .filter(|m| m.start <= peak_t && peak_t < m.end() && (3..=6).contains(&m.size))
+        .take(6)
+        .collect();
+
+    let mut sim = Simulator::new(0xFAB21C);
+    let fabric = Fabric::build(
+        &mut sim,
+        Topology::campus(edges, 1),
+        LinkConfig::infinite(SimDuration::from_micros(50)),
+        SeqRewriteMode::LowRetransmission,
+    );
+    let mut controller = Controller::new();
+    let client_link = LinkConfig::infinite(SimDuration::from_millis(10))
+        .with_rate(50_000_000)
+        .with_queue_bytes(128 * 1024);
+
+    let mut meetings_homed = vec![0u64; edges];
+    let mut client_ids = Vec::new();
+    let mut cross_switch_meetings = 0u64;
+    for (mi, rec) in slice.iter().enumerate() {
+        let home = rec.edge_switch(edges);
+        meetings_homed[home] += 1;
+        let gmid = controller.create_fabric_meeting(&mut sim, &fabric, home);
+        let mut edges_used = std::collections::BTreeSet::new();
+        for i in 0..rec.size {
+            let edge = rec.participant_edge(i, params.buildings, edges);
+            edges_used.insert(edge);
+            let ip = Ipv4Addr::new(10, 2, mi as u8, i as u8 + 1);
+            let addr = HostAddr::new(ip, 5000);
+            let sends = i < rec.video_senders.max(1);
+            let grant = controller.join_fabric(&mut sim, &fabric, gmid, edge, addr, sends);
+            let ccfg = if sends {
+                ClientConfig::sender(ip, 5000, 0x10_0000 * (mi as u32 + 1) + i)
+                    .sending_to(grant.local.video_uplink, grant.local.audio_uplink)
+            } else {
+                ClientConfig::receiver_only(ip, 5000, 0x10_0000 * (mi as u32 + 1) + i)
+            };
+            let id = sim.add_node(
+                Box::new(ClientNode::new(ccfg)),
+                &[ip],
+                client_link,
+                client_link,
+            );
+            client_ids.push(id);
+        }
+        if edges_used.len() > 1 {
+            cross_switch_meetings += 1;
+        }
+    }
+
+    sim.run_for(SimDuration::from_secs_f64(run_secs));
+
+    let mut edge_rows = Vec::new();
+    for (e, &homed) in meetings_homed.iter().enumerate() {
+        let c = fabric.edge_counters(&mut sim, e);
+        edge_rows.push(EdgeRow {
+            edge: e,
+            meetings_homed: homed,
+            rtp_in_pkts: c.rtp_in_pkts,
+            forwarded_pkts: c.forwarded_pkts,
+            trunk_out_pkts: c.trunk_out_pkts,
+            trunk_in_pkts: c.trunk_in_pkts,
+        });
+    }
+    let core = fabric.core_stats(&mut sim, 0);
+    let mut frames = 0u64;
+    for &id in &client_ids {
+        let c: &mut ClientNode = sim.node_mut(id).expect("client");
+        frames += c
+            .stats()
+            .streams
+            .iter()
+            .map(|(_, r)| r.frames_decoded)
+            .sum::<u64>();
+    }
+    FabricSliceReport {
+        edge_rows,
+        meetings: slice.len(),
+        cross_switch_meetings,
+        clients: client_ids.len(),
+        core_relayed_pkts: core.relayed_pkts,
+        core_relayed_bytes: core.relayed_bytes,
+        frames_decoded: frames,
+    }
+}
+
+/// What the churn/migration phase measures.
+#[derive(Serialize)]
+pub struct ChurnReport {
+    /// Whether the controller's rebalance pass ran after each event.
+    pub migrate: bool,
+    /// Whether the meeting actually re-homed during the drift.
+    pub rehomed: bool,
+    /// The meeting's home edge when the phase ended.
+    pub final_home: usize,
+    /// Lowest cross-switch decode rate sampled through the drift and
+    /// (when migrating) the re-home cutover.
+    pub min_cutover_fps: f64,
+    /// Fabric-wide trunk bytes emitted during the post-drift
+    /// measurement window — what the fabric keeps paying after the
+    /// population finished moving.
+    pub post_drift_trunk_out_bytes: u64,
+    /// Trunk packets still arriving at the *old* home edge during the
+    /// post-drift window (0 once the drained segment is collected).
+    pub post_drift_old_home_trunk_in_pkts: u64,
+    /// Frames decoded by the clients still attached when the phase
+    /// ends (a leaver's receive stats are discarded with its hangup).
+    pub frames_decoded: u64,
+}
+
+/// Drive the drift churn scenario over a 2-edge + 1-core fabric: four
+/// members (two sending) start on edge 0, and every 2 s one is replaced
+/// by a counterpart on edge 1 until the population has fully moved.
+/// With `migrate` the controller rebalances after every membership
+/// change, re-homing the meeting once edge 1 holds a decisive majority
+/// and collecting the drained edge-0 segment; without it the meeting
+/// stays homed on edge 0 forever. The report's post-drift trunk counters
+/// quantify what migration saves.
+pub fn run_churn_phase(migrate: bool) -> ChurnReport {
+    const MEMBERS: usize = 4;
+    const SENDERS: usize = 2;
+    let mut h = ScallopHarness::new(
+        HarnessConfig::default()
+            .participants(0)
+            .switches(2)
+            .cores(1)
+            .seed(0xC0FFEE),
+    );
+    // Initial joins fire at plan start (= now); the population then
+    // gets one full step of ramp before the first swap.
+    let plan = ChurnPlan::drift(0, 1, MEMBERS, SENDERS, h.now(), SimDuration::from_secs(2));
+    let mut rehomed = false;
+    let mut min_fps = f64::INFINITY;
+    let window = SimDuration::from_secs(1);
+    // The monitored cross-switch pair: the first replacement sender
+    // (slot MEMBERS, joins edge 1 at the first swap) toward the last
+    // original receiver (slot MEMBERS-1, stays on edge 0 until the
+    // final swap) — it exists through the re-home cutover.
+    let (mon_s, mon_r) = (MEMBERS, MEMBERS - 1);
+    let mut slots: Vec<usize> = Vec::new();
+    let mut mon_live_at: Option<SimTime> = None;
+    for &(at, ev) in &plan.events {
+        // Advance to the event in 500 ms steps, sampling the monitored
+        // pair once both endpoints are live and the stream has had
+        // 1.5 s to ramp (a fresh sender's trailing-window fps is not a
+        // cutover artifact).
+        while h.now() < at {
+            let step = SimDuration::from_millis(500).min(at.saturating_since(h.now()));
+            h.sim.run_for(step);
+            let warmed = mon_live_at
+                .map(|t| h.now().saturating_since(t) >= SimDuration::from_millis(1_500))
+                .unwrap_or(false);
+            if warmed && slots[mon_r] != usize::MAX && slots[mon_s] != usize::MAX {
+                if let Some(fps) = h.fps_between(slots[mon_s], slots[mon_r], window) {
+                    min_fps = min_fps.min(fps);
+                }
+            }
+        }
+        match ev {
+            ChurnEvent::Join { edge, sends } => {
+                slots.push(h.join_late(edge, sends));
+                if slots.len() == mon_s + 1 {
+                    mon_live_at = Some(h.now());
+                }
+            }
+            ChurnEvent::Leave { slot } => {
+                h.leave(slots[slot]);
+                slots[slot] = usize::MAX;
+            }
+        }
+        if migrate && h.rebalance().is_some() {
+            rehomed = true;
+        }
+    }
+
+    // Post-drift measurement window: 1 s settle, then a 3 s window.
+    h.run_for_secs(1.0);
+    let before_home = h.counters_at(0);
+    let before_total = h.total_counters();
+    h.run_for_secs(3.0);
+    let after_home = h.counters_at(0);
+    let after_total = h.total_counters();
+    let report = h.report();
+    ChurnReport {
+        migrate,
+        rehomed,
+        final_home: h.home_edge(),
+        min_cutover_fps: if min_fps.is_finite() { min_fps } else { 0.0 },
+        post_drift_trunk_out_bytes: after_total.trunk_out_bytes - before_total.trunk_out_bytes,
+        post_drift_old_home_trunk_in_pkts: after_home.trunk_in_pkts - before_home.trunk_in_pkts,
+        frames_decoded: report.frames_decoded,
+    }
+}

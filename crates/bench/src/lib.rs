@@ -24,6 +24,17 @@
 //! Criterion microbenchmarks live in `benches/`: per-packet data-plane
 //! cost, PRE fan-out, sequence rewriting, wire-format codecs, GCC and
 //! decoder steps, and the Scallop-vs-software per-packet path.
+//!
+//! The `bench_smoke` binary is the CI regression gate: it re-runs the
+//! deterministic campus-fabric slice ([`fabric`]), the churn/migration
+//! phase, and the Fig. 15 sweep ([`scale`]), writes `BENCH_fabric.json`
+//! / `BENCH_scale.json` (wall-time + trunk-byte metrics) for artifact
+//! upload, and fails when key metrics drift more than 20 % from the
+//! checked-in `results/` baselines ([`baseline`]).
+
+pub mod baseline;
+pub mod fabric;
+pub mod scale;
 
 use serde::Serialize;
 use std::fs;
@@ -98,7 +109,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(2.34567, 2), "2.35");
         assert_eq!(f(10.0, 0), "10");
     }
 }

@@ -1,0 +1,69 @@
+//! Fig. 15 scalability-gain rows, shared by `fig15_scalability_gain`
+//! and the CI `bench_smoke` regression gate (both must compute the
+//! identical sweep for the checked-in baseline to be comparable).
+
+use scallop_core::capacity::{CapacityModel, TreeDesignKind};
+use scallop_dataplane::seqrewrite::SeqRewriteMode;
+use serde::Serialize;
+
+/// One row of the Fig. 15 sweep.
+#[derive(Serialize)]
+pub struct ScaleRow {
+    /// Meeting size.
+    pub participants: u64,
+    /// Worst improvement factor across sender counts and variants.
+    pub improvement_min: f64,
+    /// Best improvement factor.
+    pub improvement_max: f64,
+}
+
+/// The improvement band per meeting size, across sender counts and
+/// Scallop variants (NRA / RA-R / RA-SR × S-LM / S-LR).
+pub fn scalability_rows() -> Vec<ScaleRow> {
+    let model = CapacityModel::default();
+    let variants = [
+        (TreeDesignKind::Nra, SeqRewriteMode::LowMemory),
+        (TreeDesignKind::RaR, SeqRewriteMode::LowMemory),
+        (TreeDesignKind::RaR, SeqRewriteMode::LowRetransmission),
+        (TreeDesignKind::RaSr, SeqRewriteMode::LowMemory),
+        (TreeDesignKind::RaSr, SeqRewriteMode::LowRetransmission),
+    ];
+    let mut rows = Vec::new();
+    for n in (2..=100u64).step_by(2) {
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for s in [1, n.div_ceil(2), n] {
+            if s == 0 {
+                continue;
+            }
+            for (design, mode) in variants {
+                let imp = model.improvement(n, s, design, mode);
+                lo = lo.min(imp);
+                hi = hi.max(imp);
+            }
+        }
+        rows.push(ScaleRow {
+            participants: n,
+            improvement_min: lo,
+            improvement_max: hi,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_the_paper_band() {
+        let rows = scalability_rows();
+        assert_eq!(rows.len(), 50);
+        assert_eq!(rows[0].participants, 2);
+        assert_eq!(rows[49].participants, 100);
+        for r in &rows {
+            assert!(r.improvement_min > 1.0, "Scallop must beat software");
+            assert!(r.improvement_max >= r.improvement_min);
+        }
+    }
+}

@@ -170,6 +170,10 @@ pub struct ClientNode {
     /// Per-stream receive tap enabled by experiments that plot bitrate
     /// over time (Figs. 14c/23/24) or audit wire sequence continuity.
     pub rx_tap: Option<Vec<RxTapRecord>>,
+    /// Left the meeting ([`Self::hangup`]): in-flight packets that
+    /// arrive afterwards are dropped instead of resurrecting receiver
+    /// state (and with it the feedback/STUN loops).
+    hung_up: bool,
 }
 
 impl ClientNode {
@@ -195,6 +199,7 @@ impl ClientNode {
             nacks_sent: 0,
             rembs_sent: 0,
             rx_tap: None,
+            hung_up: false,
         }
     }
 
@@ -253,6 +258,21 @@ impl ClientNode {
             .filter(|r| r.is_video)
             .map(|r| r.stats().jitter_ms)
             .fold(0.0, f64::max)
+    }
+
+    /// Hang up: stop producing media and feedback. Used when the
+    /// participant leaves its meeting mid-run — the simulator cannot
+    /// remove a node, so the client goes quiescent instead (media and
+    /// SR timers die with the sender; clearing the receivers starves
+    /// the feedback and STUN loops of targets). Receive-side stats are
+    /// discarded with the receivers.
+    pub fn hangup(&mut self) {
+        self.hung_up = true;
+        self.sender = None;
+        self.cfg.video_send_to = None;
+        self.cfg.audio_send_to = None;
+        self.receivers.clear();
+        self.stun_pending.clear();
     }
 
     /// Mutable access to the sender (experiments adjust encoder targets).
@@ -334,6 +354,9 @@ impl Node for ClientNode {
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        if self.hung_up {
+            return;
+        }
         match classify(&pkt.payload) {
             PacketClass::Rtp => {
                 let Ok(rtp) = RtpPacket::parse(&pkt.payload) else {

@@ -238,10 +238,17 @@ pub struct SwitchAgent {
     /// meeting churn would exhaust them without recycling.
     free_ports: Vec<u16>,
     next_pid: ParticipantId,
+    /// Participant ids released by `leave` awaiting reuse. Like ports,
+    /// RIDs are a finite per-switch resource (they double as PRE RIDs,
+    /// L2 XIDs, and abstract egress ports); fabric meeting churn and
+    /// segment GC must hand them back or the id space only ever grows.
+    free_pids: Vec<ParticipantId>,
     /// Trunk-egress pseudo-participants draw RIDs from the reserved
     /// high range so the data plane accounts their replicas as trunk
     /// traffic ([`scallop_dataplane::switch::TRUNK_RID_BASE`]).
     next_trunk_pid: ParticipantId,
+    /// Recycled trunk-egress ids (segment GC returns them).
+    free_trunk_pids: Vec<ParticipantId>,
     next_mgid: u16,
     free_mgids: Vec<u16>,
     next_tracker: u16,
@@ -269,7 +276,9 @@ impl SwitchAgent {
             port_limit: u16::MAX,
             free_ports: Vec::new(),
             next_pid: 1,
+            free_pids: Vec::new(),
             next_trunk_pid: scallop_dataplane::switch::TRUNK_RID_BASE,
+            free_trunk_pids: Vec::new(),
             next_mgid: 1,
             free_mgids: Vec::new(),
             next_tracker: 0,
@@ -467,20 +476,25 @@ impl SwitchAgent {
         class: ParticipantClass,
     ) -> JoinGrant {
         let pid = if class == ParticipantClass::TrunkEgress {
-            let p = self.next_trunk_pid;
-            // Wrapping below the reserved range would collide with live
-            // local participants and silently unaccount trunk traffic —
-            // fail loudly instead (recycling is a ROADMAP follow-on).
-            assert!(
-                p >= scallop_dataplane::switch::TRUNK_RID_BASE,
-                "trunk-egress id space exhausted"
-            );
-            self.next_trunk_pid = p.wrapping_add(1);
-            p
+            self.free_trunk_pids.pop().unwrap_or_else(|| {
+                let p = self.next_trunk_pid;
+                // Wrapping below the reserved range would collide with
+                // live local participants and silently unaccount trunk
+                // traffic — fail loudly instead (GC recycles ids, so
+                // only a true high-water mark can reach this).
+                assert!(
+                    p >= scallop_dataplane::switch::TRUNK_RID_BASE,
+                    "trunk-egress id space exhausted"
+                );
+                self.next_trunk_pid = p.wrapping_add(1);
+                p
+            })
         } else {
-            let p = self.next_pid;
-            self.next_pid += 1;
-            p
+            self.free_pids.pop().unwrap_or_else(|| {
+                let p = self.next_pid;
+                self.next_pid += 1;
+                p
+            })
         };
         let (video_up, audio_up) = if class == ParticipantClass::TrunkEgress {
             (0, 0) // receives through trunk branches, has no uplink
@@ -576,9 +590,19 @@ impl SwitchAgent {
                 dp.tracker.clear_stream(idx as usize);
                 self.free_trackers.push(idx);
             }
+            // Recycle the id: pids double as PRE RIDs / L2 XIDs, and a
+            // fabric edge under churn would otherwise exhaust them.
+            dp.pre.clear_l2_xid_ports(pid);
+            if p.class == ParticipantClass::TrunkEgress {
+                self.free_trunk_pids.push(pid);
+            } else {
+                self.free_pids.push(pid);
+            }
         }
         // Drop pair ports (and trunk destinations) other participants
-        // held toward `pid`.
+        // held toward `pid`, plus any feedback state keyed by the dead
+        // id — a later participant recycling the pid must not inherit
+        // another receiver's EWMA history or per-sender decode targets.
         let mut freed_pairs = Vec::new();
         for q in self.pinfo.values_mut() {
             if let Some((v, a)) = q.pair_from.remove(&pid) {
@@ -590,11 +614,55 @@ impl SwitchAgent {
                 self.free_trackers.push(idx);
             }
             q.trunk_dst.remove(&pid);
+            q.ewma.remove(&pid);
+            q.est_hist.remove(&pid);
+            q.dt_per_sender.remove(&pid);
         }
         for port in freed_pairs {
             self.release_port(dp, port);
         }
         self.rebuild_meeting(dp, meeting);
+    }
+
+    /// Destroy an **empty** meeting (fabric segment GC): releases any
+    /// trees and egress rules still held and drops the bookkeeping
+    /// entry, returning its MGIDs to the pool. Panics if participants
+    /// remain — the controller must drain a segment before collecting
+    /// it.
+    pub fn destroy_meeting(&mut self, dp: &mut ScallopDataPlane, meeting: MeetingId) {
+        let Some(m) = self.meetings.get(&meeting) else {
+            return;
+        };
+        assert!(
+            m.participants.is_empty(),
+            "destroy_meeting on a non-empty meeting"
+        );
+        let trees = m.trees.clone();
+        let keys = m.egress_keys.clone();
+        for key in &keys {
+            dp.remove_egress(*key);
+        }
+        if !trees.is_empty() {
+            self.release_trees(dp, &trees, meeting);
+        }
+        self.meetings.remove(&meeting);
+    }
+
+    /// SFU ports currently allocated (uplinks + pair ports). Under churn
+    /// with GC this must return to its pre-meeting value.
+    pub fn ports_in_use(&self) -> usize {
+        self.port_use.len()
+    }
+
+    /// Participant entries (local, remote-sender, and trunk-egress)
+    /// currently tracked on this switch.
+    pub fn participants_tracked(&self) -> usize {
+        self.pinfo.len()
+    }
+
+    /// Meetings (local segments) currently tracked on this switch.
+    pub fn meetings_tracked(&self) -> usize {
+        self.meetings.len()
     }
 
     /// Ports `receiver` is served `sender`'s media from.

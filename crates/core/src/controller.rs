@@ -11,6 +11,40 @@
 //! method call onto the [`crate::switchnode::ScallopSwitchNode`] held by
 //! the simulation; the call frequency (a handful per membership change)
 //! is what the paper's Table 1 shows to be negligible.
+//!
+//! # Fabric re-homing and segment GC
+//!
+//! On a campus fabric the controller also owns meeting *placement*:
+//!
+//! * **Segment GC** — [`Controller::leave_fabric`] collects a meeting
+//!   segment as soon as its edge loses its last local member: every
+//!   surviving sender's remote-sender entry there is retired (freeing
+//!   its trunk-ingress ports and RID), the trunk-egress branches toward
+//!   and from that edge are torn down on both sides (so senders stop
+//!   paying trunk crossings toward an edge with no receivers), and the
+//!   drained segment's meeting state is destroyed, returning its MGIDs,
+//!   RIDs, and ports to their pools. The *home* segment is exempt — it
+//!   anchors the meeting — until rebalancing moves the home away.
+//!
+//! * **Live re-homing** — [`Controller::rebalance_fabric`] revisits the
+//!   placement decision made at [`Controller::create_fabric_meeting`].
+//!   When another edge holds strictly more than
+//!   `home + REBALANCE_HYSTERESIS` local members, the meeting re-homes
+//!   there. The move is make-before-break by construction: the fabric
+//!   compiles a full mesh of per-edge segments (every segment already
+//!   carries every remote sender's trunk-ingress entry and every
+//!   trunk-egress branch), so the new home is live *before* the flip
+//!   and only the drained old home's plumbing is torn down afterwards —
+//!   in-flight media toward real receivers never traverses state that
+//!   is being destroyed, and decode rates hold through the cutover.
+//!   The hysteresis (default: majority of ≥ 2 members) keeps a meeting
+//!   whose population oscillates by one member from flapping between
+//!   homes, since every re-home costs signaling and a teardown.
+//!
+//! The bench-regression CI gate (`bench_smoke`, `.github/workflows/ci.yml`)
+//! replays a deterministic campus slice plus a churn phase over this
+//! machinery and fails CI when trunk-byte or quality metrics drift >20 %
+//! from the checked-in `results/` baselines.
 
 use crate::agent::{JoinGrant, MeetingId, ParticipantId};
 use crate::fabric::Fabric;
@@ -32,6 +66,14 @@ pub type GlobalMeetingId = u32;
 
 /// Fabric-wide participant identifier.
 pub type GlobalParticipantId = u16;
+
+/// Re-homing hysteresis: an edge must hold **strictly more than**
+/// `home_members + REBALANCE_HYSTERESIS` local members before
+/// [`Controller::rebalance_fabric`] moves the meeting there. With the
+/// default of 1 the majority must be decisive (≥ 2 members ahead), so a
+/// single join/leave oscillating across a 1-member margin can never
+/// flap the home back and forth.
+pub const REBALANCE_HYSTERESIS: usize = 1;
 
 /// What a participant joining through the fabric controller receives.
 #[derive(Debug, Clone, Copy)]
@@ -343,8 +385,12 @@ impl Controller {
         self.signaling_exchanges += 1;
     }
 
-    /// Remove a fabric participant: leaves its home segment and retires
-    /// its remote-sender entries everywhere.
+    /// Remove a fabric participant: leaves its home segment, retires its
+    /// remote-sender entries everywhere, and garbage-collects any
+    /// segment the departure drained (see the module docs). The home
+    /// segment is collected only once the whole meeting is empty —
+    /// otherwise it waits for [`Self::rebalance_fabric`] to move the
+    /// home first.
     pub fn leave_fabric(
         &mut self,
         sim: &mut Simulator,
@@ -372,6 +418,142 @@ impl Controller {
             fabric.edge_mut(sim, o).leave(seg, pid);
         }
         self.signaling_exchanges += 1;
+
+        // Segment GC.
+        let rec = self.fabric_meetings.get(&gmid).expect("fabric meeting");
+        if rec.members.is_empty() {
+            // Meeting over: collect every segment, home included. The
+            // record itself survives so a later join re-materializes
+            // segments from scratch.
+            let edges: Vec<usize> = rec.segments.keys().copied().collect();
+            for e in edges {
+                self.gc_segment_if_drained(sim, fabric, gmid, e);
+            }
+        } else if m.edge != rec.home {
+            self.gc_segment_if_drained(sim, fabric, gmid, m.edge);
+        }
+    }
+
+    /// Collect a meeting segment whose edge no longer hosts any local
+    /// member: retire every surviving sender's remote-sender entry
+    /// there, tear down the trunk-egress branches toward and from that
+    /// edge, and destroy the drained segment so its rules, RIDs, and
+    /// ports return to their pools. No-op while a local member remains.
+    /// Returns whether the segment was collected.
+    fn gc_segment_if_drained(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        gmid: GlobalMeetingId,
+        edge: usize,
+    ) -> bool {
+        let Some(rec) = self.fabric_meetings.get(&gmid) else {
+            return false;
+        };
+        let Some(&seg) = rec.segments.get(&edge) else {
+            return false;
+        };
+        if rec.members.iter().any(|m| m.edge == edge) {
+            return false;
+        }
+        // 1. Retire remote-sender entries surviving senders hold here
+        //    (frees their trunk-ingress ports and RIDs).
+        let remotes: Vec<(GlobalParticipantId, ParticipantId)> = rec
+            .members
+            .iter()
+            .filter_map(|m| m.remote_pids.get(&edge).map(|&p| (m.global, p)))
+            .collect();
+        for &(_, pid) in &remotes {
+            fabric.edge_mut(sim, edge).leave(seg, pid);
+        }
+        // 2. Tear down trunk-egress branches in both directions — this
+        //    is what stops every other edge from trunking media toward
+        //    the drained edge.
+        let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
+        for &(global, _) in &remotes {
+            if let Some(m) = rec.members.iter_mut().find(|m| m.global == global) {
+                m.remote_pids.remove(&edge);
+            }
+        }
+        let others: Vec<usize> = rec
+            .segments
+            .keys()
+            .copied()
+            .filter(|&o| o != edge)
+            .collect();
+        let mut branches: Vec<(usize, MeetingId, ParticipantId)> = Vec::new();
+        for o in others {
+            if let Some(te) = rec.trunk_egress.remove(&(edge, o)) {
+                branches.push((edge, seg, te));
+            }
+            if let Some(te) = rec.trunk_egress.remove(&(o, edge)) {
+                branches.push((o, rec.segments[&o], te));
+            }
+        }
+        rec.segments.remove(&edge);
+        for (e, s, te) in branches {
+            fabric.edge_mut(sim, e).leave(s, te);
+        }
+        // 3. Destroy the now-empty segment (returns its MGIDs).
+        fabric.edge_mut(sim, edge).destroy_meeting(seg);
+        self.signaling_exchanges += 1;
+        true
+    }
+
+    /// Revisit a fabric meeting's home placement (module docs): when an
+    /// edge holds strictly more than `home + REBALANCE_HYSTERESIS`
+    /// local members, re-home the meeting there and collect the old
+    /// home's segment if the population fully drained away from it. A
+    /// **fully drained** home (zero local members) is re-homed to any
+    /// edge that still hosts members, bypassing the hysteresis — there
+    /// is no flap risk (flapping back would require the new home to
+    /// drain too) and every tick spent waiting trunks full-quality
+    /// media toward an edge with no receivers. Ties prefer the lowest
+    /// edge index (deterministic). Returns `Some((old_home, new_home))`
+    /// when a re-home happened.
+    pub fn rebalance_fabric(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        gmid: GlobalMeetingId,
+    ) -> Option<(usize, usize)> {
+        let rec = self.fabric_meetings.get(&gmid)?;
+        let home = rec.home;
+        let mut count: BTreeMap<usize, usize> = BTreeMap::new();
+        for m in &rec.members {
+            *count.entry(m.edge).or_default() += 1;
+        }
+        let home_count = count.get(&home).copied().unwrap_or(0);
+        let (&best, &best_count) = count
+            .iter()
+            .max_by_key(|&(&e, &c)| (c, std::cmp::Reverse(e)))?;
+        if best == home || (home_count > 0 && best_count <= home_count + REBALANCE_HYSTERESIS) {
+            return None;
+        }
+        // Make-before-break: the winning edge hosts local members, so
+        // its segment is already live and fully plumbed (every remote
+        // sender, every trunk branch) — the flip changes bookkeeping
+        // first and only then tears down the drained old home.
+        debug_assert!(rec.segments.contains_key(&best), "majority edge is live");
+        self.fabric_meetings
+            .get_mut(&gmid)
+            .expect("fabric meeting")
+            .home = best;
+        self.signaling_exchanges += 1;
+        if home_count == 0 {
+            self.gc_segment_if_drained(sim, fabric, gmid, home);
+        }
+        Some((home, best))
+    }
+
+    /// Run [`Self::rebalance_fabric`] over every fabric meeting;
+    /// returns how many re-homed.
+    pub fn rebalance_all(&mut self, sim: &mut Simulator, fabric: &Fabric) -> usize {
+        let gmids: Vec<GlobalMeetingId> = self.fabric_meetings.keys().copied().collect();
+        gmids
+            .into_iter()
+            .filter(|&g| self.rebalance_fabric(sim, fabric, g).is_some())
+            .count()
     }
 
     /// Resolve the (edge, sender-pid, receiver-pid) triple for a
@@ -461,6 +643,151 @@ mod tests {
         let m = ctl.create_meeting(&mut sw);
         let bare = "v=0\r\no=x 0 0 IN IP4 0.0.0.0\r\ns=-\r\nt=0 0\r\nm=video 1 UDP/RTP/AVPF 96\r\n";
         assert!(ctl.join_with_sdp(&mut sw, m, bare).is_err());
+    }
+
+    fn campus2() -> (Simulator, Fabric) {
+        use scallop_dataplane::seqrewrite::SeqRewriteMode;
+        use scallop_netsim::link::LinkConfig;
+        use scallop_netsim::time::SimDuration;
+        use scallop_netsim::topology::Topology;
+        let mut sim = Simulator::new(9);
+        let f = Fabric::build(
+            &mut sim,
+            Topology::campus(2, 0),
+            LinkConfig::infinite(SimDuration::from_micros(50)),
+            SeqRewriteMode::LowRetransmission,
+        );
+        (sim, f)
+    }
+
+    fn caddr(last: u8) -> HostAddr {
+        HostAddr::new(Ipv4Addr::new(10, 9, 0, last), 5000)
+    }
+
+    /// Snapshot of edge `i`'s switch occupancy for reclaim assertions.
+    fn occupancy(sim: &mut Simulator, f: &Fabric, i: usize) -> (usize, usize, usize, usize, usize) {
+        let sw = f.edge_mut(sim, i);
+        (
+            sw.agent.ports_in_use(),
+            sw.agent.participants_tracked(),
+            sw.agent.meetings_tracked(),
+            sw.dp.pre.groups_used(),
+            sw.dp.pre.l2_xids_used(),
+        )
+    }
+
+    #[test]
+    fn last_local_leave_collects_remote_segment() {
+        let (mut sim, f) = campus2();
+        let mut ctl = Controller::new();
+        let gmid = ctl.create_fabric_meeting(&mut sim, &f, 0);
+        let baseline1 = occupancy(&mut sim, &f, 0);
+        let base_remote = occupancy(&mut sim, &f, 1);
+        let _a = ctl.join_fabric(&mut sim, &f, gmid, 0, caddr(1), true);
+        let _b = ctl.join_fabric(&mut sim, &f, gmid, 0, caddr(2), true);
+        let c = ctl.join_fabric(&mut sim, &f, gmid, 1, caddr(3), true);
+        assert!(ctl.segment_of(gmid, 1).is_some());
+        let occupied = occupancy(&mut sim, &f, 1);
+        assert!(occupied.0 > base_remote.0, "remote segment allocates ports");
+
+        // The only edge-1 member leaves: the whole remote segment — its
+        // remote senders, trunk branches, ports, RIDs — must go.
+        ctl.leave_fabric(&mut sim, &f, gmid, c.global);
+        assert_eq!(ctl.segment_of(gmid, 1), None, "remote segment collected");
+        assert_eq!(
+            occupancy(&mut sim, &f, 1),
+            base_remote,
+            "edge 1 back to pre-meeting occupancy"
+        );
+        // The home edge dropped its trunk-egress branch toward edge 1.
+        let home_members = ctl.fabric_members(gmid);
+        assert_eq!(home_members.len(), 2);
+        let _ = baseline1;
+    }
+
+    #[test]
+    fn meeting_over_collects_everything_and_allows_rejoin() {
+        let (mut sim, f) = campus2();
+        let mut ctl = Controller::new();
+        let base0 = occupancy(&mut sim, &f, 0);
+        let base1 = occupancy(&mut sim, &f, 1);
+        let gmid = ctl.create_fabric_meeting(&mut sim, &f, 0);
+        let a = ctl.join_fabric(&mut sim, &f, gmid, 0, caddr(1), true);
+        let b = ctl.join_fabric(&mut sim, &f, gmid, 1, caddr(2), true);
+        ctl.leave_fabric(&mut sim, &f, gmid, a.global);
+        ctl.leave_fabric(&mut sim, &f, gmid, b.global);
+        // Note: base0 was taken before create_fabric_meeting made the
+        // home segment, so full GC must land exactly back on it.
+        assert_eq!(occupancy(&mut sim, &f, 0), base0);
+        assert_eq!(occupancy(&mut sim, &f, 1), base1);
+        assert_eq!(ctl.segment_of(gmid, 0), None);
+        // The meeting record survives: a later join re-materializes.
+        let c = ctl.join_fabric(&mut sim, &f, gmid, 1, caddr(3), true);
+        assert!(ctl.segment_of(gmid, 1).is_some());
+        assert_eq!(ctl.fabric_members(gmid), vec![c.global]);
+    }
+
+    #[test]
+    fn rebalance_respects_hysteresis_then_rehomes() {
+        let (mut sim, f) = campus2();
+        let mut ctl = Controller::new();
+        let gmid = ctl.create_fabric_meeting(&mut sim, &f, 0);
+        let a = ctl.join_fabric(&mut sim, &f, gmid, 0, caddr(1), true);
+        let _b = ctl.join_fabric(&mut sim, &f, gmid, 1, caddr(2), true);
+        let _c = ctl.join_fabric(&mut sim, &f, gmid, 1, caddr(3), true);
+        // 2 vs 1: margin of one member sits inside the hysteresis band.
+        assert_eq!(ctl.rebalance_fabric(&mut sim, &f, gmid), None);
+        assert_eq!(ctl.home_edge_of(gmid), Some(0));
+        let _d = ctl.join_fabric(&mut sim, &f, gmid, 1, caddr(4), false);
+        // 3 vs 1: decisive majority → re-home, but edge 0 still hosts a
+        // member so its segment stays live.
+        assert_eq!(ctl.rebalance_fabric(&mut sim, &f, gmid), Some((0, 1)));
+        assert_eq!(ctl.home_edge_of(gmid), Some(1));
+        assert!(ctl.segment_of(gmid, 0).is_some());
+        // Idempotent: already home.
+        assert_eq!(ctl.rebalance_fabric(&mut sim, &f, gmid), None);
+        // Drain edge 0: now a non-home edge, collected on leave.
+        ctl.leave_fabric(&mut sim, &f, gmid, a.global);
+        assert_eq!(ctl.segment_of(gmid, 0), None);
+    }
+
+    #[test]
+    fn drained_home_rehomes_without_hysteresis() {
+        let (mut sim, f) = campus2();
+        let mut ctl = Controller::new();
+        let gmid = ctl.create_fabric_meeting(&mut sim, &f, 0);
+        let a = ctl.join_fabric(&mut sim, &f, gmid, 0, caddr(1), true);
+        let _b = ctl.join_fabric(&mut sim, &f, gmid, 1, caddr(2), true);
+        // 1 vs 1: hysteresis holds while home still hosts a member.
+        assert_eq!(ctl.rebalance_fabric(&mut sim, &f, gmid), None);
+        ctl.leave_fabric(&mut sim, &f, gmid, a.global);
+        // Home fully drained: even a single-member edge wins
+        // immediately — waiting would trunk media to no one.
+        assert_eq!(ctl.rebalance_fabric(&mut sim, &f, gmid), Some((0, 1)));
+        assert_eq!(ctl.segment_of(gmid, 0), None, "drained old home collected");
+        assert_eq!(ctl.home_edge_of(gmid), Some(1));
+    }
+
+    #[test]
+    fn rebalance_collects_fully_drained_old_home() {
+        let (mut sim, f) = campus2();
+        let mut ctl = Controller::new();
+        let base1 = occupancy(&mut sim, &f, 1);
+        let gmid = ctl.create_fabric_meeting(&mut sim, &f, 1);
+        let a = ctl.join_fabric(&mut sim, &f, gmid, 1, caddr(1), true);
+        let b = ctl.join_fabric(&mut sim, &f, gmid, 0, caddr(2), true);
+        let _c = ctl.join_fabric(&mut sim, &f, gmid, 0, caddr(3), true);
+        // Population drifts off the home edge entirely.
+        ctl.leave_fabric(&mut sim, &f, gmid, a.global);
+        // Home (edge 1) is drained but exempt from leave-time GC...
+        assert!(ctl.segment_of(gmid, 1).is_some(), "home survives drain");
+        // ...until rebalance moves the home and collects it.
+        assert_eq!(ctl.rebalance_fabric(&mut sim, &f, gmid), Some((1, 0)));
+        assert_eq!(ctl.segment_of(gmid, 1), None, "old home collected");
+        assert_eq!(occupancy(&mut sim, &f, 1), base1);
+        // Surviving members unaffected.
+        assert_eq!(ctl.fabric_members(gmid).len(), 2);
+        let _ = b;
     }
 
     #[test]

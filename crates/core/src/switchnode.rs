@@ -116,6 +116,11 @@ impl ScallopSwitchNode {
         self.agent.leave(&mut self.dp, meeting, participant);
     }
 
+    /// Controller RPC: destroy a drained meeting segment (fabric GC).
+    pub fn destroy_meeting(&mut self, meeting: MeetingId) {
+        self.agent.destroy_meeting(&mut self.dp, meeting);
+    }
+
     /// Controller RPC: register a sender homed on another edge; returns
     /// the trunk-ingress grant (where the home edge must send its one
     /// fabric copy).

@@ -172,6 +172,18 @@ impl PacketReplicationEngine {
         self.l2_xid_ports.insert(xid, ports);
     }
 
+    /// Retire an L2 XID mapping (participant GC): frees the pruning
+    /// entry so the XID — and the RID it shadows — can be recycled for a
+    /// later participant without inheriting a stale port set.
+    pub fn clear_l2_xid_ports(&mut self, xid: u16) {
+        self.l2_xid_ports.remove(&xid);
+    }
+
+    /// Number of live L2 XID pruning entries (occupancy auditing).
+    pub fn l2_xids_used(&self) -> usize {
+        self.l2_xid_ports.len()
+    }
+
     /// Number of nodes in a group.
     pub fn group_size(&self, mgid: u16) -> Option<usize> {
         self.groups.get(&mgid).map(|g| g.nodes.len())

@@ -51,7 +51,7 @@ proptest! {
             let mut pos = 0u8;
             let pkts_per_frame = 3u8;
             for ev in &events {
-                let suppress = cadence > 1 && frame % cadence != 0;
+                let suppress = cadence > 1 && !frame.is_multiple_of(cadence);
                 let verdict = if suppress { PacketVerdict::Suppress } else { PacketVerdict::Forward };
                 let tuple = (seq, frame, pos == 0, pos + 1 == pkts_per_frame, verdict);
                 seq = seq.wrapping_add(1);
@@ -135,7 +135,7 @@ proptest! {
                 return false; // L1-pruned
             }
             // L2: the node with rid == pkt_rid loses its port pkt_rid.
-            !(*i as u16 == pkt_rid)
+            *i as u16 != pkt_rid
         }).count();
         prop_assert_eq!(replicas.len(), expected);
     }

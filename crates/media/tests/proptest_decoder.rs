@@ -63,7 +63,7 @@ proptest! {
         }
         let mut t = SimTime::ZERO;
         for (pkt, &dropped) in pkts.iter().zip(&drops) {
-            t = t + scallop_netsim::time::SimDuration::from_millis(11);
+            t += scallop_netsim::time::SimDuration::from_millis(11);
             if dropped {
                 continue;
             }
@@ -90,7 +90,7 @@ proptest! {
         for (i, &size) in sizes.iter().enumerate() {
             let f = frame(i as u16, &mut sched, size);
             for pkt in pz.packetize(&f) {
-                t = t + scallop_netsim::time::SimDuration::from_millis(3);
+                t += scallop_netsim::time::SimDuration::from_millis(3);
                 dec.on_packet(t, &pkt);
             }
         }
@@ -109,7 +109,7 @@ proptest! {
         for i in 0..40u16 {
             let f = frame(i, &mut sched, 2500);
             for (j, pkt) in pz.packetize(&f).iter().enumerate() {
-                t = t + scallop_netsim::time::SimDuration::from_millis(5);
+                t += scallop_netsim::time::SimDuration::from_millis(5);
                 dec.on_packet(t, pkt);
                 if j % dup_every == 0 {
                     dec.on_packet(t, pkt);

@@ -675,6 +675,6 @@ mod tests {
         let (exp, mant) = encode_remb_bitrate(u64::MAX);
         assert_eq!(exp, 46);
         assert_eq!(mant, (1 << 18) - 1);
-        assert!((mant as u64) << exp <= u64::MAX);
+        assert!((mant as u64).checked_shl(exp as u32).is_some());
     }
 }

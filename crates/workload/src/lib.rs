@@ -18,11 +18,15 @@
 //! * [`scenario`] — helpers turning workload draws into concrete
 //!   experiment configurations (meeting lists for capacity sweeps, the
 //!   per-second SFU load series behind Fig. 22).
+//! * [`churn`] — membership-churn timelines (population drift between
+//!   buildings) driving the fabric's re-homing and segment-GC paths.
 
 pub mod campus;
+pub mod churn;
 pub mod scenario;
 pub mod zoomtrace;
 
 pub use campus::{CampusModel, CampusParams, MeetingRecord};
+pub use churn::{ChurnEvent, ChurnPlan};
 pub use scenario::{sfu_load_series, LoadPoint};
 pub use zoomtrace::{TraceSummary, ZoomTraceSynthesizer};

@@ -9,7 +9,7 @@ use scallop::netsim::time::SimDuration;
 
 #[test]
 fn three_party_meeting_delivers_all_streams() {
-    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xE2E_1));
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xE2E1));
     let report = h.run_for_secs(8.0);
     assert_eq!(report.participants, 3);
     assert_eq!(report.freezes, 0);
@@ -34,7 +34,7 @@ fn three_party_meeting_delivers_all_streams() {
 
 #[test]
 fn ten_party_meeting_scales() {
-    let mut h = ScallopHarness::new(HarnessConfig::default().participants(10).seed(0xE2E_2));
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(10).seed(0xE2E2));
     let report = h.run_for_secs(5.0);
     // 10 participants × 9 remote senders, all decoding.
     assert!(report.frames_decoded > 10 * 9 * 100);
@@ -50,7 +50,7 @@ fn ten_party_meeting_scales() {
 fn adaptation_is_receiver_local() {
     // Degrading one receiver must not affect the others' quality — the
     // §5.3 point of per-sender feedback splitting.
-    let mut h = ScallopHarness::new(HarnessConfig::default().participants(4).seed(0xE2E_3));
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(4).seed(0xE2E3));
     h.run_for_secs(3.0);
     h.degrade_downlink(3, 2_600_000);
     h.run_for_secs(12.0);
@@ -76,7 +76,7 @@ fn both_rewrite_modes_work_end_to_end() {
         let mut h = ScallopHarness::new(
             HarnessConfig::default()
                 .participants(3)
-                .seed(0xE2E_4)
+                .seed(0xE2E4)
                 .rewrite_mode(mode),
         );
         h.run_for_secs(3.0);
@@ -94,7 +94,7 @@ fn both_rewrite_modes_work_end_to_end() {
 
 #[test]
 fn join_and_leave_mid_call() {
-    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xE2E_5));
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xE2E5));
     h.run_for_secs(3.0);
     // A participant leaves: meeting drops to two-party fast path.
     let leaver = h.grants[2].participant;

@@ -1,0 +1,203 @@
+//! Live fabric migration + segment GC under membership churn.
+//!
+//! Pins the control-plane lifecycle the campus story needs once
+//! meetings get churny:
+//!
+//! 1. **Re-homing**: a meeting whose receiver population drifts to
+//!    another edge is re-homed there (with hysteresis), make-before-
+//!    break — cross-switch decode rates never dip below the fabric
+//!    integration floor through the cutover.
+//! 2. **Reclamation**: once the last local member leaves an edge, the
+//!    segment's rules, RIDs, and ports are fully collected — the old
+//!    home's trunk counters stop incrementing and its switch returns
+//!    to empty occupancy.
+
+use scallop::client::ClientNode;
+use scallop::core::harness::{EdgeOccupancy, HarnessConfig, ScallopHarness};
+use scallop::netsim::time::SimDuration;
+
+/// Decoder freezes the receiver observed on the one stream arriving
+/// from `sender` (freezes on *abandoned* streams — senders that left
+/// the meeting mid-GOP — are churn noise, not a migration defect, so
+/// tests assert per-stream rather than on the global report).
+fn stream_freezes(h: &mut ScallopHarness, sender: usize, receiver: usize) -> u64 {
+    let (edge, s_pid, r_pid) = h
+        .controller
+        .pair_on_receiver_edge(
+            h.fabric_meeting,
+            h.fabric_grants[sender].global,
+            h.fabric_grants[receiver].global,
+        )
+        .expect("pair resolved");
+    let src = {
+        let sw = h.fabric.edge_mut(&mut h.sim, edge);
+        sw.agent.video_pair_addr(s_pid, r_pid).expect("pair addr")
+    };
+    let c: &mut ClientNode = h.sim.node_mut(h.client_ids[receiver]).expect("client");
+    c.stats()
+        .streams
+        .iter()
+        .find(|(a, _)| *a == src)
+        .map(|(_, st)| st.freezes)
+        .unwrap_or(0)
+}
+
+const EMPTY: EdgeOccupancy = EdgeOccupancy {
+    ports_in_use: 0,
+    participants: 0,
+    meetings: 0,
+    pre_groups: 0,
+    l2_xids: 0,
+    port_rules: 0,
+    egress_rules: 0,
+};
+
+fn churn_harness() -> ScallopHarness {
+    ScallopHarness::new(
+        HarnessConfig::default()
+            .participants(0)
+            .switches(2)
+            .cores(1)
+            .seed(0x5EED),
+    )
+}
+
+#[test]
+fn drift_rehomes_holds_fps_and_reclaims_old_home() {
+    let mut h = churn_harness();
+    // Four members (two senders) start in building A (edge 0).
+    let _s0 = h.join_late(0, true);
+    let _s1 = h.join_late(0, true);
+    let _r2 = h.join_late(0, false);
+    let r3 = h.join_late(0, false);
+    h.run_for_secs(3.0);
+    assert_eq!(h.home_edge(), 0);
+
+    // The population drifts to building B: every 2 s one member is
+    // replaced by a counterpart on edge 1. The controller rebalances
+    // after each change; with hysteresis 1 the re-home must fire when
+    // edge 1 reaches a 3-vs-1 majority — not at 2-vs-2.
+    let mut rehome: Option<(usize, usize)> = None;
+    let mut moved = Vec::new();
+    for (i, &leaver) in [_s0, _s1, _r2].iter().enumerate() {
+        h.leave(leaver);
+        moved.push(h.join_late(1, i < 2));
+        let res = h.rebalance();
+        if i < 2 {
+            assert_eq!(res, None, "hysteresis must hold at swap {i}");
+        } else {
+            assert_eq!(res, Some((0, 1)), "decisive majority must re-home");
+        }
+        rehome = rehome.or(res);
+        // Run across the membership change, sampling the surviving
+        // cross-switch stream (first replacement sender on edge 1 →
+        // original receiver r3 on edge 0) through the cutover.
+        for _ in 0..4 {
+            h.run_for_secs(0.5);
+            if i >= 1 {
+                let fps = h
+                    .fps_between(moved[0], r3, SimDuration::from_secs(1))
+                    .expect("monitored cross-switch stream");
+                assert!(fps > 24.0, "fps floor broken at swap {i}: {fps}");
+            }
+        }
+    }
+    assert_eq!(rehome, Some((0, 1)));
+    assert_eq!(h.home_edge(), 1);
+    // The monitored stream survived the cutover without a freeze.
+    assert_eq!(stream_freezes(&mut h, moved[0], r3), 0);
+    // Old home still hosts r3, so its segment must still be live.
+    assert!(h.edge_occupancy(0).participants > 0);
+
+    // Final member leaves the old home: now a drained non-home edge —
+    // every rule, RID, and port must be reclaimed.
+    h.leave(r3);
+    let moved3 = h.join_late(1, false);
+    assert_eq!(h.edge_occupancy(0), EMPTY, "old home fully reclaimed");
+
+    // The old home's trunk counters freeze: nothing is trunked toward
+    // (or from) an edge that hosts no receivers.
+    h.run_for_secs(1.0); // drain in-flight packets
+    let before0 = h.counters_at(0);
+    let before1 = h.counters_at(1);
+    h.run_for_secs(3.0);
+    let after0 = h.counters_at(0);
+    let after1 = h.counters_at(1);
+    assert_eq!(
+        after0.trunk_in_pkts, before0.trunk_in_pkts,
+        "old home keeps receiving trunk media"
+    );
+    assert_eq!(
+        after1.trunk_out_pkts, before1.trunk_out_pkts,
+        "new home keeps trunking toward the drained edge"
+    );
+
+    // The meeting itself is healthy on its new home: the migrated
+    // receivers decode the migrated senders at full rate.
+    let fps = h
+        .fps_between(moved[0], moved3, SimDuration::from_secs(2))
+        .expect("post-migration stream");
+    assert!(fps > 24.0, "post-migration fps {fps}");
+    // A receiver that joins an ongoing stream mid-GOP may freeze once
+    // while it waits for the next key frame; after sync the stream must
+    // stay freeze-free.
+    let synced = stream_freezes(&mut h, moved[0], moved3);
+    assert!(synced <= 1, "at most the mid-GOP join freeze, got {synced}");
+    h.run_for_secs(3.0);
+    assert_eq!(
+        stream_freezes(&mut h, moved[0], moved3),
+        synced,
+        "no decoder freezes once the post-migration stream is up"
+    );
+}
+
+#[test]
+fn last_remote_member_leaving_collects_segment_without_rebalance() {
+    // GC must not depend on the rebalance pass: draining a *non-home*
+    // edge collects its segment at leave time.
+    let mut h = churn_harness();
+    let s0 = h.join_late(0, true);
+    let r1 = h.join_late(0, false);
+    let r2 = h.join_late(1, false);
+    h.run_for_secs(4.0);
+    let occupied = h.edge_occupancy(1);
+    assert!(occupied.ports_in_use > 0, "remote segment allocates ports");
+    let mid = h.counters_at(0);
+    assert!(mid.trunk_out_pkts > 0, "cross-switch media trunks");
+
+    h.leave(r2);
+    assert_eq!(h.edge_occupancy(1), EMPTY, "remote segment reclaimed");
+
+    // Trunk flow stops entirely once no remote receivers exist.
+    h.run_for_secs(1.0);
+    let before = h.counters_at(0);
+    h.run_for_secs(3.0);
+    let after = h.counters_at(0);
+    assert_eq!(
+        after.trunk_out_pkts, before.trunk_out_pkts,
+        "home keeps trunking toward a drained edge"
+    );
+    // The surviving local pair is unaffected.
+    let fps = h
+        .fps_between(s0, r1, SimDuration::from_secs(2))
+        .expect("local stream");
+    assert!(fps > 24.0, "local fps {fps}");
+}
+
+#[test]
+fn full_meeting_teardown_reclaims_every_edge() {
+    let mut h = churn_harness();
+    let members = [
+        h.join_late(0, true),
+        h.join_late(1, true),
+        h.join_late(0, false),
+        h.join_late(1, false),
+    ];
+    h.run_for_secs(3.0);
+    for &m in &members {
+        h.leave(m);
+    }
+    // Everyone gone: both edges (home included) return to empty.
+    assert_eq!(h.edge_occupancy(0), EMPTY);
+    assert_eq!(h.edge_occupancy(1), EMPTY);
+}

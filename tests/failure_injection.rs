@@ -7,7 +7,7 @@ use scallop::netsim::time::SimDuration;
 
 #[test]
 fn survives_downlink_loss_with_nack_repair() {
-    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xFA11_1));
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xFA111));
     h.run_for_secs(2.0);
     // 2% random loss on one receiver's downlink: NACK repair keeps the
     // stream decodable at full rate.
@@ -25,7 +25,7 @@ fn survives_downlink_loss_with_nack_repair() {
 
 #[test]
 fn survives_reordering() {
-    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xFA11_2));
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xFA112));
     h.run_for_secs(2.0);
     h.sim
         .downlink_mut(h.client_ids[1])
@@ -41,7 +41,7 @@ fn survives_reordering() {
 
 #[test]
 fn survives_duplication() {
-    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xFA11_3));
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xFA113));
     h.run_for_secs(2.0);
     h.sim
         .downlink_mut(h.client_ids[1])
@@ -58,7 +58,7 @@ fn survives_duplication() {
 
 #[test]
 fn recovers_from_transient_blackout() {
-    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xFA11_4));
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xFA114));
     h.run_for_secs(3.0);
     // Total blackout of one downlink for 2 s...
     h.sim
@@ -81,7 +81,7 @@ fn recovers_from_transient_blackout() {
 fn loss_during_adaptation_recovers() {
     // The §6.2 stress case: suppression (sequence rewriting) active
     // while the path also loses packets.
-    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xFA11_5));
+    let mut h = ScallopHarness::new(HarnessConfig::default().participants(3).seed(0xFA115));
     h.run_for_secs(3.0);
     h.degrade_downlink(2, 2_600_000);
     h.run_for_secs(8.0); // adaptation settles at DT1

@@ -79,7 +79,7 @@ fn switch_emits_valid_rtp_with_intact_payloads() {
                 assert_eq!(classify(&fwd.payload), PacketClass::Rtp);
             }
         }
-        t = t + enc.frame_interval();
+        t += enc.frame_interval();
     }
     assert!(emitted > 1_000, "emitted {emitted}");
 }
@@ -89,7 +89,7 @@ fn wire_formats_cross_validate() {
     // RTCP and STUN built by the client stack parse with the standalone
     // parsers (no private framing).
     let nack = rtcp::RtcpPacket::Nack(rtcp::Nack::from_lost_sequences(1, 2, &[5, 6, 9]));
-    let bytes = rtcp::serialize_compound(&[nack.clone()]);
+    let bytes = rtcp::serialize_compound(std::slice::from_ref(&nack));
     assert_eq!(classify(&bytes), PacketClass::Rtcp);
     assert_eq!(rtcp::parse_compound(&bytes).expect("parse"), vec![nack]);
 
