@@ -104,8 +104,17 @@ pub struct Gate {
 impl Gate {
     /// Fail unless `current` is within [`GATE_TOLERANCE`] of `baseline`
     /// (two-sided: silent speedups on gated metrics are drift too and
-    /// deserve a baseline refresh).
+    /// deserve a baseline refresh). A non-finite side fails loudly —
+    /// `max_field`/`min`-folds over a missing baseline field produce
+    /// infinities, and `inf/inf = NaN` must not read as "no drift".
     pub fn check_within(&mut self, name: &str, baseline: f64, current: f64) {
+        if !baseline.is_finite() || !current.is_finite() {
+            self.failures.push(format!(
+                "{name}: non-finite comparison (baseline {baseline}, current {current}) — \
+                 baseline field missing or renamed?"
+            ));
+            return;
+        }
         let denom = baseline.abs().max(f64::MIN_POSITIVE);
         let drift = (current - baseline).abs() / denom;
         if drift > GATE_TOLERANCE {
@@ -186,5 +195,18 @@ mod tests {
         g.check("cond", false, "detail".into());
         assert!(!g.passed());
         assert_eq!(g.failures.len(), 2);
+    }
+
+    #[test]
+    fn missing_baseline_field_fails_instead_of_nan_passing() {
+        // max_field over a missing field folds to -inf; the gate must
+        // fail loudly rather than let inf/inf = NaN pass silently.
+        let objs = parse_numeric_objects(r#"[{"a": 1.0}]"#);
+        let mut g = Gate::default();
+        g.check_within("missing-max", max_field(&objs, "nope"), 5.0);
+        assert_eq!(g.failures.len(), 1);
+        let mut g = Gate::default();
+        g.check_within("nan-current", 5.0, f64::NAN);
+        assert!(!g.passed());
     }
 }

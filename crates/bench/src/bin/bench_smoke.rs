@@ -27,6 +27,9 @@ use serde::Serialize;
 use std::time::Instant;
 
 const EDGES: usize = 4;
+/// Controller shards partitioning meeting ownership (one per edge —
+/// the control plane the paper's scaling argument wants).
+const SHARDS: usize = 4;
 
 #[derive(Serialize)]
 struct FabricSmoke {
@@ -39,7 +42,13 @@ struct FabricSmoke {
     slice_trunk_out_pkts: u64,
     slice_trunk_in_pkts: u64,
     slice_frames_decoded: u64,
+    slice_shard_meetings_max: u64,
+    slice_join_forwards: u64,
     churn_rehomed: u64,
+    churn_rehome_count: u64,
+    churn_shard_handoffs: u64,
+    churn_join_forwards: u64,
+    churn_shard_meetings_max: u64,
     churn_min_fps_static: f64,
     churn_min_fps_migrated: f64,
     churn_post_drift_trunk_bytes_static: u64,
@@ -73,16 +82,26 @@ fn main() {
     let (meetings, participants) = CampusModel::concurrency_series(&population, bin);
     let peak_t = peak_time(&meetings);
     let t0 = Instant::now();
-    let slice = run_fabric_slice(&population, &params, peak_t, EDGES, 2.0);
+    let slice = run_fabric_slice(&population, &params, peak_t, EDGES, SHARDS, 2.0);
     let wall_ms_slice = t0.elapsed().as_millis() as u64;
     kv("slice wall time (ms)", wall_ms_slice);
 
     section("bench-smoke: churn + migration phase");
     let t0 = Instant::now();
-    let stay = run_churn_phase(false);
-    let mig = run_churn_phase(true);
+    let stay = run_churn_phase(false, SHARDS);
+    let mig = run_churn_phase(true, SHARDS);
     let wall_ms_churn = t0.elapsed().as_millis() as u64;
     kv("churn wall time (ms)", wall_ms_churn);
+    kv("controller shards", SHARDS);
+    kv(
+        "slice meetings per shard",
+        format!("{:?}", slice.shard_meetings),
+    );
+    kv("slice cross-shard joins forwarded", slice.join_forwards);
+    kv(
+        "churn re-homes / shard handoffs (migrated)",
+        format!("{} / {}", mig.rehome_count, mig.shard_handoffs),
+    );
     let saved = stay
         .post_drift_trunk_out_bytes
         .saturating_sub(mig.post_drift_trunk_out_bytes);
@@ -103,14 +122,20 @@ fn main() {
         slice_trunk_out_pkts: slice_trunk_out,
         slice_trunk_in_pkts: slice.edge_rows.iter().map(|r| r.trunk_in_pkts).sum(),
         slice_frames_decoded: slice.frames_decoded,
+        slice_shard_meetings_max: slice.shard_meetings.iter().copied().max().unwrap_or(0) as u64,
+        slice_join_forwards: slice.join_forwards,
         churn_rehomed: mig.rehomed as u64,
+        churn_rehome_count: mig.rehome_count,
+        churn_shard_handoffs: mig.shard_handoffs,
+        churn_join_forwards: mig.join_forwards,
+        churn_shard_meetings_max: mig.shard_meetings.iter().copied().max().unwrap_or(0) as u64,
         churn_min_fps_static: stay.min_cutover_fps,
         churn_min_fps_migrated: mig.min_cutover_fps,
         churn_post_drift_trunk_bytes_static: stay.post_drift_trunk_out_bytes,
         churn_post_drift_trunk_bytes_migrated: mig.post_drift_trunk_out_bytes,
         churn_trunk_bytes_saved: saved,
     };
-    write_json("BENCH_fabric", &vec![fabric_smoke]);
+    write_json("BENCH_fabric", &[&fabric_smoke]);
 
     // ------------------------------------------------------------- //
     section("bench-smoke: scalability sweep");
@@ -199,6 +224,48 @@ fn main() {
         "churn: fps floor holds through cutover (migrated)",
         mig.min_cutover_fps > 24.0,
         format!("min fps {:.1}", mig.min_cutover_fps),
+    );
+    // Shard invariants: control load must balance — the bounded-loads
+    // sharding function guarantees no shard owns more than
+    // ceil(meetings/shards) + 1 meetings, slice and churn phase alike.
+    let slice_cap = (slice.meetings.div_ceil(SHARDS) + 1) as u64;
+    let slice_max = fabric_smoke.slice_shard_meetings_max;
+    gate.check(
+        "shards: slice ownership balanced",
+        slice_max <= slice_cap,
+        format!(
+            "max {slice_max} meetings on one shard, cap ceil({}/{SHARDS})+1 = {slice_cap}: {:?}",
+            slice.meetings, slice.shard_meetings
+        ),
+    );
+    let churn_meetings: usize = mig.shard_meetings.iter().sum();
+    let churn_cap = (churn_meetings.div_ceil(SHARDS) + 1) as u64;
+    let churn_max = fabric_smoke.churn_shard_meetings_max;
+    gate.check(
+        "shards: churn-phase ownership balanced",
+        churn_max <= churn_cap,
+        format!(
+            "max {churn_max} meetings on one shard, cap ceil({churn_meetings}/{SHARDS})+1 = {churn_cap}: {:?}",
+            mig.shard_meetings
+        ),
+    );
+    gate.check(
+        "shards: cross-shard joins are exercised and forwarded",
+        slice.join_forwards > 0,
+        "no join ever crossed a shard boundary".into(),
+    );
+    // The churn drift's single re-home (edge 0 -> 1) changes the
+    // meeting's ring key onto another shard, so exactly one ownership
+    // handoff must ride along with it — this is the deterministic
+    // teeth of the churn-phase shard coverage (the balance check above
+    // cannot fail with one meeting).
+    gate.check(
+        "shards: churn re-home carries its ownership handoff",
+        mig.rehome_count == 1 && mig.shard_handoffs == 1,
+        format!(
+            "re-homes {} / handoffs {} (expected 1 / 1)",
+            mig.rehome_count, mig.shard_handoffs
+        ),
     );
 
     if gate.passed() {

@@ -20,6 +20,8 @@ struct DayRow {
 
 const DAYS: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
 const EDGES: usize = 4;
+/// Controller shards partitioning meeting ownership (one per edge).
+const SHARDS: usize = 4;
 
 fn main() {
     section("Figs. 20/21: campus concurrency over two weeks");
@@ -102,10 +104,20 @@ fn main() {
     // ------------------------------------------------------------------
     section(format!("live peak slice over a {EDGES}-edge fabric").as_str());
     let peak_t = peak_time(&meetings);
-    let slice = run_fabric_slice(&population, &params, peak_t, EDGES, 2.0);
+    let slice = run_fabric_slice(&population, &params, peak_t, EDGES, SHARDS, 2.0);
     kv("meetings replayed from the peak bin", slice.meetings);
     kv("clients attached", slice.clients);
     kv("meetings spanning >1 edge", slice.cross_switch_meetings);
+    kv("controller shards", SHARDS);
+    kv(
+        "meetings owned per shard (cap: ceil(m/s)+1)",
+        format!("{:?}", slice.shard_meetings),
+    );
+    kv("cross-shard joins forwarded", slice.join_forwards);
+    kv(
+        "signaling exchanges (all shards)",
+        slice.signaling_exchanges,
+    );
 
     series_table(
         &[
@@ -148,10 +160,15 @@ fn main() {
     // re-homes mid-drift and the drained segment is collected.
     // ------------------------------------------------------------------
     section("churn phase: population drift with vs. without migration");
-    let stay = run_churn_phase(false);
-    let mig = run_churn_phase(true);
+    let stay = run_churn_phase(false, SHARDS);
+    let mig = run_churn_phase(true, SHARDS);
     kv("re-homed (static placement)", stay.rehomed);
     kv("re-homed (live migration)", mig.rehomed);
+    kv(
+        "re-home count / shard handoffs (migration)",
+        format!("{} / {}", mig.rehome_count, mig.shard_handoffs),
+    );
+    kv("cross-shard joins forwarded (migration)", mig.join_forwards);
     kv("final home edge (static / migrated)", {
         format!("{} / {}", stay.final_home, mig.final_home)
     });

@@ -6,9 +6,9 @@
 //! phase live here rather than in either binary.
 
 use scallop_client::{ClientConfig, ClientNode};
-use scallop_core::controller::Controller;
 use scallop_core::fabric::Fabric;
 use scallop_core::harness::{HarnessConfig, ScallopHarness};
+use scallop_core::shard::ShardedControlPlane;
 use scallop_dataplane::seqrewrite::SeqRewriteMode;
 use scallop_netsim::link::LinkConfig;
 use scallop_netsim::packet::HostAddr;
@@ -68,16 +68,26 @@ pub struct FabricSliceReport {
     pub core_relayed_bytes: u64,
     /// Frames decoded across all clients.
     pub frames_decoded: u64,
+    /// Meetings owned per controller shard (index = shard id) — the
+    /// control-load balance the sharded plane guarantees: no entry may
+    /// exceed `ceil(meetings / shards) + 1`.
+    pub shard_meetings: Vec<usize>,
+    /// Cross-shard joins forwarded while installing the slice.
+    pub join_forwards: u64,
+    /// Signaling transactions served, summed over all shards.
+    pub signaling_exchanges: u64,
 }
 
 /// Replay a sample of the peak bin's meetings over a real
-/// `edges`-edge + 1-core fabric for `run_secs` of simulated time
+/// `edges`-edge + 1-core fabric for `run_secs` of simulated time,
+/// with meeting ownership partitioned over `shards` controller shards
 /// (deterministic: fixed seed, fixed slice-selection rule).
 pub fn run_fabric_slice(
     population: &[MeetingRecord],
     params: &CampusParams,
     peak_t: SimTime,
     edges: usize,
+    shards: usize,
     run_secs: f64,
 ) -> FabricSliceReport {
     let slice: Vec<&MeetingRecord> = population
@@ -93,7 +103,7 @@ pub fn run_fabric_slice(
         LinkConfig::infinite(SimDuration::from_micros(50)),
         SeqRewriteMode::LowRetransmission,
     );
-    let mut controller = Controller::new();
+    let mut controller = ShardedControlPlane::new(shards);
     let client_link = LinkConfig::infinite(SimDuration::from_millis(10))
         .with_rate(50_000_000)
         .with_queue_bytes(128 * 1024);
@@ -165,6 +175,9 @@ pub fn run_fabric_slice(
         core_relayed_pkts: core.relayed_pkts,
         core_relayed_bytes: core.relayed_bytes,
         frames_decoded: frames,
+        shard_meetings: controller.meetings_per_shard(),
+        join_forwards: controller.forward_total(),
+        signaling_exchanges: controller.signaling_exchanges(),
     }
 }
 
@@ -190,6 +203,15 @@ pub struct ChurnReport {
     /// Frames decoded by the clients still attached when the phase
     /// ends (a leaver's receive stats are discarded with its hangup).
     pub frames_decoded: u64,
+    /// Re-homes the rebalance pass performed (0 without migration).
+    pub rehome_count: u64,
+    /// Controller-shard ownership handoffs that rode along with the
+    /// re-homes (0 when a single shard runs the control plane).
+    pub shard_handoffs: u64,
+    /// Cross-shard joins forwarded during the drift.
+    pub join_forwards: u64,
+    /// Meetings owned per controller shard when the phase ended.
+    pub shard_meetings: Vec<usize>,
 }
 
 /// Drive the drift churn scenario over a 2-edge + 1-core fabric: four
@@ -200,7 +222,12 @@ pub struct ChurnReport {
 /// and collecting the drained edge-0 segment; without it the meeting
 /// stays homed on edge 0 forever. The report's post-drift trunk counters
 /// quantify what migration saves.
-pub fn run_churn_phase(migrate: bool) -> ChurnReport {
+///
+/// The control plane runs `shards` controller instances; the re-home
+/// may carry the meeting's ownership to another shard (reported as
+/// `shard_handoffs`), and joins landing on a non-owner ingress shard
+/// are forwarded (reported as `join_forwards`).
+pub fn run_churn_phase(migrate: bool, shards: usize) -> ChurnReport {
     const MEMBERS: usize = 4;
     const SENDERS: usize = 2;
     let mut h = ScallopHarness::new(
@@ -208,12 +235,14 @@ pub fn run_churn_phase(migrate: bool) -> ChurnReport {
             .participants(0)
             .switches(2)
             .cores(1)
+            .shards(shards)
             .seed(0xC0FFEE),
     );
     // Initial joins fire at plan start (= now); the population then
     // gets one full step of ramp before the first swap.
     let plan = ChurnPlan::drift(0, 1, MEMBERS, SENDERS, h.now(), SimDuration::from_secs(2));
     let mut rehomed = false;
+    let mut rehome_count = 0u64;
     let mut min_fps = f64::INFINITY;
     let window = SimDuration::from_secs(1);
     // The monitored cross-switch pair: the first replacement sender
@@ -254,6 +283,7 @@ pub fn run_churn_phase(migrate: bool) -> ChurnReport {
         }
         if migrate && h.rebalance().is_some() {
             rehomed = true;
+            rehome_count += 1;
         }
     }
 
@@ -273,5 +303,9 @@ pub fn run_churn_phase(migrate: bool) -> ChurnReport {
         post_drift_trunk_out_bytes: after_total.trunk_out_bytes - before_total.trunk_out_bytes,
         post_drift_old_home_trunk_in_pkts: after_home.trunk_in_pkts - before_home.trunk_in_pkts,
         frames_decoded: report.frames_decoded,
+        rehome_count,
+        shard_handoffs: h.shard_handoffs(),
+        join_forwards: h.shard_forwards(),
+        shard_meetings: h.shard_meeting_counts(),
     }
 }

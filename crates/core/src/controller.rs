@@ -45,9 +45,22 @@
 //! replays a deterministic campus slice plus a churn phase over this
 //! machinery and fails CI when trunk-byte or quality metrics drift >20 %
 //! from the checked-in `results/` baselines.
+//!
+//! # Relation to the sharded control plane
+//!
+//! A `Controller` is one control instance. Per-meeting bookkeeping is
+//! kept in self-contained [`crate::meeting::FabricMeetingState`] values
+//! so that [`crate::shard::ShardedControlPlane`] can run several
+//! controllers side by side, each owning a disjoint subset of the
+//! fabric's meetings, and move a meeting's state between them with the
+//! [`crate::shard::ShardMsg`] handoff protocol. When driven through the
+//! sharded plane, global meeting/participant ids are allocated by the
+//! plane (keeping the id space collision-free across shards) and
+//! handed in via the crate-internal `*_as` entry points.
 
 use crate::agent::{JoinGrant, MeetingId, ParticipantId};
 use crate::fabric::Fabric;
+use crate::meeting::{FabricMeetingState, FabricMemberState};
 use crate::switchnode::ScallopSwitchNode;
 use scallop_netsim::packet::HostAddr;
 use scallop_netsim::sim::Simulator;
@@ -64,8 +77,11 @@ struct MeetingRecord {
 /// edge hosts its own local segment [`MeetingId`] underneath it).
 pub type GlobalMeetingId = u32;
 
-/// Fabric-wide participant identifier.
-pub type GlobalParticipantId = u16;
+/// Fabric-wide participant identifier. Wide on purpose: unlike
+/// per-switch participant ids (recycled on leave), global ids are
+/// allocated monotonically and never reused, and a churny campus
+/// meeting population would exhaust a 16-bit space.
+pub type GlobalParticipantId = u32;
 
 /// Re-homing hysteresis: an edge must hold **strictly more than**
 /// `home_members + REBALANCE_HYSTERESIS` local members before
@@ -86,36 +102,13 @@ pub struct FabricGrant {
     pub local: JoinGrant,
 }
 
-/// One fabric meeting member, as the controller tracks it.
-#[derive(Debug, Clone)]
-struct FabricMember {
-    global: GlobalParticipantId,
-    edge: usize,
-    addr: HostAddr,
-    sends: bool,
-    local_pid: ParticipantId,
-    /// Per remote edge: the remote-sender entry (and its trunk-ingress
-    /// ports) representing this sender there.
-    remote_pids: BTreeMap<usize, ParticipantId>,
-}
-
-/// A meeting placed across the fabric.
-#[derive(Debug, Default)]
-struct FabricMeetingRecord {
-    /// The home edge this meeting was placed on.
-    home: usize,
-    /// Local segment meeting id per involved edge.
-    segments: BTreeMap<usize, MeetingId>,
-    /// Trunk-egress branch per (on_edge, toward_edge) pair.
-    trunk_egress: BTreeMap<(usize, usize), ParticipantId>,
-    members: Vec<FabricMember>,
-}
-
-/// The centralized controller.
+/// The centralized controller (one instance; see [`crate::shard`] for
+/// the multi-controller deployment that partitions fabric meetings
+/// across several of these).
 #[derive(Debug, Default)]
 pub struct Controller {
     meetings: HashMap<MeetingId, MeetingRecord>,
-    fabric_meetings: BTreeMap<GlobalMeetingId, FabricMeetingRecord>,
+    fabric_meetings: BTreeMap<GlobalMeetingId, FabricMeetingState>,
     next_global_meeting: GlobalMeetingId,
     next_global_participant: GlobalParticipantId,
     /// Signaling transactions served (telemetry).
@@ -225,18 +218,35 @@ impl Controller {
         fabric: &Fabric,
         home: usize,
     ) -> GlobalMeetingId {
-        assert!(home < fabric.edges(), "home edge out of range");
         self.next_global_meeting += 1;
         let gmid = self.next_global_meeting;
+        self.create_fabric_meeting_as(sim, fabric, home, gmid);
+        gmid
+    }
+
+    /// [`Self::create_fabric_meeting`] with a caller-allocated id — the
+    /// sharded control plane allocates global ids centrally so that the
+    /// id space stays collision-free across shards.
+    pub(crate) fn create_fabric_meeting_as(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        home: usize,
+        gmid: GlobalMeetingId,
+    ) {
+        assert!(home < fabric.edges(), "home edge out of range");
+        assert!(
+            !self.fabric_meetings.contains_key(&gmid),
+            "meeting id already tracked"
+        );
         let seg = fabric.edge_mut(sim, home).agent.create_meeting();
-        let mut rec = FabricMeetingRecord {
+        let mut rec = FabricMeetingState {
             home,
             ..Default::default()
         };
         rec.segments.insert(home, seg);
         self.fabric_meetings.insert(gmid, rec);
         self.signaling_exchanges += 1;
-        gmid
     }
 
     /// The local segment of a fabric meeting on `edge`, if materialized.
@@ -274,9 +284,26 @@ impl Controller {
         addr: HostAddr,
         sends: bool,
     ) -> FabricGrant {
-        assert!(edge < fabric.edges(), "edge out of range");
         self.next_global_participant += 1;
         let global = self.next_global_participant;
+        self.join_fabric_as(sim, fabric, gmid, edge, addr, sends, global)
+    }
+
+    /// [`Self::join_fabric`] with a caller-allocated participant id (the
+    /// sharded control plane's id allocation, and the execution path of
+    /// a forwarded cross-shard join).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn join_fabric_as(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        gmid: GlobalMeetingId,
+        edge: usize,
+        addr: HostAddr,
+        sends: bool,
+        global: GlobalParticipantId,
+    ) -> FabricGrant {
+        assert!(edge < fabric.edges(), "edge out of range");
 
         // 1. Materialize this edge's segment if needed.
         let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
@@ -304,7 +331,7 @@ impl Controller {
                 rec.trunk_egress.insert((edge, o), te_here);
                 rec.trunk_egress.insert((o, edge), te_there);
             }
-            let senders: Vec<FabricMember> = self.fabric_meetings[&gmid]
+            let senders: Vec<FabricMemberState> = self.fabric_meetings[&gmid]
                 .members
                 .iter()
                 .filter(|m| m.sends && m.edge != edge)
@@ -318,7 +345,7 @@ impl Controller {
         // 3. Local join.
         let local = fabric.edge_mut(sim, edge).join(segment, addr, sends);
         let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
-        rec.members.push(FabricMember {
+        rec.members.push(FabricMemberState {
             global,
             edge,
             addr,
@@ -546,16 +573,6 @@ impl Controller {
         Some((home, best))
     }
 
-    /// Run [`Self::rebalance_fabric`] over every fabric meeting;
-    /// returns how many re-homed.
-    pub fn rebalance_all(&mut self, sim: &mut Simulator, fabric: &Fabric) -> usize {
-        let gmids: Vec<GlobalMeetingId> = self.fabric_meetings.keys().copied().collect();
-        gmids
-            .into_iter()
-            .filter(|&g| self.rebalance_fabric(sim, fabric, g).is_some())
-            .count()
-    }
-
     /// Resolve the (edge, sender-pid, receiver-pid) triple for a
     /// (sender, receiver) pair, on the receiver's edge: the sender pid
     /// is its local entry when co-located, else its remote-sender entry.
@@ -582,6 +599,50 @@ impl Controller {
             .get(&gmid)
             .map(|r| r.members.iter().map(|m| m.global).collect())
             .unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // Ownership handoff (the shard protocol of `crate::shard`)
+    // ------------------------------------------------------------------
+
+    /// Number of fabric meetings this controller currently tracks.
+    pub fn fabric_meetings_tracked(&self) -> usize {
+        self.fabric_meetings.len()
+    }
+
+    /// A full copy of one meeting's control state, for an ownership
+    /// handoff: the acquiring shard adopts the copy *before* this
+    /// controller releases its own (make-before-break — the meeting is
+    /// never untracked). `None` when the meeting is not tracked here.
+    pub(crate) fn clone_fabric_meeting(&self, gmid: GlobalMeetingId) -> Option<FabricMeetingState> {
+        self.fabric_meetings.get(&gmid).cloned()
+    }
+
+    /// Adopt a meeting exported by another controller shard. The state
+    /// references only edge-switch ids, so adoption is pure bookkeeping:
+    /// no switch is touched and media is never interrupted.
+    pub(crate) fn adopt_fabric_meeting(
+        &mut self,
+        gmid: GlobalMeetingId,
+        state: FabricMeetingState,
+    ) {
+        assert!(
+            !self.fabric_meetings.contains_key(&gmid),
+            "meeting id already tracked"
+        );
+        self.fabric_meetings.insert(gmid, state);
+        self.signaling_exchanges += 1;
+    }
+
+    /// Drop a meeting this controller handed off (the releasing half of
+    /// the protocol; like the acquire, it counts as one east–west
+    /// signaling exchange). Returns whether the meeting was tracked.
+    pub(crate) fn release_fabric_meeting(&mut self, gmid: GlobalMeetingId) -> bool {
+        let tracked = self.fabric_meetings.remove(&gmid).is_some();
+        if tracked {
+            self.signaling_exchanges += 1;
+        }
+        tracked
     }
 }
 

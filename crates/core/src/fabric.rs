@@ -17,6 +17,12 @@
 //! forwarding on top of this: one trunk-egress branch per (meeting
 //! segment, remote switch) on the sender's home edge, one trunk-ingress
 //! rule per remote sender on each receiving edge.
+//!
+//! A `Fabric` is a read-only view shared by every controller shard of
+//! a [`crate::shard::ShardedControlPlane`] — shards own disjoint
+//! meetings but compile forwarding onto the same switches (the
+//! switches themselves are reached mutably through the simulator, per
+//! operation, never held).
 
 use crate::switchnode::{ScallopSwitchNode, SwitchConfig};
 use scallop_dataplane::seqrewrite::SeqRewriteMode;

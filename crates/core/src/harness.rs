@@ -15,10 +15,18 @@
 //! edge switches, the meeting is placed on home edge 0, and the
 //! controller compiles cross-switch forwarding so each sender's media
 //! crosses every trunk once per remote switch.
+//!
+//! The control plane behind the harness is always a
+//! [`ShardedControlPlane`]; the `shards` knob picks how many controller
+//! instances partition meeting ownership (`1` = the classic single
+//! controller). Sharding is control-plane bookkeeping only, so every
+//! media-plane report is identical whatever the shard count — a
+//! property the `tests/shard_ownership.rs` suite pins.
 
 use crate::agent::{JoinGrant, MeetingId};
-use crate::controller::{Controller, FabricGrant, GlobalMeetingId};
+use crate::controller::{FabricGrant, GlobalMeetingId};
 use crate::fabric::Fabric;
+use crate::shard::{RebalanceSummary, ShardedControlPlane};
 use scallop_client::{ClientConfig, ClientNode, ClientStats};
 use scallop_dataplane::seqrewrite::SeqRewriteMode;
 use scallop_dataplane::switch::DataPlaneCounters;
@@ -44,6 +52,15 @@ pub struct HarnessConfig {
     /// Number of core relays (only meaningful with `switches > 1`; `0`
     /// means edges trunk directly to each other).
     pub cores: usize,
+    /// Number of controller shards the control plane runs
+    /// ([`crate::shard::ShardedControlPlane`]). `1` (the default) is a
+    /// single controller owning every meeting; sharding is transparent
+    /// to the media plane, so reports are identical for any value. The
+    /// default can be overridden with the `SCALLOP_SHARDS` environment
+    /// variable, which lets the whole harness-based test corpus run
+    /// against a sharded control plane unchanged
+    /// (`SCALLOP_SHARDS=4 cargo test`).
+    pub shards: usize,
     /// Simulation seed.
     pub seed: u64,
     /// Sequence-rewrite heuristic.
@@ -65,6 +82,17 @@ impl Default for HarnessConfig {
             senders: None,
             switches: 1,
             cores: 0,
+            // A set-but-invalid override must fail loudly: silently
+            // falling back to 1 would run the whole corpus unsharded
+            // while the operator believes it exercised the sharded
+            // control plane.
+            shards: match std::env::var("SCALLOP_SHARDS") {
+                Err(_) => 1,
+                Ok(raw) => match raw.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => panic!("SCALLOP_SHARDS must be a positive integer, got {raw:?}"),
+                },
+            },
             seed: 0x5CA1_10B5,
             rewrite_mode: SeqRewriteMode::LowRetransmission,
             client_uplink: LinkConfig::infinite(SimDuration::from_millis(10))
@@ -106,6 +134,13 @@ impl HarnessConfig {
     /// Builder: core relay count.
     pub fn cores(mut self, n: usize) -> Self {
         self.cores = n;
+        self
+    }
+
+    /// Builder: controller shard count.
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one shard");
+        self.shards = n;
         self
     }
 
@@ -182,8 +217,9 @@ pub struct ScallopHarness {
     pub grants: Vec<JoinGrant>,
     /// Per-participant fabric grants (global id + home edge).
     pub fabric_grants: Vec<FabricGrant>,
-    /// The controller.
-    pub controller: Controller,
+    /// The control plane (one or more controller shards; exposes the
+    /// same fabric-meeting API a single [`crate::Controller`] does).
+    pub controller: ShardedControlPlane,
     /// The home-edge local segment id (the meeting id on edge 0).
     pub meeting: MeetingId,
     /// The fabric-wide meeting id.
@@ -209,7 +245,7 @@ impl ScallopHarness {
         };
         let fabric = Fabric::build(&mut sim, topology, cfg.switch_link, cfg.rewrite_mode);
         let switch_id = fabric.edge_ids[0];
-        let mut controller = Controller::new();
+        let mut controller = ShardedControlPlane::new(cfg.shards);
         let senders = cfg.senders.unwrap_or(cfg.participants);
         let fabric_meeting = controller.create_fabric_meeting(&mut sim, &fabric, 0);
         let meeting = controller
@@ -349,9 +385,41 @@ impl ScallopHarness {
 
     /// Run the controller's re-homing pass over the harness meeting;
     /// returns `Some((old_home, new_home))` when the meeting re-homed.
+    /// A re-home may also hand the meeting to another controller shard
+    /// (visible via [`Self::shard_handoffs`] / [`Self::shard_of_meeting`]).
     pub fn rebalance(&mut self) -> Option<(usize, usize)> {
         self.controller
             .rebalance_fabric(&mut self.sim, &self.fabric, self.fabric_meeting)
+    }
+
+    /// Run the re-homing pass over **every** meeting the control plane
+    /// tracks and report what it did — re-home and shard-handoff
+    /// counts are returned so callers can assert on them instead of
+    /// discarding them.
+    pub fn rebalance_all(&mut self) -> RebalanceSummary {
+        self.controller.rebalance_all(&mut self.sim, &self.fabric)
+    }
+
+    /// The controller shard currently owning the harness meeting.
+    pub fn shard_of_meeting(&self) -> usize {
+        self.controller
+            .owner_of(self.fabric_meeting)
+            .expect("fabric meeting exists")
+    }
+
+    /// Total ownership handoffs the control plane performed.
+    pub fn shard_handoffs(&self) -> u64 {
+        self.controller.handoff_total()
+    }
+
+    /// Total cross-shard joins the control plane forwarded.
+    pub fn shard_forwards(&self) -> u64 {
+        self.controller.forward_total()
+    }
+
+    /// Meetings owned per controller shard.
+    pub fn shard_meeting_counts(&self) -> Vec<usize> {
+        self.controller.meetings_per_shard()
     }
 
     /// The meeting's current home edge.

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # scallop-core — the Scallop SFU (the paper's contribution)
 //!
 //! Scallop decouples a selective forwarding unit into a hardware data
@@ -9,6 +10,16 @@
 //!   proxy-topology splice), meeting membership, and compilation of
 //!   data-plane configuration. Invoked only on session/membership/media
 //!   changes.
+//! * [`meeting`] — the per-meeting control state
+//!   ([`meeting::FabricMeetingState`]), extracted from the controller
+//!   so one meeting's bookkeeping can move between controller shards
+//!   wholesale.
+//! * [`shard`] — multi-controller sharding of the fabric control
+//!   plane: a [`shard::ShardedControlPlane`] consistent-hashes meeting
+//!   ownership (with bounded loads) over N [`shard::ControllerShard`]s
+//!   and moves ownership make-before-break via the
+//!   [`shard::ShardMsg`] handoff protocol, so control load scales with
+//!   edges instead of with the fabric.
 //! * [`agent`] — the switch agent (§4, §5.2–5.5): runs on the switch
 //!   CPU; analyzes REMB/RR copies, maintains per-downlink EWMAs and the
 //!   feedback-selection filter `f` (§5.3), invokes the pluggable
@@ -36,6 +47,8 @@ pub mod capacity;
 pub mod controller;
 pub mod fabric;
 pub mod harness;
+pub mod meeting;
+pub mod shard;
 pub mod switchnode;
 
 pub use agent::{
@@ -46,4 +59,6 @@ pub use capacity::CapacityModel;
 pub use controller::{Controller, FabricGrant, GlobalMeetingId, GlobalParticipantId};
 pub use fabric::Fabric;
 pub use harness::{HarnessConfig, HarnessReport, ScallopHarness};
+pub use meeting::FabricMeetingState;
+pub use shard::{ControllerShard, HashRing, RebalanceSummary, ShardMsg, ShardedControlPlane};
 pub use switchnode::{ScallopSwitchNode, SwitchConfig};

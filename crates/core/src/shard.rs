@@ -1,0 +1,921 @@
+//! Multi-controller sharding of the fabric control plane.
+//!
+//! A single [`Controller`] owning every meeting across the whole campus
+//! is the control-plane bottleneck the SDN literature warns about
+//! (east–west distribution in Kreutz et al.'s SDN survey; per-tree
+//! controller state in Noghani & Sunay's SDN multicast streaming).
+//! This module partitions that ownership: a [`ShardedControlPlane`]
+//! runs `N` [`ControllerShard`]s, each owning a **disjoint** set of
+//! fabric meetings, while every shard shares the same read-only
+//! [`Fabric`] / topology view (the fabric is passed by `&Fabric` into
+//! every operation; no shard ever mutates it).
+//!
+//! # The sharding function
+//!
+//! Ownership is decided by **consistent hashing with bounded loads**:
+//!
+//! * A [`HashRing`] places [`VNODES_PER_SHARD`] virtual nodes per shard
+//!   on a 64-bit ring (FNV-1a of `(shard, vnode)`; fully deterministic,
+//!   no RNG). [`HashRing::shard_for`] maps a key to the owner of the
+//!   first virtual node at or after it. Changing the shard count moves
+//!   only the keys whose arc gained a new virtual node — when a shard
+//!   is added, keys move **only to the new shard**, never between
+//!   surviving shards (pinned by this module's tests).
+//! * The ring key for a meeting is [`meeting_key`]`(gmid, home_edge)`:
+//!   the meeting id hashed together with its **home edge**. Placement
+//!   stays uniform (the hash decorrelates both inputs); folding the
+//!   home edge in exists so that a data-plane re-home *changes the
+//!   key* and thereby re-evaluates control ownership (see the handoff
+//!   protocol below).
+//! * The raw ring choice is post-processed by a **bounded-loads** walk
+//!   ([`HashRing::preference`] order): a shard already owning
+//!   `ceil(meetings/shards)` meetings is skipped, so no shard ever owns
+//!   more than `ceil(meetings/shards) + 1` meetings — control load
+//!   provably scales with the number of shards (edges), not with the
+//!   fabric.
+//!
+//! # The ownership-handoff protocol
+//!
+//! Shards exchange [`ShardMsg`]s (delivered synchronously in this
+//! reproduction; each delivery is counted as one east–west message):
+//!
+//! * [`ShardMsg::AcquireMeeting`] — the acquiring shard adopts a full
+//!   copy of the meeting's [`FabricMeetingState`].
+//! * [`ShardMsg::ReleaseMeeting`] — the releasing shard drops its copy
+//!   *after* the acquire completed, so the meeting is never unowned
+//!   (make-before-break, mirroring the data-plane cutover invariant of
+//!   [`Controller::rebalance_fabric`]: the fabric's full-mesh segment
+//!   construction means the state being handed off references only
+//!   live edge-switch ids, and no switch rule changes during a
+//!   handoff — media never blips).
+//! * [`ShardMsg::ForwardJoin`] — a join arriving at the wrong shard
+//!   (each edge's signaling terminates at the shard fronting that
+//!   edge, [`ShardedControlPlane::ingress_shard`]) is forwarded to the
+//!   meeting's owner, which executes it.
+//!
+//! # When does a handoff fire?
+//!
+//! 1. **Re-homing.** [`ShardedControlPlane::rebalance_fabric`] first
+//!    runs the owner's [`Controller::rebalance_fabric`] (hysteresis
+//!    policy: [`crate::controller::REBALANCE_HYSTERESIS`]). When the
+//!    meeting re-homes, its ring key changes, and if the bounded-loads
+//!    walk now names a different shard the meeting is handed off in the
+//!    same pass — "the hash says so".
+//! 2. **Re-sharding.** [`ShardedControlPlane::set_shard_count`] resizes
+//!    the ring and re-evaluates every meeting; consistent hashing keeps
+//!    the number of handoffs near `meetings / new_shards` instead of
+//!    re-shuffling everything.
+
+use crate::controller::{Controller, FabricGrant, GlobalMeetingId, GlobalParticipantId};
+use crate::fabric::Fabric;
+use crate::meeting::FabricMeetingState;
+use scallop_netsim::packet::HostAddr;
+use scallop_netsim::sim::Simulator;
+use std::collections::BTreeMap;
+
+/// Virtual nodes per shard on the consistent-hash ring. More virtual
+/// nodes smooth the arc distribution (so the pure hash is already
+/// nearly balanced before the bounded-loads walk corrects the tail).
+pub const VNODES_PER_SHARD: usize = 64;
+
+/// 64-bit FNV-1a with a splitmix64 finalizer — deterministic and
+/// dependency-free. Raw FNV-1a has poor high-bit avalanche on the
+/// short, structured inputs hashed here (sequential ids, small edge
+/// indices), which clusters ring points onto one arc; the finalizer
+/// restores a uniform spread.
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix64(h)
+}
+
+/// splitmix64's avalanche finalizer.
+fn mix64(mut z: u64) -> u64 {
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The ring key of a fabric meeting: its id hashed together with its
+/// current home edge, so re-homing a meeting changes its key and
+/// re-evaluates shard ownership (module docs).
+pub fn meeting_key(gmid: GlobalMeetingId, home_edge: usize) -> u64 {
+    let mut buf = [0u8; 12];
+    buf[..4].copy_from_slice(&gmid.to_le_bytes());
+    buf[4..].copy_from_slice(&(home_edge as u64).to_le_bytes());
+    fnv1a64(&buf)
+}
+
+/// The ring key of an edge switch (decides which shard fronts that
+/// edge's signaling).
+pub fn edge_key(edge: usize) -> u64 {
+    fnv1a64(&(edge as u64).to_le_bytes())
+}
+
+/// A deterministic consistent-hash ring with virtual nodes.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(ring position, shard)` pairs, sorted by position.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl HashRing {
+    /// Build a ring for `shards` shards ([`VNODES_PER_SHARD`] virtual
+    /// nodes each).
+    pub fn new(shards: usize) -> HashRing {
+        assert!(shards >= 1, "at least one shard");
+        let mut points = Vec::with_capacity(shards * VNODES_PER_SHARD);
+        for s in 0..shards {
+            for v in 0..VNODES_PER_SHARD {
+                let mut buf = [0u8; 16];
+                buf[..8].copy_from_slice(&(s as u64).to_le_bytes());
+                buf[8..].copy_from_slice(&(v as u64).to_le_bytes());
+                points.push((fnv1a64(&buf), s));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The pure consistent-hash choice: the shard owning the first
+    /// virtual node at or after `key` (wrapping).
+    pub fn shard_for(&self, key: u64) -> usize {
+        let i = self.points.partition_point(|&(p, _)| p < key);
+        self.points[i % self.points.len()].1
+    }
+
+    /// Every shard in ring order starting at `key`, deduplicated — the
+    /// probe sequence of the bounded-loads walk. The first element is
+    /// [`Self::shard_for`]`(key)`.
+    pub fn preference(&self, key: u64) -> Vec<usize> {
+        let start = self.points.partition_point(|&(p, _)| p < key);
+        let mut seen = vec![false; self.shards];
+        let mut order = Vec::with_capacity(self.shards);
+        for off in 0..self.points.len() {
+            let (_, s) = self.points[(start + off) % self.points.len()];
+            if !seen[s] {
+                seen[s] = true;
+                order.push(s);
+                if order.len() == self.shards {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+/// One east–west message of the ownership-handoff protocol (module
+/// docs). Delivered via [`ControllerShard::handle`].
+#[derive(Debug, Clone)]
+pub enum ShardMsg {
+    /// Adopt a full copy of a meeting's control state (the make half of
+    /// make-before-break).
+    AcquireMeeting {
+        /// The meeting changing owner.
+        gmid: GlobalMeetingId,
+        /// Its complete control-plane state.
+        state: FabricMeetingState,
+    },
+    /// Drop a meeting that was just acquired elsewhere (the break half;
+    /// always delivered *after* the acquire).
+    ReleaseMeeting {
+        /// The meeting that moved.
+        gmid: GlobalMeetingId,
+    },
+    /// Execute a join that arrived at a shard which does not own the
+    /// meeting (cross-shard join).
+    ForwardJoin {
+        /// The meeting joined.
+        gmid: GlobalMeetingId,
+        /// Plane-allocated fabric-wide participant id.
+        global: GlobalParticipantId,
+        /// Edge the participant attaches to.
+        edge: usize,
+        /// The participant's media address.
+        addr: HostAddr,
+        /// Whether the participant offers media.
+        sends: bool,
+    },
+}
+
+/// One controller shard: a [`Controller`] owning a disjoint subset of
+/// the fabric's meetings, plus protocol telemetry.
+#[derive(Debug, Default)]
+pub struct ControllerShard {
+    /// The wrapped per-shard controller.
+    pub controller: Controller,
+    /// Meetings this shard acquired via [`ShardMsg::AcquireMeeting`].
+    pub meetings_acquired: u64,
+    /// Meetings this shard released via [`ShardMsg::ReleaseMeeting`].
+    pub meetings_released: u64,
+    /// Cross-shard joins this shard executed for other ingress shards.
+    pub joins_forwarded: u64,
+}
+
+impl ControllerShard {
+    /// Deliver one protocol message to this shard. Returns the join
+    /// grant for [`ShardMsg::ForwardJoin`], `None` otherwise.
+    pub fn handle(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        msg: ShardMsg,
+    ) -> Option<FabricGrant> {
+        match msg {
+            ShardMsg::AcquireMeeting { gmid, state } => {
+                self.controller.adopt_fabric_meeting(gmid, state);
+                self.meetings_acquired += 1;
+                None
+            }
+            ShardMsg::ReleaseMeeting { gmid } => {
+                self.controller.release_fabric_meeting(gmid);
+                self.meetings_released += 1;
+                None
+            }
+            ShardMsg::ForwardJoin {
+                gmid,
+                global,
+                edge,
+                addr,
+                sends,
+            } => {
+                self.joins_forwarded += 1;
+                Some(
+                    self.controller
+                        .join_fabric_as(sim, fabric, gmid, edge, addr, sends, global),
+                )
+            }
+        }
+    }
+
+    /// Meetings currently owned by this shard.
+    pub fn meetings_owned(&self) -> usize {
+        self.controller.fabric_meetings_tracked()
+    }
+}
+
+/// What one [`ShardedControlPlane::rebalance_all`] pass did — callers
+/// (harness, benches, tests) assert on these counts instead of
+/// discarding them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RebalanceSummary {
+    /// Meetings whose home edge moved.
+    pub rehomed: usize,
+    /// Meetings whose owning shard moved (always ≤ `rehomed` during a
+    /// rebalance pass; re-sharding handoffs are reported by
+    /// [`ShardedControlPlane::set_shard_count`] directly).
+    pub shard_handoffs: usize,
+}
+
+/// The sharded control plane: `N` [`ControllerShard`]s behind the same
+/// API the single [`Controller`] exposes for fabric meetings, plus the
+/// ownership map, the [`HashRing`], and protocol telemetry.
+///
+/// With one shard this degenerates to exactly the single-controller
+/// behavior (same id allocation, same per-edge operation sequence), so
+/// `shards = 1` harness runs are bit-for-bit identical to the
+/// pre-sharding code path.
+#[derive(Debug)]
+pub struct ShardedControlPlane {
+    ring: HashRing,
+    shards: Vec<ControllerShard>,
+    /// Current owner of every tracked meeting.
+    owner: BTreeMap<GlobalMeetingId, usize>,
+    /// Meetings owned per shard, maintained incrementally (index =
+    /// shard id; always consistent with `owner`) so the bounded-loads
+    /// walk is O(shards), not O(meetings).
+    loads: Vec<usize>,
+    next_global_meeting: GlobalMeetingId,
+    next_global_participant: GlobalParticipantId,
+    handoffs: u64,
+    forwards: u64,
+    /// Telemetry folded in from shards retired by
+    /// [`Self::set_shard_count`], so plane-wide totals never go
+    /// backwards when the plane shrinks.
+    retired: RetiredTelemetry,
+}
+
+/// Counters carried over from shards dropped by a shrink.
+#[derive(Debug, Default, Clone, Copy)]
+struct RetiredTelemetry {
+    signaling_exchanges: u64,
+    meetings_acquired: u64,
+    meetings_released: u64,
+}
+
+impl ShardedControlPlane {
+    /// Create a control plane of `shards` controller instances.
+    pub fn new(shards: usize) -> ShardedControlPlane {
+        assert!(shards >= 1, "at least one shard");
+        ShardedControlPlane {
+            ring: HashRing::new(shards),
+            shards: (0..shards).map(|_| ControllerShard::default()).collect(),
+            owner: BTreeMap::new(),
+            loads: vec![0; shards],
+            next_global_meeting: 0,
+            next_global_participant: 0,
+            handoffs: 0,
+            forwards: 0,
+            retired: RetiredTelemetry::default(),
+        }
+    }
+
+    /// Number of controller shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to shard `i` (telemetry, tests).
+    pub fn shard(&self, i: usize) -> &ControllerShard {
+        &self.shards[i]
+    }
+
+    /// The shard currently owning a meeting.
+    pub fn owner_of(&self, gmid: GlobalMeetingId) -> Option<usize> {
+        self.owner.get(&gmid).copied()
+    }
+
+    /// The shard fronting an edge's signaling: joins from this edge
+    /// enter the control plane here and are forwarded when the meeting
+    /// is owned elsewhere.
+    pub fn ingress_shard(&self, edge: usize) -> usize {
+        self.ring.shard_for(edge_key(edge))
+    }
+
+    /// Meetings owned per shard (index = shard id).
+    pub fn meetings_per_shard(&self) -> Vec<usize> {
+        self.loads.clone()
+    }
+
+    /// Total ownership handoffs performed (re-homing + re-sharding).
+    pub fn handoff_total(&self) -> u64 {
+        self.handoffs
+    }
+
+    /// Total cross-shard joins forwarded.
+    pub fn forward_total(&self) -> u64 {
+        self.forwards
+    }
+
+    /// Signaling transactions served, summed over all shards —
+    /// including shards since retired by [`Self::set_shard_count`], so
+    /// the total is monotonic across re-sharding.
+    pub fn signaling_exchanges(&self) -> u64 {
+        self.retired.signaling_exchanges
+            + self
+                .shards
+                .iter()
+                .map(|s| s.controller.signaling_exchanges)
+                .sum::<u64>()
+    }
+
+    /// Meetings acquired via [`ShardMsg::AcquireMeeting`], summed over
+    /// all shards (retired shards included). Always equals
+    /// [`Self::meetings_released_total`] and [`Self::handoff_total`].
+    pub fn meetings_acquired_total(&self) -> u64 {
+        self.retired.meetings_acquired
+            + self.shards.iter().map(|s| s.meetings_acquired).sum::<u64>()
+    }
+
+    /// Meetings released via [`ShardMsg::ReleaseMeeting`], summed over
+    /// all shards (retired shards included).
+    pub fn meetings_released_total(&self) -> u64 {
+        self.retired.meetings_released
+            + self.shards.iter().map(|s| s.meetings_released).sum::<u64>()
+    }
+
+    /// The bounded-loads owner choice for ring key `key`, with
+    /// `exclude` (a meeting being re-evaluated) not counted against any
+    /// shard's load. See the module docs for the balance bound.
+    fn assign(&self, key: u64, exclude: Option<GlobalMeetingId>) -> usize {
+        // O(shards): the per-shard loads are maintained incrementally.
+        // During a shrink the shards vec is longer than the ring while
+        // dropped shards are evacuated; the ring's shard count is the
+        // live one, and only ring shards can win the walk.
+        let mut loads = self.loads.clone();
+        let mut total = self.owner.len();
+        if let Some(&s) = exclude.and_then(|g| self.owner.get(&g)) {
+            loads[s] -= 1;
+            total -= 1;
+        }
+        let cap = (total + 1).div_ceil(self.ring.shards());
+        self.ring
+            .preference(key)
+            .into_iter()
+            .find(|&s| loads[s] < cap)
+            .expect("cap * shards >= total + 1, so a shard has room")
+    }
+
+    /// The shard the plane would pick if `gmid` were homed on `home`
+    /// (placement introspection for tests and benches; does not move
+    /// anything).
+    pub fn planned_owner(&self, gmid: GlobalMeetingId, home: usize) -> usize {
+        self.assign(meeting_key(gmid, home), Some(gmid))
+    }
+
+    // ------------------------------------------------------------------
+    // The fabric-meeting API (mirrors `Controller`, routed by owner)
+    // ------------------------------------------------------------------
+
+    /// Place a meeting on the fabric with `home` as its home edge and
+    /// assign it to a shard (sharding function in the module docs).
+    pub fn create_fabric_meeting(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        home: usize,
+    ) -> GlobalMeetingId {
+        self.next_global_meeting += 1;
+        let gmid = self.next_global_meeting;
+        let owner = self.assign(meeting_key(gmid, home), None);
+        self.shards[owner]
+            .controller
+            .create_fabric_meeting_as(sim, fabric, home, gmid);
+        self.owner.insert(gmid, owner);
+        self.loads[owner] += 1;
+        gmid
+    }
+
+    /// Join a participant attached to `edge`. The join enters at the
+    /// edge's ingress shard; when that shard is not the meeting's
+    /// owner, it is forwarded ([`ShardMsg::ForwardJoin`]) and executed
+    /// by the owner.
+    pub fn join_fabric(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        gmid: GlobalMeetingId,
+        edge: usize,
+        addr: HostAddr,
+        sends: bool,
+    ) -> FabricGrant {
+        self.next_global_participant += 1;
+        let global = self.next_global_participant;
+        let owner = *self.owner.get(&gmid).expect("fabric meeting");
+        if self.ingress_shard(edge) != owner {
+            self.forwards += 1;
+            self.shards[owner]
+                .handle(
+                    sim,
+                    fabric,
+                    ShardMsg::ForwardJoin {
+                        gmid,
+                        global,
+                        edge,
+                        addr,
+                        sends,
+                    },
+                )
+                .expect("forwarded join returns a grant")
+        } else {
+            self.shards[owner]
+                .controller
+                .join_fabric_as(sim, fabric, gmid, edge, addr, sends, global)
+        }
+    }
+
+    /// Remove a fabric participant (owner-routed
+    /// [`Controller::leave_fabric`], including segment GC).
+    pub fn leave_fabric(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        gmid: GlobalMeetingId,
+        global: GlobalParticipantId,
+    ) {
+        if let Some(&owner) = self.owner.get(&gmid) {
+            self.shards[owner]
+                .controller
+                .leave_fabric(sim, fabric, gmid, global);
+        }
+    }
+
+    /// Revisit one meeting's placement: run the owner's
+    /// [`Controller::rebalance_fabric`] (home-edge hysteresis), and if
+    /// the meeting re-homed, re-evaluate shard ownership for the new
+    /// key and hand the meeting off when the hash names another shard.
+    /// Returns the re-home `(old_home, new_home)` if one happened.
+    pub fn rebalance_fabric(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        gmid: GlobalMeetingId,
+    ) -> Option<(usize, usize)> {
+        let &owner = self.owner.get(&gmid)?;
+        let moved = self.shards[owner]
+            .controller
+            .rebalance_fabric(sim, fabric, gmid);
+        if let Some((_, new_home)) = moved {
+            self.handoff_if_moved(sim, fabric, gmid, new_home);
+        }
+        moved
+    }
+
+    /// Hand `gmid` off to the bounded-loads choice for `home`'s key if
+    /// that differs from the current owner. Returns whether a handoff
+    /// happened.
+    fn handoff_if_moved(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        gmid: GlobalMeetingId,
+        home: usize,
+    ) -> bool {
+        let owner = self.owner[&gmid];
+        let target = self.assign(meeting_key(gmid, home), Some(gmid));
+        if target == owner {
+            return false;
+        }
+        // Make-before-break: the target adopts a full copy before the
+        // old owner releases its own, so the meeting is never unowned
+        // and no data-plane state is touched at any point.
+        let state = self.shards[owner]
+            .controller
+            .clone_fabric_meeting(gmid)
+            .expect("owner tracks the meeting");
+        self.shards[target].handle(sim, fabric, ShardMsg::AcquireMeeting { gmid, state });
+        self.owner.insert(gmid, target);
+        self.loads[owner] -= 1;
+        self.loads[target] += 1;
+        self.shards[owner].handle(sim, fabric, ShardMsg::ReleaseMeeting { gmid });
+        self.handoffs += 1;
+        true
+    }
+
+    /// Run [`Self::rebalance_fabric`] over every tracked meeting and
+    /// report how many re-homed and how many changed shards — callers
+    /// must no longer discard these counts silently.
+    pub fn rebalance_all(&mut self, sim: &mut Simulator, fabric: &Fabric) -> RebalanceSummary {
+        let before = self.handoffs;
+        let gmids: Vec<GlobalMeetingId> = self.owner.keys().copied().collect();
+        let rehomed = gmids
+            .into_iter()
+            .filter(|&g| self.rebalance_fabric(sim, fabric, g).is_some())
+            .count();
+        RebalanceSummary {
+            rehomed,
+            shard_handoffs: (self.handoffs - before) as usize,
+        }
+    }
+
+    /// Re-shard the control plane to `n` shards: rebuild the ring,
+    /// re-evaluate every meeting in id order, and hand off the ones
+    /// whose owner changed. Consistent hashing keeps the movement near
+    /// `meetings / n` when growing (and pinned tests verify keys only
+    /// move *to* a freshly added shard on the raw ring). Returns the
+    /// number of handoffs performed.
+    pub fn set_shard_count(&mut self, sim: &mut Simulator, fabric: &Fabric, n: usize) -> usize {
+        assert!(n >= 1, "at least one shard");
+        self.ring = HashRing::new(n);
+        while self.shards.len() < n {
+            self.shards.push(ControllerShard::default());
+            self.loads.push(0);
+        }
+        let before = self.handoffs;
+        let gmids: Vec<GlobalMeetingId> = self.owner.keys().copied().collect();
+        for gmid in gmids {
+            let owner = self.owner[&gmid];
+            let home = self.shards[owner]
+                .controller
+                .home_edge_of(gmid)
+                .expect("owner tracks the meeting");
+            let must_move = owner >= n;
+            if !self.handoff_if_moved(sim, fabric, gmid, home) {
+                assert!(!must_move, "evacuation from a dropped shard must move");
+            }
+        }
+        // Shrinking: every meeting has been evacuated off the dropped
+        // shards by the bounded walk (their ring points are gone).
+        // Their telemetry folds into the plane so totals stay
+        // monotonic.
+        for s in self.shards.drain(n..) {
+            self.retired.signaling_exchanges += s.controller.signaling_exchanges;
+            self.retired.meetings_acquired += s.meetings_acquired;
+            self.retired.meetings_released += s.meetings_released;
+        }
+        debug_assert!(
+            self.loads[n..].iter().all(|&l| l == 0),
+            "dropped shards were evacuated"
+        );
+        self.loads.truncate(n);
+        (self.handoffs - before) as usize
+    }
+
+    // ------------------------------------------------------------------
+    // Owner-routed read API (same signatures as `Controller`)
+    // ------------------------------------------------------------------
+
+    fn owner_controller(&self, gmid: GlobalMeetingId) -> Option<&Controller> {
+        self.owner.get(&gmid).map(|&s| &self.shards[s].controller)
+    }
+
+    /// The local segment of a fabric meeting on `edge`, if materialized.
+    pub fn segment_of(
+        &self,
+        gmid: GlobalMeetingId,
+        edge: usize,
+    ) -> Option<crate::agent::MeetingId> {
+        self.owner_controller(gmid)?.segment_of(gmid, edge)
+    }
+
+    /// The home edge a fabric meeting is currently placed on.
+    pub fn home_edge_of(&self, gmid: GlobalMeetingId) -> Option<usize> {
+        self.owner_controller(gmid)?.home_edge_of(gmid)
+    }
+
+    /// Global participant ids of a fabric meeting, in join order.
+    pub fn fabric_members(&self, gmid: GlobalMeetingId) -> Vec<GlobalParticipantId> {
+        self.owner_controller(gmid)
+            .map(|c| c.fabric_members(gmid))
+            .unwrap_or_default()
+    }
+
+    /// Resolve the (edge, sender-pid, receiver-pid) triple for a
+    /// (sender, receiver) pair on the receiver's edge (see
+    /// [`Controller::pair_on_receiver_edge`]).
+    pub fn pair_on_receiver_edge(
+        &self,
+        gmid: GlobalMeetingId,
+        sender: GlobalParticipantId,
+        receiver: GlobalParticipantId,
+    ) -> Option<(
+        usize,
+        crate::agent::ParticipantId,
+        crate::agent::ParticipantId,
+    )> {
+        self.owner_controller(gmid)?
+            .pair_on_receiver_edge(gmid, sender, receiver)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scallop_dataplane::seqrewrite::SeqRewriteMode;
+    use scallop_netsim::link::LinkConfig;
+    use scallop_netsim::time::SimDuration;
+    use scallop_netsim::topology::Topology;
+    use std::net::Ipv4Addr;
+
+    fn campus(edges: usize) -> (Simulator, Fabric) {
+        let mut sim = Simulator::new(17);
+        let f = Fabric::build(
+            &mut sim,
+            Topology::campus(edges, 0),
+            LinkConfig::infinite(SimDuration::from_micros(50)),
+            SeqRewriteMode::LowRetransmission,
+        );
+        (sim, f)
+    }
+
+    fn caddr(last: u8) -> HostAddr {
+        HostAddr::new(Ipv4Addr::new(10, 9, 1, last), 5000)
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_covers_all_shards() {
+        let a = HashRing::new(4);
+        let b = HashRing::new(4);
+        for k in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            assert_eq!(a.shard_for(k), b.shard_for(k));
+        }
+        // Every shard owns some arc.
+        let mut hit = [false; 4];
+        for k in 0..4_000u64 {
+            hit[a.shard_for(fnv1a64(&k.to_le_bytes()))] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "every shard serves keys");
+        // The preference walk enumerates each shard exactly once.
+        let pref = a.preference(12345);
+        let mut sorted = pref.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        assert_eq!(pref[0], a.shard_for(12345));
+    }
+
+    #[test]
+    fn adding_a_shard_moves_keys_only_to_the_new_shard() {
+        // The consistent-hashing stability property: growing N -> N+1
+        // re-homes only the keys the new shard's virtual nodes capture.
+        let old = HashRing::new(4);
+        let new = HashRing::new(5);
+        let keys: Vec<u64> = (0..10_000u64).map(|k| fnv1a64(&k.to_le_bytes())).collect();
+        let mut moved = 0usize;
+        for &k in &keys {
+            let (o, n) = (old.shard_for(k), new.shard_for(k));
+            if o != n {
+                moved += 1;
+                assert_eq!(n, 4, "a moved key must land on the added shard");
+            }
+        }
+        // Expected movement ~ 1/5 of keys; allow generous slack but
+        // reject wholesale reshuffles.
+        let frac = moved as f64 / keys.len() as f64;
+        assert!(frac > 0.05, "some keys must move, moved {frac}");
+        assert!(frac < 0.40, "movement must stay ~1/(N+1), moved {frac}");
+    }
+
+    #[test]
+    fn meeting_key_depends_on_home_edge() {
+        let k0 = meeting_key(7, 0);
+        let k1 = meeting_key(7, 1);
+        assert_ne!(k0, k1, "re-homing must be able to change the key");
+        assert_eq!(k0, meeting_key(7, 0), "keys are deterministic");
+    }
+
+    #[test]
+    fn bounded_assignment_keeps_shards_balanced() {
+        let (mut sim, f) = campus(4);
+        let mut plane = ShardedControlPlane::new(4);
+        for i in 0..13 {
+            plane.create_fabric_meeting(&mut sim, &f, i % 4);
+        }
+        let counts = plane.meetings_per_shard();
+        assert_eq!(counts.iter().sum::<usize>(), 13);
+        let cap = 13usize.div_ceil(4) + 1;
+        assert!(
+            counts.iter().all(|&c| c <= cap),
+            "no shard may own more than ceil(13/4)+1 = {cap}: {counts:?}"
+        );
+        // The bounded walk is stronger than the +1 bound at admission
+        // time: incremental caps give a perfectly tight spread.
+        assert!(
+            counts.iter().all(|&c| c >= 3),
+            "spread is tight: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn single_shard_matches_controller_id_allocation() {
+        let (mut sim, f) = campus(2);
+        let mut plane = ShardedControlPlane::new(1);
+        let g1 = plane.create_fabric_meeting(&mut sim, &f, 0);
+        let a = plane.join_fabric(&mut sim, &f, g1, 0, caddr(1), true);
+        let b = plane.join_fabric(&mut sim, &f, g1, 1, caddr(2), false);
+        // Same allocation sequence as a bare Controller: meeting 1,
+        // participants 1, 2.
+        assert_eq!(g1, 1);
+        assert_eq!(a.global, 1);
+        assert_eq!(b.global, 2);
+        assert_eq!(plane.owner_of(g1), Some(0));
+        assert_eq!(plane.forward_total(), 0, "one shard never forwards");
+        assert_eq!(plane.handoff_total(), 0);
+    }
+
+    #[test]
+    fn cross_shard_joins_are_forwarded_to_the_owner() {
+        let (mut sim, f) = campus(4);
+        let mut plane = ShardedControlPlane::new(4);
+        let gmid = plane.create_fabric_meeting(&mut sim, &f, 0);
+        let owner = plane.owner_of(gmid).unwrap();
+        // Join from every edge; joins entering at a non-owner ingress
+        // shard must be forwarded and still produce a working grant.
+        let mut expected_forwards = 0;
+        for e in 0..4 {
+            if plane.ingress_shard(e) != owner {
+                expected_forwards += 1;
+            }
+            let g = plane.join_fabric(&mut sim, &f, gmid, e, caddr(e as u8 + 1), true);
+            assert_eq!(g.edge, e);
+        }
+        assert!(expected_forwards > 0, "4 edges over 4 shards must split");
+        assert_eq!(plane.forward_total(), expected_forwards);
+        assert_eq!(
+            plane.shard(owner).joins_forwarded,
+            expected_forwards,
+            "the owner executed every forwarded join"
+        );
+        assert_eq!(plane.fabric_members(gmid).len(), 4);
+    }
+
+    #[test]
+    fn handoff_preserves_meeting_state_and_gc_still_works() {
+        let (mut sim, f) = campus(4);
+        let mut plane = ShardedControlPlane::new(2);
+        // Two meetings over two shards: the bounded walk forces them
+        // onto different shards, so one of them is NOT on shard 0 and
+        // shrinking to one shard must hand it off deterministically.
+        let g1 = plane.create_fabric_meeting(&mut sim, &f, 0);
+        let g2 = plane.create_fabric_meeting(&mut sim, &f, 0);
+        let gmid = if plane.owner_of(g1) != Some(0) {
+            g1
+        } else {
+            g2
+        };
+        let owner = plane.owner_of(gmid).unwrap();
+        assert_ne!(owner, 0, "bounded loads spread 2 meetings on 2 shards");
+
+        let a = plane.join_fabric(&mut sim, &f, gmid, 0, caddr(1), true);
+        let b = plane.join_fabric(&mut sim, &f, gmid, 1, caddr(2), true);
+        let before_members = plane.fabric_members(gmid);
+
+        plane.set_shard_count(&mut sim, &f, 1);
+        let new_owner = plane.owner_of(gmid).unwrap();
+        assert_eq!(new_owner, 0, "everything evacuates to the last shard");
+        assert!(plane.handoff_total() >= 1);
+        assert!(plane.shard(new_owner).meetings_acquired >= 1);
+
+        // The roster, segments, and pair resolution all survived.
+        assert_eq!(plane.fabric_members(gmid), before_members);
+        assert_eq!(plane.home_edge_of(gmid), Some(0));
+        assert!(plane.segment_of(gmid, 1).is_some());
+        assert!(plane
+            .pair_on_receiver_edge(gmid, a.global, b.global)
+            .is_some());
+
+        // GC through the new owner: draining edge 1 collects it.
+        plane.leave_fabric(&mut sim, &f, gmid, b.global);
+        assert_eq!(plane.segment_of(gmid, 1), None, "segment GC after handoff");
+        plane.leave_fabric(&mut sim, &f, gmid, a.global);
+        assert_eq!(plane.fabric_members(gmid), vec![]);
+    }
+
+    #[test]
+    fn rehome_hands_off_when_the_hash_says_so() {
+        let (mut sim, f) = campus(8);
+        let mut plane = ShardedControlPlane::new(4);
+        let gmid = plane.create_fabric_meeting(&mut sim, &f, 0);
+        let owner0 = plane.owner_of(gmid).unwrap();
+        // Pick a drift target whose key names a different shard (the
+        // keys are fixed by the hash, so with 7 candidate edges over 4
+        // shards this always exists and the pick is deterministic).
+        let to = (1..8)
+            .find(|&e| plane.planned_owner(gmid, e) != owner0)
+            .expect("an edge mapping to another shard exists");
+
+        let a = plane.join_fabric(&mut sim, &f, gmid, 0, caddr(1), true);
+        for i in 0..3 {
+            plane.join_fabric(&mut sim, &f, gmid, to, caddr(10 + i), i == 0);
+        }
+        // 3 vs 1: decisive majority -> re-home, and the owning shard
+        // must follow the hash.
+        assert_eq!(
+            plane.rebalance_fabric(&mut sim, &f, gmid),
+            Some((0, to)),
+            "decisive majority must re-home"
+        );
+        let owner1 = plane.owner_of(gmid).unwrap();
+        assert_ne!(owner1, owner0, "ownership follows the re-home");
+        assert_eq!(plane.handoff_total(), 1);
+        assert_eq!(plane.shard(owner0).meetings_released, 1);
+        assert_eq!(plane.shard(owner1).meetings_acquired, 1);
+        // The old owner no longer tracks the meeting; the new one does.
+        assert_eq!(plane.shard(owner0).meetings_owned(), 0);
+        assert_eq!(plane.shard(owner1).meetings_owned(), 1);
+        // Meeting still fully operational after the handoff.
+        plane.leave_fabric(&mut sim, &f, gmid, a.global);
+        assert_eq!(plane.segment_of(gmid, 0), None, "drained edge collected");
+    }
+
+    #[test]
+    fn resharding_moves_a_bounded_fraction() {
+        let (mut sim, f) = campus(4);
+        let mut plane = ShardedControlPlane::new(4);
+        const MEETINGS: usize = 24;
+        for i in 0..MEETINGS {
+            plane.create_fabric_meeting(&mut sim, &f, i % 4);
+        }
+        let moved = plane.set_shard_count(&mut sim, &f, 5);
+        assert!(moved > 0, "growing must populate the new shard");
+        assert!(
+            moved <= MEETINGS / 2,
+            "consistent hashing bounds movement, moved {moved}/{MEETINGS}"
+        );
+        let counts = plane.meetings_per_shard();
+        assert_eq!(counts.len(), 5);
+        assert_eq!(counts.iter().sum::<usize>(), MEETINGS);
+        let cap = MEETINGS.div_ceil(5) + 1;
+        assert!(
+            counts.iter().all(|&c| c <= cap),
+            "balance holds: {counts:?}"
+        );
+
+        // Shrinking evacuates the dropped shards entirely.
+        let signaling_before = plane.signaling_exchanges();
+        let moved_back = plane.set_shard_count(&mut sim, &f, 2);
+        assert!(moved_back > 0);
+        let counts = plane.meetings_per_shard();
+        assert_eq!(counts.len(), 2);
+        assert_eq!(counts.iter().sum::<usize>(), MEETINGS);
+        // Retired shards' telemetry folds into the plane totals: the
+        // protocol accounting reconciles and signaling stays monotonic.
+        assert_eq!(plane.meetings_acquired_total(), plane.handoff_total());
+        assert_eq!(plane.meetings_released_total(), plane.handoff_total());
+        assert!(
+            plane.signaling_exchanges() > signaling_before,
+            "handoffs count as signaling; the total never goes backwards"
+        );
+    }
+}

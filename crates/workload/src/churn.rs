@@ -69,6 +69,52 @@ impl ChurnPlan {
         ChurnPlan { events }
     }
 
+    /// All-buildings churn: `members` participants (the first `senders`
+    /// of them sending) join round-robin across `edges` edge switches
+    /// at `start`; then every `step`, one original member leaves and a
+    /// replacement with the same role joins on the **next** edge over
+    /// (`(edge + 1) % edges`), rotating the whole population one
+    /// building ahead.
+    ///
+    /// Where [`ChurnPlan::drift`] stresses one re-home between two
+    /// buildings, `scatter` stresses the sharded control plane: with a
+    /// meeting spread over every edge, most joins enter at an ingress
+    /// shard that does not own the meeting and must be forwarded
+    /// (`ShardMsg::ForwardJoin` in `scallop-core`), and no single edge
+    /// ever gains the decisive majority that would re-home the meeting.
+    pub fn scatter(
+        edges: usize,
+        members: usize,
+        senders: usize,
+        start: SimTime,
+        step: SimDuration,
+    ) -> ChurnPlan {
+        assert!(edges >= 1, "at least one edge");
+        let mut events = Vec::with_capacity(3 * members);
+        for i in 0..members {
+            events.push((
+                start,
+                ChurnEvent::Join {
+                    edge: i % edges,
+                    sends: i < senders,
+                },
+            ));
+        }
+        let mut t = start;
+        for i in 0..members {
+            t += step;
+            events.push((t, ChurnEvent::Leave { slot: i }));
+            events.push((
+                t,
+                ChurnEvent::Join {
+                    edge: (i + 1) % edges,
+                    sends: i < senders,
+                },
+            ));
+        }
+        ChurnPlan { events }
+    }
+
     /// Time of the last event.
     pub fn end(&self) -> SimTime {
         self.events.last().map(|&(t, _)| t).unwrap_or(SimTime::ZERO)
@@ -157,6 +203,47 @@ mod tests {
         assert_eq!(sends.iter().filter(|&&s| s).count(), 4);
         assert!(sends[0]);
         assert!(!sends[3]);
+    }
+
+    #[test]
+    fn scatter_spreads_and_rotates_across_all_edges() {
+        let p = ChurnPlan::scatter(4, 8, 3, SimTime::ZERO, SimDuration::from_secs(1));
+        // 8 initial joins + 8 swaps.
+        assert_eq!(p.events.len(), 24);
+        // Initially two members per edge.
+        let before = p.population_at(SimTime::from_millis(500));
+        for e in 0..4 {
+            assert_eq!(before.get(&e), Some(&2), "edge {e} starts with 2");
+        }
+        // After the full rotation the population is again 2 per edge —
+        // every member has moved one building over, so no edge ever
+        // held a majority (the plan drives forwards, not re-homes).
+        let after = p.population_at(p.end());
+        for e in 0..4 {
+            assert_eq!(after.get(&e), Some(&2), "edge {e} ends with 2");
+        }
+        // Sender roles preserved across the rotation.
+        let sends: Vec<bool> = p
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                ChurnEvent::Join { sends, .. } => Some(*sends),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sends.iter().filter(|&&s| s).count(), 6);
+        // Replacement i joins one edge over from original i.
+        let edges: Vec<usize> = p
+            .events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                ChurnEvent::Join { edge, .. } => Some(*edge),
+                _ => None,
+            })
+            .collect();
+        for i in 0..8 {
+            assert_eq!(edges[8 + i], (edges[i] + 1) % 4);
+        }
     }
 
     #[test]

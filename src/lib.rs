@@ -48,6 +48,27 @@
 //! let report = h.run_for_secs(2.0);
 //! assert!(report.trunk_packets > 0, "cross-switch media rides trunks");
 //! ```
+//!
+//! ## Sharded control plane
+//!
+//! At campus scale a single controller owning every meeting becomes
+//! the control-plane bottleneck; the `shards` knob partitions meeting
+//! ownership over N controller instances ([`core::shard`]) with
+//! consistent hashing + bounded loads and a make-before-break
+//! ownership-handoff protocol. Sharding is control-plane bookkeeping
+//! only — media-plane reports are identical for any shard count.
+//!
+//! ```
+//! use scallop::core::harness::{ScallopHarness, HarnessConfig};
+//!
+//! let cfg = HarnessConfig::default().participants(6).switches(2).cores(1);
+//! let mut sharded = ScallopHarness::new(cfg.shards(4));
+//! let mut single = ScallopHarness::new(cfg.shards(1));
+//! let (a, b) = (sharded.run_for_secs(1.0), single.run_for_secs(1.0));
+//! assert_eq!(a.frames_decoded, b.frames_decoded, "sharding is transparent");
+//! // Ownership balance is guaranteed: ceil(meetings/shards) + 1.
+//! assert!(sharded.shard_meeting_counts().iter().all(|&c| c <= 2));
+//! ```
 
 pub use scallop_baseline as baseline;
 pub use scallop_client as client;
