@@ -18,7 +18,7 @@
 //! metrics are deterministic and gate exactly.
 
 use scallop_bench::baseline::{max_field, parse_numeric_objects, sum_field, Gate};
-use scallop_bench::fabric::{peak_time, run_churn_phase, run_fabric_slice};
+use scallop_bench::fabric::{peak_time, run_churn_phase, run_fabric_slice, run_wan_slice};
 use scallop_bench::scale::scalability_rows;
 use scallop_bench::{kv, results_dir, section, write_json};
 use scallop_netsim::time::SimDuration;
@@ -30,6 +30,10 @@ const EDGES: usize = 4;
 /// Controller shards partitioning meeting ownership (one per edge —
 /// the control plane the paper's scaling argument wants).
 const SHARDS: usize = 4;
+/// Campuses in the federated WAN slice.
+const ZONES: usize = 3;
+/// Edge switches per campus in the federated WAN slice.
+const EDGES_PER_ZONE: usize = 2;
 
 #[derive(Serialize)]
 struct FabricSmoke {
@@ -136,6 +140,52 @@ fn main() {
         churn_trunk_bytes_saved: saved,
     };
     write_json("BENCH_fabric", &[&fabric_smoke]);
+
+    // ------------------------------------------------------------- //
+    section("bench-smoke: federated WAN slice");
+    let wan_params = CampusParams::continental(ZONES as u32);
+    let wan_population = CampusModel::new(wan_params, 0x7AB20).generate();
+    let (wan_series, _) = CampusModel::concurrency_series(&wan_population, bin);
+    let wan_peak = peak_time(&wan_series);
+    let t0 = Instant::now();
+    let wan = run_wan_slice(
+        &wan_population,
+        &wan_params,
+        wan_peak,
+        ZONES,
+        EDGES_PER_ZONE,
+        SHARDS,
+        2.0,
+    );
+    kv("wan wall time (ms)", t0.elapsed().as_millis() as u64);
+    kv(
+        "continental meetings (cross-zone)",
+        format!("{} ({})", wan.meetings, wan.cross_zone_meetings),
+    );
+    kv(
+        "meetings homed per zone",
+        format!("{:?}", wan.zone_meetings),
+    );
+    kv(
+        "owner shard in home zone",
+        format!("{}/{}", wan.owners_in_home_zone, wan.meetings),
+    );
+    for r in &wan.wan_rows {
+        kv(
+            &format!(
+                "wan link {} (zone {}-{}) relayed/offered",
+                r.link, r.zone_a, r.zone_b
+            ),
+            format!(
+                "{} / {} pkts, {} B",
+                r.relayed_pkts, r.offered_pkts, r.relayed_bytes
+            ),
+        );
+    }
+    // The checked-in baseline must be read before the fresh (and, being
+    // deterministic, byte-identical) rows overwrite the file.
+    let wan_baseline = read_baseline("BENCH_wan");
+    write_json("BENCH_wan", &wan.wan_rows);
 
     // ------------------------------------------------------------- //
     section("bench-smoke: scalability sweep");
@@ -267,6 +317,81 @@ fn main() {
             mig.rehome_count, mig.shard_handoffs
         ),
     );
+    // Federated WAN invariants. `offered_pkts` is the media+SR load
+    // attributed to each link *once per remote zone*; a link relaying
+    // far more than that is fanning a zone out twice over the WAN, and
+    // a link no meeting spans must stay silent.
+    gate.check(
+        "wan: slice exercises cross-zone meetings",
+        wan.cross_zone_meetings >= 1 && wan.frames_decoded > 0,
+        format!(
+            "{} cross-zone meetings, {} frames",
+            wan.cross_zone_meetings, wan.frames_decoded
+        ),
+    );
+    for r in &wan.wan_rows {
+        gate.check(
+            &format!("wan link {}: relay routes every packet", r.link),
+            r.unroutable_pkts == 0,
+            format!("{} unroutable packets", r.unroutable_pkts),
+        );
+        if r.offered_pkts > 0 {
+            gate.check(
+                &format!("wan link {}: media crosses at least once", r.link),
+                r.relayed_pkts as f64 >= 0.90 * r.offered_pkts as f64,
+                format!("relayed {} vs offered {}", r.relayed_pkts, r.offered_pkts),
+            );
+            gate.check(
+                &format!(
+                    "wan link {}: media crosses only once per remote zone",
+                    r.link
+                ),
+                r.relayed_pkts as f64 <= 1.25 * r.offered_pkts as f64,
+                format!("relayed {} vs offered {}", r.relayed_pkts, r.offered_pkts),
+            );
+        } else {
+            gate.check(
+                &format!("wan link {}: unspanned link stays silent", r.link),
+                r.relayed_pkts == 0,
+                format!("{} packets on a link no meeting spans", r.relayed_pkts),
+            );
+        }
+    }
+    gate.check(
+        "wan: zone-affine sharding keeps owners in the home zone",
+        wan.owners_in_home_zone as usize == wan.meetings,
+        format!("{}/{} owners home", wan.owners_in_home_zone, wan.meetings),
+    );
+    gate.check(
+        "wan: zone telemetry accounts for every meeting",
+        wan.zone_meetings.iter().sum::<usize>() == wan.meetings && wan.cross_zone_handoffs == 0,
+        format!(
+            "zone meetings {:?} (total {}), {} cross-zone handoffs",
+            wan.zone_meetings, wan.meetings, wan.cross_zone_handoffs
+        ),
+    );
+    match wan_baseline {
+        Some(base) => {
+            for r in &wan.wan_rows {
+                let row = base
+                    .iter()
+                    .find(|o| o.get("link").copied() == Some(r.link as f64));
+                match row {
+                    Some(b) => gate.check_within(
+                        &format!("wan link {}: relayed bytes", r.link),
+                        b.get("relayed_bytes").copied().unwrap_or(f64::NAN),
+                        r.relayed_bytes as f64,
+                    ),
+                    None => gate
+                        .failures
+                        .push(format!("baseline BENCH_wan.json lacks link {}", r.link)),
+                }
+            }
+        }
+        None => gate
+            .failures
+            .push("missing baseline results/BENCH_wan.json".into()),
+    }
 
     if gate.passed() {
         kv("gate", "PASS");

@@ -4,7 +4,7 @@
 //! meeting's population drifts between buildings — run with and
 //! without live migration to report the trunk bytes migration saves.
 
-use scallop_bench::fabric::{peak_time, run_churn_phase, run_fabric_slice};
+use scallop_bench::fabric::{peak_time, run_churn_phase, run_fabric_slice, run_wan_slice};
 use scallop_bench::{f, kv, section, series_table, write_json};
 use scallop_netsim::time::SimDuration;
 use scallop_workload::campus::{CampusModel, CampusParams};
@@ -22,6 +22,10 @@ const DAYS: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
 const EDGES: usize = 4;
 /// Controller shards partitioning meeting ownership (one per edge).
 const SHARDS: usize = 4;
+/// Campuses in the federated (continental) slice.
+const ZONES: usize = 3;
+/// Edge switches per campus in the federated slice.
+const EDGES_PER_ZONE: usize = 2;
 
 fn main() {
     section("Figs. 20/21: campus concurrency over two weeks");
@@ -151,6 +155,57 @@ fn main() {
     );
 
     write_json("fig20_21_fabric_slice", &slice.edge_rows);
+
+    // ------------------------------------------------------------------
+    // Federated WAN slice: the continental population (3 campuses with
+    // cross-zone attendance) replayed over a 3-zone federation, with
+    // per-WAN-link counters proving media crosses each link once per
+    // remote zone.
+    // ------------------------------------------------------------------
+    section(format!("federated peak slice over a {ZONES}-campus WAN fabric").as_str());
+    let wan_params = CampusParams::continental(ZONES as u32);
+    let wan_population = CampusModel::new(wan_params, 0x7AB20).generate();
+    let (wan_meetings, _) = CampusModel::concurrency_series(&wan_population, bin);
+    let wan_peak = peak_time(&wan_meetings);
+    let wan = run_wan_slice(
+        &wan_population,
+        &wan_params,
+        wan_peak,
+        ZONES,
+        EDGES_PER_ZONE,
+        SHARDS,
+        2.0,
+    );
+    kv("continental meetings replayed", wan.meetings);
+    kv("meetings spanning >1 campus", wan.cross_zone_meetings);
+    kv("clients attached", wan.clients);
+    kv(
+        "meetings homed per zone",
+        format!("{:?}", wan.zone_meetings),
+    );
+    kv(
+        "owner shard in home zone (zone-affine sharding)",
+        format!("{}/{}", wan.owners_in_home_zone, wan.meetings),
+    );
+    series_table(
+        &["link", "zones", "relayed", "bytes", "offered", "unroutable"],
+        &wan.wan_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.link.to_string(),
+                    format!("{}-{}", r.zone_a, r.zone_b),
+                    r.relayed_pkts.to_string(),
+                    r.relayed_bytes.to_string(),
+                    r.offered_pkts.to_string(),
+                    r.unroutable_pkts.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    kv("frames decoded across the federation", wan.frames_decoded);
+
+    write_json("fig20_21_wan_slice", &wan.wan_rows);
 
     // ------------------------------------------------------------------
     // Churn phase: a meeting's population drifts from building A to

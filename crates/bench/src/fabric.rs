@@ -181,6 +181,219 @@ pub fn run_fabric_slice(
     }
 }
 
+/// Per-WAN-link counters of the federated slice (one JSON row of
+/// `results/BENCH_wan.json`; every field numeric so the baseline
+/// parser can read it back).
+#[derive(Serialize)]
+pub struct WanLinkRow {
+    /// WAN link index (order of `Topology::federation`'s full mesh).
+    pub link: usize,
+    /// Lower endpoint zone.
+    pub zone_a: usize,
+    /// Higher endpoint zone.
+    pub zone_b: usize,
+    /// Packets the link's relay carried (both directions).
+    pub relayed_pkts: u64,
+    /// Bytes the link's relay carried — the tracked baseline metric.
+    pub relayed_bytes: u64,
+    /// Packets the relay could not route (must stay 0).
+    pub unroutable_pkts: u64,
+    /// Media + SR packets offered to this link by the slice's senders,
+    /// counted **once per remote zone**: for every meeting and every
+    /// sender edge, the edge's `rtp_in + rtcp_sr` is added to the link
+    /// toward each *other* zone the meeting spans. A healthy WAN tier
+    /// relays ≈ this much (plus a little reverse feedback) — roughly
+    /// 2× means a zone was fanned out twice.
+    pub offered_pkts: u64,
+}
+
+/// Everything the federated WAN slice reports.
+pub struct WanSliceReport {
+    /// Per-WAN-link counter rows (the `BENCH_wan.json` payload).
+    pub wan_rows: Vec<WanLinkRow>,
+    /// Meetings replayed.
+    pub meetings: usize,
+    /// Meetings spanning more than one zone.
+    pub cross_zone_meetings: u64,
+    /// Clients attached.
+    pub clients: usize,
+    /// Frames decoded across all clients.
+    pub frames_decoded: u64,
+    /// Meetings homed per zone (the zone-balance telemetry).
+    pub zone_meetings: Vec<usize>,
+    /// Meetings owned per controller shard.
+    pub shard_meetings: Vec<usize>,
+    /// Meetings whose owner shard sits in their home zone's shard set.
+    pub owners_in_home_zone: u64,
+    /// Cross-zone ownership handoffs (0: nothing rebalances here).
+    pub cross_zone_handoffs: u64,
+}
+
+/// Replay a sample of the continental population's cross-zone meetings
+/// over a real `zones × edges_per_zone`-edge federation (one core per
+/// zone) for `run_secs` of simulated time, with meeting ownership
+/// partitioned zone-affinely over `shards` controller shards.
+///
+/// Selection is deterministic and keeps the chosen meetings
+/// **edge-disjoint**, so each WAN link's offered load can be attributed
+/// exactly from per-edge counters (the WAN-once regression gate needs
+/// an expected per-link packet count, and shared edges would smear it).
+pub fn run_wan_slice(
+    population: &[MeetingRecord],
+    params: &CampusParams,
+    peak_t: SimTime,
+    zones: usize,
+    edges_per_zone: usize,
+    shards: usize,
+    run_secs: f64,
+) -> WanSliceReport {
+    let edges = zones * edges_per_zone;
+    // Pick active, small cross-zone meetings whose edge footprints do
+    // not overlap (first-fit in population order: deterministic).
+    let mut used_edges = std::collections::BTreeSet::new();
+    let mut slice: Vec<(&MeetingRecord, Vec<usize>)> = Vec::new();
+    for m in population {
+        if slice.len() >= 3 {
+            break;
+        }
+        if !(m.start <= peak_t && peak_t < m.end() && (3..=6).contains(&m.size)) {
+            continue;
+        }
+        let footprint: Vec<usize> = (0..m.size)
+            .map(|i| {
+                m.participant_edge_federated(i, params.buildings, zones as u32, edges_per_zone)
+            })
+            .collect();
+        let span: std::collections::BTreeSet<usize> =
+            footprint.iter().map(|&e| e / edges_per_zone).collect();
+        if span.len() < 2 || footprint.iter().any(|e| used_edges.contains(e)) {
+            continue;
+        }
+        used_edges.extend(footprint.iter().copied());
+        slice.push((m, footprint));
+    }
+
+    let mut sim = Simulator::new(0xFEDC0DE);
+    let topology = Topology::federation(zones, edges_per_zone, 1);
+    let fabric = Fabric::build(
+        &mut sim,
+        topology,
+        LinkConfig::infinite(SimDuration::from_micros(50)),
+        SeqRewriteMode::LowRetransmission,
+    );
+    let mut controller = ShardedControlPlane::new(shards).with_zone_affinity(zones, edges_per_zone);
+    let client_link = LinkConfig::infinite(SimDuration::from_millis(10))
+        .with_rate(50_000_000)
+        .with_queue_bytes(128 * 1024);
+
+    let mut client_ids = Vec::new();
+    let mut cross_zone_meetings = 0u64;
+    let mut owners_in_home_zone = 0u64;
+    // Per meeting: zone span and the edges its senders occupy (for the
+    // per-link offered-load attribution below).
+    let mut spans: Vec<std::collections::BTreeSet<usize>> = Vec::new();
+    let mut sender_edges: Vec<std::collections::BTreeSet<usize>> = Vec::new();
+    for (mi, (rec, footprint)) in slice.iter().enumerate() {
+        let home = rec.edge_switch_federated(zones as u32, edges_per_zone);
+        let gmid = controller.create_fabric_meeting(&mut sim, &fabric, home);
+        let span: std::collections::BTreeSet<usize> =
+            footprint.iter().map(|&e| e / edges_per_zone).collect();
+        if span.len() > 1 {
+            cross_zone_meetings += 1;
+        }
+        let owner = controller.owner_of(gmid).expect("owner");
+        if controller
+            .zone_shards(fabric.topology.zone_of_edge(home))
+            .contains(&owner)
+        {
+            owners_in_home_zone += 1;
+        }
+        let mut senders = std::collections::BTreeSet::new();
+        for (i, &edge) in footprint.iter().enumerate() {
+            let ip = Ipv4Addr::new(10, 3, mi as u8, i as u8 + 1);
+            let addr = HostAddr::new(ip, 5000);
+            let sends = (i as u32) < rec.video_senders.max(1);
+            let grant = controller.join_fabric(&mut sim, &fabric, gmid, edge, addr, sends);
+            if sends {
+                senders.insert(edge);
+            }
+            let ccfg = if sends {
+                ClientConfig::sender(ip, 5000, 0x20_0000 * (mi as u32 + 1) + i as u32)
+                    .sending_to(grant.local.video_uplink, grant.local.audio_uplink)
+            } else {
+                ClientConfig::receiver_only(ip, 5000, 0x20_0000 * (mi as u32 + 1) + i as u32)
+            };
+            let id = sim.add_node(
+                Box::new(ClientNode::new(ccfg)),
+                &[ip],
+                client_link,
+                client_link,
+            );
+            client_ids.push(id);
+        }
+        spans.push(span);
+        sender_edges.push(senders);
+    }
+
+    sim.run_for(SimDuration::from_secs_f64(run_secs));
+
+    // Expected once-per-remote-zone load per link, attributed from the
+    // (meeting-disjoint) sender edges' ingress counters.
+    let mut offered_edge = vec![0u64; edges];
+    for (e, offered) in offered_edge.iter_mut().enumerate() {
+        let c = fabric.edge_counters(&mut sim, e);
+        // `rtp_in`/`rtcp_sr` also count trunk-arrived packets; subtract
+        // `trunk_in` so only locally-offered media attributes to links.
+        *offered = c.rtp_in_pkts + c.rtcp_sr_pkts - c.trunk_in_pkts;
+    }
+    let mut offered_link = vec![0u64; fabric.topology.wan_links.len()];
+    for (mi, span) in spans.iter().enumerate() {
+        for &e in &sender_edges[mi] {
+            let z = fabric.topology.zone_of_edge(e);
+            for &zr in span.iter().filter(|&&zr| zr != z) {
+                if let Some(l) = fabric.topology.wan_link_between(z, zr) {
+                    offered_link[l] += offered_edge[e];
+                }
+            }
+        }
+    }
+
+    let mut wan_rows = Vec::new();
+    for (l, wl) in fabric.topology.wan_links.iter().enumerate() {
+        let s = fabric.wan_stats(&mut sim, l);
+        wan_rows.push(WanLinkRow {
+            link: l,
+            zone_a: wl.zone_a,
+            zone_b: wl.zone_b,
+            relayed_pkts: s.relayed_pkts,
+            relayed_bytes: s.relayed_bytes,
+            unroutable_pkts: s.unroutable_pkts,
+            offered_pkts: offered_link[l],
+        });
+    }
+    let mut frames = 0u64;
+    for &id in &client_ids {
+        let c: &mut ClientNode = sim.node_mut(id).expect("client");
+        frames += c
+            .stats()
+            .streams
+            .iter()
+            .map(|(_, r)| r.frames_decoded)
+            .sum::<u64>();
+    }
+    WanSliceReport {
+        wan_rows,
+        meetings: slice.len(),
+        cross_zone_meetings,
+        clients: client_ids.len(),
+        frames_decoded: frames,
+        zone_meetings: controller.zone_meeting_counts(),
+        shard_meetings: controller.meetings_per_shard(),
+        owners_in_home_zone,
+        cross_zone_handoffs: controller.cross_zone_handoff_total(),
+    }
+}
+
 /// What the churn/migration phase measures.
 #[derive(Serialize)]
 pub struct ChurnReport {

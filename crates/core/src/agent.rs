@@ -50,6 +50,18 @@ pub type ParticipantId = u16;
 /// XID-pruning mechanism, applied to the fabric tier).
 pub const TRUNK_XID: u16 = 0xFFFE;
 
+/// L1 exclusion id of the *WAN* pruning tier: trunk-egress branches
+/// pointing across a WAN link (zone-gateway branches) carry this XID
+/// instead of [`TRUNK_XID`]. A sender arriving over a WAN link prunes
+/// exactly the WAN branches (its media must not re-cross a WAN link)
+/// while still traversing the intra-zone [`TRUNK_XID`] branches — the
+/// gateway edge fans the stream out to its zone's other edges. A sender
+/// arriving over an intra-zone trunk prunes [`TRUNK_XID`] and still
+/// traverses the WAN branches, which only exist at its zone's gateway
+/// edge — so cross-zone media crosses each WAN link exactly once per
+/// remote zone.
+pub const WAN_XID: u16 = 0xFFFD;
+
 /// What role a participant entry plays on *this* switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParticipantClass {
@@ -158,6 +170,9 @@ pub struct AgentCounters {
     pub migrations: u64,
     /// Feedback-filter reprogram events.
     pub filter_updates: u64,
+    /// Fabric-wide aggregate REMBs emitted toward local senders (home
+    /// edge min-filter over per-edge estimates).
+    pub rembs_aggregated: u64,
 }
 
 #[derive(Debug)]
@@ -169,8 +184,25 @@ struct Pinfo {
     addr: HostAddr,
     sends: bool,
     /// TrunkEgress only: per-local-sender (video, audio) trunk-ingress
-    /// addresses on the remote edge (or its relaying core).
+    /// addresses on the remote edge (or its relaying core / WAN
+    /// gateway).
     trunk_dst: HashMap<ParticipantId, (HostAddr, HostAddr)>,
+    /// Fabric pruning tier. TrunkEgress: the L1 XID its branches carry
+    /// ([`TRUNK_XID`] for intra-zone branches, [`WAN_XID`] for a zone
+    /// gateway's cross-WAN branches). RemoteSender: the XID its media
+    /// prunes (how it arrived: over an intra-zone trunk or a WAN link).
+    /// Local participants never consult it.
+    fabric_xid: u16,
+    /// Senders only: the CPU-only feedback-sink port remote edges
+    /// forward their per-edge selected REMB (and NACK/PLI) to, when
+    /// this sender is shared across the fabric. `Some` switches the
+    /// sender's REMB source from direct per-receiver forwarding to the
+    /// agent's min-aggregate.
+    sink_port: Option<u16>,
+    /// Senders only: last REMB estimate received from each remote edge
+    /// (keyed by the forwarding edge's IP), min-folded into the
+    /// aggregate REMB.
+    remote_ests: HashMap<Ipv4Addr, u64>,
     video_up: u16,
     audio_up: u16,
     /// Receiver-specific decode target.
@@ -217,6 +249,10 @@ enum PortUse {
     PairAudio {
         sender: ParticipantId,
         receiver: ParticipantId,
+    },
+    /// Per-edge fabric feedback about `sender` (REMB aggregation sink).
+    FeedbackSink {
+        sender: ParticipantId,
     },
 }
 
@@ -414,21 +450,52 @@ impl SwitchAgent {
         addr: HostAddr,
         sends: bool,
     ) -> JoinGrant {
-        self.join_class(dp, meeting, addr, sends, ParticipantClass::Local)
+        self.join_class(dp, meeting, addr, sends, ParticipantClass::Local, TRUNK_XID)
     }
 
-    /// Register a sender homed on another edge switch. The returned
-    /// grant's uplink addresses are this switch's **trunk-ingress**
-    /// ports: the sender's home switch points its trunk-egress branch at
-    /// them. `home_addr` is the sender's real client address (receivers'
-    /// NACK/PLI/REMB feedback is forwarded there).
+    /// Register a sender homed on another edge switch *in the same
+    /// zone*. The returned grant's uplink addresses are this switch's
+    /// **trunk-ingress** ports: the sender's home switch points its
+    /// trunk-egress branch at them. `home_addr` is where receivers'
+    /// feedback for this sender is forwarded — the sender's real client
+    /// address, or its home edge's feedback-sink port when the home
+    /// edge aggregates REMBs fabric-wide.
     pub fn join_remote_sender(
         &mut self,
         dp: &mut ScallopDataPlane,
         meeting: MeetingId,
         home_addr: HostAddr,
     ) -> JoinGrant {
-        self.join_class(dp, meeting, home_addr, true, ParticipantClass::RemoteSender)
+        self.join_class(
+            dp,
+            meeting,
+            home_addr,
+            true,
+            ParticipantClass::RemoteSender,
+            TRUNK_XID,
+        )
+    }
+
+    /// Register a sender whose media arrives over a **WAN link** (from
+    /// another zone). Identical to [`Self::join_remote_sender`] except
+    /// the entry prunes [`WAN_XID`] instead of [`TRUNK_XID`]: its media
+    /// must not re-cross a WAN link, but it *does* traverse this
+    /// (gateway) edge's intra-zone trunk branches, fanning out to the
+    /// zone's other edges.
+    pub fn join_wan_sender(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        meeting: MeetingId,
+        home_addr: HostAddr,
+    ) -> JoinGrant {
+        self.join_class(
+            dp,
+            meeting,
+            home_addr,
+            true,
+            ParticipantClass::RemoteSender,
+            WAN_XID,
+        )
     }
 
     /// Register a remote edge switch as a trunk-egress pseudo-receiver:
@@ -444,8 +511,38 @@ impl SwitchAgent {
         // Placeholder address — trunk replicas resolve their destination
         // per sender through `trunk_dst`.
         let addr = HostAddr::new(self.sfu_ip, 0);
-        self.join_class(dp, meeting, addr, false, ParticipantClass::TrunkEgress)
-            .participant
+        self.join_class(
+            dp,
+            meeting,
+            addr,
+            false,
+            ParticipantClass::TrunkEgress,
+            TRUNK_XID,
+        )
+        .participant
+    }
+
+    /// Register a remote **zone's gateway edge** as a trunk-egress
+    /// pseudo-receiver reached over a WAN link. Only a zone's gateway
+    /// edge holds these branches, and they carry [`WAN_XID`]: media
+    /// that arrived over a WAN link prunes them (never re-crossing a
+    /// WAN link), media that arrived over an intra-zone trunk traverses
+    /// them — so each WAN link carries exactly one copy per sender.
+    pub fn join_wan_egress(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        meeting: MeetingId,
+    ) -> ParticipantId {
+        let addr = HostAddr::new(self.sfu_ip, 0);
+        self.join_class(
+            dp,
+            meeting,
+            addr,
+            false,
+            ParticipantClass::TrunkEgress,
+            WAN_XID,
+        )
+        .participant
     }
 
     /// Point the trunk-egress branch `trunk` at the remote trunk-ingress
@@ -467,6 +564,60 @@ impl SwitchAgent {
         self.rebuild_meeting(dp, meeting);
     }
 
+    /// Allocate (idempotently) the feedback-sink port for local sender
+    /// `sender`: a CPU-only port remote edges forward their per-edge
+    /// selected REMB and NACK/PLI to. Activating the sink switches the
+    /// sender's REMB source to the agent's fabric-wide min-aggregate
+    /// (§5.3's single selection, one level up), so direct REMB
+    /// forwarding on the sender's local pair ports is disabled here.
+    pub fn feedback_sink(&mut self, dp: &mut ScallopDataPlane, sender: ParticipantId) -> u16 {
+        let p = self.pinfo.get(&sender).expect("sender tracked");
+        debug_assert!(p.sends, "feedback sink only serves senders");
+        if let Some(port) = p.sink_port {
+            return port;
+        }
+        let meeting = p.meeting;
+        let port = self.alloc_port(PortUse::FeedbackSink { sender });
+        dp.install_port_rule(port, PortRule::FeedbackSink)
+            .expect("port rule capacity");
+        self.pinfo.get_mut(&sender).unwrap().sink_port = Some(port);
+        // Take over REMB forwarding immediately: local pairs stop
+        // forwarding raw REMBs the moment remote edges start reporting.
+        let receivers: Vec<ParticipantId> = self
+            .meetings
+            .get(&meeting)
+            .map(|m| m.participants.clone())
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|&r| {
+                r != sender
+                    && self.pinfo[&r].class == ParticipantClass::Local
+                    && self.pinfo[&r].pair_from.contains_key(&sender)
+            })
+            .collect();
+        for r in receivers {
+            self.install_feedback_rules(dp, sender, r, false);
+        }
+        port
+    }
+
+    /// Forget the REMB estimate previously reported by the remote edge
+    /// at `edge_ip` for `sender` (its segment was garbage-collected; a
+    /// stale estimate must not cap the aggregate forever).
+    pub fn clear_remote_est(&mut self, sender: ParticipantId, edge_ip: Ipv4Addr) {
+        if let Some(p) = self.pinfo.get_mut(&sender) {
+            p.remote_ests.remove(&edge_ip);
+        }
+    }
+
+    /// The (video, audio) uplink ports of a tracked participant entry —
+    /// for a remote-sender entry, its trunk-ingress ports (the
+    /// controller re-derives trunk destinations from these when a zone
+    /// gateway migrates).
+    pub fn uplink_ports(&self, pid: ParticipantId) -> Option<(u16, u16)> {
+        self.pinfo.get(&pid).map(|p| (p.video_up, p.audio_up))
+    }
+
     fn join_class(
         &mut self,
         dp: &mut ScallopDataPlane,
@@ -474,6 +625,7 @@ impl SwitchAgent {
         addr: HostAddr,
         sends: bool,
         class: ParticipantClass,
+        fabric_xid: u16,
     ) -> JoinGrant {
         let pid = if class == ParticipantClass::TrunkEgress {
             self.free_trunk_pids.pop().unwrap_or_else(|| {
@@ -515,6 +667,9 @@ impl SwitchAgent {
                 addr,
                 sends,
                 trunk_dst: HashMap::new(),
+                fabric_xid,
+                sink_port: None,
+                remote_ests: HashMap::new(),
                 video_up,
                 audio_up,
                 dt: 2,
@@ -582,6 +737,9 @@ impl SwitchAgent {
         if let Some(p) = self.pinfo.remove(&pid) {
             self.release_port(dp, p.video_up);
             self.release_port(dp, p.audio_up);
+            if let Some(sp) = p.sink_port {
+                self.release_port(dp, sp);
+            }
             for &(v, a) in p.pair_from.values() {
                 self.release_port(dp, v);
                 self.release_port(dp, a);
@@ -675,8 +833,15 @@ impl SwitchAgent {
         }
         if self.pinfo[&sender].class == ParticipantClass::RemoteSender
             && self.pinfo[&receiver].class == ParticipantClass::TrunkEgress
+            && self.pinfo[&sender].fabric_xid == self.pinfo[&receiver].fabric_xid
         {
-            return; // fabric traffic is never re-trunked
+            // Fabric traffic never re-crosses its own tier: a
+            // trunk-arrived sender skips trunk branches and a
+            // WAN-arrived sender skips WAN branches. The *other* tier's
+            // branches are traversed (a WAN-arrived stream fans out
+            // over this gateway's intra-zone trunks), so those pairs
+            // are still plumbed.
+            return;
         }
         if self
             .pinfo
@@ -1004,7 +1169,9 @@ impl SwitchAgent {
                     continue; // NRA: single tree, add node once
                 }
                 let (xid, prune_enabled) = if is_trunk {
-                    (TRUNK_XID, true)
+                    // TRUNK_XID for intra-zone branches, WAN_XID for a
+                    // zone gateway's cross-WAN branches.
+                    (self.pinfo[&r].fabric_xid, true)
                 } else if fabric {
                     // Exclusive tree: no packing slot to prune.
                     (0, false)
@@ -1036,9 +1203,9 @@ impl SwitchAgent {
                 (p.video_up, p.audio_up)
             };
             let l1_xid = match s_class {
-                // Media that already crossed a trunk prunes every
-                // trunk-egress branch.
-                ParticipantClass::RemoteSender => TRUNK_XID,
+                // Media that already crossed the fabric prunes every
+                // branch of the tier it arrived on (trunk or WAN).
+                ParticipantClass::RemoteSender => self.pinfo[&s].fabric_xid,
                 _ if fabric => 0,
                 _ => other_slot,
             };
@@ -1082,12 +1249,17 @@ impl SwitchAgent {
                     continue;
                 }
                 let r_trunk = self.pinfo[&r].class == ParticipantClass::TrunkEgress;
-                if r_trunk && s_class == ParticipantClass::RemoteSender {
-                    continue; // never re-trunk fabric traffic
+                if r_trunk
+                    && s_class == ParticipantClass::RemoteSender
+                    && self.pinfo[&r].fabric_xid == self.pinfo[&s].fabric_xid
+                {
+                    continue; // fabric traffic never re-crosses its tier
                 }
                 self.install_pair_egress(dp, s, r, tiers, new_keys);
                 if !r_trunk {
-                    let best = self.is_best_downlink(s, r);
+                    // While the sender's home edge aggregates REMBs
+                    // fabric-wide, no local pair forwards REMB directly.
+                    let best = self.is_best_downlink(s, r) && self.pinfo[&s].sink_port.is_none();
                     self.install_feedback_rules(dp, s, r, best);
                 }
             }
@@ -1128,8 +1300,11 @@ impl SwitchAgent {
                         continue;
                     }
                     let r_trunk = self.pinfo[&r].class == ParticipantClass::TrunkEgress;
-                    if r_trunk && s_class == ParticipantClass::RemoteSender {
-                        continue; // never re-trunk fabric traffic
+                    if r_trunk
+                        && s_class == ParticipantClass::RemoteSender
+                        && self.pinfo[&r].fabric_xid == self.pinfo[&s].fabric_xid
+                    {
+                        continue; // fabric traffic never re-crosses its tier
                     }
                     let dt = if r_trunk { 2 } else { self.effective_dt(s, r) };
                     for (t, &mgid) in tiers.iter().enumerate() {
@@ -1150,7 +1325,8 @@ impl SwitchAgent {
                     }
                     self.install_pair_egress(dp, s, r, &tiers, new_keys);
                     if !r_trunk {
-                        let best = self.is_best_downlink(s, r);
+                        let best =
+                            self.is_best_downlink(s, r) && self.pinfo[&s].sink_port.is_none();
                         self.install_feedback_rules(dp, s, r, best);
                     }
                 }
@@ -1426,10 +1602,7 @@ impl SwitchAgent {
                 }
                 Vec::new()
             }
-            PacketClass::Rtcp => {
-                self.handle_feedback_copy(now, pkt, dp);
-                Vec::new()
-            }
+            PacketClass::Rtcp => self.handle_feedback_copy(now, pkt, dp),
             PacketClass::Rtp => {
                 self.handle_extended_dd(pkt);
                 Vec::new()
@@ -1453,26 +1626,38 @@ impl SwitchAgent {
         }
     }
 
-    fn handle_feedback_copy(&mut self, now: SimTime, pkt: &Packet, dp: &mut ScallopDataPlane) {
-        let Some(&PortUse::PairVideo { sender, receiver }) = self.port_use.get(&pkt.dst.port)
-        else {
-            // Audio feedback / unknown ports: count RRs and move on.
-            if let Ok(pkts) = rtcp::parse_compound(&pkt.payload) {
-                self.counters.rrs_analyzed += pkts
-                    .iter()
-                    .filter(|p| matches!(p, RtcpPacket::Rr(_)))
-                    .count() as u64;
+    fn handle_feedback_copy(
+        &mut self,
+        now: SimTime,
+        pkt: &Packet,
+        dp: &mut ScallopDataPlane,
+    ) -> Vec<Packet> {
+        let (sender, receiver) = match self.port_use.get(&pkt.dst.port) {
+            Some(&PortUse::PairVideo { sender, receiver }) => (sender, receiver),
+            Some(&PortUse::FeedbackSink { sender }) => {
+                return self.handle_sink_copy(sender, pkt);
             }
-            return;
+            _ => {
+                // Audio feedback / unknown ports: count RRs and move on.
+                if let Ok(pkts) = rtcp::parse_compound(&pkt.payload) {
+                    self.counters.rrs_analyzed += pkts
+                        .iter()
+                        .filter(|p| matches!(p, RtcpPacket::Rr(_)))
+                        .count() as u64;
+                }
+                return Vec::new();
+            }
         };
         let Ok(pkts) = rtcp::parse_compound(&pkt.payload) else {
-            return;
+            return Vec::new();
         };
+        let mut saw_remb = false;
         for p in pkts {
             match p {
                 RtcpPacket::Rr(_) => self.counters.rrs_analyzed += 1,
                 RtcpPacket::Remb(remb) => {
                     self.counters.rembs_analyzed += 1;
+                    saw_remb = true;
                     let alpha = self.ewma_alpha;
                     let (curr_dt, new_dt, dwell_ok) = {
                         let pr = self.pinfo.get_mut(&receiver).expect("receiver known");
@@ -1519,6 +1704,105 @@ impl SwitchAgent {
                 _ => {}
             }
         }
+        // A sink-aggregating sender hears the min-aggregate instead of
+        // raw per-receiver REMBs (the data plane filters those); a new
+        // local estimate may move the aggregate, so re-emit it.
+        if saw_remb
+            && self
+                .pinfo
+                .get(&sender)
+                .map(|p| p.sink_port.is_some())
+                .unwrap_or(false)
+        {
+            return self.emit_aggregate_remb(sender);
+        }
+        Vec::new()
+    }
+
+    /// Handle a CPU copy punted off the feedback-sink port: record the
+    /// reporting edge's REMB estimate, min-aggregate across all edges
+    /// (and the local filter's best downlink), and re-emit toward the
+    /// sender; NACK/PLI ride through verbatim, re-addressed as if the
+    /// home edge had forwarded them directly.
+    fn handle_sink_copy(&mut self, sender: ParticipantId, pkt: &Packet) -> Vec<Packet> {
+        let Ok(pkts) = rtcp::parse_compound(&pkt.payload) else {
+            return Vec::new();
+        };
+        let Some(p) = self.pinfo.get_mut(&sender) else {
+            return Vec::new();
+        };
+        let (s_addr, s_video_up) = (p.addr, p.video_up);
+        let mut saw_remb = false;
+        let mut passthrough = Vec::new();
+        for r in pkts {
+            match r {
+                RtcpPacket::Remb(remb) => {
+                    self.counters.rembs_analyzed += 1;
+                    saw_remb = true;
+                    // One estimate per reporting edge (the remote edge
+                    // already selected its best downlink).
+                    p.remote_ests.insert(pkt.src.ip, remb.bitrate_bps);
+                }
+                RtcpPacket::Rr(_) => self.counters.rrs_analyzed += 1,
+                other => passthrough.push(other),
+            }
+        }
+        let mut out = Vec::new();
+        if !passthrough.is_empty() {
+            // NACK packet-ids were already de-rewritten by the remote
+            // edge (the trunk carries unrewritten media), so they pass
+            // through untouched.
+            out.push(Packet::new(
+                HostAddr::new(self.sfu_ip, s_video_up),
+                s_addr,
+                rtcp::serialize_compound(&passthrough),
+            ));
+        }
+        if saw_remb {
+            out.extend(self.emit_aggregate_remb(sender));
+        }
+        out
+    }
+
+    /// The fabric-wide REMB for a sink-aggregating sender: the minimum
+    /// of the local filter's best-downlink estimate and every remote
+    /// edge's reported estimate — the whole fabric behaves like one
+    /// switch running the §5.3 single-selection filter. Emits nothing
+    /// until at least one component is known.
+    fn emit_aggregate_remb(&mut self, sender: ParticipantId) -> Vec<Packet> {
+        let (meeting, s_addr, s_video_up, remote) = {
+            let Some(p) = self.pinfo.get(&sender) else {
+                return Vec::new();
+            };
+            (
+                p.meeting,
+                p.addr,
+                p.video_up,
+                p.remote_ests.values().copied().min(),
+            )
+        };
+        let local = self
+            .best_downlink_for(sender, meeting)
+            .and_then(|r| self.pinfo[&r].ewma.get(&sender))
+            .and_then(|e| e.value())
+            .map(|v| v as u64);
+        let agg = match (local, remote) {
+            (Some(l), Some(r)) => l.min(r),
+            (Some(l), None) => l,
+            (None, Some(r)) => r,
+            (None, None) => return Vec::new(),
+        };
+        self.counters.rembs_aggregated += 1;
+        let payload = rtcp::serialize_compound(&[RtcpPacket::Remb(rtcp::Remb {
+            sender_ssrc: 0,
+            bitrate_bps: agg,
+            ssrcs: Vec::new(),
+        })]);
+        vec![Packet::new(
+            HostAddr::new(self.sfu_ip, s_video_up),
+            s_addr,
+            payload,
+        )]
     }
 
     /// Apply a receiver-specific decode-target change (§5.4): update
@@ -1570,13 +1854,16 @@ impl SwitchAgent {
                     continue;
                 }
                 let best = self.best_downlink_for(s, mid);
+                // While the home edge aggregates this sender's REMBs
+                // fabric-wide, no local pair forwards them directly.
+                let has_sink = self.pinfo[&s].sink_port.is_some();
                 for &r in participants.iter().filter(|&&r| r != s) {
                     if self.pinfo[&r].class != ParticipantClass::Local
                         || !self.pinfo[&r].pair_from.contains_key(&s)
                     {
                         continue;
                     }
-                    let allowed = best == Some(r);
+                    let allowed = best == Some(r) && !has_sink;
                     let (vp, _) = self.pinfo[&r].pair_from[&s];
                     // Only touch the rule when the gate actually changes.
                     let needs_update = match dp.port_rules.peek(&vp) {
@@ -1803,6 +2090,93 @@ mod tests {
         };
         assert!(allowed(&dp, vp2.port), "best downlink must be selected");
         assert!(!allowed(&dp, vp3.port), "worse downlink must be filtered");
+    }
+
+    #[test]
+    fn feedback_sink_min_aggregates_remote_estimates() {
+        let (mut agent, mut dp) = mk();
+        let m = agent.create_meeting();
+        let g1 = agent.join(&mut dp, m, addr(1), true);
+        let g2 = agent.join(&mut dp, m, addr(2), false);
+        let g3 = agent.join(&mut dp, m, addr(3), false);
+        let sink = agent.feedback_sink(&mut dp, g1.participant);
+        assert_eq!(
+            agent.feedback_sink(&mut dp, g1.participant),
+            sink,
+            "sink port is idempotent"
+        );
+        // While the sink is live, no local pair forwards REMB directly.
+        let vp2 = agent
+            .video_pair_addr(g1.participant, g2.participant)
+            .unwrap();
+        match dp.port_rules.peek(&vp2.port) {
+            Some(PortRule::ReceiverFeedback { remb_allowed, .. }) => {
+                assert!(!remb_allowed, "sink takes over REMB forwarding")
+            }
+            other => panic!("missing feedback rule: {other:?}"),
+        }
+        let send_local = |agent: &mut SwitchAgent, dp: &mut _, rcv, raddr, bps| {
+            let vp = agent.video_pair_addr(g1.participant, rcv).unwrap();
+            let remb = rtcp::serialize_compound(&[RtcpPacket::Remb(rtcp::Remb {
+                sender_ssrc: 1,
+                bitrate_bps: bps,
+                ssrcs: vec![0x11],
+            })]);
+            agent.handle_cpu_packet(SimTime::ZERO, &Packet::new(raddr, vp, remb), dp)
+        };
+        // Both local receivers report; the filter's best (g2 at 3 Mb/s)
+        // becomes the local component and the aggregate.
+        send_local(&mut agent, &mut dp, g2.participant, addr(2), 3_000_000);
+        let out = send_local(&mut agent, &mut dp, g3.participant, addr(3), 2_500_000);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, addr(1), "aggregate goes to the sender");
+        let parsed = rtcp::parse_compound(&out[0].payload).unwrap();
+        let RtcpPacket::Remb(agg) = &parsed[0] else {
+            panic!("expected REMB");
+        };
+        assert_eq!(agg.bitrate_bps, 3_000_000);
+        // A remote edge reporting 1 Mb/s at the sink caps the aggregate.
+        let remote_edge = HostAddr::new(Ipv4Addr::new(10, 0, 1, 100), 20_000);
+        let sink_addr = HostAddr::new(agent.sfu_ip(), sink);
+        let remb = rtcp::serialize_compound(&[RtcpPacket::Remb(rtcp::Remb {
+            sender_ssrc: 1,
+            bitrate_bps: 1_000_000,
+            ssrcs: vec![0x11],
+        })]);
+        let out = agent.handle_cpu_packet(
+            SimTime::ZERO,
+            &Packet::new(remote_edge, sink_addr, remb),
+            &mut dp,
+        );
+        let parsed = rtcp::parse_compound(&out[0].payload).unwrap();
+        let RtcpPacket::Remb(agg) = &parsed[0] else {
+            panic!("expected REMB");
+        };
+        assert_eq!(agg.bitrate_bps, 1_000_000, "min over per-edge estimates");
+        assert!(agent.counters.rembs_aggregated >= 2);
+        // NACKs arriving at the sink ride through to the sender, sourced
+        // like a locally forwarded NACK.
+        let nack = rtcp::serialize_compound(&[RtcpPacket::Nack(rtcp::Nack {
+            sender_ssrc: 3,
+            media_ssrc: 0xAA,
+            entries: vec![(5, 0)],
+        })]);
+        let out = agent.handle_cpu_packet(
+            SimTime::ZERO,
+            &Packet::new(remote_edge, sink_addr, nack),
+            &mut dp,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, addr(1));
+        assert_eq!(out[0].src, g1.video_uplink);
+        // GC of the remote segment lifts the cap.
+        agent.clear_remote_est(g1.participant, remote_edge.ip);
+        let out = send_local(&mut agent, &mut dp, g2.participant, addr(2), 3_000_000);
+        let parsed = rtcp::parse_compound(&out[0].payload).unwrap();
+        let RtcpPacket::Remb(agg) = &parsed[0] else {
+            panic!("expected REMB");
+        };
+        assert_eq!(agg.bitrate_bps, 3_000_000, "stale remote estimate cleared");
     }
 
     #[test]

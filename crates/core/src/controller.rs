@@ -46,6 +46,23 @@
 //! machinery and fails CI when trunk-byte or quality metrics drift >20 %
 //! from the checked-in `results/` baselines.
 //!
+//! # The zone tier (federation)
+//!
+//! On a federated fabric ([`scallop_netsim::topology::Topology::federation`])
+//! the controller adds one level to the trunk-once compilation. Each
+//! zone a meeting touches gets a **WAN gateway**: the zone's first
+//! materialized segment edge. WAN-tier trunk branches exist only
+//! between gateway pairs, so a sender's uplink crosses each WAN link
+//! **once per remote zone** — the receiving gateway holds a WAN-pruned
+//! remote-sender entry whose media re-trunks to the zone's other
+//! segments but never re-crosses a WAN link (the two-tier XID pruning
+//! of [`crate::agent`]). Remote edges forward their per-edge selected
+//! REMB to the sender's home-edge **feedback sink**, which
+//! min-aggregates them into the single fabric-wide estimate of §5.3
+//! (single-zone campuses keep the direct per-edge path, preserving the
+//! frozen baselines bit-for-bit). Home placement becomes two-level:
+//! zone majority first, then the best edge within the winning zone.
+//!
 //! # Relation to the sharded control plane
 //!
 //! A `Controller` is one control instance. Per-meeting bookkeeping is
@@ -245,6 +262,10 @@ impl Controller {
             ..Default::default()
         };
         rec.segments.insert(home, seg);
+        // The home edge is by definition the first segment in its zone,
+        // so it anchors the zone's WAN gateway role.
+        rec.zone_gateways
+            .insert(fabric.topology.zone_of_edge(home), home);
         self.fabric_meetings.insert(gmid, rec);
         self.signaling_exchanges += 1;
     }
@@ -314,22 +335,44 @@ impl Controller {
         }
         let segment = rec.segments[&edge];
 
-        // 2. A new segment must be wired to every existing one: trunk
-        //    egress branches in both directions, and every established
-        //    sender on other edges becomes a remote sender here.
+        // 2. A new segment must be wired into the fabric: trunk-egress
+        //    branches to every same-zone segment in both directions; if
+        //    this is the zone's first segment, the edge becomes the
+        //    zone's WAN gateway and gets WAN-tier branches to every
+        //    other zone's gateway. Then every established sender on
+        //    other edges becomes a remote sender here.
         if new_segment {
-            let others: Vec<(usize, MeetingId)> = rec
+            let zone = fabric.topology.zone_of_edge(edge);
+            let same_zone: Vec<(usize, MeetingId)> = rec
                 .segments
                 .iter()
-                .filter(|&(&o, _)| o != edge)
+                .filter(|&(&o, _)| o != edge && fabric.topology.zone_of_edge(o) == zone)
                 .map(|(&o, &s)| (o, s))
                 .collect();
-            for (o, o_seg) in others {
+            for (o, o_seg) in same_zone {
                 let te_here = fabric.edge_mut(sim, edge).join_trunk_egress(segment);
                 let te_there = fabric.edge_mut(sim, o).join_trunk_egress(o_seg);
                 let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
                 rec.trunk_egress.insert((edge, o), te_here);
                 rec.trunk_egress.insert((o, edge), te_there);
+            }
+            let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
+            if let std::collections::btree_map::Entry::Vacant(slot) = rec.zone_gateways.entry(zone)
+            {
+                slot.insert(edge);
+                let other_gateways: Vec<(usize, MeetingId)> = rec
+                    .zone_gateways
+                    .iter()
+                    .filter(|&(&z, _)| z != zone)
+                    .map(|(_, &g)| (g, rec.segments[&g]))
+                    .collect();
+                for (g, g_seg) in other_gateways {
+                    let te_here = fabric.edge_mut(sim, edge).join_wan_egress(segment);
+                    let te_there = fabric.edge_mut(sim, g).join_wan_egress(g_seg);
+                    let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
+                    rec.trunk_egress.insert((edge, g), te_here);
+                    rec.trunk_egress.insert((g, edge), te_there);
+                }
             }
             let senders: Vec<FabricMemberState> = self.fabric_meetings[&gmid]
                 .members
@@ -355,14 +398,30 @@ impl Controller {
         });
         self.signaling_exchanges += 1;
 
-        // 4. A new sender reaches every other involved edge.
+        // 4. A new sender reaches every other involved edge. Remote-zone
+        //    gateways must be plumbed before that zone's other edges:
+        //    the in-zone fan-out hop rides the sender's remote entry at
+        //    the gateway, which the gateway plumb creates.
         if sends {
-            let other_edges: Vec<usize> = self.fabric_meetings[&gmid]
+            let rec = &self.fabric_meetings[&gmid];
+            let zone = fabric.topology.zone_of_edge(edge);
+            let mut other_edges: Vec<usize> = rec
                 .segments
                 .keys()
                 .copied()
                 .filter(|&o| o != edge)
                 .collect();
+            other_edges.sort_by_key(|&o| {
+                let zo = fabric.topology.zone_of_edge(o);
+                let stage = if zo == zone {
+                    0
+                } else if rec.zone_gateways.get(&zo) == Some(&o) {
+                    1
+                } else {
+                    2
+                };
+                (stage, o)
+            });
             for o in other_edges {
                 self.plumb_sender_to_edge(sim, fabric, gmid, global, o);
             }
@@ -377,7 +436,23 @@ impl Controller {
 
     /// Compile forwarding of sender `global` toward edge `to`: grant a
     /// remote-sender entry (trunk-ingress ports) on `to`, then point the
-    /// home edge's trunk-egress branch at it.
+    /// upstream trunk branch at it. The upstream branch depends on where
+    /// `to` sits relative to the sender's home zone:
+    ///
+    /// * **same zone** — the sender's home edge trunks directly (the
+    ///   original campus path);
+    /// * **remote zone's gateway** — the sender zone's own gateway holds
+    ///   the WAN-tier branch, and `to` gets a WAN-pruned remote entry
+    ///   (arriving media re-trunks inside the zone but never re-crosses
+    ///   a WAN link);
+    /// * **remote zone, non-gateway** — that zone's gateway re-trunks
+    ///   from the sender's remote entry there (which is why gateways are
+    ///   always plumbed first).
+    ///
+    /// On a federated fabric the remote edge reports feedback to the
+    /// home edge's REMB sink (min-aggregation, §5.3 fabric-wide); on a
+    /// single-zone campus it keeps the direct per-edge path the frozen
+    /// baselines pin.
     fn plumb_sender_to_edge(
         &mut self,
         sim: &mut Simulator,
@@ -395,13 +470,42 @@ impl Controller {
             .clone();
         debug_assert!(m.sends && m.edge != to);
         let to_seg = rec.segments[&to];
-        let te = rec.trunk_egress[&(m.edge, to)];
-        let remote = fabric.edge_mut(sim, to).join_remote_sender(to_seg, m.addr);
-        let video_dst = fabric.trunk_addr(m.edge, to, remote.video_uplink.port);
-        let audio_dst = fabric.trunk_addr(m.edge, to, remote.audio_uplink.port);
+        let tz = &fabric.topology;
+        let (zs, zt) = (tz.zone_of_edge(m.edge), tz.zone_of_edge(to));
+        let home_addr = if tz.zone_count() > 1 {
+            let sink = fabric.edge_mut(sim, m.edge).feedback_sink(m.local_pid);
+            HostAddr::new(tz.edge_spec(m.edge).ip, sink)
+        } else {
+            m.addr
+        };
+        let to_is_gateway = rec.zone_gateways.get(&zt) == Some(&to);
+        let remote = if zs != zt && to_is_gateway {
+            fabric.edge_mut(sim, to).join_wan_sender(to_seg, home_addr)
+        } else {
+            fabric
+                .edge_mut(sim, to)
+                .join_remote_sender(to_seg, home_addr)
+        };
+        let (up_edge, up_pid) = if zs == zt {
+            (m.edge, m.local_pid)
+        } else if to_is_gateway {
+            let gs = rec.zone_gateways[&zs];
+            let pid = if gs == m.edge {
+                m.local_pid
+            } else {
+                m.remote_pids[&gs]
+            };
+            (gs, pid)
+        } else {
+            let gt = rec.zone_gateways[&zt];
+            (gt, m.remote_pids[&gt])
+        };
+        let te = rec.trunk_egress[&(up_edge, to)];
+        let video_dst = fabric.trunk_addr(up_edge, to, remote.video_uplink.port);
+        let audio_dst = fabric.trunk_addr(up_edge, to, remote.audio_uplink.port);
         fabric
-            .edge_mut(sim, m.edge)
-            .set_trunk_dst(te, m.local_pid, video_dst, audio_dst);
+            .edge_mut(sim, up_edge)
+            .set_trunk_dst(te, up_pid, video_dst, audio_dst);
         let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
         let member = rec
             .members
@@ -465,8 +569,13 @@ impl Controller {
     /// member: retire every surviving sender's remote-sender entry
     /// there, tear down the trunk-egress branches toward and from that
     /// edge, and destroy the drained segment so its rules, RIDs, and
-    /// ports return to their pools. No-op while a local member remains.
-    /// Returns whether the segment was collected.
+    /// ports return to their pools. Each affected sender's home edge
+    /// also forgets the collected edge's REMB estimate so a stale
+    /// report cannot pin the fabric-wide minimum. If the edge was its
+    /// zone's WAN gateway and the zone keeps other segments, the
+    /// gateway role migrates to the zone's lowest remaining segment
+    /// edge (see [`Self::migrate_zone_gateway`]). No-op while a local
+    /// member remains. Returns whether the segment was collected.
     fn gc_segment_if_drained(
         &mut self,
         sim: &mut Simulator,
@@ -484,18 +593,32 @@ impl Controller {
             return false;
         }
         // 1. Retire remote-sender entries surviving senders hold here
-        //    (frees their trunk-ingress ports and RIDs).
+        //    (frees their trunk-ingress ports and RIDs), and drop the
+        //    edge's REMB estimate from each sender's home-edge sink.
         let remotes: Vec<(GlobalParticipantId, ParticipantId)> = rec
             .members
             .iter()
             .filter_map(|m| m.remote_pids.get(&edge).map(|&p| (m.global, p)))
             .collect();
+        let homes: Vec<(usize, ParticipantId)> = rec
+            .members
+            .iter()
+            .filter(|m| m.remote_pids.contains_key(&edge))
+            .map(|m| (m.edge, m.local_pid))
+            .collect();
         for &(_, pid) in &remotes {
             fabric.edge_mut(sim, edge).leave(seg, pid);
         }
+        let edge_ip = fabric.topology.edge_spec(edge).ip;
+        for (home_edge, local_pid) in homes {
+            fabric
+                .edge_mut(sim, home_edge)
+                .clear_remote_est(local_pid, edge_ip);
+        }
         // 2. Tear down trunk-egress branches in both directions — this
         //    is what stops every other edge from trunking media toward
-        //    the drained edge.
+        //    the drained edge. WAN-tier branches live in the same table
+        //    and are collected by the same sweep.
         let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
         for &(global, _) in &remotes {
             if let Some(m) = rec.members.iter_mut().find(|m| m.global == global) {
@@ -524,7 +647,141 @@ impl Controller {
         // 3. Destroy the now-empty segment (returns its MGIDs).
         fabric.edge_mut(sim, edge).destroy_meeting(seg);
         self.signaling_exchanges += 1;
+        // 4. If the collected edge anchored its zone's WAN gateway, the
+        //    role moves to a surviving segment in the zone (or retires
+        //    with the zone).
+        let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
+        let zone = fabric.topology.zone_of_edge(edge);
+        if rec.zone_gateways.get(&zone) == Some(&edge) {
+            rec.zone_gateways.remove(&zone);
+            let new_gateway = rec
+                .segments
+                .keys()
+                .copied()
+                .find(|&o| fabric.topology.zone_of_edge(o) == zone);
+            if let Some(new_g) = new_gateway {
+                self.migrate_zone_gateway(sim, fabric, gmid, zone, new_g);
+            }
+        }
         true
+    }
+
+    /// Re-anchor zone `zone`'s WAN gateway on `new_g` after the old
+    /// gateway's segment was collected: create WAN-tier branches (both
+    /// directions) between `new_g` and every other zone's gateway, then
+    /// re-route every cross-zone flow through them —
+    ///
+    /// * senders homed **outside** the zone get a fresh WAN-pruned
+    ///   remote entry at `new_g` (their old entry there was trunk-pruned
+    ///   and would re-cross the WAN), their zone's WAN branch re-aims at
+    ///   it, and `new_g`'s in-zone trunk branches re-fan-out from it;
+    /// * senders homed **inside** the zone have their outbound WAN
+    ///   branches re-aimed at their (unchanged) remote entries on the
+    ///   other zones' gateways.
+    fn migrate_zone_gateway(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        gmid: GlobalMeetingId,
+        zone: usize,
+        new_g: usize,
+    ) {
+        let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
+        rec.zone_gateways.insert(zone, new_g);
+        let new_g_seg = rec.segments[&new_g];
+        let other_gateways: Vec<(usize, MeetingId)> = rec
+            .zone_gateways
+            .iter()
+            .filter(|&(&z, _)| z != zone)
+            .map(|(_, &g)| (g, rec.segments[&g]))
+            .collect();
+        for &(g, g_seg) in &other_gateways {
+            let te_here = fabric.edge_mut(sim, new_g).join_wan_egress(new_g_seg);
+            let te_there = fabric.edge_mut(sim, g).join_wan_egress(g_seg);
+            let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
+            rec.trunk_egress.insert((new_g, g), te_here);
+            rec.trunk_egress.insert((g, new_g), te_there);
+        }
+        let senders: Vec<FabricMemberState> = self.fabric_meetings[&gmid]
+            .members
+            .iter()
+            .filter(|m| m.sends)
+            .cloned()
+            .collect();
+        for m in senders {
+            if fabric.topology.zone_of_edge(m.edge) != zone {
+                // Retire the trunk-pruned entry and re-plumb through the
+                // WAN tier (plumb re-grants, re-aims the sender zone's
+                // WAN branch, and records the new remote pid).
+                if let Some(&old_pid) = m.remote_pids.get(&new_g) {
+                    fabric.edge_mut(sim, new_g).leave(new_g_seg, old_pid);
+                    let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
+                    let member = rec
+                        .members
+                        .iter_mut()
+                        .find(|mm| mm.global == m.global)
+                        .expect("member exists");
+                    member.remote_pids.remove(&new_g);
+                }
+                self.plumb_sender_to_edge(sim, fabric, gmid, m.global, new_g);
+                // Re-fan-out inside the zone from the fresh entry: the
+                // in-zone trunk branches keep their downstream entries,
+                // only the upstream pid at `new_g` changed.
+                let rec = &self.fabric_meetings[&gmid];
+                let member = rec
+                    .members
+                    .iter()
+                    .find(|mm| mm.global == m.global)
+                    .expect("member exists");
+                let new_pid = member.remote_pids[&new_g];
+                let in_zone: Vec<(usize, ParticipantId)> = rec
+                    .segments
+                    .keys()
+                    .copied()
+                    .filter(|&o| o != new_g && fabric.topology.zone_of_edge(o) == zone)
+                    .map(|o| (o, member.remote_pids[&o]))
+                    .collect();
+                let branch: Vec<(usize, ParticipantId)> = in_zone
+                    .iter()
+                    .map(|&(o, _)| (o, rec.trunk_egress[&(new_g, o)]))
+                    .collect();
+                for (&(o, down_pid), &(_, te)) in in_zone.iter().zip(&branch) {
+                    let (vp, ap) = fabric
+                        .edge_mut(sim, o)
+                        .agent
+                        .uplink_ports(down_pid)
+                        .expect("remote entry has trunk-ingress ports");
+                    let video_dst = fabric.trunk_addr(new_g, o, vp);
+                    let audio_dst = fabric.trunk_addr(new_g, o, ap);
+                    fabric
+                        .edge_mut(sim, new_g)
+                        .set_trunk_dst(te, new_pid, video_dst, audio_dst);
+                }
+            } else {
+                // In-zone sender: its entries on other zones' gateways
+                // are intact; only the outbound WAN branch moved here.
+                let rec = &self.fabric_meetings[&gmid];
+                let up_pid = if m.edge == new_g {
+                    m.local_pid
+                } else {
+                    m.remote_pids[&new_g]
+                };
+                for &(g, _) in &other_gateways {
+                    let te = rec.trunk_egress[&(new_g, g)];
+                    let (vp, ap) = fabric
+                        .edge_mut(sim, g)
+                        .agent
+                        .uplink_ports(m.remote_pids[&g])
+                        .expect("remote entry has trunk-ingress ports");
+                    let video_dst = fabric.trunk_addr(new_g, g, vp);
+                    let audio_dst = fabric.trunk_addr(new_g, g, ap);
+                    fabric
+                        .edge_mut(sim, new_g)
+                        .set_trunk_dst(te, up_pid, video_dst, audio_dst);
+                }
+            }
+        }
+        self.signaling_exchanges += 1;
     }
 
     /// Revisit a fabric meeting's home placement (module docs): when an
@@ -536,8 +793,13 @@ impl Controller {
     /// is no flap risk (flapping back would require the new home to
     /// drain too) and every tick spent waiting trunks full-quality
     /// media toward an edge with no receivers. Ties prefer the lowest
-    /// edge index (deterministic). Returns `Some((old_home, new_home))`
-    /// when a re-home happened.
+    /// edge index (deterministic). On a federated fabric the decision
+    /// is two-level: the home **zone** is picked first by member
+    /// majority under the same hysteresis, then the best edge within
+    /// it — so a meeting whose population has migrated to another
+    /// campus re-homes across the WAN, while intra-zone drift never
+    /// moves the home out of the zone. Returns
+    /// `Some((old_home, new_home))` when a re-home happened.
     pub fn rebalance_fabric(
         &mut self,
         sim: &mut Simulator,
@@ -546,15 +808,45 @@ impl Controller {
     ) -> Option<(usize, usize)> {
         let rec = self.fabric_meetings.get(&gmid)?;
         let home = rec.home;
+        // Zone majority first (federation): the home *zone* only moves
+        // when another zone's population beats it past the same
+        // hysteresis (or the home zone is empty). With one zone this
+        // selects zone 0 and reduces exactly to the original edge-level
+        // rule below.
+        let home_zone = fabric.topology.zone_of_edge(home);
+        let mut zone_count: BTreeMap<usize, usize> = BTreeMap::new();
+        for m in &rec.members {
+            *zone_count
+                .entry(fabric.topology.zone_of_edge(m.edge))
+                .or_default() += 1;
+        }
+        let home_zone_count = zone_count.get(&home_zone).copied().unwrap_or(0);
+        let (&best_zone, &best_zone_count) = zone_count
+            .iter()
+            .max_by_key(|&(&z, &c)| (c, std::cmp::Reverse(z)))?;
+        let target_zone = if best_zone != home_zone
+            && (home_zone_count == 0 || best_zone_count > home_zone_count + REBALANCE_HYSTERESIS)
+        {
+            best_zone
+        } else {
+            home_zone
+        };
+        // Best edge within the target zone.
         let mut count: BTreeMap<usize, usize> = BTreeMap::new();
         for m in &rec.members {
-            *count.entry(m.edge).or_default() += 1;
+            if fabric.topology.zone_of_edge(m.edge) == target_zone {
+                *count.entry(m.edge).or_default() += 1;
+            }
         }
         let home_count = count.get(&home).copied().unwrap_or(0);
         let (&best, &best_count) = count
             .iter()
             .max_by_key(|&(&e, &c)| (c, std::cmp::Reverse(e)))?;
-        if best == home || (home_count > 0 && best_count <= home_count + REBALANCE_HYSTERESIS) {
+        if best == home
+            || (target_zone == home_zone
+                && home_count > 0
+                && best_count <= home_count + REBALANCE_HYSTERESIS)
+        {
             return None;
         }
         // Make-before-break: the winning edge hosts local members, so
@@ -849,6 +1141,103 @@ mod tests {
         // Surviving members unaffected.
         assert_eq!(ctl.fabric_members(gmid).len(), 2);
         let _ = b;
+    }
+
+    /// 2 zones × 2 edges (+1 core per zone): edges 0,1 in zone 0 and
+    /// 2,3 in zone 1.
+    fn federation22() -> (Simulator, Fabric) {
+        use scallop_dataplane::seqrewrite::SeqRewriteMode;
+        use scallop_netsim::link::LinkConfig;
+        use scallop_netsim::time::SimDuration;
+        use scallop_netsim::topology::Topology;
+        let mut sim = Simulator::new(11);
+        let f = Fabric::build(
+            &mut sim,
+            Topology::federation(2, 2, 1),
+            LinkConfig::infinite(SimDuration::from_micros(50)),
+            SeqRewriteMode::LowRetransmission,
+        );
+        (sim, f)
+    }
+
+    #[test]
+    fn cross_zone_segments_wire_wan_branches_at_gateways_only() {
+        let (mut sim, f) = federation22();
+        let mut ctl = Controller::new();
+        let gmid = ctl.create_fabric_meeting(&mut sim, &f, 0);
+        let s = ctl.join_fabric(&mut sim, &f, gmid, 0, caddr(1), true);
+        // First zone-1 segment: edge 2 becomes the zone's gateway.
+        let _r1 = ctl.join_fabric(&mut sim, &f, gmid, 2, caddr(2), false);
+        let rec = &ctl.fabric_meetings[&gmid];
+        assert_eq!(rec.zone_gateway(0), Some(0));
+        assert_eq!(rec.zone_gateway(1), Some(2));
+        assert!(rec.trunk_egress.contains_key(&(0, 2)), "WAN branch out");
+        assert!(rec.trunk_egress.contains_key(&(2, 0)), "WAN branch back");
+        // Second zone-1 segment is a non-gateway: it is trunk-wired to
+        // its gateway, not WAN-wired to zone 0.
+        let _r2 = ctl.join_fabric(&mut sim, &f, gmid, 3, caddr(3), false);
+        let rec = &ctl.fabric_meetings[&gmid];
+        assert_eq!(rec.zone_gateway(1), Some(2), "gateway is sticky");
+        assert!(rec.trunk_egress.contains_key(&(2, 3)));
+        assert!(rec.trunk_egress.contains_key(&(3, 2)));
+        assert!(
+            !rec.trunk_egress.contains_key(&(0, 3)),
+            "no direct WAN branch to a non-gateway"
+        );
+        // The sender reaches every involved edge exactly once.
+        let m = rec.members.iter().find(|m| m.global == s.global).unwrap();
+        assert_eq!(
+            m.remote_pids.keys().copied().collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+    }
+
+    #[test]
+    fn gateway_gc_migrates_wan_branches_and_reclaims_the_edge() {
+        let (mut sim, f) = federation22();
+        let mut ctl = Controller::new();
+        let base2 = occupancy(&mut sim, &f, 2);
+        let gmid = ctl.create_fabric_meeting(&mut sim, &f, 0);
+        let _s = ctl.join_fabric(&mut sim, &f, gmid, 0, caddr(1), true);
+        let r1 = ctl.join_fabric(&mut sim, &f, gmid, 2, caddr(2), false);
+        let _r2 = ctl.join_fabric(&mut sim, &f, gmid, 3, caddr(3), false);
+        // Drain the zone-1 gateway: the role must migrate to edge 3 and
+        // the WAN branches must follow it.
+        ctl.leave_fabric(&mut sim, &f, gmid, r1.global);
+        let rec = &ctl.fabric_meetings[&gmid];
+        assert_eq!(ctl.segment_of(gmid, 2), None, "gateway segment collected");
+        assert_eq!(rec.zone_gateway(1), Some(3));
+        assert!(rec.trunk_egress.contains_key(&(0, 3)), "WAN branch moved");
+        assert!(rec.trunk_egress.contains_key(&(3, 0)));
+        assert!(!rec.trunk_egress.contains_key(&(0, 2)));
+        let m = &rec.members.iter().find(|m| m.sends).unwrap();
+        assert!(m.remote_pids.contains_key(&3), "sender re-granted at 3");
+        assert_eq!(
+            occupancy(&mut sim, &f, 2),
+            base2,
+            "old gateway edge fully reclaimed"
+        );
+    }
+
+    #[test]
+    fn zone_majority_rebalance_rehomes_across_the_wan() {
+        let (mut sim, f) = federation22();
+        let mut ctl = Controller::new();
+        let gmid = ctl.create_fabric_meeting(&mut sim, &f, 0);
+        let _a = ctl.join_fabric(&mut sim, &f, gmid, 0, caddr(1), true);
+        let _b = ctl.join_fabric(&mut sim, &f, gmid, 2, caddr(2), false);
+        let _c = ctl.join_fabric(&mut sim, &f, gmid, 2, caddr(3), false);
+        // 2 vs 1 across zones: inside the hysteresis band, no move.
+        assert_eq!(ctl.rebalance_fabric(&mut sim, &f, gmid), None);
+        let _d = ctl.join_fabric(&mut sim, &f, gmid, 3, caddr(4), false);
+        // Zone 1 now holds 3 vs 1: decisive — home crosses the WAN to
+        // the zone's busiest edge (edge 2, ties broken low).
+        assert_eq!(ctl.rebalance_fabric(&mut sim, &f, gmid), Some((0, 2)));
+        assert_eq!(ctl.home_edge_of(gmid), Some(2));
+        // Intra-zone drift alone never moves the home out of its zone:
+        // zone 0 gaining an edge-1 member is not a zone majority.
+        let _e = ctl.join_fabric(&mut sim, &f, gmid, 1, caddr(5), false);
+        assert_eq!(ctl.rebalance_fabric(&mut sim, &f, gmid), None);
     }
 
     #[test]

@@ -42,6 +42,9 @@ pub struct Fabric {
     pub edge_ids: Vec<NodeId>,
     /// Core relay node ids, in topology order.
     pub core_ids: Vec<NodeId>,
+    /// WAN gateway relay node ids, one per topology WAN link, in WAN
+    /// link order (empty for a single-zone fabric).
+    pub wan_ids: Vec<NodeId>,
 }
 
 impl Fabric {
@@ -88,10 +91,40 @@ impl Fabric {
             );
             core_ids.push(id);
         }
+        // One relay per WAN link (none for a single-zone topology, so
+        // the node order of the pre-federation fabric is untouched).
+        // Each relay routes only its two endpoint zones' edge port
+        // ranges straight to the owning edge: the canonical WAN metric
+        // plan makes the direct link the unique cheapest path, so a WAN
+        // gateway never needs transit routes through a third zone. The
+        // relay's aggregate stats are the per-WAN-link byte counters
+        // the benches gate on.
+        let mut wan_ids = Vec::new();
+        for (idx, wl) in topology.wan_links.iter().enumerate() {
+            let mut relay = RelayNode::new();
+            for z in [wl.zone_a, wl.zone_b] {
+                for e in topology.zone_edges(z) {
+                    relay.add_route(PortRangeRoute {
+                        lo: topology.port_base(e),
+                        hi: topology.port_limit(e) - 1,
+                        next_hop: edge_specs[e].ip,
+                    });
+                }
+            }
+            // Half the propagation on each attachment side: a packet
+            // crossing the relay accrues the link's full one-way
+            // latency, and the link's bandwidth meters the crossing.
+            let side = LinkConfig::infinite(wl.latency / 2)
+                .with_rate(wl.bandwidth_bps)
+                .with_queue_bytes(8 * 1024 * 1024);
+            let id = sim.add_node(Box::new(relay), &[Topology::wan_ip(idx)], side, side);
+            wan_ids.push(id);
+        }
         Fabric {
             topology,
             edge_ids,
             core_ids,
+            wan_ids,
         }
     }
 
@@ -106,9 +139,23 @@ impl Fabric {
     }
 
     /// Where edge `from` must address a trunk copy bound for port `port`
-    /// on edge `to`: the pair's core relay when the fabric has a core
-    /// tier (it forwards by port range), else edge `to` directly.
+    /// on edge `to`: in the same zone, the pair's core relay when the
+    /// zone has a core tier (it forwards by port range) or edge `to`
+    /// directly; across zones, the WAN gateway relay of the cheapest
+    /// WAN link out of `from`'s zone (which then routes on the port
+    /// into the destination zone's edge range).
     pub fn trunk_addr(&self, from: usize, to: usize, port: u16) -> HostAddr {
+        let (zf, zt) = (
+            self.topology.zone_of_edge(from),
+            self.topology.zone_of_edge(to),
+        );
+        if zf != zt {
+            let link = self
+                .topology
+                .wan_next_hop(zf, zt)
+                .expect("zones are WAN-connected");
+            return HostAddr::new(Topology::wan_ip(link), port);
+        }
         match self.topology.core_between(from, to) {
             Some(c) => HostAddr::new(self.topology.core_spec(c).ip, port),
             None => HostAddr::new(self.topology.edge_spec(to).ip, port),
@@ -132,6 +179,13 @@ impl Fabric {
     /// Relay statistics of core `j`.
     pub fn core_stats(&self, sim: &mut Simulator, j: usize) -> RelayStats {
         let relay: &mut RelayNode = sim.node_mut(self.core_ids[j]).expect("core relay");
+        relay.stats
+    }
+
+    /// Relay statistics of the WAN gateway serving WAN link `idx` — the
+    /// per-WAN-link packet/byte counters the federation benches track.
+    pub fn wan_stats(&self, sim: &mut Simulator, idx: usize) -> RelayStats {
+        let relay: &mut RelayNode = sim.node_mut(self.wan_ids[idx]).expect("WAN relay");
         relay.stats
     }
 }
@@ -181,5 +235,29 @@ mod tests {
         );
         let b = direct.trunk_addr(0, 1, 13_005);
         assert_eq!(b.ip, Topology::edge_ip(1));
+    }
+
+    #[test]
+    fn cross_zone_trunk_addr_rides_the_wan_gateway() {
+        let mut sim = Simulator::new(4);
+        let topo = Topology::federation(3, 2, 1);
+        let f = Fabric::build(
+            &mut sim,
+            topo,
+            LinkConfig::infinite(SimDuration::from_micros(50)),
+            SeqRewriteMode::LowRetransmission,
+        );
+        assert_eq!(f.edges(), 6);
+        assert_eq!(f.core_ids.len(), 3);
+        assert_eq!(f.wan_ids.len(), 3, "one relay per WAN link");
+        // Edge 0 (zone 0) to edge 3 (zone 1): the 0-1 WAN gateway.
+        let link01 = f.topology.wan_link_between(0, 1).unwrap();
+        let port = f.topology.port_base(3) + 7;
+        let a = f.trunk_addr(0, 3, port);
+        assert_eq!(a.ip, Topology::wan_ip(link01));
+        assert_eq!(a.port, port);
+        // Same zone still rides the zone's own core.
+        let c = f.trunk_addr(2, 3, port);
+        assert_eq!(c.ip, Topology::core_ip(1));
     }
 }

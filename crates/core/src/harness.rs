@@ -14,7 +14,12 @@
 //! ([`crate::fabric::Fabric`]): clients are sharded round-robin across
 //! edge switches, the meeting is placed on home edge 0, and the
 //! controller compiles cross-switch forwarding so each sender's media
-//! crosses every trunk once per remote switch.
+//! crosses every trunk once per remote switch. With `zones > 1` the
+//! campus becomes a WAN-joined federation of campuses
+//! ([`Topology::federation`]): `switches`/`cores` count per zone,
+//! clients round-robin over all zones' edges, the control plane shards
+//! with zone affinity, and per-WAN-link byte counters are exposed via
+//! [`ScallopHarness::wan_stats`].
 //!
 //! The control plane behind the harness is always a
 //! [`ShardedControlPlane`]; the `shards` knob picks how many controller
@@ -48,10 +53,18 @@ pub struct HarnessConfig {
     pub senders: Option<usize>,
     /// Number of edge switches; participants shard round-robin across
     /// them. `1` reproduces the seed single-switch behavior exactly.
+    /// With `zones > 1` this is the edge count **per zone**.
     pub switches: usize,
     /// Number of core relays (only meaningful with `switches > 1`; `0`
-    /// means edges trunk directly to each other).
+    /// means edges trunk directly to each other). With `zones > 1`
+    /// this is the core count **per zone**.
     pub cores: usize,
+    /// Number of federation zones. `1` (the default) builds the plain
+    /// single-campus fabric, bit-identical to the pre-federation
+    /// harness; `> 1` builds [`Topology::federation`] — `zones`
+    /// campuses of `switches` edges each, joined by WAN links — and
+    /// enables zone-affine control-plane sharding.
+    pub zones: usize,
     /// Number of controller shards the control plane runs
     /// ([`crate::shard::ShardedControlPlane`]). `1` (the default) is a
     /// single controller owning every meeting; sharding is transparent
@@ -82,6 +95,7 @@ impl Default for HarnessConfig {
             senders: None,
             switches: 1,
             cores: 0,
+            zones: 1,
             // A set-but-invalid override must fail loudly: silently
             // falling back to 1 would run the whole corpus unsharded
             // while the operator believes it exercised the sharded
@@ -135,6 +149,19 @@ impl HarnessConfig {
     pub fn cores(mut self, n: usize) -> Self {
         self.cores = n;
         self
+    }
+
+    /// Builder: federation zone count (`switches`/`cores` become
+    /// per-zone counts when `n > 1`).
+    pub fn zones(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one zone");
+        self.zones = n;
+        self
+    }
+
+    /// Total edge switches across all zones.
+    pub fn edge_count(&self) -> usize {
+        self.zones * self.switches
     }
 
     /// Builder: controller shard count.
@@ -238,14 +265,20 @@ impl ScallopHarness {
     /// Build the topology and join all participants.
     pub fn new(cfg: HarnessConfig) -> Self {
         let mut sim = Simulator::new(cfg.seed);
-        let topology = if cfg.switches == 1 {
+        let topology = if cfg.zones > 1 {
+            Topology::federation(cfg.zones, cfg.switches, cfg.cores)
+        } else if cfg.switches == 1 {
             Topology::single(SWITCH_IP)
         } else {
             Topology::campus(cfg.switches, cfg.cores)
         };
         let fabric = Fabric::build(&mut sim, topology, cfg.switch_link, cfg.rewrite_mode);
         let switch_id = fabric.edge_ids[0];
-        let mut controller = ShardedControlPlane::new(cfg.shards);
+        let mut controller = if cfg.zones > 1 {
+            ShardedControlPlane::new(cfg.shards).with_zone_affinity(cfg.zones, cfg.switches)
+        } else {
+            ShardedControlPlane::new(cfg.shards)
+        };
         let senders = cfg.senders.unwrap_or(cfg.participants);
         let fabric_meeting = controller.create_fabric_meeting(&mut sim, &fabric, 0);
         let meeting = controller
@@ -266,7 +299,7 @@ impl ScallopHarness {
         // Initial joins go through the same path as mid-run churn joins
         // (one attach procedure, no drift between the two).
         for i in 0..cfg.participants {
-            harness.join_late(i % cfg.switches, i < senders);
+            harness.join_late(i % cfg.edge_count(), i < senders);
         }
         harness
     }
@@ -334,6 +367,37 @@ impl ScallopHarness {
     /// The home edge index of participant `idx`.
     pub fn edge_of(&self, idx: usize) -> usize {
         self.fabric_grants[idx].edge
+    }
+
+    /// The federation zone of edge `e` (always 0 on a 1-zone fabric).
+    pub fn zone_of_edge(&self, e: usize) -> usize {
+        self.fabric.topology.zone_of_edge(e)
+    }
+
+    /// Number of WAN links in the topology (0 on a 1-zone fabric).
+    pub fn wan_link_count(&self) -> usize {
+        self.fabric.topology.wan_links.len()
+    }
+
+    /// Relay statistics of WAN link `idx` — the per-link byte counters
+    /// the federation benches and tests gate on.
+    pub fn wan_stats(&mut self, idx: usize) -> scallop_netsim::relay::RelayStats {
+        self.fabric.wan_stats(&mut self.sim, idx)
+    }
+
+    /// Payload bytes that crossed WAN link `idx`.
+    pub fn wan_link_bytes(&mut self, idx: usize) -> u64 {
+        self.wan_stats(idx).relayed_bytes
+    }
+
+    /// Meetings per home zone tracked by the control plane.
+    pub fn zone_meeting_counts(&self) -> Vec<usize> {
+        self.controller.zone_meeting_counts()
+    }
+
+    /// Cumulative re-homes that crossed a zone boundary.
+    pub fn cross_zone_handoffs(&self) -> u64 {
+        self.controller.cross_zone_handoff_total()
     }
 
     // ------------------------------------------------------------------
@@ -609,6 +673,38 @@ mod tests {
                 let fps = h
                     .fps_between(s, r, SimDuration::from_secs(2))
                     .expect("cross-switch stream");
+                assert!(fps > 24.0, "P{s}->P{r} fps {fps}");
+            }
+        }
+    }
+
+    #[test]
+    fn federated_meeting_delivers_cross_zone_media() {
+        // 2 zones × 2 edges × 1 core: participants land on edges
+        // 0,1 (zone 0) and 2,3 (zone 1), all sending.
+        let mut h = ScallopHarness::new(
+            HarnessConfig::default()
+                .participants(4)
+                .switches(2)
+                .cores(1)
+                .zones(2)
+                .seed(31),
+        );
+        assert_eq!(h.wan_link_count(), 1);
+        let report = h.run_for_secs(5.0);
+        assert_eq!(report.freezes, 0);
+        assert!(report.trunk_packets > 0);
+        assert!(h.wan_link_bytes(0) > 0, "cross-zone media rides the WAN");
+        // Every cross-zone pair decodes near full rate despite the WAN
+        // hop (10 ms round trip on the canonical metric plan).
+        for s in 0..4 {
+            for r in 0..4 {
+                if s == r || h.zone_of_edge(h.edge_of(s)) == h.zone_of_edge(h.edge_of(r)) {
+                    continue;
+                }
+                let fps = h
+                    .fps_between(s, r, SimDuration::from_secs(2))
+                    .expect("cross-zone stream");
                 assert!(fps > 24.0, "P{s}->P{r} fps {fps}");
             }
         }

@@ -67,8 +67,16 @@ pub struct FabricMeetingState {
     pub(crate) home: usize,
     /// Local segment meeting id per involved edge.
     pub(crate) segments: BTreeMap<usize, MeetingId>,
-    /// Trunk-egress branch per (on_edge, toward_edge) pair.
+    /// Trunk-egress branch per (on_edge, toward_edge) pair. WAN-tier
+    /// branches (between two zones' gateway edges) share this table —
+    /// the key is still the (on_edge, toward_edge) pair; only the
+    /// branch's prune tier differs on the switch.
     pub(crate) trunk_egress: BTreeMap<(usize, usize), ParticipantId>,
+    /// Per zone: the gateway edge — the meeting's first materialized
+    /// segment edge in that zone. All of the meeting's WAN branches
+    /// terminate on gateway edges; a gateway re-trunks arriving WAN
+    /// media to the zone's other segments.
+    pub(crate) zone_gateways: BTreeMap<usize, usize>,
     /// Member roster, in join order.
     pub(crate) members: Vec<FabricMemberState>,
 }
@@ -92,6 +100,12 @@ impl FabricMeetingState {
     /// The member roster, in join order.
     pub fn members(&self) -> &[FabricMemberState] {
         &self.members
+    }
+
+    /// The meeting's gateway edge in `zone`, if the meeting has a
+    /// segment there.
+    pub fn zone_gateway(&self, zone: usize) -> Option<usize> {
+        self.zone_gateways.get(&zone).copied()
     }
 }
 

@@ -269,7 +269,7 @@ impl ControllerShard {
 /// What one [`ShardedControlPlane::rebalance_all`] pass did — callers
 /// (harness, benches, tests) assert on these counts instead of
 /// discarding them.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct RebalanceSummary {
     /// Meetings whose home edge moved.
     pub rehomed: usize,
@@ -277,6 +277,13 @@ pub struct RebalanceSummary {
     /// rebalance pass; re-sharding handoffs are reported by
     /// [`ShardedControlPlane::set_shard_count`] directly).
     pub shard_handoffs: usize,
+    /// Re-homes that crossed a zone boundary during this pass. Under
+    /// zone-affine sharding each of these implies a shard handoff (the
+    /// eligible shard sets of two zones are disjoint).
+    pub cross_zone_handoffs: usize,
+    /// Meetings per home zone after the pass (index = zone; a single
+    /// `vec![total]` on an unzoned plane).
+    pub zone_meetings: Vec<usize>,
 }
 
 /// The sharded control plane: `N` [`ControllerShard`]s behind the same
@@ -301,6 +308,13 @@ pub struct ShardedControlPlane {
     next_global_participant: GlobalParticipantId,
     handoffs: u64,
     forwards: u64,
+    /// Cumulative re-homes that crossed a zone boundary.
+    cross_zone_handoffs: u64,
+    /// Zone count for zone-affine assignment (1 = unzoned; exactly the
+    /// original bounded-loads behavior).
+    zones: usize,
+    /// Edges per zone (zone of a home edge = `home / edges_per_zone`).
+    edges_per_zone: usize,
     /// Telemetry folded in from shards retired by
     /// [`Self::set_shard_count`], so plane-wide totals never go
     /// backwards when the plane shrinks.
@@ -328,7 +342,50 @@ impl ShardedControlPlane {
             next_global_participant: 0,
             handoffs: 0,
             forwards: 0,
+            cross_zone_handoffs: 0,
+            zones: 1,
+            edges_per_zone: usize::MAX,
             retired: RetiredTelemetry::default(),
+        }
+    }
+
+    /// Builder: shard affinity = campus. A zone-`z` meeting may only be
+    /// owned by shards `s` with `s % zones == z` (falling back to
+    /// `z % shards` when no such shard exists), so an intra-zone
+    /// re-home never hands ownership to another campus's controllers
+    /// and a **cross**-zone re-home always does — reusing the existing
+    /// [`ShardMsg::AcquireMeeting`]/[`ShardMsg::ReleaseMeeting`]
+    /// protocol unchanged. With `zones == 1` (the default) this is the
+    /// original unzoned bounded-loads assignment, bit for bit.
+    pub fn with_zone_affinity(mut self, zones: usize, edges_per_zone: usize) -> Self {
+        assert!(zones >= 1 && edges_per_zone >= 1);
+        self.zones = zones;
+        self.edges_per_zone = edges_per_zone;
+        self
+    }
+
+    /// The zone a home edge falls in (zone 0 on an unzoned plane).
+    fn zone_of_home(&self, home: usize) -> usize {
+        if self.zones <= 1 {
+            0
+        } else {
+            (home / self.edges_per_zone).min(self.zones - 1)
+        }
+    }
+
+    /// The shards eligible to own zone `zone`'s meetings (every shard
+    /// on an unzoned plane).
+    pub fn zone_shards(&self, zone: usize) -> Vec<usize> {
+        if self.zones <= 1 {
+            return (0..self.ring.shards()).collect();
+        }
+        let eligible: Vec<usize> = (0..self.ring.shards())
+            .filter(|s| s % self.zones == zone)
+            .collect();
+        if eligible.is_empty() {
+            vec![zone % self.ring.shards()]
+        } else {
+            eligible
         }
     }
 
@@ -396,10 +453,12 @@ impl ShardedControlPlane {
             + self.shards.iter().map(|s| s.meetings_released).sum::<u64>()
     }
 
-    /// The bounded-loads owner choice for ring key `key`, with
-    /// `exclude` (a meeting being re-evaluated) not counted against any
-    /// shard's load. See the module docs for the balance bound.
-    fn assign(&self, key: u64, exclude: Option<GlobalMeetingId>) -> usize {
+    /// The bounded-loads owner choice for ring key `key`, restricted to
+    /// the home zone's eligible shards, with `exclude` (a meeting being
+    /// re-evaluated) not counted against any shard's load. See the
+    /// module docs for the balance bound; on an unzoned plane every
+    /// shard is eligible and this is the original walk unchanged.
+    fn assign(&self, key: u64, exclude: Option<GlobalMeetingId>, zone: usize) -> usize {
         // O(shards): the per-shard loads are maintained incrementally.
         // During a shrink the shards vec is longer than the ring while
         // dropped shards are evacuated; the ring's shard count is the
@@ -410,19 +469,20 @@ impl ShardedControlPlane {
             loads[s] -= 1;
             total -= 1;
         }
-        let cap = (total + 1).div_ceil(self.ring.shards());
+        let eligible = self.zone_shards(zone);
+        let cap = (total + 1).div_ceil(eligible.len());
         self.ring
             .preference(key)
             .into_iter()
-            .find(|&s| loads[s] < cap)
-            .expect("cap * shards >= total + 1, so a shard has room")
+            .find(|&s| eligible.contains(&s) && loads[s] < cap)
+            .expect("cap * eligible >= total + 1, so a shard has room")
     }
 
     /// The shard the plane would pick if `gmid` were homed on `home`
     /// (placement introspection for tests and benches; does not move
     /// anything).
     pub fn planned_owner(&self, gmid: GlobalMeetingId, home: usize) -> usize {
-        self.assign(meeting_key(gmid, home), Some(gmid))
+        self.assign(meeting_key(gmid, home), Some(gmid), self.zone_of_home(home))
     }
 
     // ------------------------------------------------------------------
@@ -439,7 +499,7 @@ impl ShardedControlPlane {
     ) -> GlobalMeetingId {
         self.next_global_meeting += 1;
         let gmid = self.next_global_meeting;
-        let owner = self.assign(meeting_key(gmid, home), None);
+        let owner = self.assign(meeting_key(gmid, home), None, self.zone_of_home(home));
         self.shards[owner]
             .controller
             .create_fabric_meeting_as(sim, fabric, home, gmid);
@@ -517,7 +577,10 @@ impl ShardedControlPlane {
         let moved = self.shards[owner]
             .controller
             .rebalance_fabric(sim, fabric, gmid);
-        if let Some((_, new_home)) = moved {
+        if let Some((old_home, new_home)) = moved {
+            if self.zone_of_home(old_home) != self.zone_of_home(new_home) {
+                self.cross_zone_handoffs += 1;
+            }
             self.handoff_if_moved(sim, fabric, gmid, new_home);
         }
         moved
@@ -534,7 +597,7 @@ impl ShardedControlPlane {
         home: usize,
     ) -> bool {
         let owner = self.owner[&gmid];
-        let target = self.assign(meeting_key(gmid, home), Some(gmid));
+        let target = self.assign(meeting_key(gmid, home), Some(gmid), self.zone_of_home(home));
         if target == owner {
             return false;
         }
@@ -559,6 +622,7 @@ impl ShardedControlPlane {
     /// must no longer discard these counts silently.
     pub fn rebalance_all(&mut self, sim: &mut Simulator, fabric: &Fabric) -> RebalanceSummary {
         let before = self.handoffs;
+        let before_cross = self.cross_zone_handoffs;
         let gmids: Vec<GlobalMeetingId> = self.owner.keys().copied().collect();
         let rehomed = gmids
             .into_iter()
@@ -567,7 +631,26 @@ impl ShardedControlPlane {
         RebalanceSummary {
             rehomed,
             shard_handoffs: (self.handoffs - before) as usize,
+            cross_zone_handoffs: (self.cross_zone_handoffs - before_cross) as usize,
+            zone_meetings: self.zone_meeting_counts(),
         }
+    }
+
+    /// Meetings per home zone (index = zone; `vec![total]` on an
+    /// unzoned plane).
+    pub fn zone_meeting_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.zones.max(1)];
+        for (&gmid, &owner) in &self.owner {
+            if let Some(home) = self.shards[owner].controller.home_edge_of(gmid) {
+                counts[self.zone_of_home(home)] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Cumulative re-homes that crossed a zone boundary.
+    pub fn cross_zone_handoff_total(&self) -> u64 {
+        self.cross_zone_handoffs
     }
 
     /// Re-shard the control plane to `n` shards: rebuild the ring,
@@ -877,6 +960,61 @@ mod tests {
         // Meeting still fully operational after the handoff.
         plane.leave_fabric(&mut sim, &f, gmid, a.global);
         assert_eq!(plane.segment_of(gmid, 0), None, "drained edge collected");
+    }
+
+    /// 2 zones × 2 edges, no cores: edges 0,1 in zone 0 and 2,3 in
+    /// zone 1.
+    fn federation22() -> (Simulator, Fabric) {
+        let mut sim = Simulator::new(23);
+        let f = Fabric::build(
+            &mut sim,
+            Topology::federation(2, 2, 0),
+            LinkConfig::infinite(SimDuration::from_micros(50)),
+            SeqRewriteMode::LowRetransmission,
+        );
+        (sim, f)
+    }
+
+    #[test]
+    fn zone_affinity_pins_owner_shards_to_the_home_zone() {
+        let (mut sim, f) = federation22();
+        let mut plane = ShardedControlPlane::new(4).with_zone_affinity(2, 2);
+        assert_eq!(plane.zone_shards(0), vec![0, 2]);
+        assert_eq!(plane.zone_shards(1), vec![1, 3]);
+        for i in 0..12 {
+            let home = i % 4;
+            let g = plane.create_fabric_meeting(&mut sim, &f, home);
+            let owner = plane.owner_of(g).unwrap();
+            assert_eq!(
+                owner % 2,
+                home / 2,
+                "meeting homed on edge {home} must be owned inside its zone"
+            );
+            assert_eq!(plane.planned_owner(g, home), owner);
+        }
+        assert_eq!(plane.zone_meeting_counts(), vec![6, 6]);
+    }
+
+    #[test]
+    fn cross_zone_rehome_hands_off_to_the_new_zones_shards() {
+        let (mut sim, f) = federation22();
+        let mut plane = ShardedControlPlane::new(4).with_zone_affinity(2, 2);
+        let gmid = plane.create_fabric_meeting(&mut sim, &f, 0);
+        let owner0 = plane.owner_of(gmid).unwrap();
+        assert_eq!(owner0 % 2, 0);
+        let _a = plane.join_fabric(&mut sim, &f, gmid, 0, caddr(1), true);
+        for i in 0..3 {
+            plane.join_fabric(&mut sim, &f, gmid, 2, caddr(10 + i), false);
+        }
+        // Zone 1 holds a decisive majority: the re-home crosses the WAN
+        // and — eligible sets being disjoint — must hand ownership to a
+        // zone-1 shard.
+        assert_eq!(plane.rebalance_fabric(&mut sim, &f, gmid), Some((0, 2)));
+        let owner1 = plane.owner_of(gmid).unwrap();
+        assert_eq!(owner1 % 2, 1, "ownership followed the meeting's zone");
+        assert_eq!(plane.cross_zone_handoff_total(), 1);
+        assert_eq!(plane.handoff_total(), 1);
+        assert_eq!(plane.zone_meeting_counts(), vec![0, 1]);
     }
 
     #[test]

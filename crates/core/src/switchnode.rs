@@ -129,9 +129,28 @@ impl ScallopSwitchNode {
             .join_remote_sender(&mut self.dp, meeting, home_addr)
     }
 
+    /// Controller RPC: register a sender whose media arrives over a WAN
+    /// link (prunes the WAN branch tier instead of the trunk tier).
+    pub fn join_wan_sender(&mut self, meeting: MeetingId, home_addr: HostAddr) -> JoinGrant {
+        self.agent.join_wan_sender(&mut self.dp, meeting, home_addr)
+    }
+
     /// Controller RPC: add a trunk-egress branch toward a remote edge.
     pub fn join_trunk_egress(&mut self, meeting: MeetingId) -> ParticipantId {
         self.agent.join_trunk_egress(&mut self.dp, meeting)
+    }
+
+    /// Controller RPC: add a WAN-tier trunk-egress branch toward a
+    /// remote zone's gateway edge (only a zone gateway holds these).
+    pub fn join_wan_egress(&mut self, meeting: MeetingId) -> ParticipantId {
+        self.agent.join_wan_egress(&mut self.dp, meeting)
+    }
+
+    /// Controller RPC: allocate (idempotently) the feedback-sink port
+    /// for a fabric-shared local sender — remote edges forward their
+    /// per-edge selected REMB and NACK/PLI here for min-aggregation.
+    pub fn feedback_sink(&mut self, sender: ParticipantId) -> u16 {
+        self.agent.feedback_sink(&mut self.dp, sender)
     }
 
     /// Controller RPC: point trunk branch `trunk` at the remote ingress
@@ -145,6 +164,12 @@ impl ScallopSwitchNode {
     ) {
         self.agent
             .set_trunk_dst(&mut self.dp, trunk, sender, video_dst, audio_dst);
+    }
+
+    /// Controller RPC: forget a garbage-collected remote edge's REMB
+    /// estimate for local sender `sender`.
+    pub fn clear_remote_est(&mut self, sender: ParticipantId, edge_ip: std::net::Ipv4Addr) {
+        self.agent.clear_remote_est(sender, edge_ip);
     }
 
     /// Data-plane counters (Table 1 / Fig. 22 accounting).

@@ -107,6 +107,14 @@ pub enum PortRule {
         /// its offset so the sender can find them in its history.
         rewrite_index: Option<StreamIndex>,
     },
+    /// Feedback arrives here from a *remote edge switch* of the fabric
+    /// (the per-edge selected REMB plus NACK/PLI for one fabric-shared
+    /// sender). The data plane only punts it to the agent, which
+    /// min-aggregates the per-edge estimates into the single REMB the
+    /// sender hears (§5.3 single-selection, fabric-wide) and re-emits
+    /// NACK/PLI toward the sender itself — nothing is forwarded in the
+    /// fast path.
+    FeedbackSink,
 }
 
 /// Key for the egress match-action lookup after PRE replication.

@@ -305,15 +305,24 @@ impl ScallopDataPlane {
             self.counters.no_rule_drops += 1;
             return;
         };
-        let PortRule::ReceiverFeedback {
-            sender_addr,
-            forward_src,
-            remb_allowed,
-            rewrite_index,
-        } = rule
-        else {
-            self.counters.no_rule_drops += 1;
-            return;
+        let (sender_addr, forward_src, remb_allowed, rewrite_index) = match rule {
+            PortRule::ReceiverFeedback {
+                sender_addr,
+                forward_src,
+                remb_allowed,
+                rewrite_index,
+            } => (sender_addr, forward_src, remb_allowed, rewrite_index),
+            // Per-edge feedback for a fabric-shared sender: CPU-only.
+            // The agent min-aggregates remote REMB estimates and
+            // re-emits NACK/PLI itself; the fast path forwards nothing.
+            PortRule::FeedbackSink => {
+                self.punt(pkt, out);
+                return;
+            }
+            _ => {
+                self.counters.no_rule_drops += 1;
+                return;
+            }
         };
         self.punt(pkt, out);
         let is_rr_remb = pt == scallop_proto::rtcp::PT_RR;

@@ -19,6 +19,24 @@
 //! per-switch range (see [`Topology::port_base`]), a core relay can route
 //! a trunk packet to its destination edge from the port number alone —
 //! exactly how a real fabric would route on a destination prefix.
+//!
+//! # The zone tier (federation)
+//!
+//! [`Topology::federation`] adds a second tier above the campus: `zones`
+//! campuses, each with its own edge and core slice, joined by explicit
+//! [`WanLink`]s that carry per-link latency / cost / bandwidth metrics.
+//! Edges are numbered zone-major (zone `z` owns global edges
+//! `z*epz .. (z+1)*epz`), so the existing disjoint port-range plan
+//! doubles as a zone plan: any SFU port names its edge *and* its zone.
+//! WAN gateway relays own `10.0.(240+k).100` (one per WAN link).
+//! Metric-aware routing ([`Topology::wan_path`]) picks the cheapest
+//! WAN path by cost with deterministic tie-breaking; the canonical
+//! metric plan makes every direct link strictly cheaper than any
+//! detour, so media never transits a third zone.
+//!
+//! A 1-zone topology carries `zones == 1` and no WAN links, and every
+//! zone helper degenerates to the campus behaviour — construction is
+//! bit-identical to the pre-federation fabric.
 
 use crate::link::LinkConfig;
 use crate::time::SimDuration;
@@ -51,15 +69,50 @@ pub const FIRST_PORT_BASE: u16 = 10_000;
 /// ~860 ports each.
 pub const MAX_EDGES: usize = 64;
 
+/// Maximum zones per federation: a full WAN mesh of 6 zones is 15
+/// links, which fits the 16-slot `10.0.240+` gateway address plan.
+pub const MAX_ZONES: usize = 6;
+
+/// One inter-campus WAN link joining two zones, with the routing
+/// metrics the zone tier places and routes on. Unlike intra-campus
+/// trunks (whose [`LinkConfig`] is an implementation detail of the
+/// simulator), these metrics are surfaced at the topology level so the
+/// controller can pick cheapest paths and benches can account per-link
+/// bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WanLink {
+    /// Lower-numbered endpoint zone.
+    pub zone_a: usize,
+    /// Higher-numbered endpoint zone.
+    pub zone_b: usize,
+    /// One-way propagation latency of the link.
+    pub latency: SimDuration,
+    /// Abstract routing cost (lower is preferred); the canonical plan
+    /// guarantees every direct link is strictly cheaper than any
+    /// two-link detour.
+    pub cost: u32,
+    /// Link bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+}
+
 /// A fabric of edge and core switches joined by trunk links.
 #[derive(Debug, Clone)]
 pub struct Topology {
     /// All switches, edges first (their index order is the fabric's
-    /// canonical switch numbering).
+    /// canonical switch numbering). In a federation, edges are
+    /// zone-major: zone `z` owns edges `z*epz .. (z+1)*epz`, then all
+    /// cores follow, also zone-major.
     pub switches: Vec<SwitchSpec>,
     /// Link configuration applied to every trunk attachment (both the
     /// uplink and downlink side of each switch's fabric port).
     pub trunk_link: LinkConfig,
+    /// Number of zones (campuses). `1` for [`Topology::single`] and
+    /// [`Topology::campus`] — the pre-federation fabric.
+    pub zones: usize,
+    /// Inter-campus WAN links (empty when `zones == 1`). Stored with
+    /// `zone_a < zone_b`; index order is the canonical WAN link
+    /// numbering used by gateway addressing and per-link telemetry.
+    pub wan_links: Vec<WanLink>,
 }
 
 impl Topology {
@@ -73,6 +126,8 @@ impl Topology {
                 ip,
             }],
             trunk_link: Self::default_trunk_link(),
+            zones: 1,
+            wan_links: Vec::new(),
         }
     }
 
@@ -105,7 +160,46 @@ impl Topology {
         Topology {
             switches,
             trunk_link: Self::default_trunk_link(),
+            zones: 1,
+            wan_links: Vec::new(),
         }
+    }
+
+    /// A federation of `zones` campuses, each with `edges_per_zone`
+    /// edge switches and `cores_per_zone` core relays, joined by a full
+    /// mesh of WAN links. Edges are numbered zone-major (then cores,
+    /// also zone-major), so zone membership is recoverable from any
+    /// global edge index or SFU port.
+    ///
+    /// The canonical WAN metric plan is deterministic in the zone
+    /// distance `d = |a - b|`: cost `10 + d`, latency `5 ms · (1 + d)`,
+    /// bandwidth 10 Gb/s. Any two-link detour costs ≥ 20 while the most
+    /// expensive direct link costs 15, so the direct link is always the
+    /// unique cheapest path — WAN gateways never carry transit traffic.
+    ///
+    /// `federation(1, e, c)` builds the identical switch list to
+    /// `campus(e, c)` with no WAN links.
+    pub fn federation(zones: usize, edges_per_zone: usize, cores_per_zone: usize) -> Self {
+        assert!(zones >= 1, "a federation needs at least one zone");
+        assert!(
+            zones <= MAX_ZONES,
+            "at most {MAX_ZONES} zones (full-mesh WAN fits the 10.0.240+ plan)"
+        );
+        let mut t = Self::campus(zones * edges_per_zone, zones * cores_per_zone);
+        t.zones = zones;
+        for a in 0..zones {
+            for b in (a + 1)..zones {
+                let d = (b - a) as u64;
+                t.wan_links.push(WanLink {
+                    zone_a: a,
+                    zone_b: b,
+                    latency: SimDuration::from_millis(5 * (1 + d)),
+                    cost: 10 + d as u32,
+                    bandwidth_bps: 10_000_000_000,
+                });
+            }
+        }
+        t
     }
 
     /// Campus trunks: 5 µs propagation at effectively unconstrained
@@ -133,6 +227,120 @@ impl Topology {
     pub fn core_ip(j: usize) -> Ipv4Addr {
         assert!(j < 40, "core index out of the 10.0.200+ address plan");
         Ipv4Addr::new(10, 0, 200 + j as u8, 100)
+    }
+
+    /// Canonical IP of the WAN gateway relay serving WAN link `idx`
+    /// (the index into [`Topology::wan_links`]).
+    pub fn wan_ip(idx: usize) -> Ipv4Addr {
+        assert!(idx < 16, "WAN link index out of the 10.0.240+ address plan");
+        Ipv4Addr::new(10, 0, 240 + idx as u8, 100)
+    }
+
+    /// Number of zones (campuses) in the federation; `1` for
+    /// single-campus topologies.
+    pub fn zone_count(&self) -> usize {
+        self.zones
+    }
+
+    /// Edge switches per zone (the zone-major stride of the global edge
+    /// numbering).
+    pub fn edges_per_zone(&self) -> usize {
+        self.edge_count() / self.zones
+    }
+
+    /// Core relays per zone.
+    pub fn cores_per_zone(&self) -> usize {
+        self.core_count() / self.zones
+    }
+
+    /// The zone owning global edge `e`.
+    pub fn zone_of_edge(&self, e: usize) -> usize {
+        debug_assert!(e < self.edge_count(), "edge index out of range");
+        e / self.edges_per_zone()
+    }
+
+    /// The global edge indices belonging to zone `z`.
+    pub fn zone_edges(&self, z: usize) -> std::ops::Range<usize> {
+        assert!(z < self.zones, "zone index out of range");
+        let epz = self.edges_per_zone();
+        z * epz..(z + 1) * epz
+    }
+
+    /// The WAN link joining zones `a` and `b` (either order), as an
+    /// index into [`Topology::wan_links`].
+    pub fn wan_link_between(&self, a: usize, b: usize) -> Option<usize> {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.wan_links
+            .iter()
+            .position(|l| l.zone_a == lo && l.zone_b == hi)
+    }
+
+    /// Cheapest WAN path from zone `from` to zone `to`, as the ordered
+    /// list of WAN link indices to traverse. Dijkstra over the link
+    /// costs with a deterministic tie-break (total cost, then hop
+    /// count, then lowest intermediate zone). Empty when `from == to`
+    /// or no path exists.
+    pub fn wan_path(&self, from: usize, to: usize) -> Vec<usize> {
+        if from == to || from >= self.zones || to >= self.zones {
+            return Vec::new();
+        }
+        // (cost, hops) per zone; u64::MAX = unreached. Zones are tiny
+        // (≤ MAX_ZONES) so a linear-scan Dijkstra is plenty.
+        let mut dist = vec![(u64::MAX, usize::MAX); self.zones];
+        let mut prev: Vec<Option<(usize, usize)>> = vec![None; self.zones];
+        let mut visited = vec![false; self.zones];
+        dist[from] = (0, 0);
+        loop {
+            let mut cur = None;
+            for z in 0..self.zones {
+                if !visited[z] && dist[z].0 != u64::MAX {
+                    match cur {
+                        None => cur = Some(z),
+                        Some(c) if dist[z] < dist[c] => cur = Some(z),
+                        _ => {}
+                    }
+                }
+            }
+            let Some(cur) = cur else { break };
+            if cur == to {
+                break;
+            }
+            visited[cur] = true;
+            for (li, l) in self.wan_links.iter().enumerate() {
+                let other = if l.zone_a == cur {
+                    l.zone_b
+                } else if l.zone_b == cur {
+                    l.zone_a
+                } else {
+                    continue;
+                };
+                if visited[other] {
+                    continue;
+                }
+                let cand = (dist[cur].0 + l.cost as u64, dist[cur].1 + 1);
+                if cand < dist[other] {
+                    dist[other] = cand;
+                    prev[other] = Some((cur, li));
+                }
+            }
+        }
+        let mut path = Vec::new();
+        let mut at = to;
+        while at != from {
+            let Some((p, li)) = prev[at] else {
+                return Vec::new();
+            };
+            path.push(li);
+            at = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// The first WAN link on the cheapest path from `from` to `to`
+    /// (where a zone-`from` gateway must forward cross-zone traffic).
+    pub fn wan_next_hop(&self, from: usize, to: usize) -> Option<usize> {
+        self.wan_path(from, to).first().copied()
     }
 
     /// Number of edge switches.
@@ -202,23 +410,45 @@ impl Topology {
     }
 
     /// The edge index owning `port`, per the disjoint port-range plan.
+    ///
+    /// Out-of-range ports are rejected explicitly: anything below
+    /// [`FIRST_PORT_BASE`] and anything at or above the last edge's
+    /// [`Topology::port_limit`] (the u16 remainder the even split
+    /// leaves unused) maps to no edge — a malformed port must never
+    /// silently resolve into a neighbouring zone's range.
     pub fn edge_of_port(&self, port: u16) -> Option<usize> {
         if port < FIRST_PORT_BASE {
             return None;
         }
         let edge = ((port - FIRST_PORT_BASE) / self.port_span()) as usize;
-        (edge < self.edge_count()).then_some(edge)
+        if edge >= self.edge_count() {
+            return None;
+        }
+        Some(edge)
     }
 
     /// Which core relays traffic from edge `a` to edge `b`, or `None`
-    /// when the fabric has no core tier (edges trunk directly). The
-    /// assignment spreads edge pairs across cores deterministically.
+    /// when their zone has no core tier (edges trunk directly), the
+    /// edges are in *different* zones (cross-zone traffic rides WAN
+    /// gateways, never a campus core), either index is out of range, or
+    /// `a == b`. Within a zone the assignment spreads edge pairs across
+    /// that zone's cores deterministically; with one zone this is the
+    /// classic `(a + b) % cores`.
     pub fn core_between(&self, a: usize, b: usize) -> Option<usize> {
-        let cores = self.core_count();
-        if cores == 0 || a == b {
+        let ec = self.edge_count();
+        if a == b || a >= ec || b >= ec {
             return None;
         }
-        Some((a + b) % cores)
+        let epz = self.edges_per_zone();
+        let (za, zb) = (a / epz, b / epz);
+        if za != zb {
+            return None;
+        }
+        let cpz = self.cores_per_zone();
+        if cpz == 0 {
+            return None;
+        }
+        Some(za * cpz + ((a - za * epz) + (b - zb * epz)) % cpz)
     }
 }
 
@@ -270,5 +500,109 @@ mod tests {
         assert_eq!(t.core_between(1, 0), Some(c01));
         let direct = Topology::campus(3, 0);
         assert_eq!(direct.core_between(0, 1), None);
+    }
+
+    #[test]
+    fn one_zone_federation_matches_campus_exactly() {
+        let f = Topology::federation(1, 4, 2);
+        let c = Topology::campus(4, 2);
+        assert_eq!(f.switches, c.switches);
+        assert_eq!(f.zones, 1);
+        assert!(f.wan_links.is_empty());
+        assert_eq!(f.edges_per_zone(), 4);
+        assert_eq!(f.cores_per_zone(), 2);
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(f.core_between(a, b), c.core_between(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn federation_layout_is_zone_major() {
+        let t = Topology::federation(3, 2, 1);
+        assert_eq!(t.edge_count(), 6);
+        assert_eq!(t.core_count(), 3);
+        assert_eq!(t.zone_count(), 3);
+        // Zone 1 owns global edges 2..4 and core 1.
+        assert_eq!(t.zone_edges(1), 2..4);
+        assert_eq!(t.zone_of_edge(2), 1);
+        assert_eq!(t.zone_of_edge(3), 1);
+        assert_eq!(t.edge_spec(3).ip, Ipv4Addr::new(10, 0, 3, 100));
+        assert_eq!(t.core_spec(1).ip, Ipv4Addr::new(10, 0, 201, 100));
+        // Full WAN mesh, normalized and deterministic.
+        assert_eq!(t.wan_links.len(), 3);
+        let l = t.wan_links[t.wan_link_between(2, 0).unwrap()];
+        assert_eq!((l.zone_a, l.zone_b), (0, 2));
+        assert_eq!(l.cost, 12);
+        assert_eq!(l.latency, SimDuration::from_millis(15));
+        assert_eq!(l.bandwidth_bps, 10_000_000_000);
+    }
+
+    #[test]
+    fn wan_routing_prefers_the_direct_link() {
+        let t = Topology::federation(4, 1, 0);
+        // Direct link is always the unique cheapest path.
+        for a in 0..4 {
+            for b in 0..4 {
+                if a == b {
+                    assert!(t.wan_path(a, b).is_empty());
+                    continue;
+                }
+                let path = t.wan_path(a, b);
+                assert_eq!(path, vec![t.wan_link_between(a, b).unwrap()]);
+                assert_eq!(t.wan_next_hop(a, b), Some(path[0]));
+            }
+        }
+        // Remove the direct 0-3 link: the cheapest detour (0-1-3, cost
+        // 11 + 12) wins over 0-2-3 (12 + 11) by the lowest-zone
+        // tie-break on the first hop.
+        let mut t = t;
+        let direct = t.wan_link_between(0, 3).unwrap();
+        t.wan_links.remove(direct);
+        let path = t.wan_path(0, 3);
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0], t.wan_link_between(0, 1).unwrap());
+        assert_eq!(path[1], t.wan_link_between(1, 3).unwrap());
+    }
+
+    #[test]
+    fn zoned_core_assignment_is_zone_local() {
+        let t = Topology::federation(3, 2, 1);
+        // Intra-zone pairs use their own zone's core.
+        assert_eq!(t.core_between(0, 1), Some(0));
+        assert_eq!(t.core_between(2, 3), Some(1));
+        assert_eq!(t.core_between(4, 5), Some(2));
+        // Cross-zone pairs never ride a campus core.
+        assert_eq!(t.core_between(1, 2), None);
+        assert_eq!(t.core_between(0, 5), None);
+    }
+
+    #[test]
+    fn core_between_rejects_out_of_range_edges() {
+        let t = Topology::federation(2, 2, 1);
+        // Out-of-range indices must not wrap into a neighbour zone's
+        // core via the modulo arithmetic.
+        assert_eq!(t.core_between(0, 4), None);
+        assert_eq!(t.core_between(4, 0), None);
+        assert_eq!(t.core_between(7, 8), None);
+        let campus = Topology::campus(2, 1);
+        assert_eq!(campus.core_between(0, 2), None);
+    }
+
+    #[test]
+    fn edge_of_port_respects_zone_boundaries() {
+        let t = Topology::federation(2, 2, 0);
+        // The zone 0 / zone 1 boundary sits between edges 1 and 2.
+        let boundary = t.port_base(2);
+        assert_eq!(t.edge_of_port(boundary - 1), Some(1));
+        assert_eq!(t.edge_of_port(boundary), Some(2));
+        assert_eq!(t.zone_of_edge(1), 0);
+        assert_eq!(t.zone_of_edge(2), 1);
+        // Below the plan and beyond the last edge's limit: no edge, no
+        // silent wrap into another range.
+        assert_eq!(t.edge_of_port(FIRST_PORT_BASE - 1), None);
+        assert_eq!(t.edge_of_port(t.port_limit(3)), None);
+        assert_eq!(t.edge_of_port(u16::MAX), None);
     }
 }

@@ -49,6 +49,15 @@ pub struct CampusParams {
     /// other than its home (lectures draw the whole campus; the default
     /// matches "most attendees are in the organizing department").
     pub cross_building_fraction: f64,
+    /// Campuses in the federation (the continental scenario). Each zone
+    /// is a full campus with its own `buildings`; meetings are organized
+    /// from a home zone. `1` reproduces the single-campus dataset
+    /// bit-for-bit (the zone draws are skipped entirely).
+    pub zones: u32,
+    /// Fraction of a meeting's participants attending from a campus
+    /// other than its home zone (continental lectures and all-hands).
+    /// Ignored when `zones == 1`.
+    pub cross_zone_fraction: f64,
 }
 
 impl Default for CampusParams {
@@ -67,6 +76,22 @@ impl Default for CampusParams {
             duration_group_min: 90.0,
             buildings: 12,
             cross_building_fraction: 0.2,
+            zones: 1,
+            cross_zone_fraction: 0.0,
+        }
+    }
+}
+
+impl CampusParams {
+    /// The continental scenario: `zones` federated campuses, each with
+    /// the default building count, and a cross-zone attendance tail
+    /// (remote campuses dial into continental lectures and all-hands).
+    pub fn continental(zones: u32) -> Self {
+        assert!(zones >= 1);
+        CampusParams {
+            zones,
+            cross_zone_fraction: if zones > 1 { 0.15 } else { 0.0 },
+            ..CampusParams::default()
         }
     }
 }
@@ -107,6 +132,10 @@ pub struct MeetingRecord {
     pub building: u32,
     /// Participants attending from another building.
     pub cross_building: u32,
+    /// Home zone (organizing campus; always 0 for a single campus).
+    pub zone: u32,
+    /// Participants attending from another campus.
+    pub cross_zone: u32,
 }
 
 impl MeetingRecord {
@@ -162,6 +191,44 @@ impl MeetingRecord {
     pub fn participant_edge(&self, idx: u32, buildings: u32, edges: usize) -> usize {
         assert!(edges >= 1);
         self.participant_building(idx, buildings) as usize % edges
+    }
+
+    /// The campus participant `idx` attends from: the first
+    /// `size - cross_zone` participants sit in the home zone, the tail
+    /// is spread deterministically over the *other* zones (stepping
+    /// modulo `zones - 1`, mirroring [`Self::participant_building`]).
+    pub fn participant_zone(&self, idx: u32, zones: u32) -> u32 {
+        assert!(zones >= 1);
+        let local = self.size - self.cross_zone.min(self.size);
+        if idx < local || zones == 1 {
+            self.zone % zones
+        } else {
+            let k = (idx - local) % (zones - 1);
+            (self.zone + 1 + k) % zones
+        }
+    }
+
+    /// The *federation-wide* edge index serving this meeting's home
+    /// building when every campus runs `edges_per_zone` edge switches
+    /// (the zoned counterpart of [`Self::edge_switch`]).
+    pub fn edge_switch_federated(&self, zones: u32, edges_per_zone: usize) -> usize {
+        assert!(zones >= 1);
+        (self.zone % zones) as usize * edges_per_zone + self.edge_switch(edges_per_zone)
+    }
+
+    /// The federation-wide edge participant `idx` attends from: their
+    /// campus ([`Self::participant_zone`]) offset by their building's
+    /// edge stripe inside it. With one zone this collapses to
+    /// [`Self::participant_edge`].
+    pub fn participant_edge_federated(
+        &self,
+        idx: u32,
+        buildings: u32,
+        zones: u32,
+        edges_per_zone: usize,
+    ) -> usize {
+        let zone = self.participant_zone(idx, zones) as usize;
+        zone * edges_per_zone + self.participant_edge(idx, buildings, edges_per_zone)
     }
 }
 
@@ -272,6 +339,21 @@ impl CampusModel {
                         cross += 1;
                     }
                 }
+                // Zone draws are skipped entirely for a single campus so
+                // the default population's RNG stream (and every checked
+                // -in baseline derived from it) stays bit-identical.
+                let (zone, cross_zone) = if self.params.zones > 1 {
+                    let z = self.rng.range_u64(0, self.params.zones as u64) as u32;
+                    let mut cz = 0u32;
+                    for _ in 0..size {
+                        if self.rng.chance(self.params.cross_zone_fraction) {
+                            cz += 1;
+                        }
+                    }
+                    (z, cz)
+                } else {
+                    (0, 0)
+                };
                 out.push(MeetingRecord {
                     start: SimTime::from_secs(h * 3600) + SimDuration::from_secs_f64(t),
                     duration,
@@ -281,6 +363,8 @@ impl CampusModel {
                     screen_senders: screen,
                     building,
                     cross_building: cross,
+                    zone,
+                    cross_zone,
                 });
             }
         }
@@ -448,6 +532,54 @@ mod tests {
                 assert_eq!(m.participant_edge(i, params.buildings, 4), b as usize % 4);
             }
             assert_eq!(local, m.size - m.cross_building.min(m.size));
+        }
+    }
+
+    #[test]
+    fn single_campus_population_is_unchanged_by_the_zone_fields() {
+        // The continental extension must not perturb the single-campus
+        // RNG stream: zones == 1 generates the exact same records (and
+        // therefore the same checked-in figure baselines) as before.
+        let base = population(1);
+        let one_zone = CampusModel::new(CampusParams::continental(1), 1).generate();
+        assert_eq!(base.len(), one_zone.len());
+        assert_eq!(base, one_zone);
+        assert!(base.iter().all(|m| m.zone == 0 && m.cross_zone == 0));
+    }
+
+    #[test]
+    fn continental_population_spans_zones_with_a_cross_zone_tail() {
+        let params = CampusParams::continental(3);
+        let pop = CampusModel::new(params, 9).generate();
+        // Every campus organizes meetings.
+        for z in 0..params.zones {
+            assert!(pop.iter().any(|m| m.zone == z), "zone {z} hosts nothing");
+        }
+        // Cross-zone attendance exists but stays the minority.
+        let cross: u32 = pop.iter().map(|m| m.cross_zone).sum();
+        let total: u32 = pop.iter().map(|m| m.size).sum();
+        let frac = cross as f64 / total as f64;
+        assert!((0.08..0.25).contains(&frac), "cross-zone fraction {frac}");
+        // Participant zone/edge mappings are total, consistent, and
+        // collapse to the single-campus mapping for one zone.
+        for m in pop.iter().take(2000) {
+            let home = m.edge_switch_federated(params.zones, 2);
+            assert_eq!(home / 2, m.zone as usize);
+            let mut local = 0;
+            for i in 0..m.size {
+                let z = m.participant_zone(i, params.zones);
+                assert!(z < params.zones);
+                if z == m.zone {
+                    local += 1;
+                }
+                let e = m.participant_edge_federated(i, params.buildings, params.zones, 2);
+                assert_eq!(e / 2, z as usize, "edge {e} not in zone {z}");
+                assert_eq!(
+                    m.participant_edge_federated(i, params.buildings, 1, 4),
+                    m.participant_edge(i, params.buildings, 4)
+                );
+            }
+            assert_eq!(local, m.size - m.cross_zone.min(m.size));
         }
     }
 

@@ -113,6 +113,8 @@ mod tests {
             screen_senders: 0,
             building: 0,
             cross_building: 0,
+            zone: 0,
+            cross_zone: 0,
         };
         let series = sfu_load_series(&[m], SimDuration::from_secs(60));
         // Active in bins 1..=5 (100 s to 300 s).

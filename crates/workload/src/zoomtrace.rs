@@ -203,6 +203,8 @@ mod tests {
             screen_senders: 0,
             building: 0,
             cross_building: 0,
+            zone: 0,
+            cross_zone: 0,
         };
         let s = synth.summarize(&[before]);
         assert_eq!(s.zoom_packets, 0);
@@ -221,6 +223,8 @@ mod tests {
             screen_senders: 0,
             building: 0,
             cross_building: 0,
+            zone: 0,
+            cross_zone: 0,
         };
         let s = synth.summarize(&[m]);
         // 4 participants × attendance factor × 300 s of overlap.
