@@ -7,6 +7,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use scallop_core::agent::SwitchAgent;
+use scallop_dataplane::batch::BatchOutput;
 use scallop_dataplane::parser;
 use scallop_dataplane::pre::{L1Node, PacketReplicationEngine};
 use scallop_dataplane::seqrewrite::{PacketVerdict, SeqRewriteMode, StreamTracker};
@@ -75,6 +76,84 @@ fn bench_process(c: &mut Criterion) {
     g.finish();
 }
 
+/// One drain cycle's worth of traffic for the batch benches: every
+/// party sends a whole multi-packet frame (the same flow repeats, which
+/// is what the batch caches amortize).
+fn burst(n: usize, round: u16) -> Vec<Packet> {
+    let mut dp_builder = ScallopDataPlane::new(SeqRewriteMode::LowRetransmission);
+    let mut agent = SwitchAgent::new(Ipv4Addr::new(10, 0, 0, 100));
+    let m = agent.create_meeting();
+    let mut batch = Vec::new();
+    for i in 0..n {
+        let addr = HostAddr::new(
+            Ipv4Addr::new(10, 9, (i / 200) as u8, (i % 200 + 1) as u8),
+            5000,
+        );
+        let g = agent.join(&mut dp_builder, m, addr, true);
+        let mut pz = Packetizer::new(0x1000 + i as u32, 96, 1200);
+        pz.set_next_seq(round.wrapping_mul(8));
+        let frames = pz.packetize(&EncodedFrame {
+            frame_number: round,
+            label: FrameLabelCompact {
+                temporal_id: 0,
+                template_id: 1,
+                is_key: false,
+            },
+            size_bytes: 5_000,
+            captured_at: SimTime::ZERO,
+            rtp_timestamp: round as u32 * 3000,
+        });
+        for f in &frames {
+            batch.push(Packet::new(addr, g.video_uplink, f.serialize()));
+        }
+    }
+    batch
+}
+
+/// The tentpole comparison: per-packet `process()` vs `process_batch`
+/// over the same 25-party bursts. The batched arm must win — CI's
+/// `bench_smoke` gates the deterministic counters; this bench is the
+/// wall-clock evidence. One iteration = one whole burst; divide the
+/// reported ns/iter by the printed burst size for ns/pkt.
+fn bench_batch(c: &mut Criterion) {
+    let n = 25usize;
+    // Pre-built pool of distinct bursts, cycled so the timed region
+    // does no construction work (seqs advance across the pool to keep
+    // the tracker honest).
+    let bursts: Vec<Vec<Packet>> = (1..=32u16).map(|round| burst(n, round)).collect();
+    println!(
+        "bench dataplane_batch: {} pkts per burst (both arms)",
+        bursts[0].len()
+    );
+    let mut g = c.benchmark_group("dataplane_batch");
+
+    let (mut dp, _, _) = meeting_dp(n);
+    let mut i = 0usize;
+    g.bench_function(BenchmarkId::new("per_packet", n), |b| {
+        b.iter(|| {
+            let batch = &bursts[i % bursts.len()];
+            i += 1;
+            for pkt in batch {
+                black_box(dp.process(pkt));
+            }
+        })
+    });
+
+    let (mut dp, _, _) = meeting_dp(n);
+    dp.enable_dense_ports(10_000, 20_000);
+    let mut out = BatchOutput::default();
+    let mut i = 0usize;
+    g.bench_function(BenchmarkId::new("batched", n), |b| {
+        b.iter(|| {
+            let batch = &bursts[i % bursts.len()];
+            i += 1;
+            dp.process_batch(batch, &mut out);
+            black_box(out.forwards.len())
+        })
+    });
+    g.finish();
+}
+
 fn bench_pre(c: &mut Criterion) {
     let mut g = c.benchmark_group("pre_replicate");
     for &n in &[10usize, 100, 1000] {
@@ -132,6 +211,7 @@ fn bench_parser(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_process,
+    bench_batch,
     bench_pre,
     bench_tracker,
     bench_parser

@@ -1,12 +1,12 @@
 //! CI bench-smoke regression gate.
 //!
 //! Re-runs the deterministic campus-fabric slice (the live part of
-//! Figs. 20/21), the churn/migration phase, and the Fig. 15
-//! scalability sweep in a cheap configuration; writes
-//! `results/BENCH_fabric.json` and `results/BENCH_scale.json`
-//! (wall-time + trunk-byte metrics, uploaded as CI artifacts); and
-//! **fails** (exit 1) when a key metric drifts more than 20 % from the
-//! checked-in `results/` baselines:
+//! Figs. 20/21), the churn/migration phase, the Fig. 15 scalability
+//! sweep, and the batched data-plane smoke in a cheap configuration;
+//! writes `results/BENCH_fabric.json`, `results/BENCH_scale.json`, and
+//! `results/BENCH_dataplane.json` (wall-time + trunk-byte metrics,
+//! uploaded as CI artifacts); and **fails** (exit 1) when a key metric
+//! drifts more than 20 % from the checked-in `results/` baselines:
 //!
 //! * `results/fig20_21_fabric_slice.json` — trunk/forwarding packet
 //!   counts of the fabric slice,
@@ -18,6 +18,7 @@
 //! metrics are deterministic and gate exactly.
 
 use scallop_bench::baseline::{max_field, parse_numeric_objects, sum_field, Gate};
+use scallop_bench::dataplane::run_batch_smoke;
 use scallop_bench::fabric::{peak_time, run_churn_phase, run_fabric_slice, run_wan_slice};
 use scallop_bench::scale::scalability_rows;
 use scallop_bench::{kv, results_dir, section, write_json};
@@ -34,6 +35,11 @@ const SHARDS: usize = 4;
 const ZONES: usize = 3;
 /// Edge switches per campus in the federated WAN slice.
 const EDGES_PER_ZONE: usize = 2;
+/// Meeting size for the batched data-plane smoke (paper's 25-party
+/// working point).
+const BATCH_PARTIES: usize = 25;
+/// Traffic rounds pushed through both data-plane paths.
+const BATCH_ROUNDS: usize = 64;
 
 #[derive(Serialize)]
 struct FabricSmoke {
@@ -213,6 +219,36 @@ fn main() {
     write_json("BENCH_scale", &[&scale_smoke]);
 
     // ------------------------------------------------------------- //
+    section("bench-smoke: dataplane batch");
+    let (batch, wall) = run_batch_smoke(BATCH_PARTIES, BATCH_ROUNDS);
+    let batched_pps = batch.pkts_processed as f64 / (wall.batched_ns as f64 / 1e9);
+    let sequential_pps = batch.pkts_processed as f64 / (wall.sequential_ns as f64 / 1e9);
+    kv(
+        "parties / rounds",
+        format!("{BATCH_PARTIES} / {BATCH_ROUNDS}"),
+    );
+    kv("pkts processed", batch.pkts_processed);
+    kv("replicas emitted", batch.replicas_emitted);
+    kv(
+        "lookups saved (port/egress/pre)",
+        format!(
+            "{} / {} / {}",
+            batch.port_lookups_saved, batch.egress_lookups_saved, batch.pre_walks_saved
+        ),
+    );
+    kv("dense register lookups", batch.dense_lookups);
+    // Headline only — wall clock never enters the JSON or the gate.
+    kv("batched pkts/sec (ungated)", format!("{batched_pps:.0}"));
+    kv(
+        "per-packet pkts/sec (ungated)",
+        format!("{sequential_pps:.0}"),
+    );
+    // Read the checked-in baseline before the (deterministic, so
+    // byte-identical) fresh report overwrites it.
+    let batch_baseline = read_baseline("BENCH_dataplane");
+    write_json("BENCH_dataplane", &[&batch]);
+
+    // ------------------------------------------------------------- //
     section("regression gate (>20% drift vs checked-in results/)");
     match read_baseline("fig20_21_fabric_slice") {
         Some(base) => {
@@ -370,6 +406,52 @@ fn main() {
             wan.zone_meetings, wan.meetings, wan.cross_zone_handoffs
         ),
     );
+    // Batched-forwarding invariants: the batch path must reproduce the
+    // per-packet path exactly, and the caches/registers must actually
+    // fire on a realistic mix (a silent fallback to the slow path would
+    // still be "equivalent").
+    gate.check(
+        "batch: batched path matches per-packet path byte-for-byte",
+        batch.equivalent == 1,
+        "forwards, punt order, or counters diverged".into(),
+    );
+    gate.check(
+        "batch: dense SoA registers serve lookups",
+        batch.dense_lookups > 0,
+        "every lookup fell back to the exact table".into(),
+    );
+    match batch_baseline {
+        Some(base) => {
+            gate.check_within(
+                "batch: pkts processed",
+                sum_field(&base, "pkts_processed"),
+                batch.pkts_processed as f64,
+            );
+            gate.check_within(
+                "batch: replicas emitted",
+                sum_field(&base, "replicas_emitted"),
+                batch.replicas_emitted as f64,
+            );
+            gate.check_within(
+                "batch: batch segments",
+                sum_field(&base, "batches"),
+                batch.batches as f64,
+            );
+            gate.check_within(
+                "batch: port lookups saved",
+                sum_field(&base, "port_lookups_saved"),
+                batch.port_lookups_saved as f64,
+            );
+            gate.check_within(
+                "batch: egress lookups saved",
+                sum_field(&base, "egress_lookups_saved"),
+                batch.egress_lookups_saved as f64,
+            );
+        }
+        None => gate
+            .failures
+            .push("missing baseline results/BENCH_dataplane.json".into()),
+    }
     match wan_baseline {
         Some(base) => {
             for r in &wan.wan_rows {

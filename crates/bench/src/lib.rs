@@ -33,6 +33,7 @@
 //! checked-in `results/` baselines ([`baseline`]).
 
 pub mod baseline;
+pub mod dataplane;
 pub mod fabric;
 pub mod scale;
 

@@ -1216,20 +1216,15 @@ impl SwitchAgent {
                 l2_xid: s,
             };
             if s_class == ParticipantClass::RemoteSender {
-                dp.install_port_rule(
-                    s_video_up,
-                    PortRule::TrunkIngress {
-                        action: action.clone(),
-                    },
-                )
-                .expect("port rule capacity");
+                dp.install_port_rule(s_video_up, PortRule::TrunkIngress { action })
+                    .expect("port rule capacity");
                 dp.install_port_rule(s_audio_up, PortRule::TrunkIngress { action })
                     .expect("port rule capacity");
             } else {
                 dp.install_port_rule(
                     s_video_up,
                     PortRule::SenderUplink {
-                        action: action.clone(),
+                        action,
                         punt_extended_dd: true,
                     },
                 )
@@ -1342,20 +1337,15 @@ impl SwitchAgent {
                     l2_xid: s,
                 };
                 if s_class == ParticipantClass::RemoteSender {
-                    dp.install_port_rule(
-                        s_video_up,
-                        PortRule::TrunkIngress {
-                            action: action.clone(),
-                        },
-                    )
-                    .expect("port rule capacity");
+                    dp.install_port_rule(s_video_up, PortRule::TrunkIngress { action })
+                        .expect("port rule capacity");
                     dp.install_port_rule(s_audio_up, PortRule::TrunkIngress { action })
                         .expect("port rule capacity");
                 } else {
                     dp.install_port_rule(
                         s_video_up,
                         PortRule::SenderUplink {
-                            action: action.clone(),
+                            action,
                             punt_extended_dd: true,
                         },
                     )

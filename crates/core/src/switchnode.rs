@@ -13,6 +13,7 @@
 //!   "periodically selects the maximum").
 
 use crate::agent::{JoinGrant, MeetingId, ParticipantId, SwitchAgent};
+use scallop_dataplane::batch::BatchOutput;
 use scallop_dataplane::seqrewrite::SeqRewriteMode;
 use scallop_dataplane::switch::{DataPlaneCounters, ScallopDataPlane};
 use scallop_netsim::packet::{HostAddr, Packet};
@@ -90,19 +91,28 @@ pub struct ScallopSwitchNode {
     /// Reused per-packet data-plane output (scratch; avoids allocating
     /// fresh forward/CPU vectors for every arriving packet).
     dp_out: scallop_dataplane::switch::DataPlaneOutput,
+    /// Reused batch output for wave deliveries (parse arena, punt ring,
+    /// amortization stats — see `scallop_dataplane::batch`).
+    batch_out: BatchOutput,
 }
 
 impl ScallopSwitchNode {
     /// Build a switch.
     pub fn new(cfg: SwitchConfig) -> Self {
+        let mut dp = ScallopDataPlane::new(cfg.rewrite_mode);
+        // The switch's SFU ports all come from its contiguous range, so
+        // the hot ingress match runs on the dense SoA registers; only
+        // out-of-range ports (none, in practice) hit the hash table.
+        dp.enable_dense_ports(cfg.port_base, cfg.port_limit);
         ScallopSwitchNode {
-            dp: ScallopDataPlane::new(cfg.rewrite_mode),
+            dp,
             agent: SwitchAgent::new(cfg.ip).with_port_range(cfg.port_base, cfg.port_limit),
             cfg,
             pending: BinaryHeap::new(),
             pending_payloads: HashMap::new(),
             pending_seq: 0,
             dp_out: Default::default(),
+            batch_out: BatchOutput::default(),
         }
     }
 
@@ -222,6 +232,44 @@ impl Node for ScallopSwitchNode {
             }
         }
         self.dp_out = out;
+    }
+
+    /// A wave of same-instant packets, run through the batched engine.
+    /// Segments end at CPU punts so the agent (which may rewrite
+    /// tables) observes exactly the per-packet interleaving: a
+    /// segment's forwards are emitted first, then the punting packet's
+    /// agent responses, then the next segment — the same `emit_at`
+    /// order `on_packet` would have produced packet by packet.
+    fn on_batch(&mut self, ctx: &mut Ctx<'_>, pkts: Vec<Packet>) {
+        let mut out = std::mem::take(&mut self.batch_out);
+        out.clear();
+        let now = ctx.now();
+        let dp_at = now + self.cfg.pipeline_latency;
+        let agent_at = now + self.cfg.agent_latency;
+        let mut start = 0;
+        let mut punt_cursor = 0;
+        while start < pkts.len() {
+            start = self.dp.process_batch_from(&pkts, start, true, &mut out);
+            for f in out.forwards.drain(..) {
+                self.emit_at(ctx, dp_at, f);
+            }
+            while punt_cursor < out.cpu_punts.len() {
+                let punted = &pkts[out.cpu_punts[punt_cursor] as usize];
+                punt_cursor += 1;
+                let responses = self.agent.handle_cpu_packet(now, punted, &mut self.dp);
+                for r in responses {
+                    self.emit_at(ctx, agent_at, r);
+                }
+            }
+        }
+        self.batch_out = out;
+    }
+
+    /// The switch qualifies for wave batching: `on_packet`/`on_batch`
+    /// emit exclusively through `emit_at` (a pending heap drained by
+    /// `TIMER_FLUSH`), never `ctx.send`, and draw no randomness.
+    fn parallel_safe(&self) -> bool {
+        true
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: TimerToken) {

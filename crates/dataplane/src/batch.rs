@@ -1,0 +1,144 @@
+//! Batched forwarding: amortize parse, match, and PRE walks over a
+//! burst of packets.
+//!
+//! The per-packet pipeline ([`crate::switch::ScallopDataPlane::process_into`])
+//! pays a hash lookup per table per packet, a PRE tree walk per media
+//! packet, and a full packet clone per CPU punt. A real switch never
+//! sees packets one at a time — it drains a burst from the ingress
+//! queue — and almost every packet in a burst shares its match results
+//! with a neighbour (the same sender keeps sending on the same uplink
+//! port). [`ScallopDataPlane::process_batch`](crate::switch::ScallopDataPlane::process_batch)
+//! exploits that:
+//!
+//! 1. **Parse first.** The whole batch is parsed into a reusable
+//!    [`ParsedPacket`] arena before any match work runs (the parse and
+//!    match stages are independent, just like the hardware pipeline).
+//! 2. **Resolve each distinct rule once.** Small per-batch caches keyed
+//!    by port and by PRE flow mean the second packet to a port copies
+//!    the already-resolved [`PortRule`] instead of hashing again, and
+//!    the second packet of a flow replays the PRE's replica list —
+//!    with every replica's egress spec already resolved — instead of
+//!    re-walking the tree and re-matching each replica. Saved work is
+//!    counted in [`BatchStats`].
+//! 3. **Punt by index.** CPU punts are recorded as indices into the
+//!    caller's batch ([`BatchOutput::cpu_punts`]) instead of cloned
+//!    packets — the agent reads the original slice, so the punt ring
+//!    never allocates.
+//!
+//! Negative results are cached too: a port/flow miss is remembered as
+//! `None` (and a replica with no egress rule is cached as resolved-to-
+//! nothing), and replaying it still charges the same `no_rule_drops`
+//! the sequential path would — the batch path is byte-identical in
+//! outputs *and counters* to N sequential `process_into` calls
+//! (enforced by `tests/batch_equivalence.rs`).
+//!
+//! **Agent interleaving.** The switch agent may rewrite tables when it
+//! handles a punted packet (e.g. a key-frame DD triggering a meeting
+//! rebuild), which would invalidate the caches mid-batch. Callers that
+//! interleave agent work use
+//! [`process_batch_from`](crate::switch::ScallopDataPlane::process_batch_from)
+//! with `stop_at_punt = true`: the batch is cut into *segments* at each
+//! punting packet, the agent runs between segments, and every segment
+//! restarts with cold caches (the parse arena survives — parsing is
+//! immutable work).
+
+use crate::parser::ParsedPacket;
+use crate::pre::Replica;
+use crate::rules::{EgressSpec, PortRule};
+use scallop_netsim::packet::Packet;
+
+/// What the batch path saved relative to per-packet processing.
+/// Cumulative across batches, like
+/// [`DataPlaneCounters`](crate::switch::DataPlaneCounters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Batch segments processed.
+    pub batches: u64,
+    /// Packets processed through the batch path.
+    pub batch_pkts: u64,
+    /// Port-rule resolutions served from the batch cache (hash lookups
+    /// avoided).
+    pub port_lookups_saved: u64,
+    /// Egress resolutions served from the batch cache.
+    pub egress_lookups_saved: u64,
+    /// PRE tree walks replayed from a cached replica list.
+    pub pre_walks_saved: u64,
+}
+
+/// A PRE flow identity: `(mgid, l1_xid, rid, l2_xid, in_port)`. The
+/// ingress port rides along because the egress match is keyed by it —
+/// two packets with the same key resolve to the *same* replica list
+/// **and** the same egress specs, so the whole resolution is replayed.
+pub(crate) type FlowKey = (u16, u16, u16, u16, u16);
+
+/// One fully-resolved replica: where the PRE fanned the packet, and
+/// the egress rewrite it matched (`None` = no egress rule, which the
+/// sequential path charges as a `no_rule_drops` per packet — the
+/// replay must too).
+pub(crate) type ResolvedReplica = (Replica, Option<EgressSpec>);
+
+/// Per-segment resolution caches. Linear-scan vectors, not maps: a
+/// batch touches a handful of distinct ports/flows, and a short scan
+/// over a dense vector beats hashing at that size. Egress resolution
+/// is deliberately *not* cached per [`EgressKey`]: a meeting fans each
+/// flow to every receiver, so distinct egress keys grow as
+/// senders x receivers per batch and a per-key cache degenerates into
+/// an O(n^2) scan that loses to the exact table it fronts. Instead the
+/// flow cache stores the replica list with egress already resolved —
+/// one entry per flow, zero egress work on replay.
+#[derive(Debug, Default)]
+pub(crate) struct BatchCaches {
+    /// dst port → resolved rule (`None` = looked up, no rule).
+    pub(crate) ports: Vec<(u16, Option<PortRule>)>,
+    /// Flow → egress-resolved PRE replica list (`None` = the walk
+    /// failed, e.g. no such group).
+    pub(crate) flows: Vec<(FlowKey, Option<Vec<ResolvedReplica>>)>,
+    /// Savings accumulated this segment, folded into [`BatchStats`]
+    /// when the segment ends.
+    pub(crate) port_lookups_saved: u64,
+    pub(crate) egress_lookups_saved: u64,
+    pub(crate) pre_walks_saved: u64,
+}
+
+impl BatchCaches {
+    /// Cold-start the caches for a new segment. Capacity is kept;
+    /// cached replica-list allocations inside `flows` are dropped
+    /// (they are rebuilt lazily, and flows rarely repeat across
+    /// segment boundaries — a segment boundary means the agent may
+    /// have rewritten the tree anyway).
+    pub(crate) fn begin_segment(&mut self) {
+        self.ports.clear();
+        self.flows.clear();
+    }
+}
+
+/// Output of one batch: the forwarded packets, the punt ring, and the
+/// reusable arenas. Create once per switch, [`clear`](Self::clear)
+/// between batches.
+#[derive(Debug, Default)]
+pub struct BatchOutput {
+    /// Packets to emit toward clients/trunks, in the exact order the
+    /// sequential path would have produced them.
+    pub forwards: Vec<Packet>,
+    /// CPU punt ring: indices into the *input* batch slice, in punt
+    /// order. The agent reads `batch[i]` — no packet is cloned.
+    pub cpu_punts: Vec<u32>,
+    /// Amortization accounting (cumulative across batches).
+    pub stats: BatchStats,
+    /// Parse arena: one [`ParsedPacket`] per input packet, filled by
+    /// the parse stage and reused across segments of the same batch.
+    pub(crate) parsed: Vec<ParsedPacket>,
+    /// Match-resolution caches (reset per segment).
+    pub(crate) caches: BatchCaches,
+}
+
+impl BatchOutput {
+    /// Reset for a new input batch, keeping allocated capacity.
+    /// `stats` is cumulative and survives, like the data plane's own
+    /// counters.
+    pub fn clear(&mut self) {
+        self.forwards.clear();
+        self.cpu_punts.clear();
+        self.parsed.clear();
+    }
+}

@@ -23,6 +23,12 @@
 //!   match → replicate → adapt (drop by template id) → rewrite → emit,
 //!   with CPU-port copies for the switch agent and full packet/byte
 //!   counters (Table 1, Fig. 22).
+//! * [`batch`] — the batched forwarding path: parse a burst first, then
+//!   resolve each distinct rule/flow once per batch, with an index ring
+//!   for CPU punts instead of per-punt clones.
+//! * [`soa`] — dense struct-of-arrays port-rule registers mirroring the
+//!   hot span of the ingress match (hash-free lookups on the
+//!   contiguous per-edge port ranges).
 //! * [`resources`] — Tofino resource utilization reporting (Table 3).
 //!
 //! The model enforces the same resource limits as the hardware
@@ -31,16 +37,20 @@
 //! Absolute forwarding latency is a calibrated constant (≈1 µs) instead
 //! of a measured one.
 
+pub mod batch;
 pub mod parser;
 pub mod pre;
 pub mod registers;
 pub mod resources;
 pub mod rules;
 pub mod seqrewrite;
+pub mod soa;
 pub mod switch;
 pub mod tables;
 
+pub use batch::{BatchOutput, BatchStats};
 pub use pre::{PacketReplicationEngine, PreError, Replica};
 pub use rules::{EgressSpec, PortRule, ReplicationAction};
 pub use seqrewrite::{OracleRewriter, RewriteVerdict, SeqRewriteMode, StreamTracker};
+pub use soa::DensePortRules;
 pub use switch::{DataPlaneCounters, DataPlaneOutput, ScallopDataPlane};

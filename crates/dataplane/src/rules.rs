@@ -18,7 +18,12 @@ use scallop_netsim::packet::HostAddr;
 pub type StreamIndex = u16;
 
 /// How a sender's packets are replicated.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Copy`: every field is plain action data (addresses, ids), so the
+/// forwarding pipeline copies the resolved action out of the match
+/// structure instead of cloning through a borrow — the hot path never
+/// holds a table reference across the replicate/emit stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplicationAction {
     /// Two-party optimization (§6.1): unicast straight to the single
     /// receiver, no PRE involvement.
@@ -71,7 +76,11 @@ impl EgressSpec {
 }
 
 /// Rule attached to an SFU UDP port.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Copy` for the same reason as [`ReplicationAction`]: a match result
+/// is a small bundle of action data, copied out of whichever structure
+/// matched it (exact table or dense port registers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PortRule {
     /// Media arrives here from a sender.
     SenderUplink {
@@ -158,7 +167,7 @@ mod tests {
             remb_allowed: true,
             rewrite_index: None,
         };
-        let b = a.clone();
+        let b = a;
         assert_eq!(a, b);
         let c = PortRule::SenderUplink {
             action: ReplicationAction::TwoParty {

@@ -17,10 +17,12 @@
 //!
 //! All packet/byte accounting for Table 1 and Fig. 22 happens here.
 
+use crate::batch::{BatchCaches, BatchOutput};
 use crate::parser::{self, ParsedPacket};
 use crate::pre::PacketReplicationEngine;
 use crate::rules::{EgressKey, EgressSpec, PortRule, ReplicationAction};
 use crate::seqrewrite::{PacketVerdict, RewriteVerdict, SeqRewriteMode, StreamTracker};
+use crate::soa::DensePortRules;
 use crate::tables::{ExactTable, TableError};
 use scallop_netsim::packet::Packet;
 use scallop_proto::av1::l1t3::TEMPLATE_TEMPORAL;
@@ -200,6 +202,12 @@ pub struct ScallopDataPlane {
     /// replicas so each rewrite costs one buffer fill, not a fresh
     /// allocation).
     payload_scratch: Vec<u8>,
+    /// Dense struct-of-arrays mirror of `port_rules` over the switch's
+    /// contiguous SFU port span (`None` until
+    /// [`enable_dense_ports`](Self::enable_dense_ports)). The exact
+    /// table stays authoritative for occupancy/SRAM accounting; the
+    /// dense registers serve the hot match.
+    pub dense_ports: Option<DensePortRules>,
 }
 
 impl ScallopDataPlane {
@@ -214,16 +222,37 @@ impl ScallopDataPlane {
             max_parse_depth: 0,
             replica_scratch: Vec::new(),
             payload_scratch: Vec::new(),
+            dense_ports: None,
         }
+    }
+
+    /// Enable the dense SoA port registers over `[base, limit)` — an
+    /// edge switch's contiguous SFU port span from the topology.
+    /// Existing in-range rules are copied into the mirror; rules
+    /// outside the span (the sparse tail) keep matching through the
+    /// exact table.
+    pub fn enable_dense_ports(&mut self, base: u16, limit: u16) {
+        let mut dense = DensePortRules::new(base, limit);
+        for (port, rule) in self.port_rules.iter() {
+            dense.set(*port, *rule);
+        }
+        self.dense_ports = Some(dense);
     }
 
     /// Install a port rule (control-plane API).
     pub fn install_port_rule(&mut self, port: u16, rule: PortRule) -> Result<(), TableError> {
-        self.port_rules.upsert(port, rule)
+        self.port_rules.upsert(port, rule)?;
+        if let Some(d) = self.dense_ports.as_mut() {
+            d.set(port, rule);
+        }
+        Ok(())
     }
 
     /// Remove a port rule.
     pub fn remove_port_rule(&mut self, port: u16) -> Option<PortRule> {
+        if let Some(d) = self.dense_ports.as_mut() {
+            d.unset(port);
+        }
         self.port_rules.remove(&port)
     }
 
@@ -250,6 +279,90 @@ impl ScallopDataPlane {
     pub fn process_into(&mut self, pkt: &Packet, out: &mut DataPlaneOutput) {
         out.clear();
         let parsed = parser::parse(&pkt.payload);
+        let mut sink = EmitSink {
+            forwards: &mut out.forwards,
+            punts: PuntChannel::Clone(&mut out.cpu_copies),
+        };
+        self.run_pipeline(pkt, &parsed, None, &mut sink);
+    }
+
+    /// Process a whole batch through the amortized path (see
+    /// [`crate::batch`]). `out` is cleared first; outputs and counters
+    /// are byte-identical to calling [`Self::process_into`] on each
+    /// packet in order, except that CPU punts land as indices in
+    /// [`BatchOutput::cpu_punts`] instead of cloned packets.
+    pub fn process_batch(&mut self, pkts: &[Packet], out: &mut BatchOutput) {
+        out.clear();
+        let end = self.process_batch_from(pkts, 0, false, out);
+        debug_assert_eq!(end, pkts.len());
+    }
+
+    /// Run one batch *segment* starting at `pkts[start]`, returning the
+    /// index after the last packet processed. With `stop_at_punt` the
+    /// segment ends after the first packet that punted to the CPU, so
+    /// the caller can let the agent handle the punt (and possibly
+    /// rewrite tables) before resuming with fresh caches. The parse
+    /// arena is filled once per batch and survives across segments;
+    /// callers must [`BatchOutput::clear`] between distinct batches.
+    pub fn process_batch_from(
+        &mut self,
+        pkts: &[Packet],
+        start: usize,
+        stop_at_punt: bool,
+        out: &mut BatchOutput,
+    ) -> usize {
+        if start >= pkts.len() {
+            return start;
+        }
+        let BatchOutput {
+            forwards,
+            cpu_punts,
+            stats,
+            parsed,
+            caches,
+        } = out;
+        // Stage 1: parse the whole batch before any match work.
+        if parsed.len() != pkts.len() {
+            parsed.clear();
+            parsed.extend(pkts.iter().map(|p| parser::parse(&p.payload)));
+        }
+        // Stage 2: match/replicate with per-segment resolution caches.
+        caches.begin_segment();
+        stats.batches += 1;
+        let mut i = start;
+        while i < pkts.len() {
+            let punts_before = cpu_punts.len();
+            let p = parsed[i];
+            let mut sink = EmitSink {
+                forwards,
+                punts: PuntChannel::Ring {
+                    ring: cpu_punts,
+                    index: i as u32,
+                },
+            };
+            self.run_pipeline(&pkts[i], &p, Some(caches), &mut sink);
+            stats.batch_pkts += 1;
+            i += 1;
+            if stop_at_punt && cpu_punts.len() > punts_before {
+                break;
+            }
+        }
+        stats.port_lookups_saved += std::mem::take(&mut caches.port_lookups_saved);
+        stats.egress_lookups_saved += std::mem::take(&mut caches.egress_lookups_saved);
+        stats.pre_walks_saved += std::mem::take(&mut caches.pre_walks_saved);
+        i
+    }
+
+    /// The shared pipeline behind both the per-packet and batched entry
+    /// points: classify, match, replicate, emit into `sink`. `cache` is
+    /// `Some` on the batch path.
+    fn run_pipeline(
+        &mut self,
+        pkt: &Packet,
+        parsed: &ParsedPacket,
+        cache: Option<&mut BatchCaches>,
+        sink: &mut EmitSink,
+    ) {
         self.max_parse_depth = self.max_parse_depth.max(parsed.parse_depth);
         let len = pkt.payload.len() as u64;
 
@@ -257,41 +370,75 @@ impl ScallopDataPlane {
             PacketClass::Stun => {
                 self.counters.stun_pkts += 1;
                 self.counters.stun_bytes += len;
-                self.punt(pkt, out);
+                self.punt(pkt, sink);
             }
             PacketClass::Unknown => {
                 self.counters.unknown_drops += 1;
             }
-            PacketClass::Rtcp => self.process_rtcp(pkt, &parsed, out),
-            PacketClass::Rtp => self.process_rtp(pkt, &parsed, out),
+            PacketClass::Rtcp => self.process_rtcp(pkt, parsed, cache, sink),
+            PacketClass::Rtp => self.process_rtp(pkt, parsed, cache, sink),
         }
     }
 
-    fn punt(&mut self, pkt: &Packet, out: &mut DataPlaneOutput) {
+    fn punt(&mut self, pkt: &Packet, sink: &mut EmitSink) {
         self.counters.cpu_pkts += 1;
         self.counters.cpu_bytes += pkt.payload.len() as u64;
-        out.cpu_copies.push(pkt.clone());
+        match &mut sink.punts {
+            PuntChannel::Clone(copies) => copies.push(pkt.clone()),
+            PuntChannel::Ring { ring, index } => ring.push(*index),
+        }
     }
 
-    fn process_rtcp(&mut self, pkt: &Packet, parsed: &ParsedPacket, out: &mut DataPlaneOutput) {
+    /// Ingress match for `port`: batch cache, then dense registers (when
+    /// the port falls in the enabled span), then the exact table's
+    /// sparse tail. The rule is copied out — no borrow survives.
+    fn resolve_rule(&mut self, cache: Option<&mut BatchCaches>, port: u16) -> Option<PortRule> {
+        let Some(c) = cache else {
+            return self.match_port_rule(port);
+        };
+        if let Some(&(_, rule)) = c.ports.iter().find(|(p, _)| *p == port) {
+            c.port_lookups_saved += 1;
+            return rule;
+        }
+        let rule = self.match_port_rule(port);
+        c.ports.push((port, rule));
+        rule
+    }
+
+    fn match_port_rule(&mut self, port: u16) -> Option<PortRule> {
+        if let Some(d) = self.dense_ports.as_mut() {
+            if d.covers(port) {
+                return d.lookup(port);
+            }
+        }
+        self.port_rules.lookup(&port).copied()
+    }
+
+    fn process_rtcp(
+        &mut self,
+        pkt: &Packet,
+        parsed: &ParsedPacket,
+        mut cache: Option<&mut BatchCaches>,
+        sink: &mut EmitSink,
+    ) {
         let len = pkt.payload.len() as u64;
         let pt = parsed.rtcp_pt.unwrap_or(0);
         if parser::rtcp_is_sender_report(pt) {
             // SR/SDES travel sender -> receivers like media (§5.5).
             self.counters.rtcp_sr_pkts += 1;
             self.counters.rtcp_sr_bytes += len;
-            let Some(rule) = self.port_rules.lookup(&pkt.dst.port).cloned() else {
+            let Some(rule) = self.resolve_rule(cache.as_deref_mut(), pkt.dst.port) else {
                 self.counters.no_rule_drops += 1;
                 return;
             };
             match rule {
                 PortRule::SenderUplink { action, .. } => {
-                    self.replicate_media(pkt, None, &action, out);
+                    self.replicate_media(pkt, None, &action, cache, sink);
                 }
                 PortRule::TrunkIngress { action } => {
                     self.counters.trunk_in_pkts += 1;
                     self.counters.trunk_in_bytes += len;
-                    self.replicate_media(pkt, None, &action, out);
+                    self.replicate_media(pkt, None, &action, cache, sink);
                 }
                 _ => self.counters.no_rule_drops += 1,
             }
@@ -301,7 +448,7 @@ impl ScallopDataPlane {
         // forwarded; everything is copied to the CPU for analysis (§5.5).
         self.counters.rtcp_fb_pkts += 1;
         self.counters.rtcp_fb_bytes += len;
-        let Some(rule) = self.port_rules.lookup(&pkt.dst.port).cloned() else {
+        let Some(rule) = self.resolve_rule(cache, pkt.dst.port) else {
             self.counters.no_rule_drops += 1;
             return;
         };
@@ -316,7 +463,7 @@ impl ScallopDataPlane {
             // The agent min-aggregates remote REMB estimates and
             // re-emits NACK/PLI itself; the fast path forwards nothing.
             PortRule::FeedbackSink => {
-                self.punt(pkt, out);
+                self.punt(pkt, sink);
                 return;
             }
             _ => {
@@ -324,7 +471,7 @@ impl ScallopDataPlane {
                 return;
             }
         };
-        self.punt(pkt, out);
+        self.punt(pkt, sink);
         let is_rr_remb = pt == scallop_proto::rtcp::PT_RR;
         if is_rr_remb && !remb_allowed {
             self.counters.remb_filtered += 1;
@@ -357,12 +504,18 @@ impl ScallopDataPlane {
                 }
             }
         }
-        out.forwards.push(fwd);
+        sink.forwards.push(fwd);
         self.counters.forwarded_pkts += 1;
         self.counters.forwarded_bytes += len;
     }
 
-    fn process_rtp(&mut self, pkt: &Packet, parsed: &ParsedPacket, out: &mut DataPlaneOutput) {
+    fn process_rtp(
+        &mut self,
+        pkt: &Packet,
+        parsed: &ParsedPacket,
+        mut cache: Option<&mut BatchCaches>,
+        sink: &mut EmitSink,
+    ) {
         let len = pkt.payload.len() as u64;
         self.counters.rtp_in_pkts += 1;
         self.counters.rtp_in_bytes += len;
@@ -374,7 +527,7 @@ impl ScallopDataPlane {
             self.counters.audio_in_pkts += 1;
             self.counters.audio_in_bytes += len;
         }
-        let Some(rule) = self.port_rules.lookup(&pkt.dst.port).cloned() else {
+        let Some(rule) = self.resolve_rule(cache.as_deref_mut(), pkt.dst.port) else {
             self.counters.no_rule_drops += 1;
             return;
         };
@@ -396,9 +549,9 @@ impl ScallopDataPlane {
             }
         };
         if punt_extended_dd && rtp.dd.map(|d| d.extended).unwrap_or(false) {
-            self.punt(pkt, out);
+            self.punt(pkt, sink);
         }
-        self.replicate_media(pkt, parsed.rtp.as_ref(), &action, out);
+        self.replicate_media(pkt, parsed.rtp.as_ref(), &action, cache, sink);
     }
 
     /// Fan a media (or SR) packet out to its receivers.
@@ -407,11 +560,12 @@ impl ScallopDataPlane {
         pkt: &Packet,
         rtp: Option<&parser::RtpSummary>,
         action: &ReplicationAction,
-        out: &mut DataPlaneOutput,
+        cache: Option<&mut BatchCaches>,
+        sink: &mut EmitSink,
     ) {
         match action {
             ReplicationAction::TwoParty { egress } => {
-                self.emit_replica(pkt, rtp, *egress, false, out);
+                self.emit_replica(pkt, rtp, *egress, false, sink);
             }
             ReplicationAction::Multicast {
                 mgid_by_tier,
@@ -429,12 +583,73 @@ impl ScallopDataPlane {
                     })
                     .unwrap_or(0) as usize;
                 let mgid = mgid_by_tier[tier.min(2)];
+                // Batched path: replay the flow's cached, egress-resolved
+                // replica list, or walk the PRE + resolve each replica's
+                // egress once and cache the lot. Failed walks (no such
+                // group) are cached as `None` but still charged as a
+                // drop per packet, matching the sequential path.
+                if let Some(c) = cache {
+                    let flow = (mgid, *l1_xid, *rid, *l2_xid, pkt.dst.port);
+                    let at = match c.flows.iter().position(|(k, _)| *k == flow) {
+                        Some(at) => {
+                            c.pre_walks_saved += 1;
+                            if let Some(list) = &c.flows[at].1 {
+                                c.egress_lookups_saved += list.len() as u64;
+                            }
+                            at
+                        }
+                        None => {
+                            let mut replicas = std::mem::take(&mut self.replica_scratch);
+                            let ok = self
+                                .pre
+                                .replicate_into(mgid, *l1_xid, *rid, *l2_xid, &mut replicas)
+                                .is_ok();
+                            let resolved = ok.then(|| {
+                                replicas
+                                    .iter()
+                                    .map(|rep| {
+                                        let key = EgressKey {
+                                            mgid,
+                                            rid: rep.rid,
+                                            in_port: pkt.dst.port,
+                                        };
+                                        (*rep, self.egress.lookup(&key).copied())
+                                    })
+                                    .collect::<Vec<_>>()
+                            });
+                            replicas.clear();
+                            self.replica_scratch = replicas;
+                            c.flows.push((flow, resolved));
+                            c.flows.len() - 1
+                        }
+                    };
+                    // Split the cache borrow from `self`: the list is
+                    // read-only while replicas emit.
+                    let Some(list) = c.flows[at].1.take() else {
+                        self.counters.no_rule_drops += 1;
+                        return;
+                    };
+                    for &(rep, spec) in &list {
+                        let Some(spec) = spec else {
+                            self.counters.no_rule_drops += 1;
+                            continue;
+                        };
+                        // RIDs in the reserved trunk range name remote
+                        // switches: one fabric copy each, re-fanned by
+                        // the remote PRE.
+                        let is_trunk = rep.rid >= TRUNK_RID_BASE;
+                        self.emit_replica(pkt, rtp, spec, is_trunk, sink);
+                    }
+                    c.flows[at].1 = Some(list);
+                    return;
+                }
+                // Sequential path: walk and resolve per packet.
                 let mut replicas = std::mem::take(&mut self.replica_scratch);
-                if self
+                let walked = self
                     .pre
                     .replicate_into(mgid, *l1_xid, *rid, *l2_xid, &mut replicas)
-                    .is_err()
-                {
+                    .is_ok();
+                if !walked {
                     self.replica_scratch = replicas;
                     self.counters.no_rule_drops += 1;
                     return;
@@ -453,7 +668,7 @@ impl ScallopDataPlane {
                     // switches: one fabric copy each, re-fanned by the
                     // remote PRE.
                     let is_trunk = rep.rid >= TRUNK_RID_BASE;
-                    self.emit_replica(pkt, rtp, spec, is_trunk, out);
+                    self.emit_replica(pkt, rtp, spec, is_trunk, sink);
                 }
                 self.replica_scratch = replicas;
             }
@@ -468,7 +683,7 @@ impl ScallopDataPlane {
         rtp: Option<&parser::RtpSummary>,
         spec: EgressSpec,
         is_trunk: bool,
-        out: &mut DataPlaneOutput,
+        sink: &mut EmitSink,
     ) {
         let mut rewritten_seq: Option<u16> = None;
         if let Some(rtp) = rtp {
@@ -523,8 +738,24 @@ impl ScallopDataPlane {
             self.counters.trunk_out_pkts += 1;
             self.counters.trunk_out_bytes += fwd.payload.len() as u64;
         }
-        out.forwards.push(fwd);
+        sink.forwards.push(fwd);
     }
+}
+
+/// Where the pipeline's outputs land. The forwards vector is shared by
+/// both paths; punts differ — the per-packet path clones into
+/// `cpu_copies`, the batch path records an index into the input batch.
+struct EmitSink<'a> {
+    forwards: &'a mut Vec<Packet>,
+    punts: PuntChannel<'a>,
+}
+
+/// CPU-punt channel: clone (per-packet path, keeps the
+/// [`DataPlaneOutput`] contract) or the zero-copy index ring (batch
+/// path).
+enum PuntChannel<'a> {
+    Clone(&'a mut Vec<Packet>),
+    Ring { ring: &'a mut Vec<u32>, index: u32 },
 }
 
 #[cfg(test)]
@@ -822,6 +1053,149 @@ mod tests {
         let out = dp.process(&Packet::new(addr(1, 1), sfu(77), vec![0xFFu8; 8]));
         assert!(out.forwards.is_empty());
         assert_eq!(dp.counters.unknown_drops, 1);
+    }
+
+    /// A deterministic RTP/RTCP/STUN/garbage mix against the
+    /// three-party fixture.
+    fn mixed_traffic() -> Vec<Packet> {
+        let mut pz = Packetizer::new(0xAA, 96, 1200);
+        let mut batch = Vec::new();
+        for (i, tpl) in [1u8, 3, 2, 4, 1, 3].iter().enumerate() {
+            for rtp in video_frame_packets(&mut pz, i as u16, *tpl, i == 0, 1800) {
+                batch.push(Packet::new(addr(1, 4000), sfu(10), rtp.serialize()));
+            }
+        }
+        batch.push(Packet::new(
+            addr(2, 5000),
+            sfu(1002),
+            StunMessage::binding_request([2; 12]).serialize(),
+        ));
+        batch.push(Packet::new(
+            addr(1, 4000),
+            sfu(10),
+            rtcp::serialize(&RtcpPacket::Sr(rtcp::SenderReport {
+                ssrc: 0xAA,
+                ntp_sec: 1,
+                ntp_frac: 2,
+                rtp_ts: 3,
+                packet_count: 4,
+                octet_count: 5,
+                reports: vec![],
+            })),
+        ));
+        batch.push(Packet::new(addr(9, 9), sfu(77), vec![0xFFu8; 16]));
+        batch
+    }
+
+    #[test]
+    fn batch_matches_sequential_path() {
+        let batch = mixed_traffic();
+        let mut seq_dp = three_party_dp(1, true);
+        let mut bat_dp = three_party_dp(1, true);
+
+        let mut seq_fwd = Vec::new();
+        let mut seq_punts = Vec::new();
+        let mut out = DataPlaneOutput::default();
+        for (i, pkt) in batch.iter().enumerate() {
+            seq_dp.process_into(pkt, &mut out);
+            seq_fwd.append(&mut out.forwards);
+            if !out.cpu_copies.is_empty() {
+                seq_punts.push(i as u32);
+            }
+        }
+
+        let mut bout = BatchOutput::default();
+        bat_dp.process_batch(&batch, &mut bout);
+        assert_eq!(bout.forwards, seq_fwd);
+        assert_eq!(bout.cpu_punts, seq_punts);
+        assert_eq!(bat_dp.counters, seq_dp.counters);
+        assert_eq!(bat_dp.max_parse_depth, seq_dp.max_parse_depth);
+        assert!(bout.stats.port_lookups_saved > 0, "repeat ports amortized");
+        assert!(bout.stats.pre_walks_saved > 0, "repeat flows amortized");
+        assert_eq!(bout.stats.batch_pkts, batch.len() as u64);
+    }
+
+    #[test]
+    fn batch_segments_stop_at_punts() {
+        let batch = mixed_traffic();
+        let mut dp = three_party_dp(1, true);
+        let mut whole = BatchOutput::default();
+        dp.process_batch(&batch, &mut whole);
+
+        let mut seg_dp = three_party_dp(1, true);
+        let mut segged = BatchOutput::default();
+        segged.clear();
+        let mut start = 0;
+        let mut segments = 0;
+        while start < batch.len() {
+            start = seg_dp.process_batch_from(&batch, start, true, &mut segged);
+            segments += 1;
+        }
+        assert!(segments > 1, "mix contains punts, so multiple segments");
+        assert_eq!(segged.forwards, whole.forwards);
+        assert_eq!(segged.cpu_punts, whole.cpu_punts);
+        assert_eq!(seg_dp.counters, dp.counters);
+    }
+
+    #[test]
+    fn dense_registers_mirror_the_exact_table() {
+        let mut plain = three_party_dp(1, true);
+        let mut dense = three_party_dp(1, true);
+        dense.enable_dense_ports(0, 2000); // covers ports 10/1002/1003
+        assert_eq!(
+            dense.dense_ports.as_ref().unwrap().occupied(),
+            dense.port_rules.len(),
+            "existing rules copied into the mirror"
+        );
+        // Install/remove after enabling keeps the mirror coherent.
+        dense
+            .install_port_rule(
+                1003,
+                PortRule::ReceiverFeedback {
+                    sender_addr: addr(1, 4000),
+                    forward_src: sfu(10),
+                    remb_allowed: true,
+                    rewrite_index: None,
+                },
+            )
+            .unwrap();
+        plain
+            .install_port_rule(
+                1003,
+                PortRule::ReceiverFeedback {
+                    sender_addr: addr(1, 4000),
+                    forward_src: sfu(10),
+                    remb_allowed: true,
+                    rewrite_index: None,
+                },
+            )
+            .unwrap();
+        let mut batch = mixed_traffic();
+        batch.push(Packet::new(
+            addr(3, 5000),
+            sfu(1003),
+            rtcp::serialize(&RtcpPacket::Pli(Pli {
+                sender_ssrc: 3,
+                media_ssrc: 0xAA,
+            })),
+        ));
+        let mut a = BatchOutput::default();
+        let mut b = BatchOutput::default();
+        plain.process_batch(&batch, &mut a);
+        dense.process_batch(&batch, &mut b);
+        assert_eq!(a.forwards, b.forwards);
+        assert_eq!(a.cpu_punts, b.cpu_punts);
+        assert_eq!(plain.counters, dense.counters);
+        assert!(
+            dense.dense_ports.as_ref().unwrap().dense_lookups > 0,
+            "in-span matches served by the registers"
+        );
+        dense.remove_port_rule(1003);
+        assert_eq!(
+            dense.dense_ports.as_mut().unwrap().lookup(1003),
+            None,
+            "removal clears the mirror slot"
+        );
     }
 
     #[test]

@@ -37,8 +37,10 @@ pub struct TimerToken(pub u64);
 /// Behaviour plugged into the simulator.
 ///
 /// `Any` is a supertrait so harnesses can downcast nodes for inspection
-/// between simulation runs (`Simulator::node_mut`).
-pub trait Node: Any {
+/// between simulation runs (`Simulator::node_mut`); `Send` so
+/// [`parallel_safe`](Node::parallel_safe) nodes can be stepped on worker
+/// threads behind the deterministic wave barrier.
+pub trait Node: Any + Send {
     /// A packet addressed to one of this node's IPs arrived.
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet);
 
@@ -48,13 +50,36 @@ pub trait Node: Any {
     /// Called once when the node is added, with its id and the start time.
     /// Nodes typically schedule their first timers here.
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// A burst of packets all delivered at the same instant. Only called
+    /// for [`parallel_safe`](Node::parallel_safe) nodes; the default
+    /// replays the per-packet path, so batching is purely an
+    /// optimization hook.
+    fn on_batch(&mut self, ctx: &mut Ctx<'_>, pkts: Vec<Packet>) {
+        for pkt in pkts {
+            self.on_packet(ctx, pkt);
+        }
+    }
+
+    /// Opt into same-instant delivery batching (and, when the simulator
+    /// runs multi-worker, parallel stepping). A node may return `true`
+    /// only if its packet handling (a) never calls [`Ctx::send`] from
+    /// `on_packet`/`on_batch` — emission must go through timers — and
+    /// (b) never draws from [`Ctx::rng`] there. Those two rules are what
+    /// make batched delivery (and the worker barrier) event-for-event
+    /// identical to sequential delivery.
+    fn parallel_safe(&self) -> bool {
+        false
+    }
 }
 
 /// The node-facing API surface for interacting with the world.
 pub struct Ctx<'a> {
     now: SimTime,
     self_id: NodeId,
-    rng: &'a mut DetRng,
+    /// `None` while stepping a parallel batch: the shared deterministic
+    /// stream cannot be split across workers.
+    rng: Option<&'a mut DetRng>,
     outbox: &'a mut Vec<Packet>,
     timers: &'a mut Vec<(SimTime, TimerToken)>,
 }
@@ -82,9 +107,12 @@ impl<'a> Ctx<'a> {
     }
 
     /// Deterministic randomness (shared stream, draws are part of the
-    /// simulation's reproducible state).
+    /// simulation's reproducible state). Panics inside a parallel batch:
+    /// [`Node::parallel_safe`] nodes promised not to draw.
     pub fn rng(&mut self) -> &mut DetRng {
         self.rng
+            .as_deref_mut()
+            .expect("ctx.rng() is unavailable in a batched wave: parallel_safe nodes must not draw randomness")
     }
 }
 
@@ -130,6 +158,47 @@ struct NodeSlot {
     node: Option<Box<dyn Node>>,
     uplink: Link,
     downlink: Link,
+    /// Cached [`Node::parallel_safe`] (consulted on every delivery).
+    parallel_safe: bool,
+}
+
+/// One node's share of a delivery wave: its batch of same-instant
+/// packets plus the private side-effect buffers its `on_batch` fills.
+/// Jobs are farmed to worker threads; effects are applied afterwards in
+/// pop order, which is what keeps N-worker runs bit-identical to
+/// single-worker ones.
+struct WaveJob {
+    id: NodeId,
+    node: Box<dyn Node>,
+    pkts: Vec<Packet>,
+    outbox: Vec<Packet>,
+    timers: Vec<(SimTime, TimerToken)>,
+}
+
+impl WaveJob {
+    fn run(&mut self, now: SimTime) {
+        let mut ctx = Ctx {
+            now,
+            self_id: self.id,
+            rng: None,
+            outbox: &mut self.outbox,
+            timers: &mut self.timers,
+        };
+        self.node.on_batch(&mut ctx, std::mem::take(&mut self.pkts));
+    }
+}
+
+/// Read the worker count from `SCALLOP_WORKERS` (default 1). Harnesses
+/// and benches call this so one environment variable turns on the
+/// multi-worker edge mode everywhere.
+pub fn workers_from_env() -> usize {
+    match std::env::var("SCALLOP_WORKERS") {
+        Err(_) => 1,
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("SCALLOP_WORKERS must be a positive integer, got {raw:?}"),
+        },
+    }
 }
 
 /// Statistics for a whole simulation run.
@@ -153,6 +222,9 @@ pub struct Simulator {
     now: SimTime,
     seq: u64,
     rng: DetRng,
+    /// Worker threads for stepping `parallel_safe` node batches (1 =
+    /// in-place, no threads).
+    workers: usize,
     /// Run-level statistics.
     pub stats: SimStats,
     /// Optional packet trace capture (records every node delivery).
@@ -169,6 +241,7 @@ impl Simulator {
             now: SimTime::ZERO,
             seq: 0,
             rng: DetRng::new(seed),
+            workers: 1,
             stats: SimStats::default(),
             trace: TraceSink::disabled(),
         }
@@ -177,6 +250,20 @@ impl Simulator {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Set the worker-thread count for batched waves. Any `n` produces
+    /// bit-identical runs (side effects are applied in pop order at the
+    /// wave barrier); `n > 1` merely steps independent edge switches
+    /// concurrently.
+    pub fn set_workers(&mut self, n: usize) {
+        assert!(n >= 1, "worker count must be at least 1");
+        self.workers = n;
+    }
+
+    /// Current worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Add a node with the given access-link pair and owned IPs. The node's
@@ -189,10 +276,12 @@ impl Simulator {
         downlink: LinkConfig,
     ) -> NodeId {
         let id = NodeId(self.nodes.len());
+        let parallel_safe = node.parallel_safe();
         self.nodes.push(NodeSlot {
             node: Some(node),
             uplink: Link::new(uplink),
             downlink: Link::new(downlink),
+            parallel_safe,
         });
         for ip in ips {
             let prev = self.routes.insert(*ip, id);
@@ -272,7 +361,7 @@ impl Simulator {
             let mut ctx = Ctx {
                 now: self.now,
                 self_id: id,
-                rng: &mut self.rng,
+                rng: Some(&mut self.rng),
                 outbox: &mut outbox,
                 timers: &mut timers,
             };
@@ -299,7 +388,14 @@ impl Simulator {
             .uplink
             .offer(now, wire, &mut self.rng);
         match verdict {
-            LinkVerdict::Deliver { at, duplicate_at } => {
+            // The packet is moved on the common (no-duplicate) path and
+            // cloned only when the link actually schedules a duplicate;
+            // the primary is always pushed first so event sequencing is
+            // unchanged.
+            LinkVerdict::Deliver {
+                at,
+                duplicate_at: Some(dup_at),
+            } => {
                 self.push(
                     at,
                     EventKind::DownlinkAdmit {
@@ -307,9 +403,13 @@ impl Simulator {
                         pkt: pkt.clone(),
                     },
                 );
-                if let Some(dup_at) = duplicate_at {
-                    self.push(dup_at, EventKind::DownlinkAdmit { dst, pkt });
-                }
+                self.push(dup_at, EventKind::DownlinkAdmit { dst, pkt });
+            }
+            LinkVerdict::Deliver {
+                at,
+                duplicate_at: None,
+            } => {
+                self.push(at, EventKind::DownlinkAdmit { dst, pkt });
             }
             LinkVerdict::Drop(_) => {
                 self.stats.packets_dropped += 1;
@@ -334,7 +434,12 @@ impl Simulator {
                 let now = self.now;
                 let verdict = self.nodes[dst.0].downlink.offer(now, wire, &mut self.rng);
                 match verdict {
-                    LinkVerdict::Deliver { at, duplicate_at } => {
+                    // Move unless a duplicate is actually scheduled
+                    // (primary pushed first, as in `transmit`).
+                    LinkVerdict::Deliver {
+                        at,
+                        duplicate_at: Some(dup_at),
+                    } => {
                         self.push(
                             at,
                             EventKind::Deliver {
@@ -342,9 +447,13 @@ impl Simulator {
                                 pkt: pkt.clone(),
                             },
                         );
-                        if let Some(dup_at) = duplicate_at {
-                            self.push(dup_at, EventKind::Deliver { dst, pkt });
-                        }
+                        self.push(dup_at, EventKind::Deliver { dst, pkt });
+                    }
+                    LinkVerdict::Deliver {
+                        at,
+                        duplicate_at: None,
+                    } => {
+                        self.push(at, EventKind::Deliver { dst, pkt });
                     }
                     LinkVerdict::Drop(_) => {
                         self.stats.packets_dropped += 1;
@@ -352,19 +461,120 @@ impl Simulator {
                 }
             }
             EventKind::Deliver { dst, pkt } => {
-                self.stats.packets_delivered += 1;
-                self.trace.record(TraceRecord {
-                    at: self.now,
-                    src: pkt.src,
-                    dst: pkt.dst,
-                    payload_bytes: pkt.payload_len(),
-                    wire_bytes: pkt.wire_len(),
-                    direction: TraceDirection::Delivered,
-                });
-                self.invoke(dst, |n, ctx| n.on_packet(ctx, pkt));
+                self.record_delivery(&pkt);
+                if self.nodes[dst.0].parallel_safe {
+                    self.deliver_wave(dst, pkt);
+                } else {
+                    self.invoke(dst, |n, ctx| n.on_packet(ctx, pkt));
+                }
             }
         }
         true
+    }
+
+    fn record_delivery(&mut self, pkt: &Packet) {
+        self.stats.packets_delivered += 1;
+        self.trace.record(TraceRecord {
+            at: self.now,
+            src: pkt.src,
+            dst: pkt.dst,
+            payload_bytes: pkt.payload_len(),
+            wire_bytes: pkt.wire_len(),
+            direction: TraceDirection::Delivered,
+        });
+    }
+
+    /// Deliver a *wave*: the popped packet plus every consecutive
+    /// queue-front `Deliver` event at the same instant whose target is
+    /// `parallel_safe`, drained into per-node batches. Each node gets at
+    /// most one batch per wave (a node reappearing after its batch
+    /// closed ends the wave), node code runs with no access to the
+    /// shared rng, and side effects are applied at the barrier in pop
+    /// order — so the pushed event sequence, and therefore the whole
+    /// run, is identical to per-packet delivery regardless of the
+    /// worker count.
+    fn deliver_wave(&mut self, first_dst: NodeId, first_pkt: Packet) {
+        let at = self.now;
+        let mut runs: Vec<(NodeId, Vec<Packet>)> = vec![(first_dst, vec![first_pkt])];
+        loop {
+            // Decide from the queue front whether the wave extends.
+            let dst = match self.queue.peek() {
+                Some(ev) if ev.at == at => match &ev.kind {
+                    EventKind::Deliver { dst, .. } if self.nodes[dst.0].parallel_safe => {
+                        let dst = *dst;
+                        let open = runs.last().expect("wave is non-empty").0;
+                        if dst == open || !runs.iter().any(|(n, _)| *n == dst) {
+                            Some(dst)
+                        } else {
+                            None // second batch for a node: next wave
+                        }
+                    }
+                    _ => None,
+                },
+                _ => None,
+            };
+            let Some(dst) = dst else { break };
+            let ev = self.queue.pop().expect("peeked event vanished");
+            self.stats.events += 1;
+            let EventKind::Deliver { pkt, .. } = ev.kind else {
+                unreachable!("peek/pop mismatch");
+            };
+            self.record_delivery(&pkt);
+            let open = runs.last_mut().expect("wave is non-empty");
+            if open.0 == dst {
+                open.1.push(pkt);
+            } else {
+                runs.push((dst, vec![pkt]));
+            }
+        }
+        let mut jobs: Vec<WaveJob> = runs
+            .into_iter()
+            .map(|(id, pkts)| WaveJob {
+                id,
+                node: self.nodes[id.0]
+                    .node
+                    .take()
+                    .expect("re-entrant node invocation"),
+                pkts,
+                outbox: Vec::new(),
+                timers: Vec::new(),
+            })
+            .collect();
+        let now = self.now;
+        let workers = self.workers.min(jobs.len());
+        if workers <= 1 {
+            for job in &mut jobs {
+                job.run(now);
+            }
+        } else {
+            let chunk = jobs.len().div_ceil(workers);
+            std::thread::scope(|s| {
+                for slice in jobs.chunks_mut(chunk) {
+                    s.spawn(move || {
+                        for job in slice {
+                            job.run(now);
+                        }
+                    });
+                }
+            });
+        }
+        // Barrier: restore nodes, then apply side effects in pop order
+        // (timers before sends, exactly like `invoke`).
+        for job in jobs {
+            self.nodes[job.id.0].node = Some(job.node);
+            for (at, token) in job.timers {
+                self.push(
+                    at,
+                    EventKind::Timer {
+                        node: job.id,
+                        token,
+                    },
+                );
+            }
+            for pkt in job.outbox {
+                self.transmit(job.id, pkt);
+            }
+        }
     }
 
     /// Run until the queue drains or `deadline` is reached. The clock is
@@ -547,6 +757,98 @@ mod tests {
         let (b, eb) = run();
         assert_eq!(a, b);
         assert_eq!(ea, eb);
+    }
+
+    /// Parallel-safe echo: batches same-instant deliveries, stages the
+    /// replies, and emits them from a flush timer (the only legal
+    /// emission path for `parallel_safe` nodes).
+    struct BatchEcho {
+        staged: Vec<Packet>,
+        batch_sizes: Vec<usize>,
+    }
+
+    impl Node for BatchEcho {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+            self.staged.push(pkt.readdressed(pkt.dst, pkt.src));
+            ctx.schedule(SimDuration::from_micros(10), TimerToken(1));
+        }
+        fn on_batch(&mut self, ctx: &mut Ctx<'_>, pkts: Vec<Packet>) {
+            self.batch_sizes.push(pkts.len());
+            for pkt in pkts {
+                self.on_packet(ctx, pkt);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerToken) {
+            for pkt in self.staged.drain(..) {
+                ctx.send(pkt);
+            }
+        }
+        fn parallel_safe(&self) -> bool {
+            true
+        }
+    }
+
+    /// Sends 3 packets to each of two batch echoes in one burst.
+    struct Burster {
+        me: HostAddr,
+        targets: Vec<HostAddr>,
+        echoes: Vec<(SimTime, HostAddr)>,
+    }
+
+    impl Node for Burster {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.schedule(SimDuration::from_millis(1), TimerToken(0));
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+            self.echoes.push((ctx.now(), pkt.src));
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerToken) {
+            for &t in &self.targets {
+                for _ in 0..3 {
+                    ctx.send(Packet::new(self.me, t, vec![0u8; 64]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn waves_batch_same_instant_deliveries_identically_across_workers() {
+        let cfg = LinkConfig::infinite(SimDuration::from_millis(2));
+        let run = |workers: usize| {
+            let mut sim = Simulator::new(7);
+            sim.set_workers(workers);
+            let mk = || {
+                Box::new(BatchEcho {
+                    staged: vec![],
+                    batch_sizes: vec![],
+                })
+            };
+            let a = sim.add_node(mk(), &[ip(2)], cfg, cfg);
+            let b = sim.add_node(mk(), &[ip(3)], cfg, cfg);
+            let burster = sim.add_node(
+                Box::new(Burster {
+                    me: HostAddr::new(ip(1), 4000),
+                    targets: vec![HostAddr::new(ip(2), 5000), HostAddr::new(ip(3), 5000)],
+                    echoes: vec![],
+                }),
+                &[ip(1)],
+                cfg,
+                cfg,
+            );
+            sim.run_until(SimTime::from_secs(1));
+            let sizes_a = sim.node_mut::<BatchEcho>(a).unwrap().batch_sizes.clone();
+            let sizes_b = sim.node_mut::<BatchEcho>(b).unwrap().batch_sizes.clone();
+            let echoes = sim.node_mut::<Burster>(burster).unwrap().echoes.clone();
+            (sizes_a, sizes_b, echoes, sim.stats.events)
+        };
+        let (a1, b1, e1, ev1) = run(1);
+        assert_eq!(a1, vec![3], "burst to one node arrives as one batch");
+        assert_eq!(b1, vec![3]);
+        assert_eq!(e1.len(), 6, "all replies make it back");
+        for workers in [2, 4] {
+            let (a, b, e, ev) = run(workers);
+            assert_eq!((a, b, e, ev), (a1.clone(), b1.clone(), e1.clone(), ev1));
+        }
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! Batch-path equivalence: the batched forwarding engine must be a
+//! pure optimization.
+//!
+//! Three layers of teeth:
+//!
+//! 1. **Data plane**: `process_batch` over a mixed RTP/RTCP/STUN/
+//!    unknown burst produces byte-identical forwards, the same punts
+//!    (as ring indices), and identical counters to N sequential
+//!    `process_into` calls — handcrafted mixes and proptest-randomized
+//!    batches alike, with dense SoA registers enabled on the batched
+//!    side only (so the test also proves dense == exact-table).
+//! 2. **Fabric**: a multi-worker harness run reproduces the
+//!    single-worker run exactly (the wave barrier is deterministic).
+//! 3. **Baselines**: the live fabric slice reproduces the checked-in
+//!    `results/fig20_21_fabric_slice.json` byte-for-byte regardless of
+//!    `SCALLOP_WORKERS` — CI runs this suite under `SCALLOP_WORKERS=4`.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use scallop::core::agent::{JoinGrant, SwitchAgent};
+use scallop::core::harness::{HarnessConfig, ScallopHarness};
+use scallop::dataplane::batch::BatchOutput;
+use scallop::dataplane::seqrewrite::SeqRewriteMode;
+use scallop::dataplane::switch::{DataPlaneOutput, ScallopDataPlane};
+use scallop::media::encoder::{EncodedFrame, FrameLabelCompact};
+use scallop::media::packetizer::Packetizer;
+use scallop::netsim::packet::{HostAddr, Packet};
+use scallop::netsim::time::SimTime;
+use scallop::workload::campus::{CampusModel, CampusParams};
+use scallop_bench::baseline::parse_numeric_objects;
+use scallop_bench::fabric::{peak_time, run_fabric_slice};
+use std::net::Ipv4Addr;
+
+const PORT_BASE: u16 = 10_000;
+const PORT_LIMIT: u16 = 12_000;
+
+/// An n-party all-sending meeting built through the real agent; the
+/// same construction on every call, so two calls yield identical rule
+/// tables.
+fn meeting(n: usize) -> (ScallopDataPlane, SwitchAgent, Vec<(HostAddr, JoinGrant)>) {
+    let mut dp = ScallopDataPlane::new(SeqRewriteMode::LowRetransmission);
+    let mut agent =
+        SwitchAgent::new(Ipv4Addr::new(10, 0, 0, 100)).with_port_range(PORT_BASE, PORT_LIMIT);
+    let m = agent.create_meeting();
+    let mut members = Vec::new();
+    for i in 0..n {
+        let addr = HostAddr::new(Ipv4Addr::new(10, 9, 0, (i + 1) as u8), 5000);
+        let g = agent.join(&mut dp, m, addr, true);
+        members.push((addr, g));
+    }
+    (dp, agent, members)
+}
+
+fn video_bytes(ssrc: u32, seq: u16, template_id: u8, is_key: bool) -> Vec<u8> {
+    let mut pz = Packetizer::new(ssrc, 96, 1200);
+    pz.set_next_seq(seq);
+    let frames = pz.packetize(&EncodedFrame {
+        frame_number: seq,
+        label: FrameLabelCompact {
+            temporal_id: match template_id {
+                0 | 1 => 0,
+                2 => 1,
+                _ => 2,
+            },
+            template_id,
+            is_key,
+        },
+        size_bytes: 900,
+        captured_at: SimTime::ZERO,
+        rtp_timestamp: seq as u32 * 3000,
+    });
+    frames[0].serialize()
+}
+
+/// Run the same batch through both entry points on identically-built
+/// data planes (dense registers on the batched one) and assert full
+/// equivalence: forwards, punt ring, counters, parse depth.
+fn assert_equivalent(pkts: &[Packet], parties: usize) {
+    let (mut seq_dp, _, _) = meeting(parties);
+    let (mut bat_dp, _, _) = meeting(parties);
+    bat_dp.enable_dense_ports(PORT_BASE, PORT_LIMIT);
+
+    let mut seq_fwd = Vec::new();
+    let mut seq_punts = Vec::new();
+    let mut out = DataPlaneOutput::default();
+    for (i, pkt) in pkts.iter().enumerate() {
+        seq_dp.process_into(pkt, &mut out);
+        seq_fwd.append(&mut out.forwards);
+        if !out.cpu_copies.is_empty() {
+            seq_punts.push(i as u32);
+        }
+    }
+
+    let mut bout = BatchOutput::default();
+    bat_dp.process_batch(pkts, &mut bout);
+
+    assert_eq!(bout.forwards, seq_fwd, "forwarded packets diverged");
+    assert_eq!(bout.cpu_punts, seq_punts, "punt ring diverged");
+    assert_eq!(bat_dp.counters, seq_dp.counters, "counters diverged");
+    assert_eq!(
+        bat_dp.max_parse_depth, seq_dp.max_parse_depth,
+        "parse depth diverged"
+    );
+}
+
+#[test]
+fn mixed_traffic_batch_matches_sequential() {
+    let (_, agent, members) = meeting(6);
+    let mut pkts = Vec::new();
+    // Multi-packet flows from every sender: repeats exercise the port
+    // and flow caches; the key frame's extended DD punts mid-batch.
+    for round in 0..4u16 {
+        for (i, (addr, grant)) in members.iter().enumerate() {
+            let template = [1u8, 3, 2, 4][(round as usize + i) % 4];
+            let is_key = round == 0 && i == 2;
+            for burst in 0..3u16 {
+                pkts.push(Packet::new(
+                    *addr,
+                    grant.video_uplink,
+                    video_bytes(
+                        0x1000 + i as u32,
+                        round * 8 + burst,
+                        if is_key { 0 } else { template },
+                        is_key,
+                    ),
+                ));
+            }
+        }
+        // STUN probe (punts) and an unparseable packet (drops).
+        pkts.push(Packet::new(
+            members[0].0,
+            HostAddr::new(Ipv4Addr::new(10, 0, 0, 100), PORT_BASE),
+            scallop::proto::stun::StunMessage::binding_request([round as u8; 12]).serialize(),
+        ));
+        pkts.push(Packet::new(
+            members[0].0,
+            HostAddr::new(Ipv4Addr::new(10, 0, 0, 100), PORT_BASE + 3),
+            vec![0xFF; 16],
+        ));
+        // Feedback traffic: receiver 1 NACKs sender 0.
+        let s0 = members[0].0;
+        if let Some(fb) = agent.video_pair_addr(members[0].1.participant, members[1].1.participant)
+        {
+            let nack = scallop::proto::rtcp::serialize(&scallop::proto::rtcp::RtcpPacket::Nack(
+                scallop::proto::rtcp::Nack {
+                    sender_ssrc: 2,
+                    media_ssrc: 0x1000,
+                    entries: vec![(round, 0)],
+                },
+            ));
+            pkts.push(Packet::new(s0, fb, nack));
+        }
+    }
+    assert_equivalent(&pkts, 6);
+}
+
+#[test]
+fn bench_smoke_runner_reports_equivalent() {
+    let (report, _) = scallop_bench::dataplane::run_batch_smoke(10, 4);
+    assert_eq!(report.equivalent, 1);
+    assert!(report.port_lookups_saved > 0, "port cache never hit");
+    assert!(report.pre_walks_saved > 0, "flow cache never hit");
+    assert!(report.egress_lookups_saved > 0, "egress replay never hit");
+    assert!(report.dense_lookups > 0, "dense registers never hit");
+}
+
+/// One randomized packet: who sends, what kind, and the knobs the
+/// parser/match pipeline branches on.
+#[derive(Debug, Clone)]
+enum Gen {
+    Video {
+        sender: usize,
+        seq: u16,
+        template: u8,
+        is_key: bool,
+    },
+    Stun {
+        port_off: u16,
+    },
+    Garbage {
+        port_off: u16,
+        bytes: Vec<u8>,
+    },
+}
+
+fn arb_pkt(parties: usize) -> impl Strategy<Value = Gen> {
+    let video = || {
+        (0..parties, any::<u16>(), 0u8..5, any::<bool>()).prop_map(
+            |(sender, seq, template, is_key)| Gen::Video {
+                sender,
+                seq,
+                template,
+                is_key,
+            },
+        )
+    };
+    prop_oneof![
+        // The vendored proptest's Union is unweighted; repeating the
+        // video arm biases the mix toward media like a real burst.
+        video(),
+        video(),
+        video(),
+        (0u16..64).prop_map(|port_off| Gen::Stun { port_off }),
+        ((0u16..64), pvec(any::<u8>(), 0..40))
+            .prop_map(|(port_off, bytes)| Gen::Garbage { port_off, bytes }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any batch of randomized video/STUN/garbage traffic — valid and
+    /// invalid ports, key frames that punt, templates across all
+    /// tiers — is processed identically by both paths.
+    #[test]
+    fn random_batches_are_equivalent(gens in pvec(arb_pkt(5), 1..80)) {
+        let (_, _, members) = meeting(5);
+        let pkts: Vec<Packet> = gens
+            .iter()
+            .map(|g| match g {
+                Gen::Video { sender, seq, template, is_key } => Packet::new(
+                    members[*sender].0,
+                    members[*sender].1.video_uplink,
+                    video_bytes(0x1000 + *sender as u32, *seq, *template, *is_key),
+                ),
+                Gen::Stun { port_off } => Packet::new(
+                    members[0].0,
+                    HostAddr::new(Ipv4Addr::new(10, 0, 0, 100), PORT_BASE + port_off),
+                    scallop::proto::stun::StunMessage::binding_request([7; 12]).serialize(),
+                ),
+                Gen::Garbage { port_off, bytes } => Packet::new(
+                    members[0].0,
+                    HostAddr::new(Ipv4Addr::new(10, 0, 0, 100), PORT_BASE + port_off),
+                    bytes.clone(),
+                ),
+            })
+            .collect();
+        assert_equivalent(&pkts, 5);
+    }
+}
+
+#[test]
+fn multi_worker_harness_matches_single_worker() {
+    let run = |workers: usize| {
+        let mut h = ScallopHarness::new(
+            HarnessConfig::default()
+                .participants(12)
+                .senders(4)
+                .switches(3)
+                .cores(1)
+                .seed(7)
+                .workers(workers),
+        );
+        let r = h.run_for_secs(3.0);
+        (format!("{r:?}"), h.total_counters())
+    };
+    let (report1, counters1) = run(1);
+    for workers in [2, 4] {
+        let (report_n, counters_n) = run(workers);
+        assert_eq!(report_n, report1, "{workers}-worker report diverged");
+        assert_eq!(counters_n, counters1, "{workers}-worker counters diverged");
+    }
+}
+
+#[test]
+fn fabric_slice_reproduces_checked_in_baseline() {
+    // Same configuration as `bench_smoke` and the fig20/21 binary; the
+    // simulator honors SCALLOP_WORKERS, so running this test under
+    // `SCALLOP_WORKERS=4` (as CI does) proves the multi-worker edge
+    // mode reproduces the single-worker baseline byte-for-byte.
+    let params = CampusParams::default();
+    let population = CampusModel::new(params, 0x7AB20).generate();
+    let bin = scallop::netsim::time::SimDuration::from_secs(600);
+    let (meetings, _) = CampusModel::concurrency_series(&population, bin);
+    let peak_t = peak_time(&meetings);
+    let slice = run_fabric_slice(&population, &params, peak_t, 4, 4, 2.0);
+
+    let text = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("results/fig20_21_fabric_slice.json"),
+    )
+    .expect("checked-in baseline exists");
+    let baseline = parse_numeric_objects(&text);
+    assert_eq!(baseline.len(), slice.edge_rows.len());
+    for (row, base) in slice.edge_rows.iter().zip(&baseline) {
+        let field = |k: &str| base.get(k).copied().unwrap_or(f64::NAN);
+        assert_eq!(row.edge as f64, field("edge"));
+        assert_eq!(
+            row.meetings_homed as f64,
+            field("meetings_homed"),
+            "edge {}",
+            row.edge
+        );
+        assert_eq!(
+            row.rtp_in_pkts as f64,
+            field("rtp_in_pkts"),
+            "edge {}",
+            row.edge
+        );
+        assert_eq!(
+            row.forwarded_pkts as f64,
+            field("forwarded_pkts"),
+            "edge {}",
+            row.edge
+        );
+        assert_eq!(
+            row.trunk_out_pkts as f64,
+            field("trunk_out_pkts"),
+            "edge {}",
+            row.edge
+        );
+        assert_eq!(
+            row.trunk_in_pkts as f64,
+            field("trunk_in_pkts"),
+            "edge {}",
+            row.edge
+        );
+    }
+}
