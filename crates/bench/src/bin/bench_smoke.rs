@@ -2,11 +2,13 @@
 //!
 //! Re-runs the deterministic campus-fabric slice (the live part of
 //! Figs. 20/21), the churn/migration phase, the Fig. 15 scalability
-//! sweep, and the batched data-plane smoke in a cheap configuration;
-//! writes `results/BENCH_fabric.json`, `results/BENCH_scale.json`, and
-//! `results/BENCH_dataplane.json` (wall-time + trunk-byte metrics,
-//! uploaded as CI artifacts); and **fails** (exit 1) when a key metric
-//! drifts more than 20 % from the checked-in `results/` baselines:
+//! sweep, the batched data-plane smoke, and the flash-crowd/webinar
+//! control-plane compilation smoke in a cheap configuration; writes
+//! `results/BENCH_fabric.json`, `results/BENCH_scale.json`,
+//! `results/BENCH_dataplane.json`, and `results/BENCH_control.json`
+//! (wall-time + trunk-byte + flow-mod metrics, uploaded as CI
+//! artifacts); and **fails** (exit 1) when a key metric drifts more
+//! than 20 % from the checked-in `results/` baselines:
 //!
 //! * `results/fig20_21_fabric_slice.json` — trunk/forwarding packet
 //!   counts of the fabric slice,
@@ -18,6 +20,7 @@
 //! metrics are deterministic and gate exactly.
 
 use scallop_bench::baseline::{max_field, parse_numeric_objects, sum_field, Gate};
+use scallop_bench::control::run_control_smoke;
 use scallop_bench::dataplane::run_batch_smoke;
 use scallop_bench::fabric::{peak_time, run_churn_phase, run_fabric_slice, run_wan_slice};
 use scallop_bench::scale::scalability_rows;
@@ -249,6 +252,30 @@ fn main() {
     write_json("BENCH_dataplane", &[&batch]);
 
     // ------------------------------------------------------------- //
+    section("bench-smoke: control-plane compilation");
+    let t0 = Instant::now();
+    let control_rows = run_control_smoke(SHARDS);
+    kv("control wall time (ms)", t0.elapsed().as_millis() as u64);
+    let scenario_name = |s: u64| if s == 0 { "flash crowd" } else { "webinar" };
+    for row in &control_rows {
+        let name = scenario_name(row.scenario);
+        kv(
+            &format!("{name}: joins (senders) / edges"),
+            format!("{} ({}) / {}", row.joins, row.senders, row.edges),
+        );
+        kv(
+            &format!("{name}: installs incr / batch / full"),
+            format!(
+                "{} / {} / {}",
+                row.incr_installs, row.batch_installs, row.full_installs
+            ),
+        );
+        kv(&format!("{name}: grafted joins"), row.incr_grafts);
+    }
+    let control_baseline = read_baseline("BENCH_control");
+    write_json("BENCH_control", &control_rows);
+
+    // ------------------------------------------------------------- //
     section("regression gate (>20% drift vs checked-in results/)");
     match read_baseline("fig20_21_fabric_slice") {
         Some(base) => {
@@ -473,6 +500,58 @@ fn main() {
         None => gate
             .failures
             .push("missing baseline results/BENCH_wan.json".into()),
+    }
+    // Control-plane compilation invariants: the delta compiler must be
+    // a pure optimization (byte-identical final state), bill O(1)
+    // flow-mods per join, and beat the per-join rebuild baseline on the
+    // storm by the headline factor.
+    for row in &control_rows {
+        let name = scenario_name(row.scenario);
+        gate.check(
+            &format!("control {name}: delta compile equals full rebuild"),
+            row.equivalent == 1,
+            "final data-plane state diverged between compile paths".into(),
+        );
+        gate.check(
+            &format!("control {name}: batched admission equals its rebuild reference"),
+            row.batch_equivalent == 1,
+            "batched admission compiled different state".into(),
+        );
+        gate.check(
+            &format!("control {name}: installs stay O(1) per join"),
+            row.incr_installs <= 16 * row.joins,
+            format!("{} installs for {} joins", row.incr_installs, row.joins),
+        );
+    }
+    gate.check(
+        "control storm: rebuilds bill >= 5x the incremental path",
+        control_rows[0].full_installs >= 5 * control_rows[0].incr_installs,
+        format!(
+            "{} full-rebuild installs vs {} incremental",
+            control_rows[0].full_installs, control_rows[0].incr_installs
+        ),
+    );
+    match control_baseline {
+        Some(base) => {
+            gate.check_within(
+                "control: incremental installs",
+                sum_field(&base, "incr_installs"),
+                control_rows.iter().map(|r| r.incr_installs).sum::<u64>() as f64,
+            );
+            gate.check_within(
+                "control: full-rebuild installs",
+                sum_field(&base, "full_installs"),
+                control_rows.iter().map(|r| r.full_installs).sum::<u64>() as f64,
+            );
+            gate.check_within(
+                "control: batched installs",
+                sum_field(&base, "batch_installs"),
+                control_rows.iter().map(|r| r.batch_installs).sum::<u64>() as f64,
+            );
+        }
+        None => gate
+            .failures
+            .push("missing baseline results/BENCH_control.json".into()),
     }
 
     if gate.passed() {

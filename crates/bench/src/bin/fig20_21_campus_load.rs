@@ -122,6 +122,13 @@ fn main() {
         "signaling exchanges (all shards)",
         slice.signaling_exchanges,
     );
+    kv(
+        "flow-mods compiling the slice (installs / removals / trees)",
+        format!(
+            "{} / {} / {}",
+            slice.rule_installs, slice.rule_removals, slice.tree_allocs
+        ),
+    );
 
     series_table(
         &[

@@ -76,6 +76,12 @@ pub struct FabricSliceReport {
     pub join_forwards: u64,
     /// Signaling transactions served, summed over all shards.
     pub signaling_exchanges: u64,
+    /// Flow-mod installs compiling the slice cost, summed over edges.
+    pub rule_installs: u64,
+    /// Flow-mod removals, summed over edges.
+    pub rule_removals: u64,
+    /// PRE trees allocated, summed over edges.
+    pub tree_allocs: u64,
 }
 
 /// Replay a sample of the peak bin's meetings over a real
@@ -146,8 +152,12 @@ pub fn run_fabric_slice(
     sim.run_for(SimDuration::from_secs_f64(run_secs));
 
     let mut edge_rows = Vec::new();
+    let (mut rule_installs, mut rule_removals, mut tree_allocs) = (0u64, 0u64, 0u64);
     for (e, &homed) in meetings_homed.iter().enumerate() {
         let c = fabric.edge_counters(&mut sim, e);
+        rule_installs += c.rule_installs;
+        rule_removals += c.rule_removals;
+        tree_allocs += c.tree_allocs;
         edge_rows.push(EdgeRow {
             edge: e,
             meetings_homed: homed,
@@ -179,6 +189,9 @@ pub fn run_fabric_slice(
         shard_meetings: controller.meetings_per_shard(),
         join_forwards: controller.forward_total(),
         signaling_exchanges: controller.signaling_exchanges(),
+        rule_installs,
+        rule_removals,
+        tree_allocs,
     }
 }
 

@@ -27,12 +27,15 @@
 //!
 //! The `bench_smoke` binary is the CI regression gate: it re-runs the
 //! deterministic campus-fabric slice ([`fabric`]), the churn/migration
-//! phase, and the Fig. 15 sweep ([`scale`]), writes `BENCH_fabric.json`
-//! / `BENCH_scale.json` (wall-time + trunk-byte metrics) for artifact
-//! upload, and fails when key metrics drift more than 20 % from the
-//! checked-in `results/` baselines ([`baseline`]).
+//! phase, the Fig. 15 sweep ([`scale`]), the batched data-plane smoke
+//! ([`dataplane`]), and the flash-crowd/webinar control-plane
+//! compilation smoke ([`control`]); writes `BENCH_fabric.json` /
+//! `BENCH_scale.json` / `BENCH_dataplane.json` / `BENCH_control.json`
+//! for artifact upload; and fails when key metrics drift more than
+//! 20 % from the checked-in `results/` baselines ([`baseline`]).
 
 pub mod baseline;
+pub mod control;
 pub mod dataplane;
 pub mod fabric;
 pub mod scale;

@@ -173,6 +173,12 @@ pub struct AgentCounters {
     /// Fabric-wide aggregate REMBs emitted toward local senders (home
     /// edge min-filter over per-edge estimates).
     pub rembs_aggregated: u64,
+    /// Joins compiled incrementally (grafted onto the installed trees
+    /// instead of a full rebuild).
+    pub graft_joins: u64,
+    /// Leaves compiled incrementally (pruned from the installed trees
+    /// instead of a full rebuild).
+    pub prune_leaves: u64,
 }
 
 #[derive(Debug)]
@@ -299,8 +305,26 @@ pub struct SwitchAgent {
     rar_half: Vec<HalfTree>,
     policy: AdaptationPolicy,
     ewma_alpha: f64,
+    /// Compile membership changes incrementally (graft/prune deltas)
+    /// when the installed design holds. Disabled, every change
+    /// recompiles the whole meeting — the pre-delta behaviour, kept as
+    /// the reference for the compile-equivalence suite and as the bench
+    /// baseline.
+    incremental: bool,
     /// Telemetry.
     pub counters: AgentCounters,
+}
+
+/// Take the smallest id off a free list. Reuse must be a function of
+/// the free *set*, never the release *order*: teardown retires ids
+/// while iterating hash maps whose order varies per instance, and the
+/// delta and full-rebuild compile paths retire in different sequences
+/// anyway — LIFO reuse would hand later joins different ids on each
+/// path, breaking compile-path equivalence on state that is otherwise
+/// byte-identical.
+fn take_min<T: Ord + Copy>(free: &mut Vec<T>) -> Option<T> {
+    let (i, _) = free.iter().enumerate().min_by_key(|&(_, v)| *v)?;
+    Some(free.swap_remove(i))
 }
 
 impl SwitchAgent {
@@ -330,8 +354,16 @@ impl SwitchAgent {
             // adaptation is to shed layers *before* the receiver's queue
             // overflows (§5.3).
             ewma_alpha: 0.5,
+            incremental: true,
             counters: AgentCounters::default(),
         }
+    }
+
+    /// Toggle incremental (delta) compilation. `false` restores the
+    /// from-scratch full rebuild on every membership change — the
+    /// compile-equivalence reference and the flash-crowd bench baseline.
+    pub fn set_incremental_compile(&mut self, on: bool) {
+        self.incremental = on;
     }
 
     /// Builder: allocate SFU ports from `[base, limit)` instead of
@@ -402,7 +434,7 @@ impl SwitchAgent {
     }
 
     fn alloc_port(&mut self, usage: PortUse) -> u16 {
-        let p = self.free_ports.pop().unwrap_or_else(|| {
+        let p = take_min(&mut self.free_ports).unwrap_or_else(|| {
             let p = self.next_port;
             assert!(
                 p < self.port_limit,
@@ -426,7 +458,7 @@ impl SwitchAgent {
     }
 
     fn alloc_mgid(&mut self) -> u16 {
-        self.free_mgids.pop().unwrap_or_else(|| {
+        take_min(&mut self.free_mgids).unwrap_or_else(|| {
             let m = self.next_mgid;
             self.next_mgid = self.next_mgid.wrapping_add(1);
             m
@@ -434,7 +466,7 @@ impl SwitchAgent {
     }
 
     fn alloc_tracker(&mut self) -> u16 {
-        self.free_trackers.pop().unwrap_or_else(|| {
+        take_min(&mut self.free_trackers).unwrap_or_else(|| {
             let t = self.next_tracker;
             self.next_tracker = self.next_tracker.wrapping_add(1);
             t
@@ -546,7 +578,9 @@ impl SwitchAgent {
     }
 
     /// Point the trunk-egress branch `trunk` at the remote trunk-ingress
-    /// addresses for local sender `sender`, then recompile the meeting.
+    /// addresses for local sender `sender`, then recompile the meeting —
+    /// incrementally (only the one re-aimed branch) when the installed
+    /// layout holds, with a full rebuild as the fallback.
     pub fn set_trunk_dst(
         &mut self,
         dp: &mut ScallopDataPlane,
@@ -561,7 +595,9 @@ impl SwitchAgent {
         debug_assert_eq!(p.class, ParticipantClass::TrunkEgress);
         p.trunk_dst.insert(sender, (video_dst, audio_dst));
         let meeting = p.meeting;
-        self.rebuild_meeting(dp, meeting);
+        if !(self.incremental && self.try_point_trunk(dp, meeting, trunk, sender)) {
+            self.rebuild_meeting(dp, meeting);
+        }
     }
 
     /// Allocate (idempotently) the feedback-sink port for local sender
@@ -627,8 +663,52 @@ impl SwitchAgent {
         class: ParticipantClass,
         fabric_xid: u16,
     ) -> JoinGrant {
+        let grant = self.admit(dp, meeting, addr, sends, class, fabric_xid);
+        if !(self.incremental && self.try_graft_join(dp, meeting, grant.participant)) {
+            self.rebuild_meeting(dp, meeting);
+        }
+        grant
+    }
+
+    /// Admit a burst of local participants with **one** compile: each
+    /// joiner's ids, ports, and pair ports are allocated exactly as a
+    /// sequence of [`Self::join`] calls would allocate them (so the
+    /// grants are identical), but the meeting is recompiled once for
+    /// the whole batch instead of once per join. A flash-crowd storm of
+    /// N admissions costs one O(N) compile instead of N of them.
+    pub fn join_many(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        meeting: MeetingId,
+        joins: &[(HostAddr, bool)],
+    ) -> Vec<JoinGrant> {
+        let grants: Vec<JoinGrant> = joins
+            .iter()
+            .map(|&(addr, sends)| {
+                self.admit(dp, meeting, addr, sends, ParticipantClass::Local, TRUNK_XID)
+            })
+            .collect();
+        if !grants.is_empty() {
+            self.rebuild_meeting(dp, meeting);
+        }
+        grants
+    }
+
+    /// Allocate a participant's admission state — id, uplink ports,
+    /// pair ports, bookkeeping — without compiling the meeting. The
+    /// caller compiles: per join ([`Self::join_class`], graft or
+    /// rebuild) or once per batch ([`Self::join_many`]).
+    fn admit(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        meeting: MeetingId,
+        addr: HostAddr,
+        sends: bool,
+        class: ParticipantClass,
+        fabric_xid: u16,
+    ) -> JoinGrant {
         let pid = if class == ParticipantClass::TrunkEgress {
-            self.free_trunk_pids.pop().unwrap_or_else(|| {
+            take_min(&mut self.free_trunk_pids).unwrap_or_else(|| {
                 let p = self.next_trunk_pid;
                 // Wrapping below the reserved range would collide with
                 // live local participants and silently unaccount trunk
@@ -642,7 +722,7 @@ impl SwitchAgent {
                 p
             })
         } else {
-            self.free_pids.pop().unwrap_or_else(|| {
+            take_min(&mut self.free_pids).unwrap_or_else(|| {
                 let p = self.next_pid;
                 self.next_pid += 1;
                 p
@@ -694,7 +774,6 @@ impl SwitchAgent {
             .expect("meeting exists")
             .participants
             .push(pid);
-        self.rebuild_meeting(dp, meeting);
         JoinGrant {
             participant: pid,
             video_uplink: HostAddr::new(self.sfu_ip, video_up),
@@ -723,7 +802,9 @@ impl SwitchAgent {
             .unwrap_or(false)
     }
 
-    /// Remove a participant; tears down and rebuilds the meeting state.
+    /// Remove a participant; prunes its branches from the installed
+    /// layout when the design holds, or tears down and rebuilds the
+    /// meeting state otherwise.
     pub fn leave(&mut self, dp: &mut ScallopDataPlane, meeting: MeetingId, pid: ParticipantId) {
         let Some(m) = self.meetings.get_mut(&meeting) else {
             return;
@@ -734,7 +815,12 @@ impl SwitchAgent {
         for (mgid, _) in trees {
             let _ = dp.pre.remove_node(mgid, pid);
         }
+        // The leaver's uplink ports identify its sender-side egress
+        // entries; capture them before the entry is dropped so the
+        // prune can find them.
+        let mut leaver_uplinks = (0u16, 0u16);
         if let Some(p) = self.pinfo.remove(&pid) {
+            leaver_uplinks = (p.video_up, p.audio_up);
             self.release_port(dp, p.video_up);
             self.release_port(dp, p.audio_up);
             if let Some(sp) = p.sink_port {
@@ -779,7 +865,9 @@ impl SwitchAgent {
         for port in freed_pairs {
             self.release_port(dp, port);
         }
-        self.rebuild_meeting(dp, meeting);
+        if !(self.incremental && self.try_prune_leave(dp, meeting, pid, leaver_uplinks)) {
+            self.rebuild_meeting(dp, meeting);
+        }
     }
 
     /// Destroy an **empty** meeting (fabric segment GC): releases any
@@ -895,9 +983,7 @@ impl SwitchAgent {
         let mut mgids = Vec::with_capacity(count);
         for _ in 0..count {
             let mgid = self.alloc_mgid();
-            dp.pre
-                .create_group(mgid)
-                .expect("PRE group budget exhausted");
+            dp.create_tree(mgid).expect("PRE group budget exhausted");
             mgids.push(mgid);
         }
         mgids
@@ -918,9 +1004,7 @@ impl SwitchAgent {
         let mut mgids = Vec::with_capacity(count);
         for _ in 0..count {
             let mgid = self.alloc_mgid();
-            dp.pre
-                .create_group(mgid)
-                .expect("PRE group budget exhausted");
+            dp.create_tree(mgid).expect("PRE group budget exhausted");
             mgids.push(mgid);
         }
         // This meeting takes slot 1; slot 2 goes back to the pool.
@@ -1082,6 +1166,248 @@ impl SwitchAgent {
         m.configured = m.configured || m.participants.len() >= 2;
     }
 
+    /// Preconditions under which the installed layout can be amended in
+    /// place, plus the per-tier MGIDs to amend. `None` means the delta
+    /// compiler must fall back to a full rebuild: no trees installed
+    /// (two-party or treeless segment), a design flip (make-before-break
+    /// migration), RA-SR (whose per-sender-chunk tree sets re-chunk on
+    /// membership change), a fabric-ness flip (exclusive vs packed trees
+    /// must swap), or a packed tree whose partner slot sits unclaimed in
+    /// the half pool (a full rebuild would repack onto it, so the delta
+    /// path must converge to the same layout by rebuilding too).
+    fn graft_tiers(&self, meeting: MeetingId) -> Option<[u16; 3]> {
+        let m = self.meetings.get(&meeting)?;
+        if m.trees.is_empty() {
+            return None;
+        }
+        if self.desired_design(meeting) != m.design {
+            return None;
+        }
+        let expected = match m.design {
+            TreeDesign::Nra => 1,
+            TreeDesign::RaR => 3,
+            _ => return None,
+        };
+        if m.trees.len() != expected {
+            return None;
+        }
+        let slot = m.trees[0].1;
+        if self.is_fabric_segment(meeting) != (slot == 0) {
+            return None;
+        }
+        if slot != 0 {
+            let mgids: Vec<u16> = m.trees.iter().map(|&(g, _)| g).collect();
+            let pool = if expected == 1 {
+                &self.nra_half
+            } else {
+                &self.rar_half
+            };
+            if pool.iter().any(|h| h.mgids == mgids) {
+                return None;
+            }
+        }
+        Some(if expected == 1 {
+            [m.trees[0].0; 3]
+        } else {
+            [m.trees[0].0, m.trees[1].0, m.trees[2].0]
+        })
+    }
+
+    /// Graft a just-admitted participant onto the installed layout:
+    /// its L1 receiver branches, its egress specs against every
+    /// existing sender, its uplink rules and branches toward every
+    /// existing receiver — without touching any other pair. Returns
+    /// `false` when the layout cannot be amended in place (the caller
+    /// falls back to [`Self::rebuild_meeting`]).
+    fn try_graft_join(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        meeting: MeetingId,
+        pid: ParticipantId,
+    ) -> bool {
+        let Some(tiers) = self.graft_tiers(meeting) else {
+            return false;
+        };
+        self.counters.graft_joins += 1;
+        let fabric = self.is_fabric_segment(meeting);
+        let slot = self.meetings[&meeting].trees[0].1;
+        let nra = tiers[0] == tiers[1]; // single-tree design
+        let participants = self.meetings[&meeting].participants.clone();
+        let mut new_keys: Vec<EgressKey> = Vec::new();
+
+        if self.receives(pid) {
+            // One L1 branch per tier tree (a fresh joiner's dt is 2, so
+            // an RA-R graft lands in all three tiers).
+            let is_trunk = self.pinfo[&pid].class == ParticipantClass::TrunkEgress;
+            let dt = if is_trunk { 2 } else { self.pinfo[&pid].dt };
+            for (t, &mgid) in tiers.iter().enumerate() {
+                if !nra && (t as u8) > dt {
+                    continue;
+                }
+                if nra && t > 0 {
+                    continue;
+                }
+                let (xid, prune_enabled) = if is_trunk {
+                    (self.pinfo[&pid].fabric_xid, true)
+                } else if fabric {
+                    (0, false)
+                } else {
+                    (slot as u16, true)
+                };
+                dp.pre
+                    .add_node(
+                        mgid,
+                        L1Node {
+                            rid: pid,
+                            xid,
+                            prune_enabled,
+                            ports: vec![pid],
+                        },
+                    )
+                    .expect("L1 node budget");
+            }
+            // Every existing sender reaches the new receiver.
+            for &s in &participants {
+                if s == pid || !self.pinfo[&s].sends || self.skip_fabric_recross(s, pid) {
+                    continue;
+                }
+                self.install_pair_egress(dp, s, pid, &tiers, &mut new_keys);
+            }
+        }
+        if self.pinfo[&pid].sends {
+            // The new sender's uplink rules, plus branches toward every
+            // existing receiver.
+            self.install_sender_uplinks(dp, pid, &tiers, slot, fabric);
+            for &r in &participants {
+                if r == pid || !self.receives(r) || self.skip_fabric_recross(pid, r) {
+                    continue;
+                }
+                self.install_pair_egress(dp, pid, r, &tiers, &mut new_keys);
+            }
+        }
+        // The join may displace a best-downlink selection (a fresh
+        // receiver's unknown EWMA scores as best, §5.3), and the new
+        // pairs need their feedback rules installed: re-run the filter,
+        // which touches only the rules whose gate is missing or wrong.
+        self.refresh_feedback_gates(dp, meeting, false);
+        let m = self.meetings.get_mut(&meeting).unwrap();
+        m.egress_keys.extend(new_keys);
+        m.configured = m.configured || m.participants.len() >= 2;
+        true
+    }
+
+    /// Prune a departed participant's branches from the installed
+    /// layout (its L1 nodes are already gone): drop its egress entries
+    /// — as receiver (keyed by its rid) and as sender (keyed by its
+    /// uplink in-ports) — and re-run the feedback filter, since the
+    /// leaver may have held a sender's best-downlink selection. Returns
+    /// `false` when the layout must be rebuilt instead.
+    fn try_prune_leave(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        meeting: MeetingId,
+        pid: ParticipantId,
+        leaver_uplinks: (u16, u16),
+    ) -> bool {
+        if self.graft_tiers(meeting).is_none() {
+            return false;
+        }
+        // A rebuild would go treeless when no sender or no receiver
+        // remains — converge by rebuilding.
+        let m = &self.meetings[&meeting];
+        let any_sender = m.participants.iter().any(|p| self.pinfo[p].sends);
+        let any_receiver = m.participants.iter().any(|&p| self.receives(p));
+        if !any_sender || !any_receiver {
+            return false;
+        }
+        self.counters.prune_leaves += 1;
+        let (leaver_vup, leaver_aup) = leaver_uplinks;
+        let m = self.meetings.get_mut(&meeting).unwrap();
+        let mut dropped = Vec::new();
+        m.egress_keys.retain(|k| {
+            // A trunk-egress leaver's uplinks are (0, 0), which no
+            // egress entry keys on — only the rid test fires for it.
+            if k.rid == pid || k.in_port == leaver_vup || k.in_port == leaver_aup {
+                dropped.push(*k);
+                false
+            } else {
+                true
+            }
+        });
+        for k in dropped {
+            dp.remove_egress(k);
+        }
+        self.refresh_feedback_gates(dp, meeting, false);
+        true
+    }
+
+    /// Re-aim (or light up) the single (sender → trunk) egress branch a
+    /// `set_trunk_dst` changes, leaving the rest of the compiled
+    /// meeting untouched. Returns `false` when the caller must fall
+    /// back to a full rebuild.
+    fn try_point_trunk(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        meeting: MeetingId,
+        trunk: ParticipantId,
+        sender: ParticipantId,
+    ) -> bool {
+        let Some(tiers) = self.graft_tiers(meeting) else {
+            return false;
+        };
+        let Some(sp) = self.pinfo.get(&sender) else {
+            return false;
+        };
+        if !sp.sends {
+            return false;
+        }
+        if self.skip_fabric_recross(sender, trunk) {
+            return true; // deliberately unplumbed pair: nothing to install
+        }
+        if !self.pinfo[&trunk].pair_from.contains_key(&sender) {
+            return false;
+        }
+        let mut new_keys = Vec::new();
+        self.install_trunk_egress(dp, sender, trunk, &tiers, &mut new_keys);
+        let m = self.meetings.get_mut(&meeting).unwrap();
+        for k in new_keys {
+            // A re-aim overwrites entries the meeting already tracks.
+            if !m.egress_keys.contains(&k) {
+                m.egress_keys.push(k);
+            }
+        }
+        true
+    }
+
+    /// Whether fabric traffic from sender `s` must not reach receiver
+    /// `r`: media that already crossed the fabric never re-crosses the
+    /// tier (trunk or WAN) it arrived on.
+    fn skip_fabric_recross(&self, s: ParticipantId, r: ParticipantId) -> bool {
+        self.pinfo[&r].class == ParticipantClass::TrunkEgress
+            && self.pinfo[&s].class == ParticipantClass::RemoteSender
+            && self.pinfo[&r].fabric_xid == self.pinfo[&s].fabric_xid
+    }
+
+    /// Deterministic dump of this switch's compiled state — the data
+    /// plane's canonical configuration plus per-meeting design/tree/key
+    /// bookkeeping, each piece sorted so installation order is
+    /// invisible. The compile-equivalence suite pins the delta
+    /// compiler's output byte-identical to a from-scratch rebuild's.
+    pub fn canonical_state(&self, dp: &ScallopDataPlane) -> String {
+        let mut out = dp.canonical_config();
+        for (mid, m) in &self.meetings {
+            let mut trees = m.trees.clone();
+            trees.sort_unstable();
+            let mut keys: Vec<String> = m.egress_keys.iter().map(|k| format!("{k:?}")).collect();
+            keys.sort();
+            out.push_str(&format!(
+                "meeting {mid}: {:?} participants {:?} trees {:?} keys {:?}\n",
+                m.design, m.participants, trees, keys
+            ));
+        }
+        out
+    }
+
     /// Install the two-party fast path (§6.1): direct unicast, no trees.
     fn install_two_party(&mut self, dp: &mut ScallopDataPlane, participants: &[ParticipantId]) {
         for &s in participants {
@@ -1192,72 +1518,78 @@ impl SwitchAgent {
             }
         }
         // Sender rules + egress specs.
-        let other_slot = if slot == 1 { 2u16 } else { 1u16 };
         for &s in participants {
             if !self.pinfo[&s].sends {
                 continue;
             }
-            let s_class = self.pinfo[&s].class;
-            let (s_video_up, s_audio_up) = {
-                let p = &self.pinfo[&s];
-                (p.video_up, p.audio_up)
-            };
-            let l1_xid = match s_class {
-                // Media that already crossed the fabric prunes every
-                // branch of the tier it arrived on (trunk or WAN).
-                ParticipantClass::RemoteSender => self.pinfo[&s].fabric_xid,
-                _ if fabric => 0,
-                _ => other_slot,
-            };
-            let action = ReplicationAction::Multicast {
-                mgid_by_tier: *tiers,
-                l1_xid,
-                rid: s,
-                l2_xid: s,
-            };
-            if s_class == ParticipantClass::RemoteSender {
-                dp.install_port_rule(s_video_up, PortRule::TrunkIngress { action })
-                    .expect("port rule capacity");
-                dp.install_port_rule(s_audio_up, PortRule::TrunkIngress { action })
-                    .expect("port rule capacity");
-            } else {
-                dp.install_port_rule(
-                    s_video_up,
-                    PortRule::SenderUplink {
-                        action,
-                        punt_extended_dd: true,
-                    },
-                )
-                .expect("port rule capacity");
-                dp.install_port_rule(
-                    s_audio_up,
-                    PortRule::SenderUplink {
-                        action,
-                        punt_extended_dd: false,
-                    },
-                )
-                .expect("port rule capacity");
-            }
-
+            self.install_sender_uplinks(dp, s, tiers, slot, fabric);
             for &r in participants {
-                if r == s || !self.receives(r) {
+                if r == s || !self.receives(r) || self.skip_fabric_recross(s, r) {
                     continue;
                 }
-                let r_trunk = self.pinfo[&r].class == ParticipantClass::TrunkEgress;
-                if r_trunk
-                    && s_class == ParticipantClass::RemoteSender
-                    && self.pinfo[&r].fabric_xid == self.pinfo[&s].fabric_xid
-                {
-                    continue; // fabric traffic never re-crosses its tier
-                }
                 self.install_pair_egress(dp, s, r, tiers, new_keys);
-                if !r_trunk {
+                if self.pinfo[&r].class != ParticipantClass::TrunkEgress {
                     // While the sender's home edge aggregates REMBs
                     // fabric-wide, no local pair forwards REMB directly.
                     let best = self.is_best_downlink(s, r) && self.pinfo[&s].sink_port.is_none();
                     self.install_feedback_rules(dp, s, r, best);
                 }
             }
+        }
+    }
+
+    /// Install sender `s`'s uplink port rules for a tiered (NRA/RA-R)
+    /// layout: the replication action over `tiers`, with the L1 XID its
+    /// media prunes.
+    fn install_sender_uplinks(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        s: ParticipantId,
+        tiers: &[u16; 3],
+        slot: u8,
+        fabric: bool,
+    ) {
+        let s_class = self.pinfo[&s].class;
+        let (s_video_up, s_audio_up) = {
+            let p = &self.pinfo[&s];
+            (p.video_up, p.audio_up)
+        };
+        let other_slot = if slot == 1 { 2u16 } else { 1u16 };
+        let l1_xid = match s_class {
+            // Media that already crossed the fabric prunes every
+            // branch of the tier it arrived on (trunk or WAN).
+            ParticipantClass::RemoteSender => self.pinfo[&s].fabric_xid,
+            _ if fabric => 0,
+            _ => other_slot,
+        };
+        let action = ReplicationAction::Multicast {
+            mgid_by_tier: *tiers,
+            l1_xid,
+            rid: s,
+            l2_xid: s,
+        };
+        if s_class == ParticipantClass::RemoteSender {
+            dp.install_port_rule(s_video_up, PortRule::TrunkIngress { action })
+                .expect("port rule capacity");
+            dp.install_port_rule(s_audio_up, PortRule::TrunkIngress { action })
+                .expect("port rule capacity");
+        } else {
+            dp.install_port_rule(
+                s_video_up,
+                PortRule::SenderUplink {
+                    action,
+                    punt_extended_dd: true,
+                },
+            )
+            .expect("port rule capacity");
+            dp.install_port_rule(
+                s_audio_up,
+                PortRule::SenderUplink {
+                    action,
+                    punt_extended_dd: false,
+                },
+            )
+            .expect("port rule capacity");
         }
     }
 
@@ -1280,7 +1612,7 @@ impl SwitchAgent {
             let mut tiers = [0u16; 3];
             for tier_slot in &mut tiers {
                 let mgid = self.alloc_mgid();
-                dp.pre.create_group(mgid).expect("PRE group budget");
+                dp.create_tree(mgid).expect("PRE group budget");
                 *tier_slot = mgid;
                 new_trees.push((mgid, 0)); // exclusive trees
             }
@@ -1291,16 +1623,10 @@ impl SwitchAgent {
                 // per-sender sets already, so trunk-egress branches are
                 // simply omitted from remote senders' sets.
                 for &r in participants {
-                    if r == s || !self.receives(r) {
+                    if r == s || !self.receives(r) || self.skip_fabric_recross(s, r) {
                         continue;
                     }
                     let r_trunk = self.pinfo[&r].class == ParticipantClass::TrunkEgress;
-                    if r_trunk
-                        && s_class == ParticipantClass::RemoteSender
-                        && self.pinfo[&r].fabric_xid == self.pinfo[&s].fabric_xid
-                    {
-                        continue; // fabric traffic never re-crosses its tier
-                    }
                     let dt = if r_trunk { 2 } else { self.effective_dt(s, r) };
                     for (t, &mgid) in tiers.iter().enumerate() {
                         if (t as u8) > dt {
@@ -1838,34 +2164,50 @@ impl SwitchAgent {
     pub fn tick(&mut self, _now: SimTime, dp: &mut ScallopDataPlane) {
         let meetings: Vec<MeetingId> = self.meetings.keys().copied().collect();
         for mid in meetings {
-            let participants = self.meetings[&mid].participants.clone();
-            for &s in &participants {
-                if !self.pinfo[&s].sends {
+            self.refresh_feedback_gates(dp, mid, true);
+        }
+    }
+
+    /// Re-run the §5.3 feedback filter for every sender of one meeting,
+    /// reprogramming only the pair rules whose REMB gate is missing or
+    /// wrong. [`Self::tick`] counts the reprograms as filter updates;
+    /// the delta compiler calls this silently, where a full rebuild
+    /// would have recomputed every gate as a side effect.
+    fn refresh_feedback_gates(
+        &mut self,
+        dp: &mut ScallopDataPlane,
+        meeting: MeetingId,
+        count_updates: bool,
+    ) {
+        let participants = self.meetings[&meeting].participants.clone();
+        for &s in &participants {
+            if !self.pinfo[&s].sends {
+                continue;
+            }
+            let best = self.best_downlink_for(s, meeting);
+            // While the home edge aggregates this sender's REMBs
+            // fabric-wide, no local pair forwards them directly.
+            let has_sink = self.pinfo[&s].sink_port.is_some();
+            for &r in participants.iter().filter(|&&r| r != s) {
+                if self.pinfo[&r].class != ParticipantClass::Local
+                    || !self.pinfo[&r].pair_from.contains_key(&s)
+                {
                     continue;
                 }
-                let best = self.best_downlink_for(s, mid);
-                // While the home edge aggregates this sender's REMBs
-                // fabric-wide, no local pair forwards them directly.
-                let has_sink = self.pinfo[&s].sink_port.is_some();
-                for &r in participants.iter().filter(|&&r| r != s) {
-                    if self.pinfo[&r].class != ParticipantClass::Local
-                        || !self.pinfo[&r].pair_from.contains_key(&s)
-                    {
-                        continue;
+                let allowed = best == Some(r) && !has_sink;
+                let (vp, _) = self.pinfo[&r].pair_from[&s];
+                // Only touch the rule when the gate actually changes.
+                let needs_update = match dp.port_rules.peek(&vp) {
+                    Some(PortRule::ReceiverFeedback { remb_allowed, .. }) => {
+                        *remb_allowed != allowed
                     }
-                    let allowed = best == Some(r) && !has_sink;
-                    let (vp, _) = self.pinfo[&r].pair_from[&s];
-                    // Only touch the rule when the gate actually changes.
-                    let needs_update = match dp.port_rules.peek(&vp) {
-                        Some(PortRule::ReceiverFeedback { remb_allowed, .. }) => {
-                            *remb_allowed != allowed
-                        }
-                        _ => true,
-                    };
-                    if needs_update {
+                    _ => true,
+                };
+                if needs_update {
+                    if count_updates {
                         self.counters.filter_updates += 1;
-                        self.install_feedback_rules(dp, s, r, allowed);
                     }
+                    self.install_feedback_rules(dp, s, r, allowed);
                 }
             }
         }
@@ -2189,5 +2531,100 @@ mod tests {
         assert_eq!(p(1, &[], 300_000), 0);
         assert_eq!(p(0, &[], 900_000), 0); // 450k*2.2 = 990k > 900k
         assert_eq!(p(0, &[], 1_050_000), 1);
+    }
+
+    /// Replay `joins`/leaves twice — delta compiler on and off — and
+    /// return both canonical final states plus the incremental run's
+    /// agent counters. A 3-party partner meeting is created first so
+    /// the main meeting's tree half pairs immediately (a half still
+    /// waiting in the packing pool pins every change to the rebuild
+    /// path — see [`SwitchAgent::graft_tiers`]'s re-pack guard).
+    fn twin_runs(joins: usize, leaves: &[usize]) -> (String, String, AgentCounters) {
+        let run = |incremental: bool| {
+            let (mut agent, mut dp) = mk();
+            agent.set_incremental_compile(incremental);
+            let partner = agent.create_meeting();
+            for i in 101..=103 {
+                agent.join(&mut dp, partner, addr(i), true);
+            }
+            let m = agent.create_meeting();
+            let grants: Vec<JoinGrant> = (1..=joins)
+                .map(|i| agent.join(&mut dp, m, addr(i as u8), i % 2 == 1))
+                .collect();
+            for &l in leaves {
+                agent.leave(&mut dp, m, grants[l].participant);
+            }
+            (agent.canonical_state(&dp), agent.counters)
+        };
+        let (inc_state, inc_counters) = run(true);
+        let (full_state, _) = run(false);
+        (inc_state, full_state, inc_counters)
+    }
+
+    #[test]
+    fn grafted_joins_match_full_rebuild() {
+        // 6 joins: TwoParty -> NRA migration, then three grafted joins.
+        let (inc, full, counters) = twin_runs(6, &[]);
+        assert_eq!(inc, full, "grafted state diverged from rebuild");
+        assert!(counters.graft_joins >= 3, "joins 4..6 must graft");
+    }
+
+    #[test]
+    fn pruned_leaves_match_full_rebuild() {
+        // Leave a sender (0) and a receiver (3) from a 7-party meeting;
+        // both prunes must land on the rebuild reference.
+        let (inc, full, counters) = twin_runs(7, &[3, 0]);
+        assert_eq!(inc, full, "pruned state diverged from rebuild");
+        assert!(counters.prune_leaves >= 1, "a leave must prune");
+    }
+
+    #[test]
+    fn grafts_bill_fewer_flow_mods_than_rebuilds() {
+        let bill = |incremental: bool| {
+            let (mut agent, mut dp) = mk();
+            agent.set_incremental_compile(incremental);
+            // Partner meeting pairs the tree half (see `twin_runs`).
+            let partner = agent.create_meeting();
+            for i in 101..=103 {
+                agent.join(&mut dp, partner, addr(i), true);
+            }
+            let installs_before = dp.counters.rule_installs;
+            let m = agent.create_meeting();
+            for i in 1..=12 {
+                agent.join(&mut dp, m, addr(i), i <= 2);
+            }
+            dp.counters.rule_installs - installs_before
+        };
+        let (grafted, rebuilt) = (bill(true), bill(false));
+        assert!(
+            rebuilt > 2 * grafted,
+            "per-join rebuilds must out-bill grafts: {rebuilt} vs {grafted}"
+        );
+    }
+
+    #[test]
+    fn join_many_matches_sequential_joins() {
+        // Batched admission admits in input order, so its final state
+        // is byte-identical to sequential joins — one compile instead
+        // of ten.
+        let batch: Vec<(HostAddr, bool)> = (1..=10).map(|i| (addr(i), i <= 2)).collect();
+        let (mut seq_agent, mut seq_dp) = mk();
+        let m = seq_agent.create_meeting();
+        for &(a, sends) in &batch {
+            seq_agent.join(&mut seq_dp, m, a, sends);
+        }
+        let (mut bat_agent, mut bat_dp) = mk();
+        let mb = bat_agent.create_meeting();
+        let grants = bat_agent.join_many(&mut bat_dp, mb, &batch);
+        assert_eq!(grants.len(), batch.len());
+        assert_eq!(
+            bat_agent.canonical_state(&bat_dp),
+            seq_agent.canonical_state(&seq_dp),
+            "batched admission diverged from sequential joins"
+        );
+        assert!(
+            bat_dp.counters.rule_installs < seq_dp.counters.rule_installs,
+            "one batch compile must bill less than per-join compiles"
+        );
     }
 }

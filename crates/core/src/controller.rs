@@ -325,69 +325,24 @@ impl Controller {
         global: GlobalParticipantId,
     ) -> FabricGrant {
         assert!(edge < fabric.edges(), "edge out of range");
+        // One record lookup per join: the meeting record and the
+        // signaling counter are disjoint fields, so every step below
+        // borrows `rec` directly instead of re-fetching it.
+        let Controller {
+            fabric_meetings,
+            signaling_exchanges,
+            ..
+        } = self;
+        let rec = fabric_meetings.get_mut(&gmid).expect("fabric meeting");
 
-        // 1. Materialize this edge's segment if needed.
-        let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
-        let new_segment = !rec.segments.contains_key(&edge);
-        if new_segment {
-            let seg = fabric.edge_mut(sim, edge).agent.create_meeting();
-            rec.segments.insert(edge, seg);
+        // 1. + 2. Materialize and wire this edge's segment if needed.
+        if !rec.segments.contains_key(&edge) {
+            Self::materialize_segment(sim, fabric, rec, signaling_exchanges, edge);
         }
         let segment = rec.segments[&edge];
 
-        // 2. A new segment must be wired into the fabric: trunk-egress
-        //    branches to every same-zone segment in both directions; if
-        //    this is the zone's first segment, the edge becomes the
-        //    zone's WAN gateway and gets WAN-tier branches to every
-        //    other zone's gateway. Then every established sender on
-        //    other edges becomes a remote sender here.
-        if new_segment {
-            let zone = fabric.topology.zone_of_edge(edge);
-            let same_zone: Vec<(usize, MeetingId)> = rec
-                .segments
-                .iter()
-                .filter(|&(&o, _)| o != edge && fabric.topology.zone_of_edge(o) == zone)
-                .map(|(&o, &s)| (o, s))
-                .collect();
-            for (o, o_seg) in same_zone {
-                let te_here = fabric.edge_mut(sim, edge).join_trunk_egress(segment);
-                let te_there = fabric.edge_mut(sim, o).join_trunk_egress(o_seg);
-                let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
-                rec.trunk_egress.insert((edge, o), te_here);
-                rec.trunk_egress.insert((o, edge), te_there);
-            }
-            let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
-            if let std::collections::btree_map::Entry::Vacant(slot) = rec.zone_gateways.entry(zone)
-            {
-                slot.insert(edge);
-                let other_gateways: Vec<(usize, MeetingId)> = rec
-                    .zone_gateways
-                    .iter()
-                    .filter(|&(&z, _)| z != zone)
-                    .map(|(_, &g)| (g, rec.segments[&g]))
-                    .collect();
-                for (g, g_seg) in other_gateways {
-                    let te_here = fabric.edge_mut(sim, edge).join_wan_egress(segment);
-                    let te_there = fabric.edge_mut(sim, g).join_wan_egress(g_seg);
-                    let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
-                    rec.trunk_egress.insert((edge, g), te_here);
-                    rec.trunk_egress.insert((g, edge), te_there);
-                }
-            }
-            let senders: Vec<FabricMemberState> = self.fabric_meetings[&gmid]
-                .members
-                .iter()
-                .filter(|m| m.sends && m.edge != edge)
-                .cloned()
-                .collect();
-            for m in senders {
-                self.plumb_sender_to_edge(sim, fabric, gmid, m.global, edge);
-            }
-        }
-
         // 3. Local join.
         let local = fabric.edge_mut(sim, edge).join(segment, addr, sends);
-        let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
         rec.members.push(FabricMemberState {
             global,
             edge,
@@ -396,34 +351,12 @@ impl Controller {
             local_pid: local.participant,
             remote_pids: BTreeMap::new(),
         });
-        self.signaling_exchanges += 1;
+        *signaling_exchanges += 1;
 
-        // 4. A new sender reaches every other involved edge. Remote-zone
-        //    gateways must be plumbed before that zone's other edges:
-        //    the in-zone fan-out hop rides the sender's remote entry at
-        //    the gateway, which the gateway plumb creates.
+        // 4. A new sender reaches every other involved edge.
         if sends {
-            let rec = &self.fabric_meetings[&gmid];
-            let zone = fabric.topology.zone_of_edge(edge);
-            let mut other_edges: Vec<usize> = rec
-                .segments
-                .keys()
-                .copied()
-                .filter(|&o| o != edge)
-                .collect();
-            other_edges.sort_by_key(|&o| {
-                let zo = fabric.topology.zone_of_edge(o);
-                let stage = if zo == zone {
-                    0
-                } else if rec.zone_gateways.get(&zo) == Some(&o) {
-                    1
-                } else {
-                    2
-                };
-                (stage, o)
-            });
-            for o in other_edges {
-                self.plumb_sender_to_edge(sim, fabric, gmid, global, o);
+            for o in Self::plumb_targets(fabric, rec, edge) {
+                Self::plumb_sender_to_edge(sim, fabric, rec, signaling_exchanges, global, o);
             }
         }
 
@@ -432,6 +365,192 @@ impl Controller {
             edge,
             local,
         }
+    }
+
+    /// Admit a burst of joins into one fabric meeting with **one**
+    /// compile per affected segment for the whole batch: joins are
+    /// grouped by home edge (groups processed in first-appearance
+    /// order), each group's segment is materialized and wired once,
+    /// its joiners are admitted through [`crate::agent::SwitchAgent::join_many`]
+    /// (one compile), and each group's senders are then plumbed toward
+    /// the segments that exist so far — segments materialized later in
+    /// the batch pick the earlier senders up when they are wired in,
+    /// exactly as sequential joins would. Grants are returned in input
+    /// order. A flash-crowd storm of N joins thus costs one compile per
+    /// affected segment instead of N full recompiles.
+    pub fn join_fabric_many(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        gmid: GlobalMeetingId,
+        joins: &[(usize, HostAddr, bool)],
+    ) -> Vec<FabricGrant> {
+        let globals: Vec<GlobalParticipantId> = joins
+            .iter()
+            .map(|_| {
+                self.next_global_participant += 1;
+                self.next_global_participant
+            })
+            .collect();
+        self.join_fabric_many_as(sim, fabric, gmid, joins, &globals)
+    }
+
+    /// [`Self::join_fabric_many`] with caller-allocated participant ids
+    /// (the sharded control plane's id allocation).
+    pub(crate) fn join_fabric_many_as(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        gmid: GlobalMeetingId,
+        joins: &[(usize, HostAddr, bool)],
+        globals: &[GlobalParticipantId],
+    ) -> Vec<FabricGrant> {
+        assert_eq!(joins.len(), globals.len(), "one id per join");
+        // Group input indices by home edge, first-appearance order.
+        let mut order: Vec<usize> = Vec::new();
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, &(edge, _, _)) in joins.iter().enumerate() {
+            assert!(edge < fabric.edges(), "edge out of range");
+            if !groups.contains_key(&edge) {
+                order.push(edge);
+            }
+            groups.entry(edge).or_default().push(i);
+        }
+        let mut grants: Vec<Option<FabricGrant>> = joins.iter().map(|_| None).collect();
+        let Controller {
+            fabric_meetings,
+            signaling_exchanges,
+            ..
+        } = self;
+        let rec = fabric_meetings.get_mut(&gmid).expect("fabric meeting");
+        for edge in order {
+            let idxs = &groups[&edge];
+            if !rec.segments.contains_key(&edge) {
+                Self::materialize_segment(sim, fabric, rec, signaling_exchanges, edge);
+            }
+            let segment = rec.segments[&edge];
+            let batch: Vec<(HostAddr, bool)> =
+                idxs.iter().map(|&i| (joins[i].1, joins[i].2)).collect();
+            let locals = fabric.edge_mut(sim, edge).join_many(segment, &batch);
+            for (&i, local) in idxs.iter().zip(locals) {
+                let (_, addr, sends) = joins[i];
+                rec.members.push(FabricMemberState {
+                    global: globals[i],
+                    edge,
+                    addr,
+                    sends,
+                    local_pid: local.participant,
+                    remote_pids: BTreeMap::new(),
+                });
+                *signaling_exchanges += 1;
+                grants[i] = Some(FabricGrant {
+                    global: globals[i],
+                    edge,
+                    local,
+                });
+            }
+            // Plumb this group's senders now: later groups' segments do
+            // not exist yet and pick these senders up when they
+            // materialize.
+            for &i in idxs {
+                if joins[i].2 {
+                    for o in Self::plumb_targets(fabric, rec, edge) {
+                        Self::plumb_sender_to_edge(
+                            sim,
+                            fabric,
+                            rec,
+                            signaling_exchanges,
+                            globals[i],
+                            o,
+                        );
+                    }
+                }
+            }
+        }
+        grants.into_iter().map(|g| g.expect("granted")).collect()
+    }
+
+    /// Materialize `edge`'s segment of a fabric meeting and wire it in:
+    /// trunk-egress branches to every same-zone segment in both
+    /// directions; if this is the zone's first segment, the edge
+    /// becomes the zone's WAN gateway and gets WAN-tier branches to
+    /// every other zone's gateway. Then every established sender on
+    /// other edges becomes a remote sender here.
+    fn materialize_segment(
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        rec: &mut FabricMeetingState,
+        signaling: &mut u64,
+        edge: usize,
+    ) {
+        let segment = fabric.edge_mut(sim, edge).agent.create_meeting();
+        rec.segments.insert(edge, segment);
+        let zone = fabric.topology.zone_of_edge(edge);
+        // `segments`/`zone_gateways` are iterated while `trunk_egress`
+        // is inserted into — disjoint fields of the one record, so no
+        // snapshot clones are needed.
+        let FabricMeetingState {
+            segments,
+            trunk_egress,
+            zone_gateways,
+            ..
+        } = rec;
+        for (&o, &o_seg) in segments
+            .iter()
+            .filter(|&(&o, _)| o != edge && fabric.topology.zone_of_edge(o) == zone)
+        {
+            let te_here = fabric.edge_mut(sim, edge).join_trunk_egress(segment);
+            let te_there = fabric.edge_mut(sim, o).join_trunk_egress(o_seg);
+            trunk_egress.insert((edge, o), te_here);
+            trunk_egress.insert((o, edge), te_there);
+        }
+        if let std::collections::btree_map::Entry::Vacant(e) = zone_gateways.entry(zone) {
+            e.insert(edge);
+            for (_, &g) in zone_gateways.iter().filter(|&(&z, _)| z != zone) {
+                let g_seg = segments[&g];
+                let te_here = fabric.edge_mut(sim, edge).join_wan_egress(segment);
+                let te_there = fabric.edge_mut(sim, g).join_wan_egress(g_seg);
+                trunk_egress.insert((edge, g), te_here);
+                trunk_egress.insert((g, edge), te_there);
+            }
+        }
+        // Established senders elsewhere become remote senders here —
+        // identified by id (a scalar), not by cloning member records.
+        let senders: Vec<GlobalParticipantId> = rec
+            .members
+            .iter()
+            .filter(|m| m.sends && m.edge != edge)
+            .map(|m| m.global)
+            .collect();
+        for g in senders {
+            Self::plumb_sender_to_edge(sim, fabric, rec, signaling, g, edge);
+        }
+    }
+
+    /// The edges a sender homed on `edge` must be plumbed toward, in
+    /// dependency order: remote-zone gateways before that zone's other
+    /// edges — the in-zone fan-out hop rides the sender's remote entry
+    /// at the gateway, which the gateway plumb creates.
+    fn plumb_targets(fabric: &Fabric, rec: &FabricMeetingState, edge: usize) -> Vec<usize> {
+        let zone = fabric.topology.zone_of_edge(edge);
+        let mut other_edges: Vec<usize> = rec
+            .segments
+            .keys()
+            .copied()
+            .filter(|&o| o != edge)
+            .collect();
+        other_edges.sort_by_key(|&o| {
+            let zo = fabric.topology.zone_of_edge(o);
+            let stage = if zo == zone {
+                0
+            } else if rec.zone_gateways.get(&zo) == Some(&o) {
+                1
+            } else {
+                2
+            };
+            (stage, o)
+        });
+        other_edges
     }
 
     /// Compile forwarding of sender `global` toward edge `to`: grant a
@@ -454,29 +573,33 @@ impl Controller {
     /// single-zone campus it keeps the direct per-edge path the frozen
     /// baselines pin.
     fn plumb_sender_to_edge(
-        &mut self,
         sim: &mut Simulator,
         fabric: &Fabric,
-        gmid: GlobalMeetingId,
+        rec: &mut FabricMeetingState,
+        signaling: &mut u64,
         global: GlobalParticipantId,
         to: usize,
     ) {
-        let rec = &self.fabric_meetings[&gmid];
-        let m = rec
+        // One positional lookup; everything the plumb needs from the
+        // member record is a scalar copy, not a record clone.
+        let mi = rec
             .members
             .iter()
-            .find(|m| m.global == global)
-            .expect("member exists")
-            .clone();
-        debug_assert!(m.sends && m.edge != to);
+            .position(|m| m.global == global)
+            .expect("member exists");
+        let (m_edge, m_addr, m_local_pid, m_sends) = {
+            let m = &rec.members[mi];
+            (m.edge, m.addr, m.local_pid, m.sends)
+        };
+        debug_assert!(m_sends && m_edge != to);
         let to_seg = rec.segments[&to];
         let tz = &fabric.topology;
-        let (zs, zt) = (tz.zone_of_edge(m.edge), tz.zone_of_edge(to));
+        let (zs, zt) = (tz.zone_of_edge(m_edge), tz.zone_of_edge(to));
         let home_addr = if tz.zone_count() > 1 {
-            let sink = fabric.edge_mut(sim, m.edge).feedback_sink(m.local_pid);
-            HostAddr::new(tz.edge_spec(m.edge).ip, sink)
+            let sink = fabric.edge_mut(sim, m_edge).feedback_sink(m_local_pid);
+            HostAddr::new(tz.edge_spec(m_edge).ip, sink)
         } else {
-            m.addr
+            m_addr
         };
         let to_is_gateway = rec.zone_gateways.get(&zt) == Some(&to);
         let remote = if zs != zt && to_is_gateway {
@@ -487,18 +610,18 @@ impl Controller {
                 .join_remote_sender(to_seg, home_addr)
         };
         let (up_edge, up_pid) = if zs == zt {
-            (m.edge, m.local_pid)
+            (m_edge, m_local_pid)
         } else if to_is_gateway {
             let gs = rec.zone_gateways[&zs];
-            let pid = if gs == m.edge {
-                m.local_pid
+            let pid = if gs == m_edge {
+                m_local_pid
             } else {
-                m.remote_pids[&gs]
+                rec.members[mi].remote_pids[&gs]
             };
             (gs, pid)
         } else {
             let gt = rec.zone_gateways[&zt];
-            (gt, m.remote_pids[&gt])
+            (gt, rec.members[mi].remote_pids[&gt])
         };
         let te = rec.trunk_egress[&(up_edge, to)];
         let video_dst = fabric.trunk_addr(up_edge, to, remote.video_uplink.port);
@@ -506,14 +629,8 @@ impl Controller {
         fabric
             .edge_mut(sim, up_edge)
             .set_trunk_dst(te, up_pid, video_dst, audio_dst);
-        let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
-        let member = rec
-            .members
-            .iter_mut()
-            .find(|mm| mm.global == global)
-            .expect("member exists");
-        member.remote_pids.insert(to, remote.participant);
-        self.signaling_exchanges += 1;
+        rec.members[mi].remote_pids.insert(to, remote.participant);
+        *signaling += 1;
     }
 
     /// Remove a fabric participant: leaves its home segment, retires its
@@ -686,7 +803,12 @@ impl Controller {
         zone: usize,
         new_g: usize,
     ) {
-        let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
+        let Controller {
+            fabric_meetings,
+            signaling_exchanges,
+            ..
+        } = self;
+        let rec = fabric_meetings.get_mut(&gmid).expect("fabric meeting");
         rec.zone_gateways.insert(zone, new_g);
         let new_g_seg = rec.segments[&new_g];
         let other_gateways: Vec<(usize, MeetingId)> = rec
@@ -698,54 +820,44 @@ impl Controller {
         for &(g, g_seg) in &other_gateways {
             let te_here = fabric.edge_mut(sim, new_g).join_wan_egress(new_g_seg);
             let te_there = fabric.edge_mut(sim, g).join_wan_egress(g_seg);
-            let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
             rec.trunk_egress.insert((new_g, g), te_here);
             rec.trunk_egress.insert((g, new_g), te_there);
         }
-        let senders: Vec<FabricMemberState> = self.fabric_meetings[&gmid]
+        // Senders are re-routed by id; each branch re-reads what it
+        // needs from the member record instead of cloning it.
+        let senders: Vec<(GlobalParticipantId, usize, ParticipantId)> = rec
             .members
             .iter()
             .filter(|m| m.sends)
-            .cloned()
+            .map(|m| (m.global, m.edge, m.local_pid))
             .collect();
-        for m in senders {
-            if fabric.topology.zone_of_edge(m.edge) != zone {
+        for (m_global, m_edge, m_local_pid) in senders {
+            let mi = rec
+                .members
+                .iter()
+                .position(|m| m.global == m_global)
+                .expect("member exists");
+            if fabric.topology.zone_of_edge(m_edge) != zone {
                 // Retire the trunk-pruned entry and re-plumb through the
                 // WAN tier (plumb re-grants, re-aims the sender zone's
                 // WAN branch, and records the new remote pid).
-                if let Some(&old_pid) = m.remote_pids.get(&new_g) {
+                if let Some(old_pid) = rec.members[mi].remote_pids.remove(&new_g) {
                     fabric.edge_mut(sim, new_g).leave(new_g_seg, old_pid);
-                    let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
-                    let member = rec
-                        .members
-                        .iter_mut()
-                        .find(|mm| mm.global == m.global)
-                        .expect("member exists");
-                    member.remote_pids.remove(&new_g);
                 }
-                self.plumb_sender_to_edge(sim, fabric, gmid, m.global, new_g);
+                Self::plumb_sender_to_edge(sim, fabric, rec, signaling_exchanges, m_global, new_g);
                 // Re-fan-out inside the zone from the fresh entry: the
                 // in-zone trunk branches keep their downstream entries,
                 // only the upstream pid at `new_g` changed.
-                let rec = &self.fabric_meetings[&gmid];
-                let member = rec
-                    .members
-                    .iter()
-                    .find(|mm| mm.global == m.global)
-                    .expect("member exists");
+                let member = &rec.members[mi];
                 let new_pid = member.remote_pids[&new_g];
-                let in_zone: Vec<(usize, ParticipantId)> = rec
+                let in_zone: Vec<(usize, ParticipantId, ParticipantId)> = rec
                     .segments
                     .keys()
                     .copied()
                     .filter(|&o| o != new_g && fabric.topology.zone_of_edge(o) == zone)
-                    .map(|o| (o, member.remote_pids[&o]))
+                    .map(|o| (o, member.remote_pids[&o], rec.trunk_egress[&(new_g, o)]))
                     .collect();
-                let branch: Vec<(usize, ParticipantId)> = in_zone
-                    .iter()
-                    .map(|&(o, _)| (o, rec.trunk_egress[&(new_g, o)]))
-                    .collect();
-                for (&(o, down_pid), &(_, te)) in in_zone.iter().zip(&branch) {
+                for (o, down_pid, te) in in_zone {
                     let (vp, ap) = fabric
                         .edge_mut(sim, o)
                         .agent
@@ -760,18 +872,19 @@ impl Controller {
             } else {
                 // In-zone sender: its entries on other zones' gateways
                 // are intact; only the outbound WAN branch moved here.
-                let rec = &self.fabric_meetings[&gmid];
-                let up_pid = if m.edge == new_g {
-                    m.local_pid
+                let member = &rec.members[mi];
+                let up_pid = if m_edge == new_g {
+                    m_local_pid
                 } else {
-                    m.remote_pids[&new_g]
+                    member.remote_pids[&new_g]
                 };
                 for &(g, _) in &other_gateways {
                     let te = rec.trunk_egress[&(new_g, g)];
+                    let remote_pid = member.remote_pids[&g];
                     let (vp, ap) = fabric
                         .edge_mut(sim, g)
                         .agent
-                        .uplink_ports(m.remote_pids[&g])
+                        .uplink_ports(remote_pid)
                         .expect("remote entry has trunk-ingress ports");
                     let video_dst = fabric.trunk_addr(new_g, g, vp);
                     let audio_dst = fabric.trunk_addr(new_g, g, ap);
@@ -781,7 +894,7 @@ impl Controller {
                 }
             }
         }
-        self.signaling_exchanges += 1;
+        *signaling_exchanges += 1;
     }
 
     /// Revisit a fabric meeting's home placement (module docs): when an

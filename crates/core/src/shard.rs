@@ -546,6 +546,35 @@ impl ShardedControlPlane {
         }
     }
 
+    /// Admit a burst of joins into one fabric meeting, grouped by
+    /// owner: ids are allocated per join and each cross-shard entry is
+    /// accounted as a forward (the ingress shard hands the join to the
+    /// owner exactly as [`Self::join_fabric`] would), but the owner
+    /// executes the whole burst through the batched admission of
+    /// [`Controller::join_fabric_many`] — one compile per affected
+    /// segment for the batch, instead of one per join.
+    pub fn join_fabric_many(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        gmid: GlobalMeetingId,
+        joins: &[(usize, HostAddr, bool)],
+    ) -> Vec<FabricGrant> {
+        let owner = *self.owner.get(&gmid).expect("fabric meeting");
+        let mut globals = Vec::with_capacity(joins.len());
+        for &(edge, _, _) in joins {
+            self.next_global_participant += 1;
+            globals.push(self.next_global_participant);
+            if self.ingress_shard(edge) != owner {
+                self.forwards += 1;
+                self.shards[owner].joins_forwarded += 1;
+            }
+        }
+        self.shards[owner]
+            .controller
+            .join_fabric_many_as(sim, fabric, gmid, joins, &globals)
+    }
+
     /// Remove a fabric participant (owner-routed
     /// [`Controller::leave_fabric`], including segment GC).
     pub fn leave_fabric(

@@ -189,6 +189,29 @@ impl PacketReplicationEngine {
         self.groups.get(&mgid).map(|g| g.nodes.len())
     }
 
+    /// Deterministic dump of the PRE configuration: groups sorted by
+    /// MGID with nodes sorted by RID, plus the L2 XID port sets sorted
+    /// by XID. Node *insertion order* (replication order) is deliberately
+    /// normalized away — two compilers installing the same branch set in
+    /// different orders configure the same tree. Statistics counters are
+    /// excluded. Used by the compile-equivalence suite.
+    pub fn canonical_config(&self) -> String {
+        let mut out = String::new();
+        let mut mgids: Vec<u16> = self.groups.keys().copied().collect();
+        mgids.sort_unstable();
+        for mgid in mgids {
+            let mut nodes = self.groups[&mgid].nodes.clone();
+            nodes.sort_by_key(|n| n.rid);
+            out.push_str(&format!("group {mgid}: {nodes:?}\n"));
+        }
+        let mut xids: Vec<u16> = self.l2_xid_ports.keys().copied().collect();
+        xids.sort_unstable();
+        for xid in xids {
+            out.push_str(&format!("l2_xid {xid}: {:?}\n", self.l2_xid_ports[&xid]));
+        }
+        out
+    }
+
     /// Replicate a packet: the ingress pipeline supplies the packet's
     /// MGID, L1 XID, RID, and L2 XID metadata (Fig. 13).
     pub fn replicate(

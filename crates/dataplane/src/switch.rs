@@ -93,6 +93,13 @@ pub struct DataPlaneCounters {
     pub trunk_in_pkts: u64,
     /// Bytes arriving over a trunk.
     pub trunk_in_bytes: u64,
+    /// Flow-mod writes: port-rule and egress installs (upserts count —
+    /// every write crosses the control channel, new entry or not).
+    pub rule_installs: u64,
+    /// Flow-mod deletes that removed a live port-rule or egress entry.
+    pub rule_removals: u64,
+    /// PRE multicast groups allocated (tree setups).
+    pub tree_allocs: u64,
 }
 
 /// Field-wise aggregation (fabric-wide totals). Kept next to the
@@ -124,6 +131,9 @@ impl std::ops::AddAssign for DataPlaneCounters {
             trunk_out_bytes,
             trunk_in_pkts,
             trunk_in_bytes,
+            rule_installs,
+            rule_removals,
+            tree_allocs,
         } = c; // exhaustive destructure: a new field fails to compile here
         self.rtp_in_pkts += rtp_in_pkts;
         self.rtp_in_bytes += rtp_in_bytes;
@@ -149,6 +159,9 @@ impl std::ops::AddAssign for DataPlaneCounters {
         self.trunk_out_bytes += trunk_out_bytes;
         self.trunk_in_pkts += trunk_in_pkts;
         self.trunk_in_bytes += trunk_in_bytes;
+        self.rule_installs += rule_installs;
+        self.rule_removals += rule_removals;
+        self.tree_allocs += tree_allocs;
     }
 }
 
@@ -242,6 +255,7 @@ impl ScallopDataPlane {
     /// Install a port rule (control-plane API).
     pub fn install_port_rule(&mut self, port: u16, rule: PortRule) -> Result<(), TableError> {
         self.port_rules.upsert(port, rule)?;
+        self.counters.rule_installs += 1;
         if let Some(d) = self.dense_ports.as_mut() {
             d.set(port, rule);
         }
@@ -253,17 +267,62 @@ impl ScallopDataPlane {
         if let Some(d) = self.dense_ports.as_mut() {
             d.unset(port);
         }
-        self.port_rules.remove(&port)
+        let removed = self.port_rules.remove(&port);
+        if removed.is_some() {
+            self.counters.rule_removals += 1;
+        }
+        removed
     }
 
     /// Install an egress spec for a (MGID, RID) replica.
     pub fn install_egress(&mut self, key: EgressKey, spec: EgressSpec) -> Result<(), TableError> {
-        self.egress.upsert(key, spec)
+        self.egress.upsert(key, spec)?;
+        self.counters.rule_installs += 1;
+        Ok(())
     }
 
     /// Remove an egress spec.
     pub fn remove_egress(&mut self, key: EgressKey) -> Option<EgressSpec> {
-        self.egress.remove(&key)
+        let removed = self.egress.remove(&key);
+        if removed.is_some() {
+            self.counters.rule_removals += 1;
+        }
+        removed
+    }
+
+    /// Create a PRE replication group (control-plane API): counted as a
+    /// tree allocation alongside the flow-mod counters, so control-plane
+    /// churn is visible per switch.
+    pub fn create_tree(&mut self, mgid: u16) -> Result<(), crate::pre::PreError> {
+        self.pre.create_group(mgid)?;
+        self.counters.tree_allocs += 1;
+        Ok(())
+    }
+
+    /// Deterministic dump of the installed forwarding state: sorted port
+    /// rules, sorted egress entries, and the PRE configuration —
+    /// excluding packet counters and table hit/miss statistics (tracker
+    /// slot assignments appear via the `rewrite_index` fields of the
+    /// rules themselves). Two compilation strategies that arrive
+    /// at the same installed state produce byte-identical strings; the
+    /// compile-equivalence suite pins the incremental compiler to the
+    /// from-scratch rebuild with it.
+    pub fn canonical_config(&self) -> String {
+        let mut out = String::new();
+        let mut ports: Vec<(u16, PortRule)> =
+            self.port_rules.iter().map(|(p, r)| (*p, *r)).collect();
+        ports.sort_by_key(|(p, _)| *p);
+        for (port, rule) in ports {
+            out.push_str(&format!("port {port}: {rule:?}\n"));
+        }
+        let mut egress: Vec<(EgressKey, EgressSpec)> =
+            self.egress.iter().map(|(k, v)| (*k, *v)).collect();
+        egress.sort_by_key(|(k, _)| (k.mgid, k.rid, k.in_port));
+        for (key, spec) in egress {
+            out.push_str(&format!("egress {key:?}: {spec:?}\n"));
+        }
+        out.push_str(&self.pre.canonical_config());
+        out
     }
 
     /// Process one packet arriving at the switch.

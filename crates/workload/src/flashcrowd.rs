@@ -1,0 +1,99 @@
+//! Flash-crowd and webinar join shapes (the ROADMAP scenarios that
+//! stress the control plane rather than the data plane).
+//!
+//! A flash crowd is the pathological control-plane input: N
+//! participants piling into **one** meeting within seconds — the
+//! all-hands that starts at 9:00, the incident bridge after a page. A
+//! webinar is its steady-state cousin: one (or few) senders and a large
+//! silent audience. Both make the cost of compiling a join the
+//! bottleneck (Kreutz et al. call rule-update churn the canonical SDN
+//! control-plane limit), which is what the delta compiler and batched
+//! admission in `scallop-core` exist to absorb.
+//!
+//! This module only *shapes* the joins — `(edge, sends)` sequences a
+//! driver feeds to a controller — so it stays free of control-plane
+//! dependencies and usable from benches, tests, and future trace
+//! replay alike.
+
+use serde::Serialize;
+
+/// One join of a crowd shape: which edge switch the participant
+/// attaches to and whether it sends media.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CrowdJoin {
+    /// Edge switch index the participant's building homes on.
+    pub edge: usize,
+    /// Whether the participant sends video (receivers dominate both
+    /// shapes).
+    pub sends: bool,
+}
+
+/// A flash crowd into one meeting: `senders` camera-on participants
+/// followed by `receivers` camera-off ones, round-robined over `edges`
+/// edge switches (a building-correlated crowd is the `edges = 1`
+/// special case). Senders come first — the all-hands hosts are on the
+/// bridge before the storm of viewers arrives, which also makes the
+/// shape the worst case for per-join recompiles: every viewer join
+/// recompiles every established sender pair.
+pub fn flash_crowd(edges: usize, senders: usize, receivers: usize) -> Vec<CrowdJoin> {
+    assert!(edges > 0, "a crowd needs at least one edge");
+    (0..senders + receivers)
+        .map(|i| CrowdJoin {
+            edge: i % edges,
+            sends: i < senders,
+        })
+        .collect()
+}
+
+/// The webinar shape: one sender (the presenter, on edge 0) and
+/// `audience` receive-only participants spread round-robin over
+/// `edges` edges. Equivalent to `flash_crowd(edges, 1, audience)`
+/// except the presenter is pinned to edge 0 regardless of round-robin
+/// position.
+pub fn webinar(edges: usize, audience: usize) -> Vec<CrowdJoin> {
+    assert!(edges > 0, "a webinar needs at least one edge");
+    std::iter::once(CrowdJoin {
+        edge: 0,
+        sends: true,
+    })
+    .chain((0..audience).map(|i| CrowdJoin {
+        edge: i % edges,
+        sends: false,
+    }))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flash_crowd_shape() {
+        let joins = flash_crowd(3, 2, 7);
+        assert_eq!(joins.len(), 9);
+        assert_eq!(joins.iter().filter(|j| j.sends).count(), 2);
+        // Senders lead the sequence.
+        assert!(joins[0].sends && joins[1].sends && !joins[2].sends);
+        // Round-robin covers every edge.
+        for e in 0..3 {
+            assert!(joins.iter().any(|j| j.edge == e));
+        }
+        assert!(joins.iter().all(|j| j.edge < 3));
+    }
+
+    #[test]
+    fn single_edge_crowd() {
+        let joins = flash_crowd(1, 1, 4);
+        assert!(joins.iter().all(|j| j.edge == 0));
+    }
+
+    #[test]
+    fn webinar_shape() {
+        let joins = webinar(4, 10);
+        assert_eq!(joins.len(), 11);
+        // Exactly one sender: the presenter, on edge 0.
+        assert_eq!(joins.iter().filter(|j| j.sends).count(), 1);
+        assert!(joins[0].sends && joins[0].edge == 0);
+        assert!(joins[1..].iter().all(|j| !j.sends));
+    }
+}

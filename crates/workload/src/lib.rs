@@ -20,13 +20,18 @@
 //!   per-second SFU load series behind Fig. 22).
 //! * [`churn`] — membership-churn timelines (population drift between
 //!   buildings) driving the fabric's re-homing and segment-GC paths.
+//! * [`flashcrowd`] — flash-crowd and webinar join shapes (storms of
+//!   joins into one meeting) driving the control plane's delta
+//!   compiler and batched admission.
 
 pub mod campus;
 pub mod churn;
+pub mod flashcrowd;
 pub mod scenario;
 pub mod zoomtrace;
 
 pub use campus::{CampusModel, CampusParams, MeetingRecord};
 pub use churn::{ChurnEvent, ChurnPlan};
+pub use flashcrowd::{flash_crowd, webinar, CrowdJoin};
 pub use scenario::{sfu_load_series, LoadPoint};
 pub use zoomtrace::{TraceSummary, ZoomTraceSynthesizer};
