@@ -2,13 +2,14 @@
 //!
 //! Re-runs the deterministic campus-fabric slice (the live part of
 //! Figs. 20/21), the churn/migration phase, the Fig. 15 scalability
-//! sweep, the batched data-plane smoke, and the flash-crowd/webinar
-//! control-plane compilation smoke in a cheap configuration; writes
-//! `results/BENCH_fabric.json`, `results/BENCH_scale.json`,
-//! `results/BENCH_dataplane.json`, and `results/BENCH_control.json`
-//! (wall-time + trunk-byte + flow-mod metrics, uploaded as CI
-//! artifacts); and **fails** (exit 1) when a key metric drifts more
-//! than 20 % from the checked-in `results/` baselines:
+//! sweep, the batched data-plane smoke, the flash-crowd/webinar
+//! control-plane compilation smoke, and the fault-recovery suite in a
+//! cheap configuration; writes `results/BENCH_fabric.json`,
+//! `results/BENCH_scale.json`, `results/BENCH_dataplane.json`,
+//! `results/BENCH_control.json`, and `results/BENCH_fault.json`
+//! (wall-time + trunk-byte + flow-mod + recovery-tick metrics,
+//! uploaded as CI artifacts); and **fails** (exit 1) when a key metric
+//! drifts more than 20 % from the checked-in `results/` baselines:
 //!
 //! * `results/fig20_21_fabric_slice.json` — trunk/forwarding packet
 //!   counts of the fabric slice,
@@ -23,6 +24,7 @@ use scallop_bench::baseline::{max_field, parse_numeric_objects, sum_field, Gate}
 use scallop_bench::control::run_control_smoke;
 use scallop_bench::dataplane::run_batch_smoke;
 use scallop_bench::fabric::{peak_time, run_churn_phase, run_fabric_slice, run_wan_slice};
+use scallop_bench::fault::{run_fault_suite, RECOVERY_FLOOR_FPS, RECOVERY_TICK_BOUND};
 use scallop_bench::scale::scalability_rows;
 use scallop_bench::{kv, results_dir, section, write_json};
 use scallop_netsim::time::SimDuration;
@@ -274,6 +276,29 @@ fn main() {
     }
     let control_baseline = read_baseline("BENCH_control");
     write_json("BENCH_control", &control_rows);
+
+    // ------------------------------------------------------------- //
+    section("bench-smoke: fault recovery");
+    let t0 = Instant::now();
+    let fault_rows = run_fault_suite();
+    kv("fault wall time (ms)", t0.elapsed().as_millis() as u64);
+    let fault_name = |s: u64| match s {
+        0 => "core kill",
+        1 => "trunk cut",
+        2 => "shard silence",
+        _ => "edge death",
+    };
+    for row in &fault_rows {
+        kv(
+            &format!("{}: blackhole -> recovered fps", fault_name(row.scenario)),
+            format!(
+                "{:.1} -> {:.1} in {} ticks",
+                row.blackhole_fps, row.recovered_fps, row.recovery_ticks
+            ),
+        );
+    }
+    let fault_baseline = read_baseline("BENCH_fault");
+    write_json("BENCH_fault", &fault_rows);
 
     // ------------------------------------------------------------- //
     section("regression gate (>20% drift vs checked-in results/)");
@@ -552,6 +577,79 @@ fn main() {
         None => gate
             .failures
             .push("missing baseline results/BENCH_control.json".into()),
+    }
+    // Fault-recovery invariants: every failure class must come back
+    // above the fabric floor inside the documented bound, strand
+    // nothing, and the shard scenario must actually exercise the epoch
+    // fence (a refactor that silently stops rejecting stale owners
+    // would otherwise still "recover").
+    for row in &fault_rows {
+        let name = fault_name(row.scenario);
+        gate.check(
+            &format!("fault {name}: recovers above the fabric floor"),
+            row.recovered_fps >= RECOVERY_FLOOR_FPS,
+            format!("recovered to {:.1} fps", row.recovered_fps),
+        );
+        gate.check(
+            &format!("fault {name}: recovery within the tick bound"),
+            row.recovery_ticks <= RECOVERY_TICK_BOUND,
+            format!("{} ticks (bound {RECOVERY_TICK_BOUND})", row.recovery_ticks),
+        );
+        gate.check(
+            &format!("fault {name}: zero stranded meetings"),
+            row.stranded_meetings == 0,
+            format!("{} meetings stranded", row.stranded_meetings),
+        );
+    }
+    gate.check(
+        "fault: data-plane faults visibly blackhole before repair",
+        fault_rows[0].blackhole_fps < 5.0 && fault_rows[1].blackhole_fps < 5.0,
+        format!(
+            "core-kill {:.1} fps, trunk-cut {:.1} fps during impact",
+            fault_rows[0].blackhole_fps, fault_rows[1].blackhole_fps
+        ),
+    );
+    gate.check(
+        "fault: media survives controller-shard death untouched",
+        fault_rows[2].blackhole_fps >= RECOVERY_FLOOR_FPS,
+        format!(
+            "{:.1} fps while the owner was silent",
+            fault_rows[2].blackhole_fps
+        ),
+    );
+    gate.check(
+        "fault: stale-epoch write fenced at least once",
+        fault_rows
+            .iter()
+            .map(|r| r.stale_epoch_writes_rejected)
+            .sum::<u64>()
+            >= 1,
+        "no stale ownership re-assertion was ever rejected".into(),
+    );
+    match fault_baseline {
+        Some(base) => {
+            gate.check_within(
+                "fault: total recovered fps",
+                sum_field(&base, "recovered_fps"),
+                fault_rows.iter().map(|r| r.recovered_fps).sum(),
+            );
+            gate.check_within(
+                "fault: total recovery ticks",
+                sum_field(&base, "recovery_ticks"),
+                fault_rows.iter().map(|r| r.recovery_ticks).sum::<u64>() as f64,
+            );
+            gate.check_within(
+                "fault: packets fail-stopped",
+                sum_field(&base, "packets_failstopped"),
+                fault_rows
+                    .iter()
+                    .map(|r| r.packets_failstopped)
+                    .sum::<u64>() as f64,
+            );
+        }
+        None => gate
+            .failures
+            .push("missing baseline results/BENCH_fault.json".into()),
     }
 
     if gate.passed() {

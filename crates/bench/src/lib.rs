@@ -28,9 +28,10 @@
 //! The `bench_smoke` binary is the CI regression gate: it re-runs the
 //! deterministic campus-fabric slice ([`fabric`]), the churn/migration
 //! phase, the Fig. 15 sweep ([`scale`]), the batched data-plane smoke
-//! ([`dataplane`]), and the flash-crowd/webinar control-plane
-//! compilation smoke ([`control`]); writes `BENCH_fabric.json` /
-//! `BENCH_scale.json` / `BENCH_dataplane.json` / `BENCH_control.json`
+//! ([`dataplane`]), the flash-crowd/webinar control-plane compilation
+//! smoke ([`control`]), and the fault-recovery suite ([`fault`]);
+//! writes `BENCH_fabric.json` / `BENCH_scale.json` /
+//! `BENCH_dataplane.json` / `BENCH_control.json` / `BENCH_fault.json`
 //! for artifact upload; and fails when key metrics drift more than
 //! 20 % from the checked-in `results/` baselines ([`baseline`]).
 
@@ -38,6 +39,7 @@ pub mod baseline;
 pub mod control;
 pub mod dataplane;
 pub mod fabric;
+pub mod fault;
 pub mod scale;
 
 use serde::Serialize;

@@ -654,7 +654,13 @@ impl Controller {
         };
         let m = rec.members.remove(pos);
         let segment = rec.segments[&m.edge];
-        fabric.edge_mut(sim, m.edge).leave(segment, m.local_pid);
+        // A fail-stopped switch already lost its rules with the crash:
+        // skipping the RPC (here and below) keeps the free-lists of a
+        // later revival coherent — the bookkeeping above still runs
+        // exactly once.
+        if !fabric.edge_is_dead(sim, m.edge) {
+            fabric.edge_mut(sim, m.edge).leave(segment, m.local_pid);
+        }
         let remote: Vec<(usize, ParticipantId)> =
             m.remote_pids.iter().map(|(&o, &p)| (o, p)).collect();
         let rec = self.fabric_meetings.get(&gmid).expect("fabric meeting");
@@ -663,7 +669,9 @@ impl Controller {
             .map(|&(o, p)| (o, rec.segments[&o], p))
             .collect();
         for (o, seg, pid) in remote_segs {
-            fabric.edge_mut(sim, o).leave(seg, pid);
+            if !fabric.edge_is_dead(sim, o) {
+                fabric.edge_mut(sim, o).leave(seg, pid);
+            }
         }
         self.signaling_exchanges += 1;
 
@@ -723,14 +731,22 @@ impl Controller {
             .filter(|m| m.remote_pids.contains_key(&edge))
             .map(|m| (m.edge, m.local_pid))
             .collect();
-        for &(_, pid) in &remotes {
-            fabric.edge_mut(sim, edge).leave(seg, pid);
+        // RPCs into a fail-stopped switch are skipped: its rules died
+        // with it, and replaying frees on revival would double-free
+        // RIDs and ports. The bookkeeping below runs regardless.
+        let edge_dead = fabric.edge_is_dead(sim, edge);
+        if !edge_dead {
+            for &(_, pid) in &remotes {
+                fabric.edge_mut(sim, edge).leave(seg, pid);
+            }
         }
         let edge_ip = fabric.topology.edge_spec(edge).ip;
         for (home_edge, local_pid) in homes {
-            fabric
-                .edge_mut(sim, home_edge)
-                .clear_remote_est(local_pid, edge_ip);
+            if !fabric.edge_is_dead(sim, home_edge) {
+                fabric
+                    .edge_mut(sim, home_edge)
+                    .clear_remote_est(local_pid, edge_ip);
+            }
         }
         // 2. Tear down trunk-egress branches in both directions — this
         //    is what stops every other edge from trunking media toward
@@ -759,10 +775,14 @@ impl Controller {
         }
         rec.segments.remove(&edge);
         for (e, s, te) in branches {
-            fabric.edge_mut(sim, e).leave(s, te);
+            if !fabric.edge_is_dead(sim, e) {
+                fabric.edge_mut(sim, e).leave(s, te);
+            }
         }
         // 3. Destroy the now-empty segment (returns its MGIDs).
-        fabric.edge_mut(sim, edge).destroy_meeting(seg);
+        if !edge_dead {
+            fabric.edge_mut(sim, edge).destroy_meeting(seg);
+        }
         self.signaling_exchanges += 1;
         // 4. If the collected edge anchored its zone's WAN gateway, the
         //    role moves to a surviving segment in the zone (or retires
@@ -978,6 +998,185 @@ impl Controller {
         Some((home, best))
     }
 
+    // ------------------------------------------------------------------
+    // Failure repair (fail-stop recovery; ARCHITECTURE.md "Failure
+    // domains")
+    // ------------------------------------------------------------------
+
+    /// Re-route every trunk branch whose preferred core relay died over
+    /// the zone's surviving cores. `dead_cores` is the full current
+    /// dead set (see [`Fabric::dead_cores`]): a branch is affected when
+    /// [`scallop_netsim::topology::Topology::core_between`] names a
+    /// dead core for its edge pair, and is re-aimed with
+    /// [`Fabric::trunk_addr_avoiding`] — which rotates to the next live
+    /// core in the zone, or falls back to direct edge addressing when
+    /// the zone has no cores left.
+    ///
+    /// Unlike re-homing, this repair is **break-before-make** by
+    /// nature: media already in flight toward the dead core was
+    /// fail-stopped at the kill, so the gap between the crash and this
+    /// repair is real, visible decode-rate loss (measured by
+    /// `bench::fault`). The repair itself is idempotent — re-running it
+    /// with the same dead set recomputes the same surviving routes.
+    /// Returns the number of trunk branches re-aimed.
+    pub fn repair_after_core_failure(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        dead_cores: &[usize],
+    ) -> u64 {
+        let unusable: Vec<(usize, Option<usize>)> = dead_cores.iter().map(|&c| (c, None)).collect();
+        self.repair_trunks(sim, fabric, &unusable)
+    }
+
+    /// Re-route the trunk branches that traverse the cut `edge`↔`core`
+    /// trunk link. A cut is narrower than a core death: only branches
+    /// whose edge pair touches `edge` *and* routes via `core` are
+    /// affected; everything else keeps its preferred core. Affected
+    /// branches fail over exactly as in
+    /// [`Self::repair_after_core_failure`] (next live core in the zone,
+    /// else direct edge addressing). Returns the number of trunk
+    /// branches re-aimed.
+    pub fn repair_after_trunk_cut(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        edge: usize,
+        core: usize,
+    ) -> u64 {
+        self.repair_trunks(sim, fabric, &[(core, Some(edge))])
+    }
+
+    /// Shared repair worker: walk every meeting's senders × plumbed
+    /// remote edges, resolve the upstream (edge, pid) exactly as
+    /// [`Self::plumb_sender_to_edge`] does, and re-aim the branches
+    /// whose current core is unusable. `unusable` entries are
+    /// `(core, scope)`: `scope == None` means the core is dead for
+    /// every edge pair (core failure); `Some(e)` restricts the outage
+    /// to pairs touching edge `e` (a single cut trunk link). WAN-tier
+    /// branches never traverse a core and are skipped.
+    fn repair_trunks(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        unusable: &[(usize, Option<usize>)],
+    ) -> u64 {
+        let Controller {
+            fabric_meetings,
+            signaling_exchanges,
+            ..
+        } = self;
+        let mut repaired = 0u64;
+        for rec in fabric_meetings.values_mut() {
+            let senders: Vec<GlobalParticipantId> = rec
+                .members
+                .iter()
+                .filter(|m| m.sends)
+                .map(|m| m.global)
+                .collect();
+            for global in senders {
+                let mi = rec
+                    .members
+                    .iter()
+                    .position(|m| m.global == global)
+                    .expect("member exists");
+                let (m_edge, m_local_pid) = {
+                    let m = &rec.members[mi];
+                    (m.edge, m.local_pid)
+                };
+                let targets: Vec<usize> = rec.members[mi].remote_pids.keys().copied().collect();
+                for to in targets {
+                    let tz = &fabric.topology;
+                    let (zs, zt) = (tz.zone_of_edge(m_edge), tz.zone_of_edge(to));
+                    let to_is_gateway = rec.zone_gateways.get(&zt) == Some(&to);
+                    // Same upstream resolution as plumb_sender_to_edge.
+                    let (up_edge, up_pid) = if zs == zt {
+                        (m_edge, m_local_pid)
+                    } else if to_is_gateway {
+                        let gs = rec.zone_gateways[&zs];
+                        let pid = if gs == m_edge {
+                            m_local_pid
+                        } else {
+                            rec.members[mi].remote_pids[&gs]
+                        };
+                        (gs, pid)
+                    } else {
+                        let gt = rec.zone_gateways[&zt];
+                        (gt, rec.members[mi].remote_pids[&gt])
+                    };
+                    let Some(current) = tz.core_between(up_edge, to) else {
+                        continue; // WAN tier or coreless campus: no core to lose.
+                    };
+                    let avoid: Vec<usize> = unusable
+                        .iter()
+                        .filter(|&&(_, scope)| scope.is_none_or(|e| e == up_edge || e == to))
+                        .map(|&(c, _)| c)
+                        .collect();
+                    if !avoid.contains(&current) {
+                        continue;
+                    }
+                    let remote_pid = rec.members[mi].remote_pids[&to];
+                    let (vp, ap) = fabric
+                        .edge_mut(sim, to)
+                        .agent
+                        .uplink_ports(remote_pid)
+                        .expect("remote entry has trunk-ingress ports");
+                    let te = rec.trunk_egress[&(up_edge, to)];
+                    let video_dst = fabric.trunk_addr_avoiding(up_edge, to, vp, &avoid);
+                    let audio_dst = fabric.trunk_addr_avoiding(up_edge, to, ap, &avoid);
+                    fabric
+                        .edge_mut(sim, up_edge)
+                        .set_trunk_dst(te, up_pid, video_dst, audio_dst);
+                    repaired += 1;
+                    *signaling_exchanges += 1;
+                }
+            }
+        }
+        repaired
+    }
+
+    /// Evacuate every meeting's state off a fail-stopped edge switch:
+    /// its local members are removed (their clients crashed with the
+    /// switch), its segment is collected — live edges tear down their
+    /// branches toward it while RPCs *into* the dead switch are
+    /// skipped ([`Fabric::edge_is_dead`]) — and a meeting whose home
+    /// anchored there is re-homed to a surviving edge via the drained-
+    /// home bypass of [`Self::rebalance_fabric`]. Bookkeeping runs
+    /// exactly once per member/branch either way, so a later revival
+    /// of the switch cannot be double-freed against. Returns the
+    /// number of members dropped with the edge.
+    pub fn handle_edge_failure(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        edge: usize,
+    ) -> u64 {
+        let gmids: Vec<GlobalMeetingId> = self.fabric_meetings.keys().copied().collect();
+        let mut lost_total = 0u64;
+        for gmid in gmids {
+            let lost: Vec<GlobalParticipantId> = self.fabric_meetings[&gmid]
+                .members
+                .iter()
+                .filter(|m| m.edge == edge)
+                .map(|m| m.global)
+                .collect();
+            lost_total += lost.len() as u64;
+            for g in lost {
+                self.leave_fabric(sim, fabric, gmid, g);
+            }
+            let rec = self.fabric_meetings.get(&gmid).expect("record survives");
+            if rec.home == edge && !rec.members.is_empty() {
+                // The dead edge anchored the home: the drained-home
+                // bypass re-homes to a surviving edge and collects the
+                // dead home's live-side plumbing.
+                self.rebalance_fabric(sim, fabric, gmid);
+            } else {
+                self.gc_segment_if_drained(sim, fabric, gmid, edge);
+            }
+        }
+        lost_total
+    }
+
     /// Resolve the (edge, sender-pid, receiver-pid) triple for a
     /// (sender, receiver) pair, on the receiver's edge: the sender pid
     /// is its local entry when co-located, else its remote-sender entry.
@@ -1013,6 +1212,13 @@ impl Controller {
     /// Number of fabric meetings this controller currently tracks.
     pub fn fabric_meetings_tracked(&self) -> usize {
         self.fabric_meetings.len()
+    }
+
+    /// Ids of every fabric meeting this controller tracks (ascending) —
+    /// the sharded plane enumerates these when reconciling a revived
+    /// shard's stale state.
+    pub(crate) fn fabric_meeting_ids(&self) -> Vec<GlobalMeetingId> {
+        self.fabric_meetings.keys().copied().collect()
     }
 
     /// A full copy of one meeting's control state, for an ownership
@@ -1254,6 +1460,118 @@ mod tests {
         // Surviving members unaffected.
         assert_eq!(ctl.fabric_members(gmid).len(), 2);
         let _ = b;
+    }
+
+    /// Campus with real core relays, so trunk failover has somewhere
+    /// to go.
+    fn campus_with_cores(edges: usize, cores: usize) -> (Simulator, Fabric) {
+        use scallop_dataplane::seqrewrite::SeqRewriteMode;
+        use scallop_netsim::link::LinkConfig;
+        use scallop_netsim::time::SimDuration;
+        use scallop_netsim::topology::Topology;
+        let mut sim = Simulator::new(13);
+        let f = Fabric::build(
+            &mut sim,
+            Topology::campus(edges, cores),
+            LinkConfig::infinite(SimDuration::from_micros(50)),
+            SeqRewriteMode::LowRetransmission,
+        );
+        (sim, f)
+    }
+
+    #[test]
+    fn core_failure_repair_reaims_affected_branches() {
+        let (mut sim, f) = campus_with_cores(2, 2);
+        let mut ctl = Controller::new();
+        let gmid = ctl.create_fabric_meeting(&mut sim, &f, 0);
+        let _a = ctl.join_fabric(&mut sim, &f, gmid, 0, caddr(1), true);
+        let _b = ctl.join_fabric(&mut sim, &f, gmid, 1, caddr(2), true);
+        // No dead cores: the pass is a no-op.
+        assert_eq!(ctl.repair_after_core_failure(&mut sim, &f, &[]), 0);
+        let preferred = f.topology.core_between(0, 1).unwrap();
+        sim.kill_node(f.core_ids[preferred]);
+        let dead = f.dead_cores(&sim);
+        assert_eq!(dead, vec![preferred]);
+        // Each sender's single cross-edge branch routes via the dead
+        // core: both re-aim at the survivor.
+        assert_eq!(ctl.repair_after_core_failure(&mut sim, &f, &dead), 2);
+        // Idempotent: re-running recomputes the same surviving routes.
+        assert_eq!(ctl.repair_after_core_failure(&mut sim, &f, &dead), 2);
+        // Lose the last core too: branches fall back to direct edge
+        // addressing rather than stranding.
+        sim.kill_node(f.core_ids[1 - preferred]);
+        let dead = f.dead_cores(&sim);
+        assert_eq!(dead.len(), 2);
+        assert_eq!(ctl.repair_after_core_failure(&mut sim, &f, &dead), 2);
+    }
+
+    #[test]
+    fn trunk_cut_repair_is_scoped_to_the_cut_edge() {
+        let (mut sim, f) = campus_with_cores(3, 2);
+        let mut ctl = Controller::new();
+        let gmid = ctl.create_fabric_meeting(&mut sim, &f, 0);
+        let _a = ctl.join_fabric(&mut sim, &f, gmid, 0, caddr(1), true);
+        let _b = ctl.join_fabric(&mut sim, &f, gmid, 1, caddr(2), true);
+        let _c = ctl.join_fabric(&mut sim, &f, gmid, 2, caddr(3), false);
+        // With 2 cores over 3 edges: (0,1) and (1,2) route via core 1,
+        // (0,2) via core 0. Cutting edge 1's link to core 1 affects
+        // exactly the branches touching edge 1 on that core —
+        // sender a's 0→1 and sender b's 1→0, 1→2 — while a's 0→2
+        // branch keeps its healthy core.
+        assert_eq!(f.topology.core_between(0, 1), Some(1));
+        assert_eq!(f.topology.core_between(1, 2), Some(1));
+        assert_eq!(f.topology.core_between(0, 2), Some(0));
+        assert_eq!(ctl.repair_after_trunk_cut(&mut sim, &f, 1, 1), 3);
+        // Cutting a link no branch uses (edge 1 never routes via
+        // core 0) repairs nothing.
+        assert_eq!(ctl.repair_after_trunk_cut(&mut sim, &f, 1, 0), 0);
+    }
+
+    #[test]
+    fn dead_edge_failure_evacuates_without_double_free() {
+        let (mut sim, f) = campus2();
+        let mut ctl = Controller::new();
+        let base0 = occupancy(&mut sim, &f, 0);
+        let base1 = occupancy(&mut sim, &f, 1);
+        let gmid = ctl.create_fabric_meeting(&mut sim, &f, 0);
+        let a = ctl.join_fabric(&mut sim, &f, gmid, 0, caddr(1), true);
+        let _b = ctl.join_fabric(&mut sim, &f, gmid, 1, caddr(2), true);
+        sim.kill_node(f.edge_ids[1]);
+        assert_eq!(ctl.handle_edge_failure(&mut sim, &f, 1), 1);
+        // Bookkeeping dropped the dead segment and its member...
+        assert_eq!(ctl.segment_of(gmid, 1), None);
+        assert_eq!(ctl.fabric_members(gmid), vec![a.global]);
+        // ...and the evacuation is idempotent.
+        assert_eq!(ctl.handle_edge_failure(&mut sim, &f, 1), 0);
+        // The crashed switch was never RPC'd: on revival its tables
+        // still hold the pre-crash rules (an operator reset, not the
+        // GC, reclaims them) — proof the GC skipped the dead side.
+        sim.revive_node(f.edge_ids[1]);
+        assert!(
+            occupancy(&mut sim, &f, 1).0 > base1.0,
+            "dead-side rules untouched by evacuation"
+        );
+        // The live side was torn down exactly once: ending the meeting
+        // returns edge 0 to its pre-meeting occupancy.
+        ctl.leave_fabric(&mut sim, &f, gmid, a.global);
+        assert_eq!(occupancy(&mut sim, &f, 0), base0);
+    }
+
+    #[test]
+    fn dead_home_edge_rehomes_to_survivor() {
+        let (mut sim, f) = campus2();
+        let mut ctl = Controller::new();
+        let gmid = ctl.create_fabric_meeting(&mut sim, &f, 0);
+        let a = ctl.join_fabric(&mut sim, &f, gmid, 0, caddr(1), true);
+        let b = ctl.join_fabric(&mut sim, &f, gmid, 1, caddr(2), true);
+        sim.kill_node(f.edge_ids[0]);
+        assert_eq!(ctl.handle_edge_failure(&mut sim, &f, 0), 1);
+        // The meeting survives its home edge: re-homed onto the
+        // survivor, dead segment collected, survivor membership intact.
+        assert_eq!(ctl.home_edge_of(gmid), Some(1));
+        assert_eq!(ctl.segment_of(gmid, 0), None);
+        assert_eq!(ctl.fabric_members(gmid), vec![b.global]);
+        let _ = a;
     }
 
     /// 2 zones × 2 edges (+1 core per zone): edges 0,1 in zone 0 and

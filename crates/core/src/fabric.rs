@@ -145,6 +145,25 @@ impl Fabric {
     /// WAN link out of `from`'s zone (which then routes on the port
     /// into the destination zone's edge range).
     pub fn trunk_addr(&self, from: usize, to: usize, port: u16) -> HostAddr {
+        self.trunk_addr_avoiding(from, to, port, &[])
+    }
+
+    /// [`Fabric::trunk_addr`] restricted to *surviving* cores: the
+    /// repair path after a core fail-stop. Same-zone pairs whose
+    /// preferred core is in `dead_cores` are re-routed over the next
+    /// live core of the zone
+    /// ([`Topology::core_between_avoiding`]), falling back to
+    /// addressing edge `to` directly when the whole zone's core tier is
+    /// down. Cross-zone addressing is untouched (WAN gateways are not
+    /// cores), and an empty `dead_cores` reproduces `trunk_addr`
+    /// byte-for-byte.
+    pub fn trunk_addr_avoiding(
+        &self,
+        from: usize,
+        to: usize,
+        port: u16,
+        dead_cores: &[usize],
+    ) -> HostAddr {
         let (zf, zt) = (
             self.topology.zone_of_edge(from),
             self.topology.zone_of_edge(to),
@@ -156,10 +175,30 @@ impl Fabric {
                 .expect("zones are WAN-connected");
             return HostAddr::new(Topology::wan_ip(link), port);
         }
-        match self.topology.core_between(from, to) {
+        match self.topology.core_between_avoiding(from, to, dead_cores) {
             Some(c) => HostAddr::new(self.topology.core_spec(c).ip, port),
             None => HostAddr::new(self.topology.edge_spec(to).ip, port),
         }
+    }
+
+    /// Whether edge `i`'s switch is currently fail-stopped
+    /// ([`Simulator::kill_node`]). Teardown paths consult this so they
+    /// never issue RPCs into a crashed switch: the crash already took
+    /// its rules and free-lists with it, and re-issuing frees against a
+    /// revived switch would double-free RIDs and ports.
+    pub fn edge_is_dead(&self, sim: &Simulator, i: usize) -> bool {
+        sim.node_is_dead(self.edge_ids[i])
+    }
+
+    /// Core indices whose relay is currently fail-stopped — the dead
+    /// set the repair passes route around.
+    pub fn dead_cores(&self, sim: &Simulator) -> Vec<usize> {
+        self.core_ids
+            .iter()
+            .enumerate()
+            .filter(|&(_, &id)| sim.node_is_dead(id))
+            .map(|(j, _)| j)
+            .collect()
     }
 
     /// Data-plane counters of edge `i`.
@@ -259,5 +298,31 @@ mod tests {
         // Same zone still rides the zone's own core.
         let c = f.trunk_addr(2, 3, port);
         assert_eq!(c.ip, Topology::core_ip(1));
+    }
+
+    #[test]
+    fn trunk_addr_avoiding_reroutes_over_survivors() {
+        let mut sim = Simulator::new(5);
+        let f = Fabric::build(
+            &mut sim,
+            Topology::campus(2, 2),
+            LinkConfig::infinite(SimDuration::from_micros(50)),
+            SeqRewriteMode::LowRetransmission,
+        );
+        let port = f.topology.port_base(1) + 3;
+        let preferred = f.topology.core_between(0, 1).unwrap();
+        let alt = 1 - preferred;
+        // No dead cores: byte-identical to trunk_addr.
+        assert_eq!(
+            f.trunk_addr_avoiding(0, 1, port, &[]),
+            f.trunk_addr(0, 1, port)
+        );
+        // Preferred core dead: the survivor carries the trunk.
+        let a = f.trunk_addr_avoiding(0, 1, port, &[preferred]);
+        assert_eq!(a.ip, Topology::core_ip(alt));
+        assert_eq!(a.port, port);
+        // Whole core tier dead: address the destination edge directly.
+        let d = f.trunk_addr_avoiding(0, 1, port, &[0, 1]);
+        assert_eq!(d.ip, Topology::edge_ip(1));
     }
 }

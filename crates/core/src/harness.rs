@@ -523,6 +523,109 @@ impl ScallopHarness {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Fault hooks: fail-stop injection and repair (ARCHITECTURE.md
+    // "Failure domains").
+    // ------------------------------------------------------------------
+
+    /// Fail-stop core relay `j`: packets toward it are discarded and
+    /// its timers stop until [`Self::revive_core`]. Media riding the
+    /// dead core blackholes until [`Self::repair_core_failure`]
+    /// re-routes it — that gap is the measured recovery window.
+    pub fn kill_core(&mut self, j: usize) {
+        self.sim.kill_node(self.fabric.core_ids[j]);
+    }
+
+    /// Revive core relay `j` (relays are reactive, so delivery resumes
+    /// immediately; see [`scallop_netsim::sim::Simulator::revive_node`]).
+    pub fn revive_core(&mut self, j: usize) {
+        self.sim.revive_node(self.fabric.core_ids[j]);
+    }
+
+    /// Core indices currently fail-stopped.
+    pub fn dead_cores(&self) -> Vec<usize> {
+        self.fabric.dead_cores(&self.sim)
+    }
+
+    /// Control-plane repair after core failure: re-route every trunk
+    /// branch whose preferred core is dead over the zone's survivors
+    /// (or direct edge addressing when none remain). Returns the
+    /// number of branches re-aimed.
+    pub fn repair_core_failure(&mut self) -> u64 {
+        let dead = self.fabric.dead_cores(&self.sim);
+        self.controller
+            .repair_after_core_failure(&mut self.sim, &self.fabric, &dead)
+    }
+
+    /// Cut the trunk link between edge `edge` and core `core` (both
+    /// directions; in-flight packets still arrive).
+    pub fn cut_trunk(&mut self, edge: usize, core: usize) {
+        self.sim
+            .cut_link(self.fabric.edge_ids[edge], self.fabric.core_ids[core]);
+    }
+
+    /// Restore a previously cut edge↔core trunk link.
+    pub fn restore_trunk(&mut self, edge: usize, core: usize) {
+        self.sim
+            .restore_link(self.fabric.edge_ids[edge], self.fabric.core_ids[core]);
+    }
+
+    /// Control-plane repair after a trunk cut: fail the affected
+    /// branches over to an alternate core (or direct edge addressing).
+    /// Returns the number of branches re-aimed.
+    pub fn repair_trunk_cut(&mut self, edge: usize, core: usize) -> u64 {
+        self.controller
+            .repair_after_trunk_cut(&mut self.sim, &self.fabric, edge, core)
+    }
+
+    /// Fail-stop edge switch `i` (its clients crash with it).
+    pub fn kill_edge(&mut self, i: usize) {
+        self.sim.kill_node(self.fabric.edge_ids[i]);
+    }
+
+    /// Evacuate all control-plane state off a fail-stopped edge (see
+    /// [`crate::Controller::handle_edge_failure`]). Returns the number
+    /// of members dropped with the edge.
+    pub fn evacuate_edge(&mut self, i: usize) -> u64 {
+        self.controller
+            .handle_edge_failure(&mut self.sim, &self.fabric, i)
+    }
+
+    /// Relay statistics of core `j` (frozen while the core is dead —
+    /// useful for asserting a dead core stopped carrying traffic).
+    pub fn core_stats(&mut self, j: usize) -> scallop_netsim::relay::RelayStats {
+        self.fabric.core_stats(&mut self.sim, j)
+    }
+
+    /// Mark controller shard `s` silent (stops renewing its ownership
+    /// lease; see [`crate::shard::ShardedControlPlane::silence_shard`]).
+    pub fn silence_shard(&mut self, s: usize) {
+        self.controller.silence_shard(s);
+    }
+
+    /// Advance ownership-lease time by one tick.
+    pub fn tick_leases(&mut self) {
+        self.controller.tick_leases();
+    }
+
+    /// Steal meetings from silent owners whose lease expired; returns
+    /// how many moved.
+    pub fn steal_expired_leases(&mut self) -> u64 {
+        self.controller
+            .steal_expired_leases(&mut self.sim, &self.fabric)
+    }
+
+    /// Revive controller shard `s`: its stale ownership re-assertions
+    /// are fenced (returned count) and a
+    /// [`crate::shard::ShardedControlPlane::rebalance_ownership`] pass
+    /// folds the shard back into the bounded-loads spread.
+    pub fn revive_shard(&mut self, s: usize) -> u64 {
+        let rejected = self.controller.revive_shard(&mut self.sim, &self.fabric, s);
+        self.controller
+            .rebalance_ownership(&mut self.sim, &self.fabric);
+        rejected
+    }
+
     /// A client's statistics.
     pub fn client_stats(&mut self, idx: usize) -> ClientStats {
         let c: &mut ClientNode = self.sim.node_mut(self.client_ids[idx]).expect("client");

@@ -65,6 +65,76 @@
 //!    the ring and re-evaluates every meeting; consistent hashing keeps
 //!    the number of handoffs near `meetings / new_shards` instead of
 //!    re-shuffling everything.
+//! 3. **Lease expiry.** A shard that goes silent stops renewing its
+//!    ownership lease; once it drains, peers steal its meetings (next
+//!    section).
+//!
+//! # Ownership liveness: leases and epoch fencing
+//!
+//! The handoff protocol above is *cooperative* — both sides are alive.
+//! Fail-stop shard death needs a liveness escape hatch, modeled after
+//! the standard lease + fencing-token construction:
+//!
+//! * **Leases.** Every shard holds an ownership lease of
+//!   [`LEASE_TICKS`] ticks, renewed implicitly while it is live. A
+//!   shard marked silent ([`ShardedControlPlane::silence_shard`])
+//!   stops renewing; [`ShardedControlPlane::tick_leases`] drains its
+//!   lease one tick at a time.
+//! * **Steal.** Once the lease hits zero,
+//!   [`ShardedControlPlane::steal_expired_leases`] re-assigns each of
+//!   the silent shard's meetings to a live peer (silent shards are
+//!   excluded from the bounded-loads walk). The peer adopts the
+//!   meeting state via the normal [`ShardMsg::AcquireMeeting`] — in
+//!   this in-process reproduction the state is cloned from the silent
+//!   owner's controller, standing in for recovery from the replicated
+//!   meeting log a production deployment would keep. No
+//!   [`ShardMsg::ReleaseMeeting`] is sent: the silent owner cannot
+//!   hear it.
+//! * **Epoch fencing.** Every meeting carries an **epoch** (fencing
+//!   token), bumped on each steal. The stale copy held by a silent
+//!   owner keeps its old epoch, so when the shard resurrects
+//!   ([`ShardedControlPlane::revive_shard`]) and tries to re-assert
+//!   ownership, the write is rejected (counted in
+//!   [`ShardedControlPlane::stale_epoch_writes_rejected`]) and the
+//!   shard releases its stale copy. A follow-up
+//!   [`ShardedControlPlane::rebalance_ownership`] re-admits the
+//!   revived shard into the bounded-loads spread.
+//!
+//! ```
+//! use scallop_core::fabric::Fabric;
+//! use scallop_core::shard::{ShardedControlPlane, LEASE_TICKS};
+//! use scallop_dataplane::seqrewrite::SeqRewriteMode;
+//! use scallop_netsim::link::LinkConfig;
+//! use scallop_netsim::sim::Simulator;
+//! use scallop_netsim::time::SimDuration;
+//! use scallop_netsim::topology::Topology;
+//!
+//! let mut sim = Simulator::new(1);
+//! let fabric = Fabric::build(
+//!     &mut sim,
+//!     Topology::campus(2, 0),
+//!     LinkConfig::infinite(SimDuration::from_micros(50)),
+//!     SeqRewriteMode::LowRetransmission,
+//! );
+//! let mut plane = ShardedControlPlane::new(2);
+//! let gmid = plane.create_fabric_meeting(&mut sim, &fabric, 0);
+//! let owner = plane.owner_of(gmid).unwrap();
+//!
+//! // The owner goes silent; its lease drains and a peer steals the
+//! // meeting under a bumped epoch.
+//! plane.silence_shard(owner);
+//! for _ in 0..LEASE_TICKS {
+//!     plane.tick_leases();
+//! }
+//! assert_eq!(plane.steal_expired_leases(&mut sim, &fabric), 1);
+//! assert_ne!(plane.owner_of(gmid), Some(owner));
+//! assert_eq!(plane.meeting_epoch(gmid), Some(2));
+//!
+//! // The resurrected owner's re-assertion carries the stale epoch and
+//! // is fenced off.
+//! assert_eq!(plane.revive_shard(&mut sim, &fabric, owner), 1);
+//! assert_eq!(plane.stale_epoch_writes_rejected(), 1);
+//! ```
 
 use crate::controller::{Controller, FabricGrant, GlobalMeetingId, GlobalParticipantId};
 use crate::fabric::Fabric;
@@ -77,6 +147,11 @@ use std::collections::BTreeMap;
 /// nodes smooth the arc distribution (so the pure hash is already
 /// nearly balanced before the bounded-loads walk corrects the tail).
 pub const VNODES_PER_SHARD: usize = 64;
+
+/// Ownership-lease duration, in lease ticks: a silent shard's meetings
+/// become stealable after this many [`ShardedControlPlane::tick_leases`]
+/// calls without a renewal (live shards renew implicitly every tick).
+pub const LEASE_TICKS: u64 = 3;
 
 /// 64-bit FNV-1a with a splitmix64 finalizer — deterministic and
 /// dependency-free. Raw FNV-1a has poor high-bit avalanche on the
@@ -187,6 +262,11 @@ pub enum ShardMsg {
         gmid: GlobalMeetingId,
         /// Its complete control-plane state.
         state: FabricMeetingState,
+        /// The ownership epoch (fencing token) this acquisition runs
+        /// under: unchanged on a cooperative handoff, bumped by a
+        /// lease steal. A shard holding an older epoch for the same
+        /// meeting is fenced off (module docs).
+        epoch: u64,
     },
     /// Drop a meeting that was just acquired elsewhere (the break half;
     /// always delivered *after* the acquire).
@@ -222,6 +302,9 @@ pub struct ControllerShard {
     pub meetings_released: u64,
     /// Cross-shard joins this shard executed for other ingress shards.
     pub joins_forwarded: u64,
+    /// The epoch each tracked meeting was acquired (or created) under —
+    /// the shard's half of the fencing comparison.
+    epoch_of: BTreeMap<GlobalMeetingId, u64>,
 }
 
 impl ControllerShard {
@@ -234,13 +317,15 @@ impl ControllerShard {
         msg: ShardMsg,
     ) -> Option<FabricGrant> {
         match msg {
-            ShardMsg::AcquireMeeting { gmid, state } => {
+            ShardMsg::AcquireMeeting { gmid, state, epoch } => {
                 self.controller.adopt_fabric_meeting(gmid, state);
+                self.epoch_of.insert(gmid, epoch);
                 self.meetings_acquired += 1;
                 None
             }
             ShardMsg::ReleaseMeeting { gmid } => {
                 self.controller.release_fabric_meeting(gmid);
+                self.epoch_of.remove(&gmid);
                 self.meetings_released += 1;
                 None
             }
@@ -263,6 +348,11 @@ impl ControllerShard {
     /// Meetings currently owned by this shard.
     pub fn meetings_owned(&self) -> usize {
         self.controller.fabric_meetings_tracked()
+    }
+
+    /// The epoch this shard holds a meeting under, if it tracks it.
+    pub fn epoch_held(&self, gmid: GlobalMeetingId) -> Option<u64> {
+        self.epoch_of.get(&gmid).copied()
     }
 }
 
@@ -319,6 +409,18 @@ pub struct ShardedControlPlane {
     /// [`Self::set_shard_count`], so plane-wide totals never go
     /// backwards when the plane shrinks.
     retired: RetiredTelemetry,
+    /// Authoritative fencing epoch per meeting (module docs: stands in
+    /// for the metadata-service epoch register of a real deployment).
+    epoch: BTreeMap<GlobalMeetingId, u64>,
+    /// Shards currently considered silent (fail-stopped).
+    silent: Vec<bool>,
+    /// Lease ticks remaining per shard; live shards renew to
+    /// [`LEASE_TICKS`] on every [`Self::tick_leases`].
+    lease_left: Vec<u64>,
+    /// Meetings stolen from silent owners after lease expiry.
+    lease_steals: u64,
+    /// Stale-epoch ownership re-assertions fenced off at revival.
+    stale_epoch_writes_rejected: u64,
 }
 
 /// Counters carried over from shards dropped by a shrink.
@@ -346,6 +448,11 @@ impl ShardedControlPlane {
             zones: 1,
             edges_per_zone: usize::MAX,
             retired: RetiredTelemetry::default(),
+            epoch: BTreeMap::new(),
+            silent: vec![false; shards],
+            lease_left: vec![LEASE_TICKS; shards],
+            lease_steals: 0,
+            stale_epoch_writes_rejected: 0,
         }
     }
 
@@ -469,7 +576,13 @@ impl ShardedControlPlane {
             loads[s] -= 1;
             total -= 1;
         }
-        let eligible = self.zone_shards(zone);
+        // Silent shards cannot win ownership — a stolen or new meeting
+        // must land on a live peer. If every eligible shard is silent
+        // (total control-plane outage) the unfiltered set is kept so
+        // the walk still terminates; nothing better exists.
+        let all = self.zone_shards(zone);
+        let live: Vec<usize> = all.iter().copied().filter(|&s| !self.silent[s]).collect();
+        let eligible = if live.is_empty() { all } else { live };
         let cap = (total + 1).div_ceil(eligible.len());
         self.ring
             .preference(key)
@@ -505,6 +618,9 @@ impl ShardedControlPlane {
             .create_fabric_meeting_as(sim, fabric, home, gmid);
         self.owner.insert(gmid, owner);
         self.loads[owner] += 1;
+        // Every meeting is born in epoch 1; steals bump it.
+        self.epoch.insert(gmid, 1);
+        self.shards[owner].epoch_of.insert(gmid, 1);
         gmid
     }
 
@@ -637,7 +753,10 @@ impl ShardedControlPlane {
             .controller
             .clone_fabric_meeting(gmid)
             .expect("owner tracks the meeting");
-        self.shards[target].handle(sim, fabric, ShardMsg::AcquireMeeting { gmid, state });
+        // Cooperative handoffs carry the current epoch unchanged — only
+        // a lease steal opens a new ownership generation.
+        let epoch = self.epoch.get(&gmid).copied().unwrap_or(1);
+        self.shards[target].handle(sim, fabric, ShardMsg::AcquireMeeting { gmid, state, epoch });
         self.owner.insert(gmid, target);
         self.loads[owner] -= 1;
         self.loads[target] += 1;
@@ -694,6 +813,8 @@ impl ShardedControlPlane {
         while self.shards.len() < n {
             self.shards.push(ControllerShard::default());
             self.loads.push(0);
+            self.silent.push(false);
+            self.lease_left.push(LEASE_TICKS);
         }
         let before = self.handoffs;
         let gmids: Vec<GlobalMeetingId> = self.owner.keys().copied().collect();
@@ -722,7 +843,211 @@ impl ShardedControlPlane {
             "dropped shards were evacuated"
         );
         self.loads.truncate(n);
+        self.silent.truncate(n);
+        self.lease_left.truncate(n);
         (self.handoffs - before) as usize
+    }
+
+    // ------------------------------------------------------------------
+    // Ownership liveness: leases, steals, epoch fencing (module docs)
+    // ------------------------------------------------------------------
+
+    /// Mark a shard silent (fail-stopped): it stops renewing its
+    /// ownership lease and is excluded from new assignments. Its
+    /// meetings stay nominally owned until the lease expires — a real
+    /// deployment cannot distinguish a dead peer from a slow one any
+    /// faster than the lease allows.
+    pub fn silence_shard(&mut self, s: usize) {
+        self.silent[s] = true;
+    }
+
+    /// Whether a shard is currently marked silent.
+    pub fn shard_is_silent(&self, s: usize) -> bool {
+        self.silent[s]
+    }
+
+    /// Advance lease time by one tick: live shards renew to
+    /// [`LEASE_TICKS`], silent shards drain toward expiry.
+    pub fn tick_leases(&mut self) {
+        for s in 0..self.shards.len().min(self.lease_left.len()) {
+            if self.silent[s] {
+                self.lease_left[s] = self.lease_left[s].saturating_sub(1);
+            } else {
+                self.lease_left[s] = LEASE_TICKS;
+            }
+        }
+    }
+
+    /// Lease ticks a shard has left before its meetings become
+    /// stealable ([`LEASE_TICKS`] for any live shard).
+    pub fn lease_remaining(&self, s: usize) -> u64 {
+        self.lease_left[s]
+    }
+
+    /// Steal every meeting whose owner's lease has expired: each is
+    /// re-assigned to a live peer by the bounded-loads walk and adopted
+    /// under a **bumped epoch**. The state handed to the thief is
+    /// cloned from the silent owner's controller — the in-process
+    /// stand-in for replaying the replicated meeting log. No release
+    /// is sent to the silent owner (it cannot hear one); its stale copy
+    /// is fenced by the epoch and reconciled by [`Self::revive_shard`].
+    /// Returns the number of meetings stolen.
+    pub fn steal_expired_leases(&mut self, sim: &mut Simulator, fabric: &Fabric) -> u64 {
+        let victims: Vec<(GlobalMeetingId, usize)> = self
+            .owner
+            .iter()
+            .map(|(&g, &o)| (g, o))
+            .filter(|&(_, o)| self.silent[o] && self.lease_left[o] == 0)
+            .collect();
+        let mut stolen = 0u64;
+        for (gmid, owner) in victims {
+            let home = self.shards[owner]
+                .controller
+                .home_edge_of(gmid)
+                .expect("silent owner still tracks the meeting");
+            let target = self.assign(meeting_key(gmid, home), Some(gmid), self.zone_of_home(home));
+            if target == owner {
+                // Every eligible peer is silent too: nothing can steal.
+                continue;
+            }
+            let state = self.shards[owner]
+                .controller
+                .clone_fabric_meeting(gmid)
+                .expect("silent owner still tracks the meeting");
+            let e = self.epoch.entry(gmid).or_insert(1);
+            *e += 1;
+            let epoch = *e;
+            self.shards[target].handle(
+                sim,
+                fabric,
+                ShardMsg::AcquireMeeting { gmid, state, epoch },
+            );
+            self.owner.insert(gmid, target);
+            self.loads[owner] -= 1;
+            self.loads[target] += 1;
+            self.handoffs += 1;
+            self.lease_steals += 1;
+            stolen += 1;
+        }
+        stolen
+    }
+
+    /// Re-admit a resurrected shard: clear its silence, restore its
+    /// lease, and reconcile its stale state — for every meeting it
+    /// still tracks but no longer owns, its re-assertion carries the
+    /// old epoch, is fenced off (the registry's epoch is strictly
+    /// newer), and the shard releases the stale copy. Returns the
+    /// number of stale writes rejected. Follow with
+    /// [`Self::rebalance_ownership`] to fold the shard back into the
+    /// bounded-loads spread.
+    pub fn revive_shard(&mut self, sim: &mut Simulator, fabric: &Fabric, s: usize) -> u64 {
+        self.silent[s] = false;
+        self.lease_left[s] = LEASE_TICKS;
+        let stale: Vec<(GlobalMeetingId, u64)> = self.shards[s]
+            .controller
+            .fabric_meeting_ids()
+            .into_iter()
+            .filter(|g| self.owner.get(g) != Some(&s))
+            .map(|g| (g, self.shards[s].epoch_of.get(&g).copied().unwrap_or(0)))
+            .collect();
+        let mut rejected = 0u64;
+        for (gmid, held) in stale {
+            let current = self.epoch.get(&gmid).copied().unwrap_or(0);
+            assert!(
+                held < current,
+                "a stolen meeting's registry epoch is strictly newer"
+            );
+            self.stale_epoch_writes_rejected += 1;
+            rejected += 1;
+            self.shards[s].handle(sim, fabric, ShardMsg::ReleaseMeeting { gmid });
+        }
+        rejected
+    }
+
+    /// Re-evaluate shard ownership of every meeting against the
+    /// current ring and load state without touching any home edge —
+    /// the re-admission pass run after [`Self::revive_shard`] so the
+    /// revived shard (empty-handed after the steals) wins back its
+    /// share of meetings through the ordinary cooperative handoff.
+    /// Returns the number of handoffs performed.
+    pub fn rebalance_ownership(&mut self, sim: &mut Simulator, fabric: &Fabric) -> usize {
+        let before = self.handoffs;
+        let gmids: Vec<GlobalMeetingId> = self.owner.keys().copied().collect();
+        for gmid in gmids {
+            let owner = self.owner[&gmid];
+            let home = self.shards[owner]
+                .controller
+                .home_edge_of(gmid)
+                .expect("owner tracks the meeting");
+            self.handoff_if_moved(sim, fabric, gmid, home);
+        }
+        (self.handoffs - before) as usize
+    }
+
+    /// The current fencing epoch of a meeting (1 at creation; +1 per
+    /// lease steal).
+    pub fn meeting_epoch(&self, gmid: GlobalMeetingId) -> Option<u64> {
+        self.epoch.get(&gmid).copied()
+    }
+
+    /// Meetings stolen from silent owners after lease expiry.
+    pub fn lease_steal_total(&self) -> u64 {
+        self.lease_steals
+    }
+
+    /// Stale-epoch ownership re-assertions fenced off at revival.
+    pub fn stale_epoch_writes_rejected(&self) -> u64 {
+        self.stale_epoch_writes_rejected
+    }
+
+    // ------------------------------------------------------------------
+    // Data-plane failure repair, fanned over every shard
+    // ------------------------------------------------------------------
+
+    /// Run [`Controller::repair_after_core_failure`] on every shard's
+    /// meetings; returns the total trunk branches re-aimed.
+    pub fn repair_after_core_failure(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        dead_cores: &[usize],
+    ) -> u64 {
+        self.shards
+            .iter_mut()
+            .map(|s| {
+                s.controller
+                    .repair_after_core_failure(sim, fabric, dead_cores)
+            })
+            .sum()
+    }
+
+    /// Run [`Controller::repair_after_trunk_cut`] on every shard's
+    /// meetings; returns the total trunk branches re-aimed.
+    pub fn repair_after_trunk_cut(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        edge: usize,
+        core: usize,
+    ) -> u64 {
+        self.shards
+            .iter_mut()
+            .map(|s| s.controller.repair_after_trunk_cut(sim, fabric, edge, core))
+            .sum()
+    }
+
+    /// Run [`Controller::handle_edge_failure`] on every shard's
+    /// meetings; returns the total members dropped with the edge.
+    pub fn handle_edge_failure(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        edge: usize,
+    ) -> u64 {
+        self.shards
+            .iter_mut()
+            .map(|s| s.controller.handle_edge_failure(sim, fabric, edge))
+            .sum()
     }
 
     // ------------------------------------------------------------------
@@ -1044,6 +1369,99 @@ mod tests {
         assert_eq!(plane.cross_zone_handoff_total(), 1);
         assert_eq!(plane.handoff_total(), 1);
         assert_eq!(plane.zone_meeting_counts(), vec![0, 1]);
+    }
+
+    #[test]
+    fn lease_steal_after_silence_fences_the_stale_owner() {
+        let (mut sim, f) = campus(2);
+        let mut plane = ShardedControlPlane::new(2);
+        let gmid = plane.create_fabric_meeting(&mut sim, &f, 0);
+        let a = plane.join_fabric(&mut sim, &f, gmid, 0, caddr(1), true);
+        let owner = plane.owner_of(gmid).unwrap();
+        assert_eq!(plane.meeting_epoch(gmid), Some(1));
+        assert_eq!(plane.shard(owner).epoch_held(gmid), Some(1));
+
+        // Silence the owner. Before the lease expires nothing moves —
+        // a slow shard must not be robbed.
+        plane.silence_shard(owner);
+        plane.tick_leases();
+        assert_eq!(plane.steal_expired_leases(&mut sim, &f), 0);
+        for _ in 1..LEASE_TICKS {
+            plane.tick_leases();
+        }
+        assert_eq!(plane.lease_remaining(owner), 0);
+
+        // Expired: the peer steals under a bumped epoch.
+        assert_eq!(plane.steal_expired_leases(&mut sim, &f), 1);
+        let thief = plane.owner_of(gmid).unwrap();
+        assert_ne!(thief, owner);
+        assert!(!plane.shard_is_silent(thief));
+        assert_eq!(plane.meeting_epoch(gmid), Some(2));
+        assert_eq!(plane.shard(thief).epoch_held(gmid), Some(2));
+        assert_eq!(plane.lease_steal_total(), 1);
+        // The silent owner still holds its stale copy (no release was
+        // deliverable), under the old epoch.
+        assert_eq!(plane.shard(owner).epoch_held(gmid), Some(1));
+
+        // The meeting is fully operable through the thief.
+        let b = plane.join_fabric(&mut sim, &f, gmid, 1, caddr(2), false);
+        assert_eq!(plane.fabric_members(gmid), vec![a.global, b.global]);
+
+        // Resurrection: the stale re-assertion is fenced and the copy
+        // released; protocol accounting reconciles.
+        assert_eq!(plane.revive_shard(&mut sim, &f, owner), 1);
+        assert_eq!(plane.stale_epoch_writes_rejected(), 1);
+        assert_eq!(plane.shard(owner).epoch_held(gmid), None);
+        assert_eq!(plane.shard(owner).meetings_owned(), 0);
+        assert_eq!(plane.meetings_acquired_total(), plane.handoff_total());
+        assert_eq!(plane.meetings_released_total(), plane.handoff_total());
+    }
+
+    #[test]
+    fn revived_shard_is_readmitted_by_ownership_rebalance() {
+        let (mut sim, f) = campus(4);
+        let mut plane = ShardedControlPlane::new(2);
+        for i in 0..8 {
+            plane.create_fabric_meeting(&mut sim, &f, i % 4);
+        }
+        let victim = 0usize;
+        let survivor = 1usize;
+        let victim_load = plane.meetings_per_shard()[victim];
+        assert!(victim_load > 0);
+        plane.silence_shard(victim);
+        for _ in 0..LEASE_TICKS {
+            plane.tick_leases();
+        }
+        // Every meeting of the silent shard lands on the survivor.
+        assert_eq!(plane.steal_expired_leases(&mut sim, &f), victim_load as u64);
+        assert_eq!(plane.meetings_per_shard()[victim], 0);
+        assert_eq!(plane.meetings_per_shard()[survivor], 8);
+
+        plane.revive_shard(&mut sim, &f, victim);
+        // The re-admission pass folds the revived shard back into the
+        // bounded-loads spread: no shard may exceed ceil(8/2)+1.
+        let moved = plane.rebalance_ownership(&mut sim, &f);
+        assert!(moved > 0, "the revived shard wins meetings back");
+        let counts = plane.meetings_per_shard();
+        assert_eq!(counts.iter().sum::<usize>(), 8);
+        assert!(counts[victim] > 0, "re-admitted: {counts:?}");
+        let cap = 8usize.div_ceil(2) + 1;
+        assert!(counts.iter().all(|&c| c <= cap), "balanced: {counts:?}");
+        // Cooperative handoffs never bump epochs.
+        for g in 1..=8u32 {
+            assert!(plane.meeting_epoch(g).unwrap() <= 2);
+        }
+    }
+
+    #[test]
+    fn silent_shard_never_wins_new_meetings() {
+        let (mut sim, f) = campus(4);
+        let mut plane = ShardedControlPlane::new(2);
+        plane.silence_shard(0);
+        for i in 0..6 {
+            let g = plane.create_fabric_meeting(&mut sim, &f, i % 4);
+            assert_eq!(plane.owner_of(g), Some(1), "only the live shard admits");
+        }
     }
 
     #[test]

@@ -1,10 +1,47 @@
-//! Link fault injection: loss, duplication, reordering, and jitter.
+//! Fault injection: packet-level link impairments and node-level
+//! fail-stop crashes.
 //!
 //! Figures 18 (sequence-rewriting overhead under loss) and the robustness
 //! tests need controllable network impairments. Following the smoltcp
 //! examples' fault-injection flags, every link carries a [`FaultConfig`]
 //! that can drop (Bernoulli or bursty Gilbert–Elliott), duplicate, delay
 //! (jitter), and reorder packets deterministically from the simulation seed.
+//!
+//! # Fail-stop injection (node kills, trunk cuts, partitions)
+//!
+//! Packet impairments degrade a path; crash faults *remove* it. The
+//! simulator exposes three fail-stop primitives, all exact (no
+//! randomness) and all inert until invoked, so a run that never injects
+//! a fault is event-for-event identical to one built before this API
+//! existed:
+//!
+//! * [`Simulator::kill_node`] fail-stops a node at the current tick:
+//!   every queued and future event addressed to it — packets *and*
+//!   timers — is discarded at pop time. The node's state is frozen, not
+//!   destroyed (its counters stay inspectable, which is how tests pin
+//!   "the dead core's relay counters stop advancing").
+//!   [`Simulator::revive_node`] undoes the kill, but events discarded
+//!   while dead are gone: a self-rescheduling timer chain does not
+//!   restart, so revival is transparent only for purely reactive nodes
+//!   such as trunk relays.
+//! * [`Simulator::cut_link`] severs the path between one node pair in
+//!   both directions (packets already in flight still arrive);
+//!   [`Simulator::restore_link`] splices it back.
+//! * [`Simulator::partition`] isolates a node set: packets crossing the
+//!   boundary are discarded, traffic wholly on either side flows
+//!   normally; [`Simulator::heal_partition`] reconnects.
+//!
+//! Discards are counted in
+//! [`SimStats::packets_failstopped`](crate::sim::SimStats), separate
+//! from link loss, so recovery benches can tell "the fabric re-routed"
+//! from "the fabric is still blackholing".
+//!
+//! [`Simulator::kill_node`]: crate::sim::Simulator::kill_node
+//! [`Simulator::revive_node`]: crate::sim::Simulator::revive_node
+//! [`Simulator::cut_link`]: crate::sim::Simulator::cut_link
+//! [`Simulator::restore_link`]: crate::sim::Simulator::restore_link
+//! [`Simulator::partition`]: crate::sim::Simulator::partition
+//! [`Simulator::heal_partition`]: crate::sim::Simulator::heal_partition
 
 use crate::rng::DetRng;
 use crate::time::SimDuration;

@@ -160,6 +160,9 @@ struct NodeSlot {
     downlink: Link,
     /// Cached [`Node::parallel_safe`] (consulted on every delivery).
     parallel_safe: bool,
+    /// Fail-stopped by [`Simulator::kill_node`]: every event addressed
+    /// to this node is discarded at pop time until a revive.
+    dead: bool,
 }
 
 /// One node's share of a delivery wave: its batch of same-instant
@@ -212,6 +215,9 @@ pub struct SimStats {
     pub packets_dropped: u64,
     /// Packets sent to addresses no node owns.
     pub packets_unroutable: u64,
+    /// Packets discarded by fail-stop injection: addressed to a killed
+    /// node, across a cut link, or across a partition boundary.
+    pub packets_failstopped: u64,
 }
 
 /// The discrete-event simulator.
@@ -225,6 +231,12 @@ pub struct Simulator {
     /// Worker threads for stepping `parallel_safe` node batches (1 =
     /// in-place, no threads).
     workers: usize,
+    /// Fail-stopped link pairs (normalized lower index first): packets
+    /// between the two nodes are discarded at transmit time.
+    cuts: std::collections::HashSet<(usize, usize)>,
+    /// Node indices on the minority side of an active partition; empty
+    /// means no partition. Packets crossing the boundary are discarded.
+    partitioned: std::collections::HashSet<usize>,
     /// Run-level statistics.
     pub stats: SimStats,
     /// Optional packet trace capture (records every node delivery).
@@ -242,6 +254,8 @@ impl Simulator {
             seq: 0,
             rng: DetRng::new(seed),
             workers: 1,
+            cuts: std::collections::HashSet::new(),
+            partitioned: std::collections::HashSet::new(),
             stats: SimStats::default(),
             trace: TraceSink::disabled(),
         }
@@ -282,6 +296,7 @@ impl Simulator {
             uplink: Link::new(uplink),
             downlink: Link::new(downlink),
             parallel_safe,
+            dead: false,
         });
         for ip in ips {
             let prev = self.routes.insert(*ip, id);
@@ -318,6 +333,81 @@ impl Simulator {
     /// Mutable access to a node's downlink.
     pub fn downlink_mut(&mut self, id: NodeId) -> &mut Link {
         &mut self.nodes[id.0].downlink
+    }
+
+    /// Fail-stop a node at the current tick. The node's queued and
+    /// future events (packets *and* timers) are discarded at pop time,
+    /// so it stops consuming, emitting, and counting immediately — its
+    /// state is frozen, not destroyed, and stays inspectable through
+    /// [`Simulator::node_mut`]. A run that never kills anything is
+    /// event-for-event identical to one built without this API: the
+    /// check is a flag read, with no RNG draws and no re-ordering.
+    pub fn kill_node(&mut self, id: NodeId) {
+        self.nodes[id.0].dead = true;
+    }
+
+    /// Undo [`Simulator::kill_node`]: the node receives traffic again.
+    /// Events discarded while dead are gone forever — in particular a
+    /// self-rescheduling timer chain broken by the kill does not
+    /// restart, so reviving is only transparent for purely reactive
+    /// nodes (e.g. relays); stateful switches need control-plane
+    /// re-admission on top.
+    pub fn revive_node(&mut self, id: NodeId) {
+        self.nodes[id.0].dead = false;
+    }
+
+    /// Whether `id` is currently fail-stopped.
+    pub fn node_is_dead(&self, id: NodeId) -> bool {
+        self.nodes[id.0].dead
+    }
+
+    /// Cut the (bidirectional) path between two nodes: packets offered
+    /// in either direction are discarded at transmit time. Packets
+    /// already in flight still arrive — a cut severs the wire, it does
+    /// not recall what left before the cut. Both endpoints stay alive.
+    pub fn cut_link(&mut self, a: NodeId, b: NodeId) {
+        self.cuts.insert(Self::pair_key(a, b));
+    }
+
+    /// Undo [`Simulator::cut_link`] for the pair.
+    pub fn restore_link(&mut self, a: NodeId, b: NodeId) {
+        self.cuts.remove(&Self::pair_key(a, b));
+    }
+
+    /// Whether the pair's path is currently cut.
+    pub fn link_is_cut(&self, a: NodeId, b: NodeId) -> bool {
+        self.cuts.contains(&Self::pair_key(a, b))
+    }
+
+    /// Partition `group` away from every other node: packets crossing
+    /// the boundary (either direction) are discarded at transmit time,
+    /// while traffic wholly inside or wholly outside the group flows
+    /// normally. Replaces any previous partition; an empty group heals.
+    pub fn partition(&mut self, group: &[NodeId]) {
+        self.partitioned = group.iter().map(|id| id.0).collect();
+    }
+
+    /// Heal the active partition (equivalent to `partition(&[])`).
+    pub fn heal_partition(&mut self) {
+        self.partitioned.clear();
+    }
+
+    fn pair_key(a: NodeId, b: NodeId) -> (usize, usize) {
+        if a.0 <= b.0 {
+            (a.0, b.0)
+        } else {
+            (b.0, a.0)
+        }
+    }
+
+    /// Whether a packet from `src` to `dst` is discarded by an active
+    /// fail-stop injection (dead destination, cut pair, or partition
+    /// boundary crossing).
+    fn failstopped(&self, src: NodeId, dst: NodeId) -> bool {
+        self.nodes[dst.0].dead
+            || (!self.cuts.is_empty() && self.cuts.contains(&Self::pair_key(src, dst)))
+            || (!self.partitioned.is_empty()
+                && self.partitioned.contains(&src.0) != self.partitioned.contains(&dst.0))
     }
 
     /// Inject a packet into the network "from outside" (it still traverses
@@ -382,6 +472,10 @@ impl Simulator {
             self.stats.packets_unroutable += 1;
             return;
         };
+        if self.failstopped(src_node, dst) {
+            self.stats.packets_failstopped += 1;
+            return;
+        }
         let wire = pkt.wire_len();
         let now = self.now;
         let verdict = self.nodes[src_node.0]
@@ -427,9 +521,16 @@ impl Simulator {
         self.stats.events += 1;
         match ev.kind {
             EventKind::Timer { node, token } => {
+                if self.nodes[node.0].dead {
+                    return true;
+                }
                 self.invoke(node, |n, ctx| n.on_timer(ctx, token));
             }
             EventKind::DownlinkAdmit { dst, pkt } => {
+                if self.nodes[dst.0].dead {
+                    self.stats.packets_failstopped += 1;
+                    return true;
+                }
                 let wire = pkt.wire_len();
                 let now = self.now;
                 let verdict = self.nodes[dst.0].downlink.offer(now, wire, &mut self.rng);
@@ -461,6 +562,10 @@ impl Simulator {
                 }
             }
             EventKind::Deliver { dst, pkt } => {
+                if self.nodes[dst.0].dead {
+                    self.stats.packets_failstopped += 1;
+                    return true;
+                }
                 self.record_delivery(&pkt);
                 if self.nodes[dst.0].parallel_safe {
                     self.deliver_wave(dst, pkt);
@@ -500,7 +605,9 @@ impl Simulator {
             // Decide from the queue front whether the wave extends.
             let dst = match self.queue.peek() {
                 Some(ev) if ev.at == at => match &ev.kind {
-                    EventKind::Deliver { dst, .. } if self.nodes[dst.0].parallel_safe => {
+                    EventKind::Deliver { dst, .. }
+                        if self.nodes[dst.0].parallel_safe && !self.nodes[dst.0].dead =>
+                    {
                         let dst = *dst;
                         let open = runs.last().expect("wave is non-empty").0;
                         if dst == open || !runs.iter().any(|(n, _)| *n == dst) {
@@ -882,6 +989,110 @@ mod tests {
         sim.run_until(SimTime::from_secs(1));
         let e: &mut Echo = sim.node_mut(echo).unwrap();
         assert_eq!(e.received, 1);
+    }
+
+    #[test]
+    fn killed_node_failstops_traffic_and_timers() {
+        let cfg = LinkConfig::infinite(SimDuration::from_millis(5));
+        let (mut sim, echo, pinger) = two_node_sim(8, cfg, cfg);
+        sim.kill_node(echo);
+        assert!(sim.node_is_dead(echo));
+        sim.run_until(SimTime::from_secs(1));
+        let e: &mut Echo = sim.node_mut(echo).unwrap();
+        assert_eq!(e.received, 0, "dead node consumes nothing");
+        let p: &mut Pinger = sim.node_mut(pinger).unwrap();
+        assert!(p.echoes.is_empty(), "dead node emits nothing");
+        assert_eq!(sim.stats.packets_failstopped, 3);
+        assert_eq!(sim.stats.packets_dropped, 0, "fail-stop is not link loss");
+    }
+
+    #[test]
+    fn revive_restores_delivery_for_reactive_nodes() {
+        let cfg = LinkConfig::infinite(SimDuration::from_millis(5));
+        let (mut sim, echo, _pinger) = two_node_sim(9, cfg, cfg);
+        sim.kill_node(echo);
+        sim.run_until(SimTime::from_secs(1));
+        sim.revive_node(echo);
+        assert!(!sim.node_is_dead(echo));
+        // A fresh packet injected after the revive is delivered.
+        sim.inject(
+            SimTime::from_secs(2),
+            Packet::new(
+                HostAddr::new(ip(50), 1),
+                HostAddr::new(ip(2), 5000),
+                vec![0u8; 10],
+            ),
+        );
+        sim.run_until(SimTime::from_secs(3));
+        let e: &mut Echo = sim.node_mut(echo).unwrap();
+        assert_eq!(e.received, 1);
+    }
+
+    #[test]
+    fn cut_link_discards_both_directions_until_restored() {
+        let cfg = LinkConfig::infinite(SimDuration::from_millis(5));
+        let (mut sim, echo, pinger) = two_node_sim(10, cfg, cfg);
+        sim.cut_link(pinger, echo);
+        assert!(sim.link_is_cut(echo, pinger), "cut is order-insensitive");
+        sim.run_until(SimTime::from_secs(1));
+        let e: &mut Echo = sim.node_mut(echo).unwrap();
+        assert_eq!(e.received, 0);
+        assert_eq!(sim.stats.packets_failstopped, 3);
+        sim.restore_link(echo, pinger);
+        sim.inject(
+            SimTime::from_secs(2),
+            Packet::new(
+                HostAddr::new(ip(1), 4000),
+                HostAddr::new(ip(2), 5000),
+                vec![0u8; 10],
+            ),
+        );
+        sim.run_until(SimTime::from_secs(3));
+        let e: &mut Echo = sim.node_mut(echo).unwrap();
+        assert_eq!(e.received, 1, "restored pair carries traffic again");
+    }
+
+    #[test]
+    fn partition_blocks_only_boundary_crossings() {
+        let cfg = LinkConfig::infinite(SimDuration::from_millis(5));
+        let (mut sim, echo, _pinger) = two_node_sim(11, cfg, cfg);
+        sim.partition(&[echo]);
+        sim.run_until(SimTime::from_secs(1));
+        let e: &mut Echo = sim.node_mut(echo).unwrap();
+        assert_eq!(e.received, 0);
+        assert_eq!(sim.stats.packets_failstopped, 3);
+        sim.heal_partition();
+        sim.inject(
+            SimTime::from_secs(2),
+            Packet::new(
+                HostAddr::new(ip(1), 4000),
+                HostAddr::new(ip(2), 5000),
+                vec![0u8; 10],
+            ),
+        );
+        sim.run_until(SimTime::from_secs(3));
+        let e: &mut Echo = sim.node_mut(echo).unwrap();
+        assert_eq!(e.received, 1, "healed partition carries traffic again");
+    }
+
+    #[test]
+    fn no_fault_run_is_identical_with_inactive_failstop_state() {
+        let cfg = LinkConfig::infinite(SimDuration::from_millis(5));
+        let run = |touch: bool| {
+            let (mut sim, _echo, pinger) = two_node_sim(12, cfg, cfg);
+            if touch {
+                // Install and immediately remove injections: inactive
+                // fail-stop state must not perturb the run.
+                sim.cut_link(pinger, NodeId(0));
+                sim.restore_link(pinger, NodeId(0));
+                sim.partition(&[pinger]);
+                sim.heal_partition();
+            }
+            sim.run_until(SimTime::from_secs(1));
+            let p: &mut Pinger = sim.node_mut(pinger).unwrap();
+            (p.echoes.clone(), sim.stats.events)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

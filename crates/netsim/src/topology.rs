@@ -450,6 +450,33 @@ impl Topology {
         }
         Some(za * cpz + ((a - za * epz) + (b - zb * epz)) % cpz)
     }
+
+    /// The global core indices belonging to zone `z` (cores are
+    /// numbered zone-major, like edges).
+    pub fn zone_cores(&self, z: usize) -> std::ops::Range<usize> {
+        assert!(z < self.zones, "zone index out of range");
+        let cpz = self.cores_per_zone();
+        z * cpz..(z + 1) * cpz
+    }
+
+    /// [`Topology::core_between`] restricted to *surviving* cores: the
+    /// pair's preferred core when it is not in `dead`, otherwise the
+    /// next live core rotating through the zone's core slice (the
+    /// deterministic failover order every controller computes
+    /// identically), or `None` when the pair has no core at all or
+    /// every core in the zone is dead — the caller must then fall back
+    /// to direct edge-to-edge trunking.
+    pub fn core_between_avoiding(&self, a: usize, b: usize, dead: &[usize]) -> Option<usize> {
+        let preferred = self.core_between(a, b)?;
+        if !dead.contains(&preferred) {
+            return Some(preferred);
+        }
+        let cpz = self.cores_per_zone();
+        let base = self.zone_of_edge(a) * cpz;
+        (1..cpz)
+            .map(|off| base + (preferred - base + off) % cpz)
+            .find(|c| !dead.contains(c))
+    }
 }
 
 #[cfg(test)]
@@ -588,6 +615,38 @@ mod tests {
         assert_eq!(t.core_between(7, 8), None);
         let campus = Topology::campus(2, 1);
         assert_eq!(campus.core_between(0, 2), None);
+    }
+
+    #[test]
+    fn surviving_core_query_rotates_within_the_zone() {
+        let t = Topology::campus(4, 3);
+        let preferred = t.core_between(0, 1).unwrap();
+        // No dead cores: identical to core_between.
+        assert_eq!(t.core_between_avoiding(0, 1, &[]), Some(preferred));
+        // Preferred core dead: the next core in the zone's rotation.
+        let alt = t.core_between_avoiding(0, 1, &[preferred]).unwrap();
+        assert_ne!(alt, preferred);
+        // Two dead: the single survivor, whichever it is.
+        let alt2 = t.core_between_avoiding(0, 1, &[preferred, alt]).unwrap();
+        assert!(alt2 != preferred && alt2 != alt);
+        // All dead: no core survives — caller falls back to direct.
+        assert_eq!(t.core_between_avoiding(0, 1, &[0, 1, 2]), None);
+        // Pairs without a core at all are unchanged.
+        let direct = Topology::campus(2, 0);
+        assert_eq!(direct.core_between_avoiding(0, 1, &[]), None);
+    }
+
+    #[test]
+    fn surviving_core_query_never_leaves_the_zone() {
+        let t = Topology::federation(2, 2, 2);
+        assert_eq!(t.zone_cores(0), 0..2);
+        assert_eq!(t.zone_cores(1), 2..4);
+        let preferred = t.core_between(0, 1).unwrap();
+        let alt = t.core_between_avoiding(0, 1, &[preferred]).unwrap();
+        assert!(t.zone_cores(0).contains(&alt), "failover stays zone-local");
+        // Both zone-0 cores dead: zone 1's live cores must NOT be
+        // borrowed — the query reports no survivor.
+        assert_eq!(t.core_between_avoiding(0, 1, &[0, 1]), None);
     }
 
     #[test]
