@@ -3,11 +3,12 @@
 //! Re-runs the deterministic campus-fabric slice (the live part of
 //! Figs. 20/21), the churn/migration phase, the Fig. 15 scalability
 //! sweep, the batched data-plane smoke, the flash-crowd/webinar
-//! control-plane compilation smoke, and the fault-recovery suite in a
-//! cheap configuration; writes `results/BENCH_fabric.json`,
-//! `results/BENCH_scale.json`, `results/BENCH_dataplane.json`,
-//! `results/BENCH_control.json`, and `results/BENCH_fault.json`
-//! (wall-time + trunk-byte + flow-mod + recovery-tick metrics,
+//! control-plane compilation smoke, the fault-recovery suite, and the
+//! capacity-planner admission suite in a cheap configuration; writes
+//! `results/BENCH_fabric.json`, `results/BENCH_scale.json`,
+//! `results/BENCH_dataplane.json`, `results/BENCH_control.json`,
+//! `results/BENCH_fault.json`, and `results/BENCH_capacity.json`
+//! (wall-time + trunk-byte + flow-mod + admission + recovery-tick metrics,
 //! uploaded as CI artifacts); and **fails** (exit 1) when a key metric
 //! drifts more than 20 % from the checked-in `results/` baselines:
 //!
@@ -21,6 +22,9 @@
 //! metrics are deterministic and gate exactly.
 
 use scallop_bench::baseline::{max_field, parse_numeric_objects, sum_field, Gate};
+use scallop_bench::capacity::{
+    run_capacity_suite, FULL_FLOOR_FPS, TRUNK_BPS as CAPACITY_TRUNK_BPS,
+};
 use scallop_bench::control::run_control_smoke;
 use scallop_bench::dataplane::run_batch_smoke;
 use scallop_bench::fabric::{peak_time, run_churn_phase, run_fabric_slice, run_wan_slice};
@@ -299,6 +303,38 @@ fn main() {
     }
     let fault_baseline = read_baseline("BENCH_fault");
     write_json("BENCH_fault", &fault_rows);
+
+    // ------------------------------------------------------------- //
+    section("bench-smoke: capacity planner admission");
+    let t0 = Instant::now();
+    let cap_rows = run_capacity_suite();
+    kv("capacity wall time (ms)", t0.elapsed().as_millis() as u64);
+    let cap_name = |e: u64| if e == 1 { "enforced" } else { "advisory" };
+    for row in &cap_rows {
+        let name = cap_name(row.enforced);
+        kv(
+            &format!("{name}: full / thin / refused"),
+            format!(
+                "{} / {} / {}",
+                row.admitted_full, row.admitted_thin, row.refused
+            ),
+        );
+        kv(
+            &format!("{name}: trunk booked vs budget (Mb/s)"),
+            format!(
+                "{:.1} / {:.1} ({} links over)",
+                row.trunk_out_bps as f64 / 1e6,
+                CAPACITY_TRUNK_BPS as f64 / 1e6,
+                row.oversubscribed_links
+            ),
+        );
+        kv(
+            &format!("{name}: full / thin viewer fps"),
+            format!("{:.1} / {:.1}", row.full_fps, row.thin_fps),
+        );
+    }
+    let capacity_baseline = read_baseline("BENCH_capacity");
+    write_json("BENCH_capacity", &cap_rows);
 
     // ------------------------------------------------------------- //
     section("regression gate (>20% drift vs checked-in results/)");
@@ -650,6 +686,102 @@ fn main() {
         None => gate
             .failures
             .push("missing baseline results/BENCH_fault.json".into()),
+    }
+    // Capacity-planner invariants: under enforcement no link may ever
+    // be booked above budget and the refusals must be typed; without
+    // enforcement the identical join sequence must visibly overrun the
+    // trunk (the contrast IS the feature). Both rows must reconcile
+    // the load ledger to zero after full teardown — a leak here means
+    // a debit with no matching credit on some leave/GC path.
+    let (enforced, advisory) = (&cap_rows[0], &cap_rows[1]);
+    gate.check(
+        "capacity enforced: zero oversubscribed links",
+        enforced.oversubscribed_links == 0 && enforced.trunk_out_bps <= CAPACITY_TRUNK_BPS,
+        format!(
+            "{} links over budget, trunk booked {} bps (budget {CAPACITY_TRUNK_BPS})",
+            enforced.oversubscribed_links, enforced.trunk_out_bps
+        ),
+    );
+    gate.check(
+        "capacity enforced: all three admission outcomes exercised",
+        enforced.admitted_full >= 1 && enforced.admitted_thin >= 1 && enforced.refused >= 1,
+        format!(
+            "full {} / thin {} / refused {}",
+            enforced.admitted_full, enforced.admitted_thin, enforced.refused
+        ),
+    );
+    gate.check(
+        "capacity enforced: every refusal carries a typed trunk reason",
+        enforced.refused_trunk == enforced.refused,
+        format!(
+            "{} trunk-typed of {} refusals",
+            enforced.refused_trunk, enforced.refused
+        ),
+    );
+    gate.check(
+        "capacity enforced: admitted-full viewers hold the fps floor",
+        enforced.full_fps >= FULL_FLOOR_FPS,
+        format!("slowest full viewer at {:.1} fps", enforced.full_fps),
+    );
+    gate.check(
+        "capacity enforced: thin viewers degraded, not frozen",
+        enforced.thin_fps > 5.0 && enforced.thin_fps < FULL_FLOOR_FPS,
+        format!("thin viewer at {:.1} fps", enforced.thin_fps),
+    );
+    gate.check(
+        "capacity advisory: oversubscription is visible unenforced",
+        advisory.refused == 0
+            && advisory.oversubscribed_links >= 1
+            && advisory.trunk_out_bps > CAPACITY_TRUNK_BPS,
+        format!(
+            "{} refusals, {} links over, trunk booked {} bps",
+            advisory.refused, advisory.oversubscribed_links, advisory.trunk_out_bps
+        ),
+    );
+    gate.check(
+        "capacity: ledger reconciles to zero after teardown (both rows)",
+        enforced.reconciled_after_teardown == 1 && advisory.reconciled_after_teardown == 1,
+        format!(
+            "enforced {} / advisory {}",
+            enforced.reconciled_after_teardown, advisory.reconciled_after_teardown
+        ),
+    );
+    match capacity_baseline {
+        Some(base) => {
+            // The refusal count is deterministic — gate it exactly, not
+            // within the drift band (a planner that starts refusing more
+            // or fewer joins changed admission semantics, not speed).
+            gate.check(
+                "capacity: refusal count matches baseline exactly",
+                sum_field(&base, "refused") == (enforced.refused + advisory.refused) as f64,
+                format!(
+                    "baseline {} vs current {}",
+                    sum_field(&base, "refused"),
+                    enforced.refused + advisory.refused
+                ),
+            );
+            gate.check_within(
+                "capacity: total admissions",
+                sum_field(&base, "admitted_full") + sum_field(&base, "admitted_thin"),
+                (enforced.admitted_full
+                    + enforced.admitted_thin
+                    + advisory.admitted_full
+                    + advisory.admitted_thin) as f64,
+            );
+            gate.check_within(
+                "capacity: booked trunk load",
+                sum_field(&base, "trunk_out_bps"),
+                (enforced.trunk_out_bps + advisory.trunk_out_bps) as f64,
+            );
+            gate.check_within(
+                "capacity: viewer fps",
+                sum_field(&base, "full_fps") + sum_field(&base, "thin_fps"),
+                enforced.full_fps + enforced.thin_fps + advisory.full_fps + advisory.thin_fps,
+            );
+        }
+        None => gate
+            .failures
+            .push("missing baseline results/BENCH_capacity.json".into()),
     }
 
     if gate.passed() {

@@ -29,13 +29,15 @@
 //! deterministic campus-fabric slice ([`fabric`]), the churn/migration
 //! phase, the Fig. 15 sweep ([`scale`]), the batched data-plane smoke
 //! ([`dataplane`]), the flash-crowd/webinar control-plane compilation
-//! smoke ([`control`]), and the fault-recovery suite ([`fault`]);
-//! writes `BENCH_fabric.json` / `BENCH_scale.json` /
-//! `BENCH_dataplane.json` / `BENCH_control.json` / `BENCH_fault.json`
+//! smoke ([`control`]), the fault-recovery suite ([`fault`]), and the
+//! capacity-planner admission suite ([`capacity`]); writes
+//! `BENCH_fabric.json` / `BENCH_scale.json` / `BENCH_dataplane.json` /
+//! `BENCH_control.json` / `BENCH_fault.json` / `BENCH_capacity.json`
 //! for artifact upload; and fails when key metrics drift more than
 //! 20 % from the checked-in `results/` baselines ([`baseline`]).
 
 pub mod baseline;
+pub mod capacity;
 pub mod control;
 pub mod dataplane;
 pub mod fabric;

@@ -31,6 +31,10 @@ pub struct SenderStats {
     pub key_frames: u64,
     /// Current encoder target bitrate.
     pub target_bitrate_bps: u64,
+    /// REMB feedback messages received (after any switch-side
+    /// filtering/aggregation — one per window under the fabric's
+    /// window-paced min-aggregation).
+    pub rembs_received: u64,
 }
 
 /// A participant's media sender.
@@ -125,6 +129,7 @@ impl MediaSender {
 
     /// Handle a REMB: adapt the encoder target.
     pub fn handle_remb(&mut self, bitrate_bps: u64) {
+        self.stats.rembs_received += 1;
         self.encoder.set_target_bitrate(bitrate_bps);
     }
 

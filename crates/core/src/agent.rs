@@ -213,6 +213,11 @@ struct Pinfo {
     audio_up: u16,
     /// Receiver-specific decode target.
     dt: u8,
+    /// Admission-imposed ceiling on the decode target: rate adaptation
+    /// may move `dt` freely **below** the cap but never above it (an
+    /// SVC-thin admission stays thin no matter how much downlink
+    /// headroom the receiver reports). `2` = uncapped.
+    dt_cap: u8,
     /// RA-SR overrides: per-sender decode target.
     dt_per_sender: HashMap<ParticipantId, u8>,
     /// Per-sender downlink EWMA (this participant as receiver).
@@ -311,6 +316,14 @@ pub struct SwitchAgent {
     /// the reference for the compile-equivalence suite and as the bench
     /// baseline.
     incremental: bool,
+    /// Window-paced sink emission: instead of re-emitting a sink
+    /// sender's min-aggregate REMB inline on every arriving estimate,
+    /// mark the sender dirty and emit exactly one aggregate per agent
+    /// tick ([`Self::tick`]). Off (the default), aggregates are emitted
+    /// inline — the original behavior, bit for bit.
+    remb_window_emit: bool,
+    /// Sink senders with a changed estimate awaiting the next window.
+    dirty_sinks: std::collections::BTreeSet<ParticipantId>,
     /// Telemetry.
     pub counters: AgentCounters,
 }
@@ -355,8 +368,17 @@ impl SwitchAgent {
             // overflows (§5.3).
             ewma_alpha: 0.5,
             incremental: true,
+            remb_window_emit: false,
+            dirty_sinks: std::collections::BTreeSet::new(),
             counters: AgentCounters::default(),
         }
+    }
+
+    /// Toggle window-paced sink REMB emission: with it on, a sink
+    /// sender hears **exactly one** min-filtered REMB per agent tick
+    /// window no matter how many per-edge estimates arrived in it.
+    pub fn set_remb_window_emission(&mut self, on: bool) {
+        self.remb_window_emit = on;
     }
 
     /// Toggle incremental (delta) compilation. `false` restores the
@@ -753,6 +775,7 @@ impl SwitchAgent {
                 video_up,
                 audio_up,
                 dt: 2,
+                dt_cap: 2,
                 dt_per_sender: HashMap::new(),
                 ewma: HashMap::new(),
                 est_hist: HashMap::new(),
@@ -1840,12 +1863,14 @@ impl SwitchAgent {
         let mut best: Option<(ParticipantId, f64)> = None;
         // Only local receivers compete: a trunk-egress branch reports no
         // feedback here (the remote edge runs its own filter), and a
-        // remote sender receives nothing on this switch.
-        for &r in m
-            .participants
-            .iter()
-            .filter(|&&r| r != s && self.pinfo[&r].class == ParticipantClass::Local)
-        {
+        // remote sender receives nothing on this switch. Decode-capped
+        // (SVC-thin) receivers are excluded too — they receive a
+        // deliberately reduced layer set, so their estimates reflect
+        // the cap, not the downlink; feeding them back to the sender
+        // would drag the encoder below what full receivers can use.
+        for &r in m.participants.iter().filter(|&&r| {
+            r != s && self.pinfo[&r].class == ParticipantClass::Local && self.pinfo[&r].dt_cap >= 2
+        }) {
             let score = self.pinfo[&r]
                 .ewma
                 .get(&s)
@@ -1994,7 +2019,9 @@ impl SwitchAgent {
                         // back doubles the offered load instantly, so it
                         // requires a *sustained* high smoothed estimate.
                         let decision_est = (smoothed as u64).min(remb.bitrate_bps);
-                        let new = (self.policy)(curr, hist, decision_est);
+                        // An admission-imposed cap bounds what the
+                        // policy may climb to (SVC-thin stays thin).
+                        let new = (self.policy)(curr, hist, decision_est).min(pr.dt_cap);
                         // Down-switches shed load and must be fast; an
                         // up-switch doubles the offered load with no way
                         // to probe headroom first (the switch cannot send
@@ -2030,6 +2057,10 @@ impl SwitchAgent {
                 .map(|p| p.sink_port.is_some())
                 .unwrap_or(false)
         {
+            if self.remb_window_emit {
+                self.dirty_sinks.insert(sender);
+                return Vec::new();
+            }
             return self.emit_aggregate_remb(sender);
         }
         Vec::new()
@@ -2075,7 +2106,11 @@ impl SwitchAgent {
             ));
         }
         if saw_remb {
-            out.extend(self.emit_aggregate_remb(sender));
+            if self.remb_window_emit {
+                self.dirty_sinks.insert(sender);
+            } else {
+                out.extend(self.emit_aggregate_remb(sender));
+            }
         }
         out
     }
@@ -2121,6 +2156,21 @@ impl SwitchAgent {
         )]
     }
 
+    /// Cap a receiver's decode target from above (SVC-thin admission,
+    /// §5.4 semantics): the current target is lowered to the cap
+    /// immediately, and rate adaptation may later move it further down
+    /// but never back above the cap.
+    pub fn set_dt_cap(&mut self, dp: &mut ScallopDataPlane, receiver: ParticipantId, cap: u8) {
+        let target = match self.pinfo.get_mut(&receiver) {
+            Some(p) => {
+                p.dt_cap = cap;
+                p.dt.min(cap)
+            }
+            None => return,
+        };
+        self.apply_dt_change(dp, receiver, target);
+    }
+
     /// Apply a receiver-specific decode-target change (§5.4): update
     /// cadences and egress gates; migrate the meeting design if needed.
     pub fn apply_dt_change(&mut self, dp: &mut ScallopDataPlane, receiver: ParticipantId, dt: u8) {
@@ -2160,12 +2210,22 @@ impl SwitchAgent {
     }
 
     /// Periodic agent work (§5.3): re-evaluate the feedback filter and
-    /// reprogram REMB forwarding toward each sender.
-    pub fn tick(&mut self, _now: SimTime, dp: &mut ScallopDataPlane) {
+    /// reprogram REMB forwarding toward each sender. Under window-paced
+    /// sink emission ([`Self::set_remb_window_emission`]) this also
+    /// drains the dirty-sink set, returning at most one min-filtered
+    /// aggregate REMB per sink sender for the switch to emit; with the
+    /// window pacing off (the default) the returned batch is empty.
+    pub fn tick(&mut self, _now: SimTime, dp: &mut ScallopDataPlane) -> Vec<Packet> {
         let meetings: Vec<MeetingId> = self.meetings.keys().copied().collect();
         for mid in meetings {
             self.refresh_feedback_gates(dp, mid, true);
         }
+        let dirty: Vec<ParticipantId> = std::mem::take(&mut self.dirty_sinks).into_iter().collect();
+        let mut out = Vec::new();
+        for sender in dirty {
+            out.extend(self.emit_aggregate_remb(sender));
+        }
+        out
     }
 
     /// Re-run the §5.3 feedback filter for every sender of one meeting,

@@ -24,9 +24,28 @@
 //! The overall system line is the minimum across budgets (§7.4:
 //! "the overall system performance becomes the minimum of all these
 //! lines").
+//!
+//! ## The online planner
+//!
+//! Beyond the offline analytics, this module also hosts the *live*
+//! fabric-wide capacity planner: [`FabricBudgets`] (per-trunk and
+//! per-WAN-link bandwidth budgets plus the per-edge port span derived
+//! from [`Topology::port_span`]) and the [`FabricLoadLedger`] — an
+//! incrementally-updated account book of offered load that the
+//! controller debits on join/compile and credits on leave/GC. The
+//! ledger records every debit as a keyed entry so a credit reverses it
+//! *exactly*; after a full teardown the book provably reconciles to
+//! zero. Admission consults the ledger online and answers with a typed
+//! [`AdmissionDecision`]: admit at full rate, degrade to an SVC-thin
+//! branch (top temporal layer dropped), or refuse with a
+//! [`RefusalReason`].
 
 use scallop_dataplane::pre::{MAX_L1_NODES, MAX_MULTICAST_GROUPS};
 use scallop_dataplane::seqrewrite::SeqRewriteMode;
+use scallop_netsim::topology::Topology;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
 
 /// All capacity parameters with the paper's defaults.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +75,12 @@ pub struct CapacityModel {
     pub sw_cores: u64,
     /// Concurrent SFU streams one core sustains.
     pub sw_streams_per_core: u64,
+    /// Bandwidth budget of one trunk direction at one edge, bits/s
+    /// (matches [`Topology::default_trunk_link`]'s 100 Gbit/s).
+    pub trunk_bps: f64,
+    /// Bandwidth budget of one metered WAN link, bits/s (the
+    /// federation topology's 10 Gbit/s default).
+    pub wan_link_bps: f64,
 }
 
 impl Default for CapacityModel {
@@ -72,6 +97,8 @@ impl Default for CapacityModel {
             adapted_fraction: 0.5,
             sw_cores: 32,
             sw_streams_per_core: 1_200,
+            trunk_bps: 100.0e9,
+            wan_link_bps: 10.0e9,
         }
     }
 }
@@ -219,6 +246,534 @@ impl CapacityModel {
         }
         (lo, hi)
     }
+
+    /// Full-rate sender branches one trunk direction sustains before
+    /// its bandwidth budget is exhausted.
+    pub fn trunk_streams(&self) -> u64 {
+        (self.trunk_bps / self.peak_stream_bps) as u64
+    }
+
+    /// Full-rate sender branches one WAN link sustains.
+    pub fn wan_streams(&self) -> u64 {
+        (self.wan_link_bps / self.peak_stream_bps) as u64
+    }
+
+    /// Per-edge port budget for `topo`: the [`Topology::port_span`]
+    /// slice of UDP port space owned by each edge — it shrinks as
+    /// edges are added, so the planner must treat ports as scarce.
+    pub fn edge_port_budget(&self, topo: &Topology) -> u64 {
+        topo.port_span() as u64
+    }
+
+    /// The live-planner budget set derived from this model: trunk and
+    /// WAN bandwidth lines, the provisioned full and SVC-thin stream
+    /// rates, and per-edge port spans taken from the topology at
+    /// [`FabricLoadLedger::set_budgets`] time.
+    pub fn fabric_budgets(&self) -> FabricBudgets {
+        let stream = self.peak_stream_bps as u64;
+        FabricBudgets {
+            trunk_bps: self.trunk_bps as u64,
+            wan_bps: None,
+            stream_bps: stream,
+            thin_stream_bps: stream / 2,
+            edge_ports: None,
+            enforce: true,
+        }
+    }
+}
+
+/// The SVC decode target a thin admission caps a receiver at: dt 1
+/// drops the top temporal layer (every-2nd-frame cadence, ~15 fps) —
+/// degraded but never frozen.
+pub const THIN_DECODE_TARGET: u8 = 1;
+
+/// Bandwidth and port budgets the online planner enforces.
+///
+/// `None` fields fall back to the topology at
+/// [`FabricLoadLedger::set_budgets`] time: per-link WAN budgets come
+/// from [`scallop_netsim::topology::WanLink::bandwidth_bps`], the
+/// per-edge port budget from [`Topology::port_span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricBudgets {
+    /// Bandwidth budget of each trunk direction at each edge, bits/s.
+    pub trunk_bps: u64,
+    /// Uniform WAN-link budget override, bits/s (`None` → per-link
+    /// metered bandwidth from the topology).
+    pub wan_bps: Option<u64>,
+    /// Planned full rate of one sender branch, bits/s.
+    pub stream_bps: u64,
+    /// Planned rate of an SVC-thin branch (top layers dropped), bits/s.
+    pub thin_stream_bps: u64,
+    /// Per-edge port budget override (`None` → [`Topology::port_span`]).
+    pub edge_ports: Option<u64>,
+    /// Whether admission *enforces* the budgets. When `false` the
+    /// ledger still measures offered load against them (the
+    /// no-admission baseline a bench compares against) but every join
+    /// is admitted.
+    pub enforce: bool,
+}
+
+impl FabricBudgets {
+    /// Budgets derived from the default [`CapacityModel`].
+    pub fn from_model() -> Self {
+        CapacityModel::default().fabric_budgets()
+    }
+
+    /// Same budgets with enforcement off: offered load is still
+    /// measured against the budget lines, but nothing is refused.
+    pub fn advisory(mut self) -> Self {
+        self.enforce = false;
+        self
+    }
+}
+
+/// What the planner answered for one join attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Full-rate admission: every budget line holds with the join's
+    /// entire planned load applied.
+    Admitted,
+    /// SVC-thin admission: the full-rate plan would oversubscribe a
+    /// trunk or WAN budget, but the thin-rate plan (top temporal
+    /// layer dropped for this receiver's branch) fits.
+    AdmittedThin,
+    /// The join was refused: even the thin plan breaks a budget line.
+    Refused(RefusalReason),
+}
+
+/// Which budget line a refused join would have broken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefusalReason {
+    /// The edge's [`Topology::port_span`] port slice is exhausted.
+    EdgePortsExhausted {
+        /// Edge whose port budget is exhausted.
+        edge: usize,
+    },
+    /// A trunk direction at this edge would exceed its bits/s budget.
+    TrunkOversubscribed {
+        /// Edge whose trunk budget would be exceeded.
+        edge: usize,
+    },
+    /// A metered WAN link would exceed its bits/s budget.
+    WanOversubscribed {
+        /// Index into [`Topology::wan_links`].
+        link: usize,
+    },
+}
+
+/// Where one trunk-tier branch of a sender's replication plan rides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BranchRoute {
+    /// A campus trunk hop: out of `from`'s uplink, into `to`'s.
+    Trunk {
+        /// Upstream edge (where the branch leaves toward the core).
+        from: usize,
+        /// Downstream edge (where the branch lands).
+        to: usize,
+    },
+    /// A WAN crossing: the ordered [`Topology::wan_links`] indices of
+    /// the gateway-to-gateway path.
+    Wan {
+        /// WAN link indices traversed.
+        links: Vec<usize>,
+    },
+}
+
+/// One account book entry: the exact amounts a debit charged, so the
+/// matching credit reverses them exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadDelta {
+    /// Ports charged per edge.
+    pub ports: BTreeMap<usize, u64>,
+    /// Trunk-out bits/s charged per edge.
+    pub trunk_out: BTreeMap<usize, u64>,
+    /// Trunk-in bits/s charged per edge.
+    pub trunk_in: BTreeMap<usize, u64>,
+    /// Bits/s charged per WAN link.
+    pub wan: BTreeMap<usize, u64>,
+}
+
+impl LoadDelta {
+    /// Charge `n` ports at `edge`.
+    pub fn add_ports(&mut self, edge: usize, n: u64) {
+        *self.ports.entry(edge).or_default() += n;
+    }
+
+    /// Charge `bps` along a branch route.
+    pub fn add_route(&mut self, route: &BranchRoute, bps: u64) {
+        match route {
+            BranchRoute::Trunk { from, to } => {
+                *self.trunk_out.entry(*from).or_default() += bps;
+                *self.trunk_in.entry(*to).or_default() += bps;
+            }
+            BranchRoute::Wan { links } => {
+                for l in links {
+                    *self.wan.entry(*l).or_default() += bps;
+                }
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ports.is_empty()
+            && self.trunk_out.is_empty()
+            && self.trunk_in.is_empty()
+            && self.wan.is_empty()
+    }
+}
+
+/// Ledger account key: which object a debit belongs to. Keys mirror
+/// the controller's fabric state — a local member, a remote-sender
+/// entry at an edge, or a sender's trunk/WAN branch toward an edge —
+/// so every compile step has exactly one reversing credit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LedgerKey {
+    /// A local member's uplink ports at its home edge.
+    Member {
+        /// Global meeting id.
+        gmid: u32,
+        /// Global participant id.
+        global: u32,
+    },
+    /// A sender's remote entry (trunk-ingress ports) at `edge`.
+    Remote {
+        /// Global meeting id.
+        gmid: u32,
+        /// Global participant id of the sender.
+        global: u32,
+        /// Edge holding the remote entry.
+        edge: usize,
+    },
+    /// A sender's trunk/WAN branch toward segment `to`.
+    Branch {
+        /// Global meeting id.
+        gmid: u32,
+        /// Global participant id of the sender.
+        global: u32,
+        /// Destination edge of the branch.
+        to: usize,
+    },
+}
+
+/// Snapshot of the planner's admission telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionCounts {
+    /// Joins admitted at full rate.
+    pub admitted_full: u64,
+    /// Joins degraded to SVC-thin.
+    pub admitted_thin: u64,
+    /// Joins refused.
+    pub refused: u64,
+    /// Refusals on the port-span line.
+    pub refused_ports: u64,
+    /// Refusals on a trunk bandwidth line.
+    pub refused_trunk: u64,
+    /// Refusals on a WAN bandwidth line.
+    pub refused_wan: u64,
+}
+
+/// Shared handle to the fabric-wide ledger: every controller shard
+/// debits and credits the same book (controllers run single-threaded
+/// inside the simulation, so `Rc<RefCell>` suffices).
+pub type LedgerHandle = Rc<RefCell<FabricLoadLedger>>;
+
+/// Uniform uplink ports one local member consumes (video + audio).
+pub const MEMBER_PORTS: u64 = 2;
+/// Trunk-ingress ports one remote-sender entry consumes at an edge.
+pub const REMOTE_PORTS: u64 = 2;
+
+/// The live account book of offered fabric load.
+///
+/// Without budgets ([`FabricLoadLedger::set_budgets`] never called)
+/// the ledger is pure bookkeeping: the controller's debits and credits
+/// keep per-edge port occupancy and per-trunk / per-WAN offered bits/s
+/// current, and nothing is ever refused — the default paths stay
+/// byte-identical. With budgets set it additionally answers admission
+/// queries and placement/rebalance headroom questions.
+#[derive(Debug, Clone, Default)]
+pub struct FabricLoadLedger {
+    used: LoadDelta,
+    entries: BTreeMap<LedgerKey, LoadDelta>,
+    budgets: Option<FabricBudgets>,
+    edge_port_budget: u64,
+    wan_budget: Vec<u64>,
+    counts: AdmissionCounts,
+    /// Total debits applied (telemetry).
+    pub debits: u64,
+    /// Total credits applied (telemetry).
+    pub credits: u64,
+}
+
+impl FabricLoadLedger {
+    /// Install budget lines, resolving topology-derived defaults: the
+    /// per-edge port budget from [`Topology::port_span`] and per-link
+    /// WAN budgets from the topology's metered bandwidths.
+    pub fn set_budgets(&mut self, budgets: FabricBudgets, topo: &Topology) {
+        self.edge_port_budget = budgets
+            .edge_ports
+            .unwrap_or_else(|| topo.port_span() as u64);
+        self.wan_budget = topo
+            .wan_links
+            .iter()
+            .map(|l| budgets.wan_bps.unwrap_or(l.bandwidth_bps))
+            .collect();
+        self.budgets = Some(budgets);
+    }
+
+    /// Whether budget lines are installed (planner queries meaningful).
+    pub fn planning(&self) -> bool {
+        self.budgets.is_some()
+    }
+
+    /// Whether admission actively enforces the budget lines.
+    pub fn enforcing(&self) -> bool {
+        self.budgets.map(|b| b.enforce).unwrap_or(false)
+    }
+
+    /// The installed budgets, if any.
+    pub fn budgets(&self) -> Option<FabricBudgets> {
+        self.budgets
+    }
+
+    /// Planned full rate of one sender branch, bits/s.
+    pub fn stream_bps(&self) -> u64 {
+        self.budgets
+            .map(|b| b.stream_bps)
+            .unwrap_or(CapacityModel::default().peak_stream_bps as u64)
+    }
+
+    /// Planned SVC-thin branch rate, bits/s.
+    pub fn thin_stream_bps(&self) -> u64 {
+        self.budgets
+            .map(|b| b.thin_stream_bps)
+            .unwrap_or(CapacityModel::default().peak_stream_bps as u64 / 2)
+    }
+
+    /// Branch rate for a segment of the given thinness.
+    pub fn branch_bps(&self, thin: bool) -> u64 {
+        if thin {
+            self.thin_stream_bps()
+        } else {
+            self.stream_bps()
+        }
+    }
+
+    fn apply(&mut self, delta: &LoadDelta, sign_credit: bool) {
+        let maps = [
+            (&delta.ports, &mut self.used.ports),
+            (&delta.trunk_out, &mut self.used.trunk_out),
+            (&delta.trunk_in, &mut self.used.trunk_in),
+            (&delta.wan, &mut self.used.wan),
+        ];
+        for (src, dst) in maps {
+            for (&k, &v) in src {
+                if sign_credit {
+                    let cur = dst.get_mut(&k).expect("credit without matching debit");
+                    *cur = cur.checked_sub(v).expect("ledger account underflow");
+                    if *cur == 0 {
+                        dst.remove(&k);
+                    }
+                } else {
+                    *dst.entry(k).or_default() += v;
+                }
+            }
+        }
+    }
+
+    /// Debit `delta` under `key`. If the key is already booked the old
+    /// entry is credited first, so re-compiling an object (e.g. a
+    /// gateway migration re-plumb) never double-counts.
+    pub fn debit(&mut self, key: LedgerKey, delta: LoadDelta) {
+        self.credit(key);
+        if delta.is_empty() {
+            return;
+        }
+        self.apply(&delta, false);
+        self.entries.insert(key, delta);
+        self.debits += 1;
+    }
+
+    /// Credit (exactly reverse) the entry under `key`, if booked.
+    pub fn credit(&mut self, key: LedgerKey) {
+        if let Some(old) = self.entries.remove(&key) {
+            self.apply(&old, true);
+            self.credits += 1;
+        }
+    }
+
+    /// Debit a local member's uplink ports at `edge`.
+    pub fn debit_member(&mut self, gmid: u32, global: u32, edge: usize) {
+        let mut d = LoadDelta::default();
+        d.add_ports(edge, MEMBER_PORTS);
+        self.debit(LedgerKey::Member { gmid, global }, d);
+    }
+
+    /// Debit a sender's remote entry (trunk-ingress ports) at `edge`.
+    pub fn debit_remote(&mut self, gmid: u32, global: u32, edge: usize) {
+        let mut d = LoadDelta::default();
+        d.add_ports(edge, REMOTE_PORTS);
+        self.debit(LedgerKey::Remote { gmid, global, edge }, d);
+    }
+
+    /// Debit a sender's branch toward segment `to` along `route`, at
+    /// the thin or full planned rate.
+    pub fn debit_branch(
+        &mut self,
+        gmid: u32,
+        global: u32,
+        to: usize,
+        route: &BranchRoute,
+        thin: bool,
+    ) {
+        let mut d = LoadDelta::default();
+        d.add_route(route, self.branch_bps(thin));
+        self.debit(LedgerKey::Branch { gmid, global, to }, d);
+    }
+
+    /// Credit a local member's entry.
+    pub fn credit_member(&mut self, gmid: u32, global: u32) {
+        self.credit(LedgerKey::Member { gmid, global });
+    }
+
+    /// Credit a remote entry.
+    pub fn credit_remote(&mut self, gmid: u32, global: u32, edge: usize) {
+        self.credit(LedgerKey::Remote { gmid, global, edge });
+    }
+
+    /// Credit a branch entry.
+    pub fn credit_branch(&mut self, gmid: u32, global: u32, to: usize) {
+        self.credit(LedgerKey::Branch { gmid, global, to });
+    }
+
+    /// Would `delta`, applied on top of current load, hold every
+    /// budget line? Only meaningful when budgets are installed.
+    pub fn fits(&self, delta: &LoadDelta) -> Result<(), RefusalReason> {
+        let Some(b) = self.budgets else {
+            return Ok(());
+        };
+        for (&e, &v) in &delta.ports {
+            if self.ports_used(e) + v > self.edge_port_budget {
+                return Err(RefusalReason::EdgePortsExhausted { edge: e });
+            }
+        }
+        for (&e, &v) in &delta.trunk_out {
+            if self.trunk_out_bps(e) + v > b.trunk_bps {
+                return Err(RefusalReason::TrunkOversubscribed { edge: e });
+            }
+        }
+        for (&e, &v) in &delta.trunk_in {
+            if self.trunk_in_bps(e) + v > b.trunk_bps {
+                return Err(RefusalReason::TrunkOversubscribed { edge: e });
+            }
+        }
+        for (&l, &v) in &delta.wan {
+            let budget = self.wan_budget.get(l).copied().unwrap_or(u64::MAX);
+            if self.wan_bps(l) + v > budget {
+                return Err(RefusalReason::WanOversubscribed { link: l });
+            }
+        }
+        Ok(())
+    }
+
+    /// Ports currently booked at `edge`.
+    pub fn ports_used(&self, edge: usize) -> u64 {
+        self.used.ports.get(&edge).copied().unwrap_or(0)
+    }
+
+    /// Trunk-out bits/s currently booked at `edge`.
+    pub fn trunk_out_bps(&self, edge: usize) -> u64 {
+        self.used.trunk_out.get(&edge).copied().unwrap_or(0)
+    }
+
+    /// Trunk-in bits/s currently booked at `edge`.
+    pub fn trunk_in_bps(&self, edge: usize) -> u64 {
+        self.used.trunk_in.get(&edge).copied().unwrap_or(0)
+    }
+
+    /// Bits/s currently booked on WAN link `l`.
+    pub fn wan_bps(&self, l: usize) -> u64 {
+        self.used.wan.get(&l).copied().unwrap_or(0)
+    }
+
+    /// Load score of an edge for placement/rebalance: port occupancy
+    /// first, then trunk bits (both directions). Lower is emptier.
+    pub fn load_score(&self, edge: usize) -> (u64, u64) {
+        (
+            self.ports_used(edge),
+            self.trunk_out_bps(edge) + self.trunk_in_bps(edge),
+        )
+    }
+
+    /// The least-loaded feasible edge among `candidates` (lowest load
+    /// score, ties to the lowest index). Edges whose port budget
+    /// cannot take another member are infeasible when budgets are
+    /// enforced; `None` if no candidate is feasible.
+    pub fn least_loaded_edge(&self, candidates: impl Iterator<Item = usize>) -> Option<usize> {
+        candidates
+            .filter(|&e| {
+                !self.enforcing() || self.ports_used(e) + MEMBER_PORTS <= self.edge_port_budget
+            })
+            .min_by_key(|&e| (self.load_score(e), e))
+    }
+
+    /// How many budget lines are currently *over* budget: trunk
+    /// directions above `trunk_bps` plus WAN links above their metered
+    /// budget. Zero whenever admission enforces the budgets; the
+    /// no-admission baseline of the same scenario drives it positive.
+    pub fn oversubscribed_links(&self) -> u64 {
+        let Some(b) = self.budgets else {
+            return 0;
+        };
+        let trunks = self
+            .used
+            .trunk_out
+            .values()
+            .chain(self.used.trunk_in.values())
+            .filter(|&&v| v > b.trunk_bps)
+            .count();
+        let wans = self
+            .used
+            .wan
+            .iter()
+            .filter(|(&l, &v)| v > self.wan_budget.get(l).copied().unwrap_or(u64::MAX))
+            .count();
+        (trunks + wans) as u64
+    }
+
+    /// Whether every debit has been exactly reversed: no open entries
+    /// and every account at zero. True after a full teardown.
+    pub fn reconciled(&self) -> bool {
+        self.entries.is_empty() && self.used.is_empty()
+    }
+
+    /// Open (un-credited) entries.
+    pub fn open_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Snapshot of the admission telemetry counters.
+    pub fn counts(&self) -> AdmissionCounts {
+        self.counts
+    }
+
+    /// Record an admission (full or thin) in the telemetry counters.
+    pub fn note_admission(&mut self, thin: bool) {
+        if thin {
+            self.counts.admitted_thin += 1;
+        } else {
+            self.counts.admitted_full += 1;
+        }
+    }
+
+    /// Record a refusal in the telemetry counters.
+    pub fn note_refusal(&mut self, reason: RefusalReason) {
+        self.counts.refused += 1;
+        match reason {
+            RefusalReason::EdgePortsExhausted { .. } => self.counts.refused_ports += 1,
+            RefusalReason::TrunkOversubscribed { .. } => self.counts.refused_trunk += 1,
+            RefusalReason::WanOversubscribed { .. } => self.counts.refused_wan += 1,
+        }
+    }
 }
 
 /// Which replication-tree design a capacity query assumes.
@@ -345,5 +900,146 @@ mod tests {
         // Two-party improvement: 533K / 4.8K ≈ 111×.
         let imp = c.two_party_meetings() / c.software_meetings(2, 2);
         assert!((100.0..125.0).contains(&imp), "two-party improvement {imp}");
+    }
+
+    #[test]
+    fn model_budget_lines() {
+        let c = m();
+        // 100 Gbit/s trunk at 6 Mbit/s full-rate branches.
+        assert_eq!(c.trunk_streams(), 16_666);
+        assert_eq!(c.wan_streams(), 1_666);
+        let b = c.fabric_budgets();
+        assert_eq!(b.stream_bps, 6_000_000);
+        assert_eq!(b.thin_stream_bps, 3_000_000);
+        assert!(b.enforce && !b.advisory().enforce);
+    }
+
+    fn thin_budgets() -> FabricBudgets {
+        FabricBudgets {
+            trunk_bps: 10_000_000,
+            wan_bps: Some(4_000_000),
+            stream_bps: 6_000_000,
+            thin_stream_bps: 3_000_000,
+            edge_ports: Some(6),
+            enforce: true,
+        }
+    }
+
+    #[test]
+    fn ledger_debits_credits_reconcile_exactly() {
+        let mut l = FabricLoadLedger::default();
+        l.set_budgets(thin_budgets(), &Topology::federation(2, 2, 0));
+        l.debit_member(1, 7, 0);
+        l.debit_remote(1, 7, 3);
+        l.debit_branch(1, 7, 3, &BranchRoute::Wan { links: vec![0] }, false);
+        l.debit_branch(1, 7, 1, &BranchRoute::Trunk { from: 0, to: 1 }, true);
+        assert_eq!(l.ports_used(0), 2);
+        assert_eq!(l.ports_used(3), 2);
+        assert_eq!(l.wan_bps(0), 6_000_000);
+        assert_eq!(l.trunk_out_bps(0), 3_000_000);
+        assert_eq!(l.trunk_in_bps(1), 3_000_000);
+        assert!(!l.reconciled());
+        l.credit_member(1, 7);
+        l.credit_remote(1, 7, 3);
+        l.credit_branch(1, 7, 3);
+        l.credit_branch(1, 7, 1);
+        assert!(l.reconciled(), "all accounts must return to zero");
+        assert_eq!(l.open_entries(), 0);
+        // A second credit of the same key is a no-op.
+        l.credit_member(1, 7);
+        assert!(l.reconciled());
+    }
+
+    #[test]
+    fn ledger_redebit_replaces_not_double_counts() {
+        let mut l = FabricLoadLedger::default();
+        l.set_budgets(thin_budgets(), &Topology::campus(2, 1));
+        let r = BranchRoute::Trunk { from: 0, to: 1 };
+        l.debit_branch(1, 7, 1, &r, false);
+        assert_eq!(l.trunk_out_bps(0), 6_000_000);
+        // Re-compiling the same branch (e.g. a gateway migration
+        // re-plumb) replaces the entry instead of stacking it.
+        l.debit_branch(1, 7, 1, &BranchRoute::Trunk { from: 2, to: 1 }, false);
+        assert_eq!(l.trunk_out_bps(0), 0);
+        assert_eq!(l.trunk_out_bps(2), 6_000_000);
+        l.credit_branch(1, 7, 1);
+        assert!(l.reconciled());
+    }
+
+    #[test]
+    fn ledger_fits_names_the_broken_line() {
+        let mut l = FabricLoadLedger::default();
+        l.set_budgets(thin_budgets(), &Topology::federation(2, 2, 0));
+        let mut ports = LoadDelta::default();
+        ports.add_ports(0, 8);
+        assert_eq!(
+            l.fits(&ports),
+            Err(RefusalReason::EdgePortsExhausted { edge: 0 })
+        );
+        let mut trunk = LoadDelta::default();
+        trunk.add_route(&BranchRoute::Trunk { from: 0, to: 1 }, 12_000_000);
+        assert_eq!(
+            l.fits(&trunk),
+            Err(RefusalReason::TrunkOversubscribed { edge: 0 })
+        );
+        let mut wan = LoadDelta::default();
+        wan.add_route(&BranchRoute::Wan { links: vec![0] }, 5_000_000);
+        assert_eq!(
+            l.fits(&wan),
+            Err(RefusalReason::WanOversubscribed { link: 0 })
+        );
+        let mut ok = LoadDelta::default();
+        ok.add_ports(0, 2);
+        ok.add_route(&BranchRoute::Trunk { from: 0, to: 1 }, 6_000_000);
+        assert_eq!(l.fits(&ok), Ok(()));
+    }
+
+    #[test]
+    fn ledger_oversubscription_is_measured_not_enforced() {
+        // Advisory budgets: the baseline run books load freely and the
+        // ledger reports how many budget lines broke.
+        let mut l = FabricLoadLedger::default();
+        l.set_budgets(thin_budgets().advisory(), &Topology::campus(3, 1));
+        assert!(!l.enforcing() && l.planning());
+        for g in 0..3u32 {
+            l.debit_branch(1, g, 1, &BranchRoute::Trunk { from: 0, to: 1 }, false);
+        }
+        // 18 Mbit/s offered on a 10 Mbit/s trunk: out at 0 and in at 1.
+        assert_eq!(l.oversubscribed_links(), 2);
+        for g in 0..3u32 {
+            l.credit_branch(1, g, 1);
+        }
+        assert_eq!(l.oversubscribed_links(), 0);
+        assert!(l.reconciled());
+    }
+
+    #[test]
+    fn ledger_least_loaded_edge_skips_full_ports() {
+        let mut l = FabricLoadLedger::default();
+        l.set_budgets(thin_budgets(), &Topology::campus(3, 1));
+        l.debit_member(1, 1, 0);
+        l.debit_member(1, 2, 0);
+        l.debit_member(1, 3, 0); // edge 0 full (6 ports of 6)
+        l.debit_member(1, 4, 1);
+        assert_eq!(l.least_loaded_edge(0..3), Some(2));
+        l.debit_member(1, 5, 2);
+        l.debit_member(1, 6, 2);
+        // Edge 1 now emptiest; edge 0 infeasible despite index order.
+        assert_eq!(l.least_loaded_edge(0..3), Some(1));
+    }
+
+    #[test]
+    fn admission_counters_track_reasons() {
+        let mut l = FabricLoadLedger::default();
+        l.note_admission(false);
+        l.note_admission(true);
+        l.note_refusal(RefusalReason::EdgePortsExhausted { edge: 0 });
+        l.note_refusal(RefusalReason::TrunkOversubscribed { edge: 1 });
+        l.note_refusal(RefusalReason::WanOversubscribed { link: 0 });
+        let c = l.counts();
+        assert_eq!(c.admitted_full, 1);
+        assert_eq!(c.admitted_thin, 1);
+        assert_eq!(c.refused, 3);
+        assert_eq!((c.refused_ports, c.refused_trunk, c.refused_wan), (1, 1, 1));
     }
 }

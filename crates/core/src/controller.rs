@@ -76,11 +76,16 @@
 //! handed in via the crate-internal `*_as` entry points.
 
 use crate::agent::{JoinGrant, MeetingId, ParticipantId};
+use crate::capacity::{
+    AdmissionDecision, BranchRoute, FabricBudgets, LedgerHandle, LoadDelta, MEMBER_PORTS,
+    REMOTE_PORTS, THIN_DECODE_TARGET,
+};
 use crate::fabric::Fabric;
 use crate::meeting::{FabricMeetingState, FabricMemberState};
 use crate::switchnode::ScallopSwitchNode;
 use scallop_netsim::packet::HostAddr;
 use scallop_netsim::sim::Simulator;
+use scallop_netsim::topology::Topology;
 use scallop_proto::sdp::SessionDescription;
 use std::collections::{BTreeMap, HashMap};
 
@@ -128,6 +133,17 @@ pub struct Controller {
     fabric_meetings: BTreeMap<GlobalMeetingId, FabricMeetingState>,
     next_global_meeting: GlobalMeetingId,
     next_global_participant: GlobalParticipantId,
+    /// The fabric-wide load account book
+    /// ([`crate::capacity::FabricLoadLedger`]): every join/compile
+    /// debits it, every leave/GC credits it. Under the sharded plane
+    /// all shards share one handle, so any shard sees fabric-wide
+    /// load. Without budgets installed it is pure bookkeeping and the
+    /// default paths stay byte-identical.
+    pub(crate) ledger: LedgerHandle,
+    /// Opt-in: min-aggregate REMB at the sender's home-edge feedback
+    /// sink even on a single-zone campus, restoring §5.3's single-
+    /// selection semantics fabric-wide (federations always aggregate).
+    pub(crate) aggregate_feedback: bool,
     /// Signaling transactions served (telemetry).
     pub signaling_exchanges: u64,
 }
@@ -328,6 +344,8 @@ impl Controller {
         // One record lookup per join: the meeting record and the
         // signaling counter are disjoint fields, so every step below
         // borrows `rec` directly instead of re-fetching it.
+        let ledger = self.ledger.clone();
+        let aggregate = self.aggregate_feedback;
         let Controller {
             fabric_meetings,
             signaling_exchanges,
@@ -337,7 +355,16 @@ impl Controller {
 
         // 1. + 2. Materialize and wire this edge's segment if needed.
         if !rec.segments.contains_key(&edge) {
-            Self::materialize_segment(sim, fabric, rec, signaling_exchanges, edge);
+            Self::materialize_segment(
+                sim,
+                fabric,
+                rec,
+                signaling_exchanges,
+                &ledger,
+                aggregate,
+                gmid,
+                edge,
+            );
         }
         let segment = rec.segments[&edge];
 
@@ -350,13 +377,25 @@ impl Controller {
             sends,
             local_pid: local.participant,
             remote_pids: BTreeMap::new(),
+            thin: false,
         });
+        ledger.borrow_mut().debit_member(gmid, global, edge);
         *signaling_exchanges += 1;
 
         // 4. A new sender reaches every other involved edge.
         if sends {
             for o in Self::plumb_targets(fabric, rec, edge) {
-                Self::plumb_sender_to_edge(sim, fabric, rec, signaling_exchanges, global, o);
+                Self::plumb_sender_to_edge(
+                    sim,
+                    fabric,
+                    rec,
+                    signaling_exchanges,
+                    &ledger,
+                    aggregate,
+                    gmid,
+                    global,
+                    o,
+                );
             }
         }
 
@@ -365,6 +404,252 @@ impl Controller {
             edge,
             local,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Online capacity planning (§7.4 made live; ROADMAP "Fabric-wide
+    // capacity planner and admission control")
+    // ------------------------------------------------------------------
+
+    /// Install capacity budget lines on the shared load ledger.
+    /// Topology-derived defaults (per-edge port span, per-link WAN
+    /// bandwidth) are resolved now, against `topo`.
+    pub fn set_capacity_budgets(&mut self, budgets: FabricBudgets, topo: &Topology) {
+        self.ledger.borrow_mut().set_budgets(budgets, topo);
+    }
+
+    /// Opt into home-edge REMB min-aggregation on single-zone campuses
+    /// (federated fabrics always aggregate).
+    pub fn set_feedback_aggregation(&mut self, on: bool) {
+        self.aggregate_feedback = on;
+    }
+
+    /// Handle to the shared fabric-load ledger (telemetry reads and
+    /// the sharded plane's shared-book attachment).
+    pub fn ledger_handle(&self) -> LedgerHandle {
+        self.ledger.clone()
+    }
+
+    /// Replace this controller's ledger with a shared one (the sharded
+    /// plane gives every shard the same book).
+    pub(crate) fn attach_ledger(&mut self, ledger: LedgerHandle) {
+        self.ledger = ledger;
+    }
+
+    /// The least-loaded feasible home edge for a new meeting, per the
+    /// ledger: on a federation the least-loaded zone is picked first,
+    /// then the least-loaded edge within it. Falls back to edge 0 when
+    /// the ledger has no feasible candidate (all port budgets full).
+    pub fn plan_home_edge(&self, fabric: &Fabric) -> usize {
+        let led = self.ledger.borrow();
+        let topo = &fabric.topology;
+        let zone_load = |z: usize| {
+            topo.zone_edges(z)
+                .map(|e| led.load_score(e))
+                .fold((0u64, 0u64), |a, s| (a.0 + s.0, a.1 + s.1))
+        };
+        let zone = (0..topo.zone_count())
+            .min_by_key(|&z| (zone_load(z), z))
+            .unwrap_or(0);
+        led.least_loaded_edge(topo.zone_edges(zone))
+            .or_else(|| led.least_loaded_edge(0..fabric.edges()))
+            .unwrap_or(0)
+    }
+
+    /// [`Self::create_fabric_meeting`] with ledger-driven placement:
+    /// the home edge is the least-loaded feasible target. Returns the
+    /// meeting id and the chosen home.
+    pub fn create_fabric_meeting_planned(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+    ) -> (GlobalMeetingId, usize) {
+        let home = self.plan_home_edge(fabric);
+        (self.create_fabric_meeting(sim, fabric, home), home)
+    }
+
+    /// The branch route media of a sender homed on `se` takes to reach
+    /// a segment at `te` — mirroring [`Self::plumb_sender_to_edge`]'s
+    /// upstream resolution, but *predictively*: when `te`'s zone has
+    /// no gateway yet, `te` will become it and the route crosses the
+    /// WAN.
+    fn planned_route(tz: &Topology, rec: &FabricMeetingState, se: usize, te: usize) -> BranchRoute {
+        let (zs, zt) = (tz.zone_of_edge(se), tz.zone_of_edge(te));
+        if zs == zt {
+            return BranchRoute::Trunk { from: se, to: te };
+        }
+        match rec.zone_gateways.get(&zt) {
+            Some(&g) if g != te => BranchRoute::Trunk { from: g, to: te },
+            _ => BranchRoute::Wan {
+                links: tz.wan_path(zs, zt),
+            },
+        }
+    }
+
+    /// Would admitting a join of `edge` (sending or not) hold every
+    /// budget line? Answers [`AdmissionDecision::Admitted`] when the
+    /// full-rate plan fits, [`AdmissionDecision::AdmittedThin`] when
+    /// only the SVC-thin plan does (receivers only — a thin receiver's
+    /// branches are booked at half rate and its decode target capped),
+    /// and a typed refusal otherwise. Always `Admitted` while budgets
+    /// are not enforced. Read-only: the books are not touched.
+    pub fn admission_check(
+        &self,
+        fabric: &Fabric,
+        gmid: GlobalMeetingId,
+        edge: usize,
+        sends: bool,
+    ) -> AdmissionDecision {
+        let led = self.ledger.borrow();
+        if !led.enforcing() {
+            return AdmissionDecision::Admitted;
+        }
+        let Some(rec) = self.fabric_meetings.get(&gmid) else {
+            return AdmissionDecision::Admitted;
+        };
+        let tz = &fabric.topology;
+        let new_segment = !rec.segments.contains_key(&edge);
+
+        // Rate-independent charges: the joiner's uplink ports, plus —
+        // when this join materializes the segment — a remote entry
+        // here per established sender elsewhere.
+        let mut base = LoadDelta::default();
+        base.add_ports(edge, MEMBER_PORTS);
+        let senders: Vec<usize> = rec
+            .members
+            .iter()
+            .filter(|m| m.sends && m.edge != edge)
+            .map(|m| m.edge)
+            .collect();
+        if new_segment {
+            base.add_ports(edge, REMOTE_PORTS * senders.len() as u64);
+        }
+
+        if sends {
+            // A sender reaches every existing segment: a remote entry
+            // and a branch each (branches toward thin segments are
+            // booked thin). No thin fallback for senders — degrading
+            // a sender would degrade every full receiver it serves.
+            let mut plan = base;
+            for o in rec.segments.keys().copied().filter(|&o| o != edge) {
+                plan.add_ports(o, REMOTE_PORTS);
+                let route = Self::planned_route(tz, rec, edge, o);
+                plan.add_route(&route, led.branch_bps(rec.thin_segments.contains(&o)));
+            }
+            if new_segment {
+                for &se in &senders {
+                    let route = Self::planned_route(tz, rec, se, edge);
+                    plan.add_route(&route, led.stream_bps());
+                }
+            }
+            return match led.fits(&plan) {
+                Ok(()) => AdmissionDecision::Admitted,
+                Err(reason) => AdmissionDecision::Refused(reason),
+            };
+        }
+
+        if !new_segment {
+            // Joining a live segment adds no trunk/WAN load — only the
+            // port line can refuse, and a thin segment stays thin.
+            return match led.fits(&base) {
+                Ok(()) if rec.thin_segments.contains(&edge) => AdmissionDecision::AdmittedThin,
+                Ok(()) => AdmissionDecision::Admitted,
+                Err(reason) => AdmissionDecision::Refused(reason),
+            };
+        }
+
+        // A receiver materializing a new segment pulls a branch from
+        // every established sender toward it: try full rate first,
+        // then the SVC-thin fallback.
+        let plan_at = |bps: u64| {
+            let mut plan = base.clone();
+            for &se in &senders {
+                let route = Self::planned_route(tz, rec, se, edge);
+                plan.add_route(&route, bps);
+            }
+            plan
+        };
+        if led.fits(&plan_at(led.stream_bps())).is_ok() {
+            return AdmissionDecision::Admitted;
+        }
+        match led.fits(&plan_at(led.thin_stream_bps())) {
+            Ok(()) => AdmissionDecision::AdmittedThin,
+            Err(reason) => AdmissionDecision::Refused(reason),
+        }
+    }
+
+    /// Admission-controlled join: consult [`Self::admission_check`],
+    /// then execute the join at the admitted tier (refusals execute
+    /// nothing and are counted on the ledger). A thin admission marks
+    /// the materialized segment thin — its branches are booked and
+    /// compiled against the thin plan — and caps the joining
+    /// receiver's decode target at [`THIN_DECODE_TARGET`] (reduced
+    /// cadence, never frozen).
+    pub fn try_join_fabric(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        gmid: GlobalMeetingId,
+        edge: usize,
+        addr: HostAddr,
+        sends: bool,
+    ) -> (AdmissionDecision, Option<FabricGrant>) {
+        let decision = self.admission_check(fabric, gmid, edge, sends);
+        if let AdmissionDecision::Refused(reason) = decision {
+            self.ledger.borrow_mut().note_refusal(reason);
+            return (decision, None);
+        }
+        self.next_global_participant += 1;
+        let global = self.next_global_participant;
+        let grant = self.join_fabric_admitted_as(
+            sim,
+            fabric,
+            gmid,
+            edge,
+            addr,
+            sends,
+            global,
+            decision == AdmissionDecision::AdmittedThin,
+        );
+        (decision, Some(grant))
+    }
+
+    /// Execute an already-admitted join at the given tier (the sharded
+    /// plane routes the decision through the owner shard and allocates
+    /// the id; see [`crate::shard::ShardedControlPlane::try_join_fabric`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn join_fabric_admitted_as(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        gmid: GlobalMeetingId,
+        edge: usize,
+        addr: HostAddr,
+        sends: bool,
+        global: GlobalParticipantId,
+        thin: bool,
+    ) -> FabricGrant {
+        if thin {
+            let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
+            if !rec.segments.contains_key(&edge) {
+                rec.thin_segments.insert(edge);
+            }
+        }
+        let grant = self.join_fabric_as(sim, fabric, gmid, edge, addr, sends, global);
+        let rec = self.fabric_meetings.get_mut(&gmid).expect("fabric meeting");
+        let effective_thin = thin || rec.thin_segments.contains(&edge);
+        if effective_thin {
+            if let Some(m) = rec.members.iter_mut().find(|m| m.global == global) {
+                m.thin = true;
+            }
+            if !sends && !fabric.edge_is_dead(sim, edge) {
+                let sw = fabric.edge_mut(sim, edge);
+                sw.agent
+                    .set_dt_cap(&mut sw.dp, grant.local.participant, THIN_DECODE_TARGET);
+            }
+        }
+        self.ledger.borrow_mut().note_admission(effective_thin);
+        grant
     }
 
     /// Admit a burst of joins into one fabric meeting with **one**
@@ -417,6 +702,8 @@ impl Controller {
             groups.entry(edge).or_default().push(i);
         }
         let mut grants: Vec<Option<FabricGrant>> = joins.iter().map(|_| None).collect();
+        let ledger = self.ledger.clone();
+        let aggregate = self.aggregate_feedback;
         let Controller {
             fabric_meetings,
             signaling_exchanges,
@@ -426,7 +713,16 @@ impl Controller {
         for edge in order {
             let idxs = &groups[&edge];
             if !rec.segments.contains_key(&edge) {
-                Self::materialize_segment(sim, fabric, rec, signaling_exchanges, edge);
+                Self::materialize_segment(
+                    sim,
+                    fabric,
+                    rec,
+                    signaling_exchanges,
+                    &ledger,
+                    aggregate,
+                    gmid,
+                    edge,
+                );
             }
             let segment = rec.segments[&edge];
             let batch: Vec<(HostAddr, bool)> =
@@ -441,7 +737,9 @@ impl Controller {
                     sends,
                     local_pid: local.participant,
                     remote_pids: BTreeMap::new(),
+                    thin: false,
                 });
+                ledger.borrow_mut().debit_member(gmid, globals[i], edge);
                 *signaling_exchanges += 1;
                 grants[i] = Some(FabricGrant {
                     global: globals[i],
@@ -460,6 +758,9 @@ impl Controller {
                             fabric,
                             rec,
                             signaling_exchanges,
+                            &ledger,
+                            aggregate,
+                            gmid,
                             globals[i],
                             o,
                         );
@@ -476,11 +777,15 @@ impl Controller {
     /// becomes the zone's WAN gateway and gets WAN-tier branches to
     /// every other zone's gateway. Then every established sender on
     /// other edges becomes a remote sender here.
+    #[allow(clippy::too_many_arguments)]
     fn materialize_segment(
         sim: &mut Simulator,
         fabric: &Fabric,
         rec: &mut FabricMeetingState,
         signaling: &mut u64,
+        ledger: &LedgerHandle,
+        aggregate: bool,
+        gmid: GlobalMeetingId,
         edge: usize,
     ) {
         let segment = fabric.edge_mut(sim, edge).agent.create_meeting();
@@ -523,7 +828,9 @@ impl Controller {
             .map(|m| m.global)
             .collect();
         for g in senders {
-            Self::plumb_sender_to_edge(sim, fabric, rec, signaling, g, edge);
+            Self::plumb_sender_to_edge(
+                sim, fabric, rec, signaling, ledger, aggregate, gmid, g, edge,
+            );
         }
     }
 
@@ -572,11 +879,15 @@ impl Controller {
     /// home edge's REMB sink (min-aggregation, §5.3 fabric-wide); on a
     /// single-zone campus it keeps the direct per-edge path the frozen
     /// baselines pin.
+    #[allow(clippy::too_many_arguments)]
     fn plumb_sender_to_edge(
         sim: &mut Simulator,
         fabric: &Fabric,
         rec: &mut FabricMeetingState,
         signaling: &mut u64,
+        ledger: &LedgerHandle,
+        aggregate: bool,
+        gmid: GlobalMeetingId,
         global: GlobalParticipantId,
         to: usize,
     ) {
@@ -595,7 +906,7 @@ impl Controller {
         let to_seg = rec.segments[&to];
         let tz = &fabric.topology;
         let (zs, zt) = (tz.zone_of_edge(m_edge), tz.zone_of_edge(to));
-        let home_addr = if tz.zone_count() > 1 {
+        let home_addr = if tz.zone_count() > 1 || aggregate {
             let sink = fabric.edge_mut(sim, m_edge).feedback_sink(m_local_pid);
             HostAddr::new(tz.edge_spec(m_edge).ip, sink)
         } else {
@@ -630,6 +941,21 @@ impl Controller {
             .edge_mut(sim, up_edge)
             .set_trunk_dst(te, up_pid, video_dst, audio_dst);
         rec.members[mi].remote_pids.insert(to, remote.participant);
+        // Book the compile: the remote entry's trunk-ingress ports at
+        // `to`, and the branch's planned bits on the trunk or WAN
+        // accounts it rides (thin segments book the thin rate).
+        {
+            let mut led = ledger.borrow_mut();
+            led.debit_remote(gmid, global, to);
+            let route = if zs != zt && to_is_gateway {
+                BranchRoute::Wan {
+                    links: tz.wan_path(zs, zt),
+                }
+            } else {
+                BranchRoute::Trunk { from: up_edge, to }
+            };
+            led.debit_branch(gmid, global, to, &route, rec.thin_segments.contains(&to));
+        }
         *signaling += 1;
     }
 
@@ -663,6 +989,16 @@ impl Controller {
         }
         let remote: Vec<(usize, ParticipantId)> =
             m.remote_pids.iter().map(|(&o, &p)| (o, p)).collect();
+        // Credit the departure: the member's uplink ports, and — if it
+        // sent — every remote entry and branch it held.
+        {
+            let mut led = self.ledger.borrow_mut();
+            led.credit_member(gmid, global);
+            for &(o, _) in &remote {
+                led.credit_remote(gmid, global, o);
+                led.credit_branch(gmid, global, o);
+            }
+        }
         let rec = self.fabric_meetings.get(&gmid).expect("fabric meeting");
         let remote_segs: Vec<(usize, MeetingId, ParticipantId)> = remote
             .iter()
@@ -748,6 +1084,15 @@ impl Controller {
                     .clear_remote_est(local_pid, edge_ip);
             }
         }
+        // Credit the drained segment's books: every surviving sender's
+        // remote entry here and its branch toward here.
+        {
+            let mut led = self.ledger.borrow_mut();
+            for &(global, _) in &remotes {
+                led.credit_remote(gmid, global, edge);
+                led.credit_branch(gmid, global, edge);
+            }
+        }
         // 2. Tear down trunk-egress branches in both directions — this
         //    is what stops every other edge from trunking media toward
         //    the drained edge. WAN-tier branches live in the same table
@@ -774,6 +1119,7 @@ impl Controller {
             }
         }
         rec.segments.remove(&edge);
+        rec.thin_segments.remove(&edge);
         for (e, s, te) in branches {
             if !fabric.edge_is_dead(sim, e) {
                 fabric.edge_mut(sim, e).leave(s, te);
@@ -823,6 +1169,8 @@ impl Controller {
         zone: usize,
         new_g: usize,
     ) {
+        let ledger = self.ledger.clone();
+        let aggregate = self.aggregate_feedback;
         let Controller {
             fabric_meetings,
             signaling_exchanges,
@@ -863,8 +1211,23 @@ impl Controller {
                 // WAN branch, and records the new remote pid).
                 if let Some(old_pid) = rec.members[mi].remote_pids.remove(&new_g) {
                     fabric.edge_mut(sim, new_g).leave(new_g_seg, old_pid);
+                    // The trunk-pruned entry's books are retired with
+                    // it; the WAN-tier plumb below re-debits both.
+                    let mut led = ledger.borrow_mut();
+                    led.credit_remote(gmid, m_global, new_g);
+                    led.credit_branch(gmid, m_global, new_g);
                 }
-                Self::plumb_sender_to_edge(sim, fabric, rec, signaling_exchanges, m_global, new_g);
+                Self::plumb_sender_to_edge(
+                    sim,
+                    fabric,
+                    rec,
+                    signaling_exchanges,
+                    &ledger,
+                    aggregate,
+                    gmid,
+                    m_global,
+                    new_g,
+                );
                 // Re-fan-out inside the zone from the fresh entry: the
                 // in-zone trunk branches keep their downstream entries,
                 // only the upstream pid at `new_g` changed.
@@ -888,6 +1251,16 @@ impl Controller {
                     fabric
                         .edge_mut(sim, new_g)
                         .set_trunk_dst(te, new_pid, video_dst, audio_dst);
+                    // Rebind the fan-out branch's books: same
+                    // destination, new upstream trunk (the debit
+                    // replaces the old-gateway entry).
+                    ledger.borrow_mut().debit_branch(
+                        gmid,
+                        m_global,
+                        o,
+                        &BranchRoute::Trunk { from: new_g, to: o },
+                        rec.thin_segments.contains(&o),
+                    );
                 }
             } else {
                 // In-zone sender: its entries on other zones' gateways
@@ -954,9 +1327,29 @@ impl Controller {
                 .or_default() += 1;
         }
         let home_zone_count = zone_count.get(&home_zone).copied().unwrap_or(0);
-        let (&best_zone, &best_zone_count) = zone_count
-            .iter()
-            .max_by_key(|&(&z, &c)| (c, std::cmp::Reverse(z)))?;
+        // With the capacity planner active, equal member counts break
+        // toward capacity headroom (the ledger's load score) instead
+        // of the lowest index — migrations target headroom, not just
+        // receiver majority. Without budgets this is byte-identical to
+        // the original index tie-break.
+        let planning = self.ledger.borrow().planning();
+        let (&best_zone, &best_zone_count) = if planning {
+            let led = self.ledger.borrow();
+            let zone_load = |z: usize| {
+                fabric
+                    .topology
+                    .zone_edges(z)
+                    .map(|e| led.load_score(e))
+                    .fold((0u64, 0u64), |a, s| (a.0 + s.0, a.1 + s.1))
+            };
+            zone_count.iter().max_by_key(|&(&z, &c)| {
+                (c, std::cmp::Reverse(zone_load(z)), std::cmp::Reverse(z))
+            })?
+        } else {
+            zone_count
+                .iter()
+                .max_by_key(|&(&z, &c)| (c, std::cmp::Reverse(z)))?
+        };
         let target_zone = if best_zone != home_zone
             && (home_zone_count == 0 || best_zone_count > home_zone_count + REBALANCE_HYSTERESIS)
         {
@@ -972,9 +1365,20 @@ impl Controller {
             }
         }
         let home_count = count.get(&home).copied().unwrap_or(0);
-        let (&best, &best_count) = count
-            .iter()
-            .max_by_key(|&(&e, &c)| (c, std::cmp::Reverse(e)))?;
+        let (&best, &best_count) = if planning {
+            let led = self.ledger.borrow();
+            count.iter().max_by_key(|&(&e, &c)| {
+                (
+                    c,
+                    std::cmp::Reverse(led.load_score(e)),
+                    std::cmp::Reverse(e),
+                )
+            })?
+        } else {
+            count
+                .iter()
+                .max_by_key(|&(&e, &c)| (c, std::cmp::Reverse(e)))?
+        };
         if best == home
             || (target_zone == home_zone
                 && home_count > 0

@@ -29,6 +29,7 @@
 //! property the `tests/shard_ownership.rs` suite pins.
 
 use crate::agent::{JoinGrant, MeetingId};
+use crate::capacity::{AdmissionCounts, AdmissionDecision, FabricBudgets};
 use crate::controller::{FabricGrant, GlobalMeetingId};
 use crate::fabric::Fabric;
 use crate::shard::{RebalanceSummary, ShardedControlPlane};
@@ -93,6 +94,17 @@ pub struct HarnessConfig {
     pub switch_link: LinkConfig,
     /// Video encoder settings for sending clients.
     pub video: EncoderConfig,
+    /// Capacity budgets armed on the control plane before any join
+    /// (`None`, the default, runs the classic unplanned fabric — every
+    /// baseline stays bit-identical). With budgets set, joins made
+    /// through [`ScallopHarness::try_join_late`] are admission-checked
+    /// against the shared [`crate::capacity::FabricLoadLedger`].
+    pub admission: Option<FabricBudgets>,
+    /// Opt into single-zone REMB min-aggregation with window-paced
+    /// emission: each sender's home edge collects per-edge estimates at
+    /// its feedback sink and emits exactly one min-filtered REMB per
+    /// agent tick. Off by default (baselines unchanged).
+    pub aggregate_feedback: bool,
 }
 
 impl Default for HarnessConfig {
@@ -129,6 +141,8 @@ impl Default for HarnessConfig {
                 .with_queue_bytes(128 * 1024),
             switch_link: LinkConfig::infinite(SimDuration::from_micros(50)),
             video: EncoderConfig::default(),
+            admission: None,
+            aggregate_feedback: false,
         }
     }
 }
@@ -201,6 +215,20 @@ impl HarnessConfig {
     /// Builder: rewrite heuristic.
     pub fn rewrite_mode(mut self, m: SeqRewriteMode) -> Self {
         self.rewrite_mode = m;
+        self
+    }
+
+    /// Builder: arm capacity budgets (admission control) on the control
+    /// plane.
+    pub fn admission(mut self, budgets: FabricBudgets) -> Self {
+        self.admission = Some(budgets);
+        self
+    }
+
+    /// Builder: single-zone REMB min-aggregation with window-paced
+    /// emission.
+    pub fn aggregate_feedback(mut self, on: bool) -> Self {
+        self.aggregate_feedback = on;
         self
     }
 }
@@ -295,6 +323,18 @@ impl ScallopHarness {
         } else {
             ShardedControlPlane::new(cfg.shards)
         };
+        if let Some(budgets) = cfg.admission {
+            controller.set_capacity_budgets(budgets, &fabric.topology);
+        }
+        if cfg.aggregate_feedback {
+            controller.set_feedback_aggregation(true);
+            for e in 0..fabric.edges() {
+                fabric
+                    .edge_mut(&mut sim, e)
+                    .agent
+                    .set_remb_window_emission(true);
+            }
+        }
         let senders = cfg.senders.unwrap_or(cfg.participants);
         let fabric_meeting = controller.create_fabric_meeting(&mut sim, &fabric, 0);
         let meeting = controller
@@ -417,6 +457,47 @@ impl ScallopHarness {
     }
 
     // ------------------------------------------------------------------
+    // Capacity-planner telemetry (reads of the shared ledger).
+    // ------------------------------------------------------------------
+
+    /// Admission decisions tallied by the capacity planner.
+    pub fn admission_counts(&self) -> AdmissionCounts {
+        self.controller.ledger_handle().borrow().counts()
+    }
+
+    /// Whether the capacity ledger has fully reconciled: every debit
+    /// credited back, all load accounts at zero.
+    pub fn ledger_reconciled(&self) -> bool {
+        self.controller.ledger_handle().borrow().reconciled()
+    }
+
+    /// Trunk directions plus WAN links currently booked above budget
+    /// (always 0 while admission is enforced).
+    pub fn oversubscribed_links(&self) -> u64 {
+        self.controller
+            .ledger_handle()
+            .borrow()
+            .oversubscribed_links()
+    }
+
+    /// Offered load booked on edge `e`'s trunk, `(out_bps, in_bps)`.
+    pub fn trunk_load_bps(&self, e: usize) -> (u64, u64) {
+        let led = self.controller.ledger_handle();
+        let led = led.borrow();
+        (led.trunk_out_bps(e), led.trunk_in_bps(e))
+    }
+
+    /// Offered load booked on WAN link `l` in bits per second.
+    pub fn wan_load_bps(&self, l: usize) -> u64 {
+        self.controller.ledger_handle().borrow().wan_bps(l)
+    }
+
+    /// SFU ports the ledger has booked on edge `e`.
+    pub fn ports_booked(&self, e: usize) -> u64 {
+        self.controller.ledger_handle().borrow().ports_used(e)
+    }
+
+    // ------------------------------------------------------------------
     // Churn hooks: membership changes and re-homing mid-run.
     // ------------------------------------------------------------------
 
@@ -433,6 +514,40 @@ impl ScallopHarness {
             addr,
             sends,
         );
+        self.attach_client(grant, sends)
+    }
+
+    /// Admission-checked join on `edge`: the control plane consults the
+    /// capacity ledger first ([`crate::shard::ShardedControlPlane::try_join_fabric`]).
+    /// A refusal creates no client node and returns `None` alongside
+    /// the typed decision; an admitted join (full or SVC-thin) attaches
+    /// a client exactly like [`Self::join_late`] and returns its index.
+    pub fn try_join_late(
+        &mut self,
+        edge: usize,
+        sends: bool,
+    ) -> (AdmissionDecision, Option<usize>) {
+        let idx = self.client_ids.len();
+        let ip = client_ip(idx);
+        let addr = HostAddr::new(ip, 5000);
+        let (decision, grant) = self.controller.try_join_fabric(
+            &mut self.sim,
+            &self.fabric,
+            self.fabric_meeting,
+            edge,
+            addr,
+            sends,
+        );
+        match grant {
+            Some(grant) => (decision, Some(self.attach_client(grant, sends))),
+            None => (decision, None),
+        }
+    }
+
+    /// Wire a granted join up as a simulated client node.
+    fn attach_client(&mut self, grant: FabricGrant, sends: bool) -> usize {
+        let idx = self.client_ids.len();
+        let ip = client_ip(idx);
         let mut ccfg = if sends {
             ClientConfig::sender(ip, 5000, 0x1_0000u32 * (idx as u32 + 1))
                 .sending_to(grant.local.video_uplink, grant.local.audio_uplink)

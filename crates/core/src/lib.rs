@@ -55,7 +55,10 @@ pub use agent::{
     AdaptationPolicy, JoinGrant, MeetingId, ParticipantClass, ParticipantId, SwitchAgent,
     TreeDesign,
 };
-pub use capacity::CapacityModel;
+pub use capacity::{
+    AdmissionCounts, AdmissionDecision, CapacityModel, FabricBudgets, FabricLoadLedger,
+    RefusalReason,
+};
 pub use controller::{Controller, FabricGrant, GlobalMeetingId, GlobalParticipantId};
 pub use fabric::Fabric;
 pub use harness::{HarnessConfig, HarnessReport, ScallopHarness};

@@ -39,6 +39,9 @@ pub struct FabricMemberState {
     /// Per remote edge: the remote-sender entry (and its trunk-ingress
     /// ports) representing this sender there.
     pub(crate) remote_pids: BTreeMap<usize, ParticipantId>,
+    /// Whether the member was admitted SVC-thin (capacity planner
+    /// degraded it: top temporal layer dropped, decode target capped).
+    pub(crate) thin: bool,
 }
 
 impl FabricMemberState {
@@ -55,6 +58,12 @@ impl FabricMemberState {
     /// Whether the participant offers media.
     pub fn sends(&self) -> bool {
         self.sends
+    }
+
+    /// Whether the member was admitted SVC-thin by the capacity
+    /// planner.
+    pub fn thin(&self) -> bool {
+        self.thin
     }
 }
 
@@ -77,6 +86,11 @@ pub struct FabricMeetingState {
     /// terminate on gateway edges; a gateway re-trunks arriving WAN
     /// media to the zone's other segments.
     pub(crate) zone_gateways: BTreeMap<usize, usize>,
+    /// Edges whose segment was materialized under an SVC-thin
+    /// admission: the capacity planner books this segment's trunk/WAN
+    /// branches at the thin rate, and members joining it are admitted
+    /// thin.
+    pub(crate) thin_segments: std::collections::BTreeSet<usize>,
     /// Member roster, in join order.
     pub(crate) members: Vec<FabricMemberState>,
 }
@@ -107,6 +121,11 @@ impl FabricMeetingState {
     pub fn zone_gateway(&self, zone: usize) -> Option<usize> {
         self.zone_gateways.get(&zone).copied()
     }
+
+    /// Whether the segment at `edge` was admitted SVC-thin.
+    pub fn segment_is_thin(&self, edge: usize) -> bool {
+        self.thin_segments.contains(&edge)
+    }
 }
 
 #[cfg(test)]
@@ -127,12 +146,16 @@ mod tests {
             sends: true,
             local_pid: 3,
             remote_pids: BTreeMap::new(),
+            thin: false,
         });
+        st.thin_segments.insert(5);
         let copy = st.clone();
         assert_eq!(copy.home(), 2);
         assert_eq!(copy.member_count(), 1);
         assert_eq!(copy.segment_edges().collect::<Vec<_>>(), vec![2]);
+        assert!(copy.segment_is_thin(5) && !copy.segment_is_thin(2));
         assert!(copy.members()[0].sends());
+        assert!(!copy.members()[0].thin());
         assert_eq!(copy.members()[0].edge(), 2);
         assert_eq!(copy.members()[0].global(), 1);
     }

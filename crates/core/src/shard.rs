@@ -136,11 +136,13 @@
 //! assert_eq!(plane.stale_epoch_writes_rejected(), 1);
 //! ```
 
+use crate::capacity::{AdmissionDecision, FabricBudgets, LedgerHandle};
 use crate::controller::{Controller, FabricGrant, GlobalMeetingId, GlobalParticipantId};
 use crate::fabric::Fabric;
 use crate::meeting::FabricMeetingState;
 use scallop_netsim::packet::HostAddr;
 use scallop_netsim::sim::Simulator;
+use scallop_netsim::topology::Topology;
 use std::collections::BTreeMap;
 
 /// Virtual nodes per shard on the consistent-hash ring. More virtual
@@ -421,6 +423,14 @@ pub struct ShardedControlPlane {
     lease_steals: u64,
     /// Stale-epoch ownership re-assertions fenced off at revival.
     stale_epoch_writes_rejected: u64,
+    /// The fabric-load ledger every shard's controller shares — the
+    /// capacity planner's single book. Admission decisions made on any
+    /// shard debit and credit the same ledger, so the plane-wide
+    /// budgets hold regardless of which shard owns a meeting.
+    ledger: LedgerHandle,
+    /// Whether single-zone REMB min-aggregation is on (propagated to
+    /// shards added by [`Self::set_shard_count`]).
+    aggregate_feedback: bool,
 }
 
 /// Counters carried over from shards dropped by a shrink.
@@ -435,9 +445,16 @@ impl ShardedControlPlane {
     /// Create a control plane of `shards` controller instances.
     pub fn new(shards: usize) -> ShardedControlPlane {
         assert!(shards >= 1, "at least one shard");
+        let ledger = LedgerHandle::default();
         ShardedControlPlane {
             ring: HashRing::new(shards),
-            shards: (0..shards).map(|_| ControllerShard::default()).collect(),
+            shards: (0..shards)
+                .map(|_| {
+                    let mut s = ControllerShard::default();
+                    s.controller.attach_ledger(ledger.clone());
+                    s
+                })
+                .collect(),
             owner: BTreeMap::new(),
             loads: vec![0; shards],
             next_global_meeting: 0,
@@ -453,6 +470,8 @@ impl ShardedControlPlane {
             lease_left: vec![LEASE_TICKS; shards],
             lease_steals: 0,
             stale_epoch_writes_rejected: 0,
+            ledger,
+            aggregate_feedback: false,
         }
     }
 
@@ -601,6 +620,92 @@ impl ShardedControlPlane {
     // ------------------------------------------------------------------
     // The fabric-meeting API (mirrors `Controller`, routed by owner)
     // ------------------------------------------------------------------
+
+    /// Arm the shared capacity planner: every shard's controller books
+    /// joins against the same [`crate::capacity::FabricLoadLedger`] and
+    /// enforces the same budgets (see
+    /// [`Controller::set_capacity_budgets`]).
+    pub fn set_capacity_budgets(&mut self, budgets: FabricBudgets, topo: &Topology) {
+        self.ledger.borrow_mut().set_budgets(budgets, topo);
+    }
+
+    /// Opt every shard into single-zone REMB min-aggregation (see
+    /// [`Controller::set_feedback_aggregation`]); shards added later by
+    /// [`Self::set_shard_count`] inherit the setting.
+    pub fn set_feedback_aggregation(&mut self, on: bool) {
+        self.aggregate_feedback = on;
+        for s in &mut self.shards {
+            s.controller.set_feedback_aggregation(on);
+        }
+    }
+
+    /// Handle to the plane-wide shared fabric-load ledger (telemetry).
+    pub fn ledger_handle(&self) -> LedgerHandle {
+        self.ledger.clone()
+    }
+
+    /// The least-loaded feasible home edge for a new meeting per the
+    /// shared ledger ([`Controller::plan_home_edge`]; any shard gives
+    /// the same answer because the book is shared).
+    pub fn plan_home_edge(&self, fabric: &Fabric) -> usize {
+        self.shards[0].controller.plan_home_edge(fabric)
+    }
+
+    /// [`Self::create_fabric_meeting`] with ledger-planned placement:
+    /// the home edge is the least-loaded feasible edge fabric-wide.
+    /// Returns the meeting id and the chosen home edge.
+    pub fn create_fabric_meeting_planned(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+    ) -> (GlobalMeetingId, usize) {
+        let home = self.plan_home_edge(fabric);
+        (self.create_fabric_meeting(sim, fabric, home), home)
+    }
+
+    /// Admission-checked join, routed through the meeting's owner shard
+    /// exactly like [`Self::join_fabric`]: the owner consults the
+    /// shared ledger ([`Controller::admission_check`]), refusals are
+    /// typed and counted without allocating an id, and admitted joins
+    /// (full or SVC-thin) execute on the owner with a plane-allocated
+    /// participant id. Cross-ingress decisions are accounted as
+    /// forwards — the admission verdict travels back over the same
+    /// east–west path the grant does.
+    pub fn try_join_fabric(
+        &mut self,
+        sim: &mut Simulator,
+        fabric: &Fabric,
+        gmid: GlobalMeetingId,
+        edge: usize,
+        addr: HostAddr,
+        sends: bool,
+    ) -> (AdmissionDecision, Option<FabricGrant>) {
+        let owner = *self.owner.get(&gmid).expect("fabric meeting");
+        if self.ingress_shard(edge) != owner {
+            self.forwards += 1;
+            self.shards[owner].joins_forwarded += 1;
+        }
+        let decision = self.shards[owner]
+            .controller
+            .admission_check(fabric, gmid, edge, sends);
+        if let AdmissionDecision::Refused(reason) = decision {
+            self.ledger.borrow_mut().note_refusal(reason);
+            return (decision, None);
+        }
+        self.next_global_participant += 1;
+        let global = self.next_global_participant;
+        let grant = self.shards[owner].controller.join_fabric_admitted_as(
+            sim,
+            fabric,
+            gmid,
+            edge,
+            addr,
+            sends,
+            global,
+            decision == AdmissionDecision::AdmittedThin,
+        );
+        (decision, Some(grant))
+    }
 
     /// Place a meeting on the fabric with `home` as its home edge and
     /// assign it to a shard (sharding function in the module docs).
@@ -811,7 +916,13 @@ impl ShardedControlPlane {
         assert!(n >= 1, "at least one shard");
         self.ring = HashRing::new(n);
         while self.shards.len() < n {
-            self.shards.push(ControllerShard::default());
+            let mut s = ControllerShard::default();
+            // New shards join the plane's shared capacity book and
+            // inherit its feedback-aggregation setting.
+            s.controller.attach_ledger(self.ledger.clone());
+            s.controller
+                .set_feedback_aggregation(self.aggregate_feedback);
+            self.shards.push(s);
             self.loads.push(0);
             self.silent.push(false);
             self.lease_left.push(LEASE_TICKS);

@@ -283,7 +283,13 @@ impl Node for ScallopSwitchNode {
             TIMER_FLUSH => self.flush_due(ctx),
             TIMER_AGENT => {
                 let now = ctx.now();
-                self.agent.tick(now, &mut self.dp);
+                let emitted = self.agent.tick(now, &mut self.dp);
+                // Window-paced sink REMBs (empty unless the agent was
+                // opted in) leave at agent latency like any response.
+                let agent_at = now + self.cfg.agent_latency;
+                for pkt in emitted {
+                    self.emit_at(ctx, agent_at, pkt);
+                }
                 ctx.schedule(self.cfg.agent_tick, TIMER_AGENT);
             }
             _ => {}

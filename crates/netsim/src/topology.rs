@@ -517,6 +517,65 @@ mod tests {
     }
 
     #[test]
+    fn port_span_degenerate_single_edge_keeps_whole_range() {
+        // 1 edge: the span is the entire space above FIRST_PORT_BASE —
+        // the seed single-switch deployment, bit for bit.
+        let t = Topology::single(Ipv4Addr::new(10, 0, 0, 100));
+        assert_eq!(t.port_span(), u16::MAX - FIRST_PORT_BASE);
+        assert_eq!(t.port_base(0), FIRST_PORT_BASE);
+        assert_eq!(t.port_limit(0), u16::MAX);
+        assert_eq!(t.edge_of_port(FIRST_PORT_BASE), Some(0));
+        assert_eq!(t.edge_of_port(u16::MAX - 1), Some(0));
+    }
+
+    #[test]
+    fn port_span_at_max_edges_still_tiles_disjointly() {
+        // 64 edges is the largest fabric the capacity model budgets
+        // for; the even split leaves each edge 867 ports and an unused
+        // u16 remainder past the last limit.
+        let t = Topology::campus(64, 2);
+        assert_eq!(t.port_span(), (u16::MAX - FIRST_PORT_BASE) / 64);
+        assert_eq!(t.port_span(), 867);
+        for i in 1..64usize {
+            assert_eq!(t.port_limit(i - 1), t.port_base(i));
+        }
+        assert_eq!(t.edge_of_port(t.port_base(63)), Some(63));
+        assert_eq!(t.edge_of_port(t.port_limit(63) - 1), Some(63));
+        // The remainder past the last edge's limit maps to no edge.
+        assert_eq!(t.edge_of_port(t.port_limit(63)), None);
+        assert_eq!(t.edge_of_port(u16::MAX), None);
+        // Every edge still has room for its local members plus one
+        // remote-sender entry per peer edge (2 ports each).
+        assert!(u64::from(t.port_span()) > 2 * 64);
+    }
+
+    #[test]
+    fn port_span_partitions_across_zones_not_within_them() {
+        // Port ranges are a fabric-global plan: a federation splits the
+        // same space over all zones' edges (zone-major order), so a
+        // trunk or WAN packet still routes on destination port alone.
+        let t = Topology::federation(4, 16, 0);
+        assert_eq!(t.edge_count(), 64);
+        assert_eq!(t.port_span(), 867);
+        for z in 0..4usize {
+            let edges = t.zone_edges(z);
+            // The zone's block is contiguous and starts where the
+            // previous zone's block ended.
+            assert_eq!(
+                t.port_base(edges.start),
+                FIRST_PORT_BASE + edges.start as u16 * 867
+            );
+            for e in edges {
+                assert_eq!(t.edge_of_port(t.port_base(e)), Some(e));
+                assert_eq!(t.zone_of_edge(e), z);
+            }
+        }
+        // Zone boundaries tile exactly like edge boundaries.
+        assert_eq!(t.port_limit(15), t.port_base(16));
+        assert_eq!(t.port_limit(31), t.port_base(32));
+    }
+
+    #[test]
     fn core_assignment_spreads_pairs() {
         let t = Topology::campus(4, 2);
         assert_eq!(t.core_between(0, 0), None);

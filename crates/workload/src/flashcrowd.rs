@@ -63,6 +63,28 @@ pub fn webinar(edges: usize, audience: usize) -> Vec<CrowdJoin> {
     .collect()
 }
 
+/// The oversubscription shape: `senders` camera-on participants all in
+/// **one** building (edge 0) while `receivers` camera-off viewers
+/// spread round-robin over the *other* `edges - 1` edges. Every
+/// sender's media must cross edge 0's uplink trunk once per remote
+/// segment, so concentrating the senders makes that one trunk the
+/// fabric's scarce resource — the scenario the online capacity planner
+/// exists for. With admission off the trunk is driven over budget; with
+/// it on, late segments are admitted SVC-thin or refused.
+pub fn hotspot_crowd(edges: usize, senders: usize, receivers: usize) -> Vec<CrowdJoin> {
+    assert!(edges > 1, "a hotspot needs a remote edge to trunk to");
+    (0..senders)
+        .map(|_| CrowdJoin {
+            edge: 0,
+            sends: true,
+        })
+        .chain((0..receivers).map(|i| CrowdJoin {
+            edge: 1 + i % (edges - 1),
+            sends: false,
+        }))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +107,19 @@ mod tests {
     fn single_edge_crowd() {
         let joins = flash_crowd(1, 1, 4);
         assert!(joins.iter().all(|j| j.edge == 0));
+    }
+
+    #[test]
+    fn hotspot_shape() {
+        let joins = hotspot_crowd(4, 2, 9);
+        assert_eq!(joins.len(), 11);
+        // All senders pile onto edge 0; no receiver lands there.
+        assert!(joins[..2].iter().all(|j| j.sends && j.edge == 0));
+        assert!(joins[2..].iter().all(|j| !j.sends && j.edge != 0));
+        // Receivers round-robin over every remote edge.
+        for e in 1..4 {
+            assert!(joins.iter().any(|j| j.edge == e));
+        }
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod zoomtrace;
 
 pub use campus::{CampusModel, CampusParams, MeetingRecord};
 pub use churn::{ChurnEvent, ChurnPlan};
-pub use flashcrowd::{flash_crowd, webinar, CrowdJoin};
+pub use flashcrowd::{flash_crowd, hotspot_crowd, webinar, CrowdJoin};
 pub use scenario::{sfu_load_series, LoadPoint};
 pub use zoomtrace::{TraceSummary, ZoomTraceSynthesizer};

@@ -1,0 +1,422 @@
+//! Capacity planner + admission control: the flash-crowd-into-a-thin-
+//! trunk suite.
+//!
+//! The scenario is the campus failure mode the planner exists for: every
+//! camera-on participant sits in one building (`hotspot_crowd`) and the
+//! audience spreads over the remaining edges, so the hot edge's trunk
+//! uplink is the contended line. With budgets **enforced** the suite
+//! demands the three-way admission contract of
+//! [`scallop::core::capacity::AdmissionDecision`]:
+//!
+//! * joins that fit are admitted at full rate and hold ≥ 25 fps,
+//! * joins that would oversubscribe a trunk are degraded to SVC-thin —
+//!   alive at the thin decode target, **not** frozen,
+//! * joins that fit nowhere (even thin) are refused with a typed
+//!   [`RefusalReason`] and never get a client node,
+//! * no budget line is ever booked over, and the load ledger reconciles
+//!   to zero once everyone hangs up.
+//!
+//! A proptest replays randomized join/leave/re-home/degrade histories
+//! through the sharded control plane and checks the ledger invariants
+//! after every single step. The REMB tests pin the cross-fabric
+//! feedback behavior: with window-paced aggregation on, a sender sees
+//! at most one min-filtered REMB per 100 ms agent window no matter how
+//! many edges forward feedback, and the min filter tracks the slowest
+//! involved edge.
+//!
+//! Everything here honors `SCALLOP_SHARDS` and `SCALLOP_WORKERS` — CI
+//! runs the suite plain and under the 4-shard / 4-worker matrix.
+//!
+//! [`RefusalReason`]: scallop::core::capacity::RefusalReason
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use scallop::core::capacity::{
+    AdmissionDecision, CapacityModel, FabricBudgets, RefusalReason, THIN_DECODE_TARGET,
+};
+use scallop::core::fabric::Fabric;
+use scallop::core::harness::{HarnessConfig, ScallopHarness};
+use scallop::core::shard::ShardedControlPlane;
+use scallop::dataplane::seqrewrite::SeqRewriteMode;
+use scallop::netsim::link::LinkConfig;
+use scallop::netsim::packet::HostAddr;
+use scallop::netsim::sim::Simulator;
+use scallop::netsim::time::SimDuration;
+use scallop::netsim::topology::Topology;
+use scallop::workload::hotspot_crowd;
+use std::net::Ipv4Addr;
+
+/// Edges of the hotspot campus (senders on 0, viewers on 1..4).
+const EDGES: usize = 4;
+/// Camera-on participants in the hot building.
+const SENDERS: usize = 2;
+/// Viewers round-robined over the remote edges.
+const RECEIVERS: usize = 9;
+/// Trunk budget sized so the deterministic join sequence exercises all
+/// three admission outcomes: the first remote segment fits full
+/// (2 × 6 Mb/s), the second only thin (+ 2 × 3 Mb/s), the third not at
+/// all (same sizing as the `BENCH_capacity` rows).
+const TRUNK_BPS: u64 = 20_000_000;
+
+/// Shard count under test (the same `SCALLOP_SHARDS` knob the harness
+/// and the compile-equivalence suite honor).
+fn shards_from_env() -> usize {
+    match std::env::var("SCALLOP_SHARDS") {
+        Err(_) => 1,
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("SCALLOP_SHARDS must be a positive integer, got {raw:?}"),
+        },
+    }
+}
+
+/// The bench budgets: model defaults with the deliberately thin trunk.
+fn thin_trunk_budgets() -> FabricBudgets {
+    let mut b = CapacityModel::default().fabric_budgets();
+    b.trunk_bps = TRUNK_BPS;
+    b
+}
+
+#[test]
+fn flash_crowd_into_thin_trunk_exercises_every_admission_outcome() {
+    let mut h = ScallopHarness::new(
+        HarnessConfig::default()
+            .participants(0)
+            .switches(EDGES)
+            .cores(1)
+            .seed(0xADA117)
+            .admission(thin_trunk_budgets()),
+    );
+    let mut full_viewers = Vec::new();
+    let mut thin_viewers = Vec::new();
+    let mut refusals = Vec::new();
+    for j in hotspot_crowd(EDGES, SENDERS, RECEIVERS) {
+        let (decision, idx) = h.try_join_late(j.edge, j.sends);
+        // Gentle pacing: GCC needs the previous joiner's warm-up burst
+        // absorbed before the next, or early REMBs down-switch layers.
+        h.run_for_secs(0.5);
+        if j.sends {
+            assert_eq!(decision, AdmissionDecision::Admitted, "sender on hot edge");
+            continue;
+        }
+        // The planner's answer is a pure function of the viewer's edge:
+        // segment 1 (edge 1) fits full, segment 2 (edge 2) only thin,
+        // segment 3 (edge 3) not even thin.
+        match j.edge {
+            1 => {
+                assert_eq!(decision, AdmissionDecision::Admitted, "edge 1 fits full");
+                full_viewers.push(idx.expect("admitted viewers get a client"));
+            }
+            2 => {
+                assert_eq!(
+                    decision,
+                    AdmissionDecision::AdmittedThin,
+                    "edge 2 fits only SVC-thin"
+                );
+                thin_viewers.push(idx.expect("thin viewers get a client"));
+            }
+            _ => {
+                assert!(
+                    matches!(
+                        decision,
+                        AdmissionDecision::Refused(RefusalReason::TrunkOversubscribed { .. })
+                    ),
+                    "edge {} must be refused on the trunk line, got {decision:?}",
+                    j.edge
+                );
+                assert!(idx.is_none(), "refused joins must not create a client");
+                refusals.push(decision);
+            }
+        }
+        // The whole point: enforcement never books a line over budget,
+        // not even transiently between joins.
+        assert_eq!(h.oversubscribed_links(), 0);
+        let (out, _) = h.trunk_load_bps(0);
+        assert!(out <= TRUNK_BPS, "hot trunk booked {out} > {TRUNK_BPS}");
+    }
+    assert_eq!(full_viewers.len(), 3);
+    assert_eq!(thin_viewers.len(), 3);
+    assert_eq!(refusals.len(), 3);
+    let counts = h.admission_counts();
+    assert_eq!(counts.admitted_full as usize, SENDERS + full_viewers.len());
+    assert_eq!(counts.admitted_thin as usize, thin_viewers.len());
+    assert_eq!(counts.refused as usize, refusals.len());
+    assert_eq!(counts.refused_trunk, counts.refused, "refusals are typed");
+
+    // Let adaptation settle, then hold every admitted viewer to the
+    // contract: full viewers at the fabric floor, thin viewers alive at
+    // the reduced rate — degraded, never frozen.
+    h.run_for_secs(3.0);
+    let window = SimDuration::from_secs(1);
+    for (s, label, set, lo, hi) in [
+        (0usize, "full", &full_viewers, 25.0, f64::MAX),
+        (0, "thin", &thin_viewers, 5.0, 25.0),
+    ] {
+        for &r in set.iter() {
+            let fps = h.fps_between(s, r, window).expect("stream plumbed");
+            assert!(
+                fps >= lo && fps < hi,
+                "{label} viewer {r} at {fps:.1} fps (wanted [{lo}, {hi}))"
+            );
+        }
+    }
+
+    // Full teardown: every debit must come back as a credit.
+    for idx in 0..h.client_ids.len() {
+        h.leave(idx);
+    }
+    h.run_for_secs(0.5);
+    assert!(h.ledger_reconciled(), "ledger left open entries");
+    assert_eq!(h.oversubscribed_links(), 0);
+    let (out, inn) = h.trunk_load_bps(0);
+    assert_eq!((out, inn), (0, 0), "trunk accounts must drain to zero");
+    for e in 0..EDGES {
+        assert_eq!(h.ports_booked(e), 0, "edge {e} ports must drain to zero");
+    }
+}
+
+#[test]
+fn advisory_budgets_measure_the_oversubscription_enforcement_prevents() {
+    // Identical join sequence, budgets armed for measurement only: no
+    // join is refused or thinned, and the ledger shows the hot trunk
+    // visibly over budget — the baseline the enforced row is judged
+    // against.
+    let mut h = ScallopHarness::new(
+        HarnessConfig::default()
+            .participants(0)
+            .switches(EDGES)
+            .cores(1)
+            .seed(0xADA117)
+            .admission(thin_trunk_budgets().advisory()),
+    );
+    for j in hotspot_crowd(EDGES, SENDERS, RECEIVERS) {
+        let (decision, idx) = h.try_join_late(j.edge, j.sends);
+        assert_eq!(
+            decision,
+            AdmissionDecision::Admitted,
+            "advisory refuses nothing"
+        );
+        assert!(idx.is_some());
+        h.run_for_secs(0.2);
+    }
+    let counts = h.admission_counts();
+    assert_eq!(counts.admitted_full, (SENDERS + RECEIVERS) as u64);
+    assert_eq!(counts.admitted_thin, 0);
+    assert_eq!(counts.refused, 0);
+    assert!(h.oversubscribed_links() >= 1, "overrun must be visible");
+    let (out, _) = h.trunk_load_bps(0);
+    assert!(out > TRUNK_BPS, "hot trunk booked {out} <= {TRUNK_BPS}");
+    // Measurement-only bookkeeping still balances on teardown.
+    for idx in 0..h.client_ids.len() {
+        h.leave(idx);
+    }
+    h.run_for_secs(0.2);
+    assert!(h.ledger_reconciled());
+    assert_eq!(h.oversubscribed_links(), 0);
+}
+
+// --------------------------------------------------------------------
+// Randomized ledger invariants
+// --------------------------------------------------------------------
+
+/// One event of a randomized membership history.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// A participant asks to join `edge` (sending iff `sends`).
+    Join { edge: usize, sends: bool },
+    /// The `idx % live`-th admitted participant hangs up.
+    Leave { idx: usize },
+    /// The controller's ledger-aware re-homing pass runs.
+    Rebalance,
+    /// The `idx % live`-th participant's decode is capped to the thin
+    /// target (the admission-degrade path, driven directly).
+    Degrade { idx: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let join = || (0..EDGES, any::<bool>()).prop_map(|(edge, sends)| Op::Join { edge, sends });
+    prop_oneof![
+        // The vendored proptest's Union is unweighted; repeating the
+        // join arm biases histories toward growth like a real meeting.
+        join(),
+        join(),
+        join(),
+        any::<usize>().prop_map(|idx| Op::Leave { idx }),
+        Just(Op::Rebalance),
+        any::<usize>().prop_map(|idx| Op::Degrade { idx }),
+    ]
+}
+
+/// Tight budgets so random histories actually hit every refusal line:
+/// a trunk two full branches exhaust and a port span four members fill.
+fn tight_budgets() -> FabricBudgets {
+    let mut b = CapacityModel::default().fabric_budgets();
+    b.trunk_bps = 15_000_000;
+    b.edge_ports = Some(8);
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No step of any membership history may book a budget line over,
+    /// and once every member has left the ledger must reconcile to
+    /// zero — a leak means some leave/GC path lost its credit.
+    #[test]
+    fn random_histories_never_oversubscribe_and_reconcile(ops in pvec(arb_op(), 1..40)) {
+        let mut sim = Simulator::new(0x1ED6E2);
+        sim.set_workers(scallop::netsim::sim::workers_from_env());
+        let fabric = Fabric::build(
+            &mut sim,
+            Topology::campus(EDGES, 1),
+            LinkConfig::infinite(SimDuration::from_micros(50)),
+            SeqRewriteMode::LowRetransmission,
+        );
+        let mut plane = ShardedControlPlane::new(shards_from_env());
+        plane.set_capacity_budgets(tight_budgets(), &fabric.topology);
+        let gmid = plane.create_fabric_meeting(&mut sim, &fabric, 0);
+        let ledger = plane.ledger_handle();
+        // Live members: (global id, home edge, local participant).
+        let mut live = Vec::new();
+        let mut admitted = 0u32;
+        for op in &ops {
+            match *op {
+                Op::Join { edge, sends } => {
+                    let i = admitted;
+                    admitted += 1;
+                    let addr = HostAddr::new(
+                        Ipv4Addr::new(10, 9, (i / 200) as u8, (i % 200 + 1) as u8),
+                        5000,
+                    );
+                    let (decision, grant) =
+                        plane.try_join_fabric(&mut sim, &fabric, gmid, edge % EDGES, addr, sends);
+                    match (decision, grant) {
+                        (AdmissionDecision::Refused(_), g) => prop_assert!(g.is_none()),
+                        (_, Some(g)) => live.push((g.global, g.edge, g.local.participant)),
+                        (d, None) => prop_assert!(false, "admitted {d:?} without a grant"),
+                    }
+                }
+                Op::Leave { idx } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (global, _, _) = live.remove(idx % live.len());
+                    plane.leave_fabric(&mut sim, &fabric, gmid, global);
+                }
+                Op::Rebalance => {
+                    plane.rebalance_fabric(&mut sim, &fabric, gmid);
+                }
+                Op::Degrade { idx } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (_, edge, pid) = live[idx % live.len()];
+                    let sw = fabric.edge_mut(&mut sim, edge);
+                    sw.agent.set_dt_cap(&mut sw.dp, pid, THIN_DECODE_TARGET);
+                }
+            }
+            // The invariants, after every single step: enforcement
+            // means no line is ever over, and the port book never
+            // exceeds the configured span.
+            let l = ledger.borrow();
+            prop_assert_eq!(l.oversubscribed_links(), 0);
+            for e in 0..EDGES {
+                prop_assert!(
+                    l.ports_used(e) <= 8,
+                    "edge {} books {} ports of 8",
+                    e,
+                    l.ports_used(e)
+                );
+            }
+        }
+        // Teardown: the book must balance exactly.
+        for (global, _, _) in live.drain(..) {
+            plane.leave_fabric(&mut sim, &fabric, gmid, global);
+        }
+        let l = ledger.borrow();
+        prop_assert!(l.reconciled(), "{} open entries after teardown", l.open_entries());
+        let c = l.counts();
+        prop_assert_eq!(c.refused, c.refused_ports + c.refused_trunk + c.refused_wan);
+    }
+}
+
+// --------------------------------------------------------------------
+// Cross-fabric REMB aggregation
+// --------------------------------------------------------------------
+
+/// A 3-edge meeting: sender on edge 0, one viewer per edge — every
+/// REMB path (local, and two trunk-fed remote segments) is involved.
+fn remb_harness(aggregate: bool) -> ScallopHarness {
+    let mut h = ScallopHarness::new(
+        HarnessConfig::default()
+            .participants(0)
+            .switches(3)
+            .cores(1)
+            .seed(0x2E3B)
+            .aggregate_feedback(aggregate),
+    );
+    h.join_late(0, true);
+    for e in 0..3 {
+        h.join_late(e, false);
+    }
+    h
+}
+
+#[test]
+fn sender_sees_at_most_one_min_filtered_remb_per_window() {
+    let mut agg = remb_harness(true);
+    agg.run_for_secs(2.0); // warm-up: joins, STUN, first feedback
+    let before = agg.client_stats(0).sender.rembs_received;
+    agg.run_for_secs(5.0);
+    let with_aggregation = agg.client_stats(0).sender.rembs_received - before;
+    // 5 s of 100 ms agent windows: at most one REMB each, and feedback
+    // flows steadily enough that most windows carry one.
+    assert!(
+        with_aggregation <= 51,
+        "{with_aggregation} REMBs in 50 windows — more than one per window"
+    );
+    assert!(
+        with_aggregation >= 10,
+        "only {with_aggregation} REMBs in 5 s — aggregation starved the sender"
+    );
+
+    // The same meeting without window pacing forwards every selected
+    // REMB copy as it arrives — strictly chattier than one-per-window.
+    let mut raw = remb_harness(false);
+    raw.run_for_secs(2.0);
+    let before = raw.client_stats(0).sender.rembs_received;
+    raw.run_for_secs(5.0);
+    let without_aggregation = raw.client_stats(0).sender.rembs_received - before;
+    assert!(
+        without_aggregation > with_aggregation,
+        "aggregation must reduce sender-visible REMB chatter \
+         ({without_aggregation} raw vs {with_aggregation} aggregated)"
+    );
+}
+
+#[test]
+fn aggregated_remb_is_min_filtered_across_edges() {
+    let mut h = remb_harness(true);
+    h.run_for_secs(4.0);
+    let healthy = h.client_stats(0).sender.target_bitrate_bps;
+    // Constrain the edge-2 viewer (client 3) below the stream rate: the
+    // slowest involved edge must drag the min filter — and with it the
+    // encoder target — down, even though the other two edges still
+    // report a healthy estimate.
+    h.degrade_downlink(3, 1_200_000);
+    h.run_for_secs(8.0);
+    let constrained = h.client_stats(0).sender.target_bitrate_bps;
+    assert!(
+        constrained < healthy,
+        "min filter ignored the slow edge: target {constrained} after degrade \
+         (was {healthy})"
+    );
+    assert!(
+        constrained <= 1_600_000,
+        "target {constrained} not tracking the 1.2 Mb/s bottleneck edge"
+    );
+    assert!(
+        constrained >= 300_000,
+        "target {constrained} collapsed below the degraded edge's real rate"
+    );
+}
